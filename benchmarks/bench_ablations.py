@@ -1,0 +1,48 @@
+"""Ablation benches: the design-choice sweeps DESIGN.md calls out."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ablations
+
+
+def bench_ablation_num_levels(benchmark, fresh_caches):
+    points = run_once(benchmark, ablations.sweep_num_levels, "mcf",
+                      scale=BENCH_SCALE, levels=(1, 3, 4))
+    print("\nNumLevels sweep (mcf): " +
+          "  ".join(f"L{p.value}={p.speedup:.2f}" for p in points))
+    # More levels must not reduce coverage on a strongly repeating app.
+    assert points[-1].coverage >= points[0].coverage - 0.02
+
+
+def bench_ablation_table_size(benchmark, fresh_caches):
+    points = run_once(benchmark, ablations.sweep_num_rows, "mcf",
+                      scale=BENCH_SCALE, rows=(1024, 16384, 65536))
+    print("\nNumRows sweep (mcf): " +
+          "  ".join(f"{p.value}={p.speedup:.2f}" for p in points))
+    # An under-sized table (row thrashing) cannot beat a right-sized one.
+    assert points[0].speedup <= points[-1].speedup + 0.05
+
+
+def bench_ablation_queue_depth(benchmark, fresh_caches):
+    points = run_once(benchmark, ablations.sweep_queue_depth, "cg",
+                      scale=BENCH_SCALE, depths=(2, 16))
+    print("\nQueue-depth sweep (cg): " +
+          "  ".join(f"{p.value}={p.speedup:.2f} ({p.detail})"
+                    for p in points))
+
+
+def bench_ablation_filter(benchmark, fresh_caches):
+    points = run_once(benchmark, ablations.sweep_filter, "mcf",
+                      scale=BENCH_SCALE, sizes=(1, 32))
+    print("\nFilter sweep (mcf): " +
+          "  ".join(f"{p.value}={p.speedup:.2f} ({p.detail})"
+                    for p in points))
+
+
+def bench_ablation_rob(benchmark, fresh_caches):
+    points = run_once(benchmark, ablations.sweep_rob, "cg",
+                      scale=BENCH_SCALE, robs=(4, 8, 16))
+    print("\nROB sweep (cg): " +
+          "  ".join(f"{p.value}={p.speedup:.2f}" for p in points))
+    # Prefetching gains shrink as the baseline core gets more MLP.
+    assert points[0].speedup >= points[-1].speedup - 0.05

@@ -1,0 +1,19 @@
+"""Benchmark/regeneration of Figure 10 (ULMT response and occupancy)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig10
+
+
+def bench_fig10(benchmark, fresh_caches):
+    bars = run_once(benchmark, fig10.run, scale=BENCH_SCALE,
+                    apps=BENCH_APPS)
+    print("\nFigure 10 (scaled) — response/occupancy in main cycles "
+          "(paper: occupancy < 200, Repl response lowest, ReplMC ~2x):")
+    for b in bars:
+        print(f"  {b.config:8s} response={b.response:6.1f} "
+              f"occupancy={b.occupancy:6.1f} ipc={b.ipc:.2f}")
+    by_name = {b.config: b for b in bars}
+    assert all(b.occupancy < 200 for b in bars)
+    assert by_name["repl"].response < by_name["chain"].response
+    assert by_name["replMC"].response > by_name["repl"].response

@@ -1,0 +1,20 @@
+"""Benchmark/regeneration of Figure 5 (miss predictability by level)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig5
+
+
+def bench_fig5(benchmark, fresh_caches):
+    result = run_once(benchmark, fig5.run, scale=BENCH_SCALE,
+                      apps=BENCH_APPS)
+    avg = result["averages"]
+    print("\nFigure 5 (scaled) — average correct prediction by level:")
+    for predictor, levels in avg.items():
+        print(f"  {predictor:10s} " +
+              "  ".join(f"L{k + 1}={v:.2f}" for k, v in enumerate(levels)))
+    # Shape assertions from the paper: pair-based beats sequential on the
+    # irregular apps; Repl holds accuracy across levels better than Chain.
+    mcf = result["apps"]["mcf"]
+    assert mcf["repl"].levels[0] > mcf["seq4"].levels[0]
+    assert avg["repl"][2] >= avg["chain"][2]

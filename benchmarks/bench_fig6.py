@@ -1,0 +1,17 @@
+"""Benchmark/regeneration of Figure 6 (time between L2 misses)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig6
+from repro.sim.stats import MISS_DISTANCE_LABELS
+
+
+def bench_fig6(benchmark, fresh_caches):
+    result = run_once(benchmark, fig6.run, scale=BENCH_SCALE,
+                      apps=BENCH_APPS)
+    avg = result["average"]
+    print("\nFigure 6 (scaled) — average inter-miss distance fractions:")
+    for label, frac in zip(MISS_DISTANCE_LABELS, avg):
+        print(f"  {label:10s} {frac:.2f}")
+    # Paper: the [200,280) round-trip bin dominates on average.
+    assert avg[2] == max(avg)

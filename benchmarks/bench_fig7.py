@@ -1,0 +1,20 @@
+"""Benchmark/regeneration of Figure 7 (execution time by algorithm)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig7
+
+
+def bench_fig7(benchmark, fresh_caches):
+    result = run_once(benchmark, fig7.run, scale=BENCH_SCALE,
+                      apps=BENCH_APPS)
+    avg = result["avg_speedups"]
+    print("\nFigure 7 (scaled) — average speedups over NoPref "
+          "(paper at full scale: Base 1.06, Chain 1.14, Repl 1.32, "
+          "Conven4+Repl 1.46, Custom 1.53):")
+    for config, speedup in avg.items():
+        print(f"  {config:14s} {speedup:.2f}")
+    # Shape: the paper's ordering of the pair-based algorithms.
+    assert avg["repl"] > avg["base"]
+    assert avg["repl"] > 1.0
+    assert avg["conven4+repl"] >= avg["repl"] * 0.95

@@ -1,0 +1,18 @@
+"""Benchmark/regeneration of Figure 8 (memory processor placement)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig8
+
+
+def bench_fig8(benchmark, fresh_caches):
+    result = run_once(benchmark, fig8.run, scale=BENCH_SCALE,
+                      apps=BENCH_APPS)
+    avg = result["avg_speedups"]
+    dram = avg["conven4+repl"]
+    nb = avg["conven4+replMC"]
+    print(f"\nFigure 8 (scaled) — average speedup: DRAM {dram:.2f}, "
+          f"North Bridge {nb:.2f} (paper: 1.46 vs 1.41)")
+    # Paper: the North Bridge placement loses only a little.
+    assert nb <= dram * 1.02
+    assert nb > dram * 0.80

@@ -1,0 +1,20 @@
+"""Benchmark/regeneration of Figure 9 (miss/prefetch breakdown)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import fig9
+
+
+def bench_fig9(benchmark, fresh_caches):
+    result = run_once(benchmark, fig9.run, scale=BENCH_SCALE,
+                      apps=BENCH_APPS, configs=("base", "chain", "repl"))
+    print("\nFigure 9 (scaled) — coverage by config "
+          "(paper: Base/Chain small, Repl ~0.74):")
+    for config, group in result["groups"].items():
+        avg = group.get("avg-other-7")
+        if avg is not None:
+            print(f"  {config:6s} coverage={avg.coverage:.2f} "
+                  f"replaced={avg.replaced:.2f} redundant={avg.redundant:.2f}")
+    repl = result["groups"]["repl"]["avg-other-7"]
+    base = result["groups"]["base"]["avg-other-7"]
+    assert repl.coverage > base.coverage

@@ -1,0 +1,36 @@
+"""Related-work bench: the ULMT against a DASP-style hardwired pull engine.
+
+Reproduces the Section 2.1 / Section 6 comparison in numbers: the
+hardwired stride engine only helps stride-friendly code, while the
+general-purpose ULMT covers irregular patterns too — the paper's central
+motivation for a programmable memory-side prefetcher.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.common import cached_run
+from repro.sim.driver import run_simulation
+
+
+def bench_dasp_vs_ulmt(benchmark, fresh_caches):
+    def study():
+        out = {}
+        for app in ("cg", "mcf"):
+            baseline = cached_run(app, "nopref", BENCH_SCALE)
+            dasp = run_simulation(app, "dasp", scale=BENCH_SCALE)
+            repl = run_simulation(app, "repl", scale=BENCH_SCALE)
+            out[app] = {
+                "dasp": baseline.execution_time / dasp.execution_time,
+                "repl": baseline.execution_time / repl.execution_time,
+            }
+        return out
+
+    results = run_once(benchmark, study)
+    print("\nMemory-side engines (paper §2.1/§6): hardwired pull (DASP) "
+          "vs programmable push (ULMT/Repl):")
+    for app, r in results.items():
+        print(f"  {app:5s} dasp={r['dasp']:.2f}  repl={r['repl']:.2f}")
+    # The general-purpose ULMT must cover the irregular application the
+    # stride engine cannot touch.
+    assert abs(results["mcf"]["dasp"] - 1.0) < 0.05
+    assert results["mcf"]["repl"] > 1.15

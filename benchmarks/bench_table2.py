@@ -1,0 +1,17 @@
+"""Benchmark/regeneration of Table 2 (correlation table sizing)."""
+
+from conftest import BENCH_APPS, BENCH_SCALE, run_once
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, fresh_caches):
+    sizings = run_once(benchmark, table2.run, scale=BENCH_SCALE,
+                       apps=BENCH_APPS)
+    print("\nTable 2 (scaled inputs): app, NumRows, Repl MB")
+    for s in sizings:
+        print(f"  {s.app:8s} {s.num_rows_k:6.0f}K  "
+              f"{s.size_mbytes('repl'):.2f} MB")
+    # The sizing procedure must yield power-of-two row counts that held
+    # replacements under 5%.
+    assert all(s.num_rows & (s.num_rows - 1) == 0 for s in sizings)

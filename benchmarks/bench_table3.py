@@ -1,0 +1,10 @@
+"""Benchmark/regeneration of Table 3 (architecture parameters)."""
+
+from repro.experiments import table3
+
+
+def bench_table3(benchmark):
+    groups = benchmark(table3.run)
+    assert table3.verify_round_trips()
+    print(f"\nTable 3 regenerated ({len(groups)} parameter groups); "
+          f"round trips match paper: True")

@@ -1,0 +1,11 @@
+"""Benchmark/regeneration of Table 4 (algorithm parameters)."""
+
+from repro.experiments import table4
+
+
+def bench_table4(benchmark):
+    rows = benchmark(table4.run)
+    assert len(rows) == 6
+    names = [r[1] for r in rows]
+    assert names == ["Base", "Chain", "Repl", "Seq1", "Seq4", "Conven4"]
+    print("\nTable 4 regenerated: " + ", ".join(names))

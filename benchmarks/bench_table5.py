@@ -1,0 +1,11 @@
+"""Benchmark/regeneration of Table 5 (customisations)."""
+
+from repro.experiments import table5
+
+
+def bench_table5(benchmark):
+    rows = benchmark(table5.run)
+    joined = " | ".join(f"{apps}: {desc}" for apps, desc in rows)
+    assert any("CG" in apps for apps, _ in rows)
+    assert any("NumLevels = 4" in desc for _, desc in rows)
+    print(f"\nTable 5 regenerated: {joined}")

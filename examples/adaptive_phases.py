@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Adaptive algorithm selection across program phases (Section 3.3.3).
+
+    "Another approach is to adaptively decide the algorithm on-the-fly, as
+    the application executes.  In fact, this approach can also be used to
+    execute different algorithms in different parts of one application."
+
+This example builds a two-phase synthetic application — a streaming phase
+(sequential misses) followed by a pointer-chasing phase (repeating
+irregular misses) — and shows the adaptive ULMT switching from the
+sequential algorithm to Replicated as the phase changes, tracking whichever
+specialist fits.
+
+Usage::
+
+    python examples/adaptive_phases.py
+"""
+
+import random
+
+from repro import Trace, build_algorithm, run_simulation
+from repro.workloads.trace import MemRef
+
+
+def two_phase_trace(lines_per_phase: int = 12000, rounds: int = 2) -> Trace:
+    """Streaming sweep, then a repeated scattered chase, alternating."""
+    rng = random.Random(42)
+    chase_order = list(range(200_000, 200_000 + lines_per_phase))
+    rng.shuffle(chase_order)
+    refs = []
+    for _ in range(rounds):
+        # Phase A: sequential streaming (arrays).
+        for line in range(0, lines_per_phase):
+            refs.append(MemRef(line * 64, False, 4, False))
+        # Phase B: pointer chase over scattered lines, same order each round.
+        for line in chase_order:
+            refs.append(MemRef(line * 64, False, 4, True))
+    return Trace(refs, name="two-phase")
+
+
+def offline_selection_demo() -> None:
+    """Drive the adaptive algorithm directly on the two miss patterns."""
+    adaptive = build_algorithm("adaptive:seq4|repl")
+    adaptive.epoch = 128
+
+    print("Phase A (streaming):")
+    for miss in range(50_000, 51_000):
+        adaptive.prefetch_step(miss)
+        adaptive.learn(miss)
+    print(f"  selected: {adaptive.selected.name}   "
+          f"accuracies: { {k: round(v, 2) for k, v in adaptive.accuracies().items()} }")
+
+    print("Phase B (repeating pointer chase):")
+    rng = random.Random(7)
+    chase = [rng.randrange(10**6) for _ in range(300)]
+    for _ in range(8):
+        for miss in chase:
+            adaptive.prefetch_step(miss)
+            adaptive.learn(miss)
+    print(f"  selected: {adaptive.selected.name}   "
+          f"switches so far: {adaptive.switches}")
+
+
+def end_to_end_demo() -> None:
+    """Full-system comparison on the two-phase trace."""
+    trace = two_phase_trace()
+    baseline = run_simulation(trace, "nopref")
+    print(f"\nTwo-phase trace, {len(trace):,} references:")
+    from repro import SystemConfig
+    for label, config in (
+            ("seq4 only", "seq4"),
+            ("repl only", "repl"),
+            ("adaptive seq4|repl",
+             SystemConfig(name="adaptive",
+                          ulmt_algorithm="adaptive:seq4|repl"))):
+        result = run_simulation(trace, config)
+        print(f"  {label:20s} speedup "
+              f"{baseline.execution_time / result.execution_time:5.2f}  "
+              f"coverage {result.coverage():4.2f}")
+
+
+if __name__ == "__main__":
+    offline_selection_demo()
+    end_to_end_demo()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Using a User-Level Memory Thread for
+Correlation Prefetching" (Solihin, Lee & Torrellas, ISCA 2002).
+
+Public API quickstart::
+
+    from repro import run_simulation
+
+    nopref = run_simulation("mcf", "nopref")
+    repl = run_simulation("mcf", "repl")
+    print(repl.speedup_over(nopref))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    BasePrefetcher,
+    ChainPrefetcher,
+    CombinedUlmtPrefetcher,
+    CorrelationTable,
+    ProfilingAlgorithm,
+    ReplicatedPrefetcher,
+    SequentialUlmtPrefetcher,
+    Ulmt,
+    UlmtAlgorithm,
+    build_algorithm,
+    customization_for,
+)
+from repro.params import (
+    BASE_PARAMS,
+    CHAIN_PARAMS,
+    CONVEN4_PARAMS,
+    REPL_PARAMS,
+    SEQ1_PARAMS,
+    SEQ4_PARAMS,
+    CorrelationParams,
+    MemProcLocation,
+    SequentialParams,
+)
+from repro.sim import (
+    PRESETS,
+    SimResult,
+    System,
+    SystemConfig,
+    custom_config,
+    preset,
+    run_matrix,
+    run_simulation,
+)
+from repro.workloads import Trace, TraceBuilder, get_trace, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasePrefetcher",
+    "ChainPrefetcher",
+    "CombinedUlmtPrefetcher",
+    "CorrelationTable",
+    "ProfilingAlgorithm",
+    "ReplicatedPrefetcher",
+    "SequentialUlmtPrefetcher",
+    "Ulmt",
+    "UlmtAlgorithm",
+    "build_algorithm",
+    "customization_for",
+    "BASE_PARAMS",
+    "CHAIN_PARAMS",
+    "CONVEN4_PARAMS",
+    "REPL_PARAMS",
+    "SEQ1_PARAMS",
+    "SEQ4_PARAMS",
+    "CorrelationParams",
+    "MemProcLocation",
+    "SequentialParams",
+    "PRESETS",
+    "SimResult",
+    "System",
+    "SystemConfig",
+    "custom_config",
+    "preset",
+    "run_matrix",
+    "run_simulation",
+    "Trace",
+    "TraceBuilder",
+    "get_trace",
+    "list_workloads",
+    "__version__",
+]

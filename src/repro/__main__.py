@@ -1,0 +1,91 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro run <app> <config> [--scale S]    one simulation
+    python -m repro compare <app> [--scale S]         all configs for an app
+    python -m repro list                              workloads + configs
+    python -m repro experiments [--scale S]           regenerate everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.config import PRESETS
+from repro.sim.driver import run_simulation
+from repro.workloads.registry import list_workloads
+
+
+def _cmd_list(_args) -> int:
+    print("workloads:", ", ".join(list_workloads()))
+    print("configs:  ", ", ".join(sorted(PRESETS)), "+ custom")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_simulation(args.app, args.config, scale=args.scale)
+    bd = result.processor.breakdown()
+    print(f"{args.app} / {result.config_name} @ scale {args.scale}")
+    print(f"  execution time : {result.execution_time:,} cycles")
+    print(f"  breakdown      : busy {bd['busy']:.2f}  "
+          f"uptoL2 {bd['uptol2']:.2f}  beyondL2 {bd['beyondl2']:.2f}")
+    print(f"  L2 misses      : {result.l2.nonpref_misses:,} remaining, "
+          f"coverage {result.coverage():.2f}")
+    print(f"  bus utilisation: {result.bus_utilization():.0%} "
+          f"({result.bus_prefetch_utilization():.0%} prefetch)")
+    if result.ulmt_timing is not None:
+        t = result.ulmt_timing
+        print(f"  ULMT           : response {t.avg_response:.0f}, "
+              f"occupancy {t.avg_occupancy:.0f} cycles, IPC {t.ipc:.2f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.charts import bar_chart
+
+    baseline = run_simulation(args.app, "nopref", scale=args.scale)
+    items = []
+    for config in ("conven4", "base", "chain", "repl", "conven4+repl",
+                   "custom"):
+        result = run_simulation(args.app, config, scale=args.scale)
+        items.append((result.config_name,
+                      baseline.execution_time / result.execution_time))
+    print(bar_chart(items, title=f"speedup over NoPref — {args.app}",
+                    unit="x"))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import runall
+    runall.main(["--scale", str(args.scale)])
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("app")
+    run_p.add_argument("config", nargs="?", default="repl")
+    run_p.add_argument("--scale", type=float, default=0.4)
+
+    cmp_p = sub.add_parser("compare", help="compare configs on one app")
+    cmp_p.add_argument("app")
+    cmp_p.add_argument("--scale", type=float, default=0.4)
+
+    exp_p = sub.add_parser("experiments", help="regenerate all figures")
+    exp_p.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "compare": _cmd_compare, "experiments": _cmd_experiments}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Analyses backing the paper's figures: prediction, miss distances,
+prefetch coverage, and table sizing."""
+
+from repro.analysis.coverage import (
+    CATEGORIES,
+    CoverageBreakdown,
+    average_breakdowns,
+    breakdown_from_result,
+)
+from repro.analysis.missdist import (
+    MissDistanceResult,
+    average_fractions,
+    measure_miss_distances,
+)
+from repro.analysis.prediction import (
+    PREDICTION_TABLE,
+    PREDICTORS,
+    PredictionResult,
+    build_predictor,
+    collect_miss_stream,
+    figure5_row,
+    measure_predictability,
+)
+from repro.analysis.tablesize import (
+    MAX_REPLACEMENT_FRACTION,
+    TableSizing,
+    replacement_fraction,
+    size_application_table,
+    size_num_rows,
+)
+from repro.analysis.timeline import Interval, Timeline, measure_timeline
+
+__all__ = [
+    "CATEGORIES",
+    "CoverageBreakdown",
+    "average_breakdowns",
+    "breakdown_from_result",
+    "MissDistanceResult",
+    "average_fractions",
+    "measure_miss_distances",
+    "PREDICTION_TABLE",
+    "PREDICTORS",
+    "PredictionResult",
+    "build_predictor",
+    "collect_miss_stream",
+    "figure5_row",
+    "measure_predictability",
+    "MAX_REPLACEMENT_FRACTION",
+    "TableSizing",
+    "replacement_fraction",
+    "size_application_table",
+    "size_num_rows",
+    "Interval",
+    "Timeline",
+    "measure_timeline",
+]

@@ -1,0 +1,77 @@
+"""Figure 9: breakdown of L2 misses and ULMT prefetches.
+
+Combines misses and prefetches into the paper's five categories, normalised
+to the original number of L2 misses (Hits + DelayedHits + NonPrefMisses ≈ 1
+up to prefetch-induced conflict misses):
+
+* ``Hits``            — prefetches that fully eliminated an L2 miss;
+* ``DelayedHits``     — prefetches that arrived a bit late (partial save);
+* ``NonPrefMisses``   — remaining misses paying the full latency;
+* ``Replaced``        — prefetched lines evicted before any use;
+* ``Redundant``       — prefetched lines dropped on arrival (already
+  present in the cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimResult
+
+CATEGORIES = ("hits", "delayed_hits", "nonpref_misses", "replaced",
+              "redundant")
+
+
+@dataclass(frozen=True)
+class CoverageBreakdown:
+    """One Figure 9 bar."""
+
+    app: str
+    config: str
+    hits: float
+    delayed_hits: float
+    nonpref_misses: float
+    replaced: float
+    redundant: float
+
+    @property
+    def coverage(self) -> float:
+        return self.hits + self.delayed_hits
+
+    @property
+    def total(self) -> float:
+        """Stacked bar height (L2misses + prefetches, normalised)."""
+        return (self.hits + self.delayed_hits + self.nonpref_misses
+                + self.replaced + self.redundant)
+
+    @property
+    def conflict_misses(self) -> float:
+        """New misses above the 1.0 line: conflicts caused by prefetches."""
+        return max(0.0, self.hits + self.delayed_hits
+                   + self.nonpref_misses - 1.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return {c: getattr(self, c) for c in CATEGORIES}
+
+
+def breakdown_from_result(result: SimResult) -> CoverageBreakdown:
+    """Extract the Figure 9 categories from one simulation result."""
+    mb = result.miss_breakdown()
+    return CoverageBreakdown(app=result.workload, config=result.config_name,
+                             hits=mb["hits"],
+                             delayed_hits=mb["delayed_hits"],
+                             nonpref_misses=mb["nonpref_misses"],
+                             replaced=mb["replaced"],
+                             redundant=mb["redundant"])
+
+
+def average_breakdowns(breakdowns: list[CoverageBreakdown],
+                       label: str = "average") -> CoverageBreakdown:
+    """Arithmetic per-category average (the 'average of 7 apps' bar)."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to average")
+    n = len(breakdowns)
+    sums = {c: sum(getattr(b, c) for b in breakdowns) / n
+            for c in CATEGORIES}
+    config = breakdowns[0].config
+    return CoverageBreakdown(app=label, config=config, **sums)

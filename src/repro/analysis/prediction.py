@@ -1,0 +1,151 @@
+"""Figure 5: predictability of the L2 miss sequences.
+
+The paper runs each ULMT algorithm in observe-only mode over the L2 miss
+address stream (no prefetching) and records the fraction of misses that are
+correctly predicted at successor levels 1-3:
+
+* for a sequential prefetcher, a level-k prediction is correct when the
+  k-th upcoming miss matches the k-th next address of one of the identified
+  streams;
+* for a pair-based prefetcher, it is correct when the k-th upcoming miss is
+  among the level-k successors predicted after observing the current miss.
+
+The experiments use a large table (NumRows = 256 K, Assoc = 4, NumSucc = 4)
+so that practically no prediction is lost to table conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithms import (
+    BasePrefetcher,
+    ChainPrefetcher,
+    ReplicatedPrefetcher,
+    UlmtAlgorithm,
+)
+from repro.core.combined import CombinedUlmtPrefetcher
+from repro.core.sequential import SequentialUlmtPrefetcher
+from repro.params import (
+    SEQ1_PARAMS,
+    SEQ4_PARAMS,
+    CorrelationParams,
+)
+from repro.sim.config import preset
+from repro.sim.system import System
+from repro.workloads.registry import get_trace
+
+#: Figure 5 experimental table configuration: "large tables ensure that
+#: practically no prediction is missed due to conflicts".
+PREDICTION_TABLE = CorrelationParams(num_succ=4, assoc=4, num_levels=3,
+                                     num_rows=256 * 1024)
+
+#: The algorithm columns of Figure 5 (the paper's level-1 chart shows
+#: Seq1/Seq4/Base/Seq4+Base; its level-2/3 charts show
+#: Seq1/Seq4/Chain/Repl/Seq4+Repl).
+PREDICTORS = ("seq1", "seq4", "base", "seq4+base", "chain", "repl",
+              "seq4+repl")
+
+
+def build_predictor(name: str) -> UlmtAlgorithm:
+    """Construct a Figure 5 predictor with the large no-conflict table."""
+    if name == "seq1":
+        return SequentialUlmtPrefetcher(SEQ1_PARAMS)
+    if name == "seq4":
+        return SequentialUlmtPrefetcher(SEQ4_PARAMS)
+    if name == "base":
+        return BasePrefetcher(PREDICTION_TABLE.replaced(num_levels=1))
+    if name == "chain":
+        return ChainPrefetcher(PREDICTION_TABLE)
+    if name == "repl":
+        return ReplicatedPrefetcher(PREDICTION_TABLE)
+    if "+" in name:
+        parts = name.split("+")
+        return CombinedUlmtPrefetcher([build_predictor(p) for p in parts],
+                                      name=name)
+    raise ValueError(f"unknown Figure 5 predictor: {name!r}")
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Correct-prediction fractions for successor levels 1..N."""
+
+    predictor: str
+    levels: tuple[float, ...]
+    misses: int
+
+
+def _observe(algorithm: UlmtAlgorithm, miss: int) -> None:
+    """Advance predictor state on one observed miss, without prefetching."""
+    if isinstance(algorithm, SequentialUlmtPrefetcher):
+        algorithm.detector.observe_for_prediction(miss)
+        return
+    if isinstance(algorithm, CombinedUlmtPrefetcher):
+        for component in algorithm.components:
+            _observe(component, miss)
+        return
+    algorithm.learn(miss)
+
+
+def measure_predictability(miss_stream: list[int], predictor: str,
+                           max_level: int = 3,
+                           warmup_fraction: float = 0.25) -> PredictionResult:
+    """Run one Figure 5 cell: predictor x miss stream -> per-level accuracy.
+
+    The first ``warmup_fraction`` of the stream trains the predictor but is
+    not scored: our scaled workloads run a handful of iterations, so the
+    cold first pass would otherwise dominate the statistic, whereas the
+    paper's full-length runs amortise it away.
+    """
+    algorithm = build_predictor(predictor)
+    correct = [0] * max_level
+    evaluated = [0] * max_level
+    warmup = int(len(miss_stream) * warmup_fraction)
+    for i, miss in enumerate(miss_stream):
+        _observe(algorithm, miss)
+        if i < warmup:
+            continue
+        predictions = algorithm.predict_levels(max_level)
+        for level in range(max_level):
+            target_idx = i + level + 1
+            if target_idx >= len(miss_stream):
+                continue
+            evaluated[level] += 1
+            if miss_stream[target_idx] in predictions[level]:
+                correct[level] += 1
+    fractions = tuple(correct[k] / evaluated[k] if evaluated[k] else 0.0
+                      for k in range(max_level))
+    return PredictionResult(predictor=predictor, levels=fractions,
+                            misses=len(miss_stream))
+
+
+_STREAM_CACHE: dict[tuple[str, float], list[int]] = {}
+
+
+def collect_miss_stream(app: str, scale: float = 1.0) -> list[int]:
+    """The L2 miss line-address sequence of a NoPref run (what queue 2 of
+    the memory processor would observe).  Cached per (app, scale)."""
+    key = (app, scale)
+    if key in _STREAM_CACHE:
+        return _STREAM_CACHE[key]
+    system = System(preset("nopref"))
+    stream: list[int] = []
+    system.miss_observer = lambda line, now, is_pf: stream.append(line)
+    system.run(get_trace(app, scale=scale))
+    _STREAM_CACHE[key] = stream
+    return stream
+
+
+_ROW_CACHE: dict[tuple, dict[str, PredictionResult]] = {}
+
+
+def figure5_row(app: str, scale: float = 1.0,
+                predictors: tuple[str, ...] = PREDICTORS,
+                max_level: int = 3) -> dict[str, PredictionResult]:
+    """All Figure 5 cells for one application (cached per process)."""
+    key = (app, scale, tuple(predictors), max_level)
+    if key not in _ROW_CACHE:
+        stream = collect_miss_stream(app, scale)
+        _ROW_CACHE[key] = {p: measure_predictability(stream, p, max_level)
+                           for p in predictors}
+    return _ROW_CACHE[key]

@@ -1,0 +1,70 @@
+"""Table 2: sizing the per-application correlation tables.
+
+The paper sizes ``NumRows`` as "the lowest power of two such that, with a
+trivial hashing function that simply takes the lower bits of the line
+address, less than 5% of the insertions replace an existing entry", with a
+two-way set-associative table.  The table size in megabytes then follows
+from the per-row byte costs (20/12/28 bytes for Base/Chain/Repl on a 32-bit
+machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.prediction import collect_miss_stream
+from repro.core.table import CorrelationTable
+from repro.params import ROW_BYTES
+
+#: The paper's criterion.
+MAX_REPLACEMENT_FRACTION = 0.05
+TABLE_ASSOC = 2
+
+
+def replacement_fraction(miss_stream: list[int], num_rows: int,
+                         assoc: int = TABLE_ASSOC) -> float:
+    """Fraction of row insertions that replaced an existing row."""
+    table = CorrelationTable(num_rows=num_rows, assoc=assoc, num_succ=2)
+    for miss in miss_stream:
+        table.find_or_alloc(miss)
+    return table.replacement_fraction()
+
+
+def size_num_rows(miss_stream: list[int],
+                  max_fraction: float = MAX_REPLACEMENT_FRACTION,
+                  min_rows: int = 1024,
+                  max_rows: int = 1 << 22) -> int:
+    """Smallest power-of-two NumRows meeting the < 5% replacement rule."""
+    if not miss_stream:
+        raise ValueError("empty miss stream")
+    num_rows = min_rows
+    while num_rows <= max_rows:
+        if replacement_fraction(miss_stream, num_rows) < max_fraction:
+            return num_rows
+        num_rows *= 2
+    raise RuntimeError(f"no table size up to {max_rows} met the "
+                       f"{max_fraction:.0%} replacement criterion")
+
+
+@dataclass(frozen=True)
+class TableSizing:
+    """One Table 2 row."""
+
+    app: str
+    num_rows: int
+    misses: int
+
+    @property
+    def num_rows_k(self) -> float:
+        return self.num_rows / 1024
+
+    def size_mbytes(self, algorithm: str) -> float:
+        """Table size in MB for base/chain/repl (Table 2's last columns)."""
+        return self.num_rows * ROW_BYTES[algorithm] / (1024 * 1024)
+
+
+def size_application_table(app: str, scale: float = 1.0) -> TableSizing:
+    """Run the Table 2 sizing procedure for one application."""
+    stream = collect_miss_stream(app, scale)
+    return TableSizing(app=app, num_rows=size_num_rows(stream),
+                       misses=len(stream))

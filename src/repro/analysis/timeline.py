@@ -1,0 +1,97 @@
+"""Interval (phase) analysis of a simulation run.
+
+Applications change behaviour over time — CG alternates SpMV and vector
+phases, the adaptive ULMT of :mod:`repro.core.adaptive` exists because of
+exactly that.  This module slices a run into fixed-size reference
+intervals and reports per-interval miss rates and coverage, so phase
+structure becomes visible::
+
+    timeline = measure_timeline("cg", "repl", intervals=20)
+    for iv in timeline.intervals:
+        print(iv.index, iv.miss_rate, iv.coverage)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import SystemConfig, custom_config, preset
+from repro.sim.system import System
+from repro.workloads.registry import get_trace
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class Interval:
+    """Aggregated behaviour of one slice of the reference stream."""
+
+    index: int
+    refs: int = 0
+    l2_misses: int = 0
+    prefetch_hits: int = 0
+    delayed_hits: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.l2_misses / self.refs if self.refs else 0.0
+
+    @property
+    def coverage(self) -> float:
+        covered = self.prefetch_hits + self.delayed_hits
+        total = covered + self.l2_misses
+        return covered / total if total else 0.0
+
+
+@dataclass
+class Timeline:
+    """Per-interval behaviour of one run."""
+
+    workload: str
+    config: str
+    intervals: list[Interval] = field(default_factory=list)
+
+    def hottest_interval(self) -> Interval:
+        return max(self.intervals, key=lambda iv: iv.miss_rate)
+
+    def coverage_trend(self) -> list[float]:
+        return [iv.coverage for iv in self.intervals]
+
+
+def measure_timeline(workload: str | Trace, config: str | SystemConfig,
+                     intervals: int = 20, scale: float = 1.0) -> Timeline:
+    """Run one simulation, slicing stats into ``intervals`` pieces."""
+    if isinstance(workload, Trace):
+        trace = workload
+        name = trace.name or "trace"
+    else:
+        trace = get_trace(workload, scale=scale)
+        name = workload
+    if isinstance(config, str):
+        config = custom_config(name) if config == "custom" else preset(config)
+
+    system = System(config)
+    interval_size = max(1, len(trace) // intervals)
+    timeline = Timeline(workload=name, config=config.name)
+
+    processed = 0
+    last = {"misses": 0, "hits": 0, "delayed": 0}
+    for idx in range(intervals):
+        chunk = trace.refs[idx * interval_size:
+                           (idx + 1) * interval_size if idx < intervals - 1
+                           else len(trace)]
+        if not chunk:
+            break
+        for ref in chunk:
+            system.processor.step(ref)
+        processed += len(chunk)
+        stats = system.l2.stats
+        interval = Interval(
+            index=idx, refs=len(chunk),
+            l2_misses=stats.nonpref_misses - last["misses"],
+            prefetch_hits=stats.prefetch_hits - last["hits"],
+            delayed_hits=stats.delayed_hits - last["delayed"])
+        last = {"misses": stats.nonpref_misses,
+                "hits": stats.prefetch_hits,
+                "delayed": stats.delayed_hits}
+        timeline.intervals.append(interval)
+    return timeline

@@ -1,0 +1,67 @@
+"""The paper's contribution: ULMT correlation prefetching."""
+
+from repro.core.adaptive import AdaptiveUlmtPrefetcher, ShadowWindow
+from repro.core.conflict import (
+    ConflictAwarePrefetcher,
+    ConflictDetector,
+    ConflictStats,
+)
+from repro.core.algorithms import (
+    TABLE1_TRAITS,
+    AlgorithmTraits,
+    BasePrefetcher,
+    ChainPrefetcher,
+    ReplicatedPrefetcher,
+    UlmtAlgorithm,
+)
+from repro.core.combined import CombinedUlmtPrefetcher
+from repro.core.cost_model import CostConstants, UlmtCostModel, UlmtObservation
+from repro.core.customization import (
+    CUSTOMIZATIONS,
+    Customization,
+    ProfilingAlgorithm,
+    build_algorithm,
+    customization_for,
+)
+from repro.core.os_support import RegisteredUlmt, UlmtRegistry
+from repro.core.prefetch_filter import PrefetchFilter
+from repro.core.sequential import SequentialUlmtPrefetcher, Stream, StreamDetector
+from repro.core.table import NULL_SINK, CorrelationTable, CostSink, NullCostSink, Row
+from repro.core.ulmt import Ulmt, UlmtPrefetch, UlmtStats
+
+__all__ = [
+    "AdaptiveUlmtPrefetcher",
+    "ShadowWindow",
+    "ConflictAwarePrefetcher",
+    "ConflictDetector",
+    "ConflictStats",
+    "TABLE1_TRAITS",
+    "AlgorithmTraits",
+    "BasePrefetcher",
+    "ChainPrefetcher",
+    "ReplicatedPrefetcher",
+    "UlmtAlgorithm",
+    "CombinedUlmtPrefetcher",
+    "CostConstants",
+    "UlmtCostModel",
+    "UlmtObservation",
+    "CUSTOMIZATIONS",
+    "Customization",
+    "ProfilingAlgorithm",
+    "build_algorithm",
+    "customization_for",
+    "RegisteredUlmt",
+    "UlmtRegistry",
+    "PrefetchFilter",
+    "SequentialUlmtPrefetcher",
+    "Stream",
+    "StreamDetector",
+    "NULL_SINK",
+    "CorrelationTable",
+    "CostSink",
+    "NullCostSink",
+    "Row",
+    "Ulmt",
+    "UlmtPrefetch",
+    "UlmtStats",
+]

@@ -1,0 +1,159 @@
+"""Adaptive on-the-fly algorithm selection (paper Section 3.3.3).
+
+    "Another approach is to adaptively decide the algorithm on-the-fly, as
+    the application executes.  In fact, this approach can also be used to
+    execute different algorithms in different parts of one application."
+
+:class:`AdaptiveUlmtPrefetcher` realises that idea.  It runs a *stable* of
+candidate algorithms; all of them learn from every observed miss, but only
+the currently selected one issues prefetches.  A lightweight scoreboard
+tracks, per candidate, how often the recently observed misses were among
+that candidate's predictions (a shadow accuracy measure that needs no
+feedback from the cache).  Every ``epoch`` misses the selector switches to
+the best-scoring candidate — so an application that alternates between
+streaming and pointer-chasing phases gets Seq-style prefetching in one
+phase and Replicated in the other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.algorithms import UlmtAlgorithm, _dedup
+from repro.core.table import NULL_SINK, CostSink
+
+
+@dataclass
+class CandidateScore:
+    """Shadow-accuracy scoreboard for one candidate algorithm."""
+
+    name: str
+    window: deque = field(default_factory=lambda: deque(maxlen=256))
+
+    def record(self, hit: bool) -> None:
+        self.window.append(1 if hit else 0)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(self.window) / len(self.window)
+
+
+class ShadowWindow:
+    """The last N addresses a candidate would have prefetched.
+
+    A candidate is credited when an observed miss is among its *recent*
+    predictions — not merely its latest batch — so far-ahead prefetchers
+    (whose whole point is predicting misses several steps early) are scored
+    fairly.  This mirrors what the Filter window does for real prefetches.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._fifo: deque[int] = deque()
+        self._counts: dict[int, int] = {}
+
+    def add_batch(self, addresses: list[int]) -> None:
+        for addr in addresses:
+            self._fifo.append(addr)
+            self._counts[addr] = self._counts.get(addr, 0) + 1
+        while len(self._fifo) > self.capacity:
+            old = self._fifo.popleft()
+            remaining = self._counts[old] - 1
+            if remaining:
+                self._counts[old] = remaining
+            else:
+                del self._counts[old]
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._counts
+
+    def clear(self) -> None:
+        self._fifo.clear()
+        self._counts.clear()
+
+
+class AdaptiveUlmtPrefetcher(UlmtAlgorithm):
+    """Chooses among candidate algorithms as the application executes."""
+
+    name = "adaptive"
+
+    def __init__(self, candidates: list[UlmtAlgorithm],
+                 epoch: int = 512, hysteresis: float = 0.05) -> None:
+        """``candidates`` must be non-empty; the first is the initial
+        selection.  ``hysteresis`` is the accuracy margin a challenger needs
+        over the incumbent, preventing oscillation between near-equal
+        algorithms."""
+        if not candidates:
+            raise ValueError("adaptive prefetcher needs at least one candidate")
+        if epoch <= 0:
+            raise ValueError(f"epoch must be positive: {epoch}")
+        self.candidates = candidates
+        self.epoch = epoch
+        self.hysteresis = hysteresis
+        self._scores = [CandidateScore(c.name) for c in candidates]
+        self._selected = 0
+        self._misses_seen = 0
+        self._shadows = [ShadowWindow() for _ in candidates]
+        self.switches = 0
+        self.name = "adaptive(" + ",".join(c.name for c in candidates) + ")"
+
+    @property
+    def selected(self) -> UlmtAlgorithm:
+        return self.candidates[self._selected]
+
+    # -- UlmtAlgorithm interface ---------------------------------------------------
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        self._score_and_maybe_switch(miss)
+        # Every candidate computes its (would-be) prefetches — the shadow
+        # predictions scored against the next miss — but only the selected
+        # candidate's addresses are issued, and only its work is charged
+        # (the shadow bookkeeping is a few registers, folded into the
+        # selected candidate's costs).
+        issued: list[int] = []
+        for i, candidate in enumerate(self.candidates):
+            candidate_sink = sink if i == self._selected else NULL_SINK
+            batch = candidate.prefetch_step(miss, candidate_sink)
+            self._shadows[i].add_batch(batch)
+            if i == self._selected:
+                issued = batch
+        return _dedup(issued, exclude=miss)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        for i, candidate in enumerate(self.candidates):
+            candidate_sink = sink if i == self._selected else NULL_SINK
+            candidate.learn(miss, candidate_sink)
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        return self.selected.predict_levels(max_level)
+
+    def reset(self) -> None:
+        for candidate in self.candidates:
+            candidate.reset()
+        for shadow in self._shadows:
+            shadow.clear()
+
+    # -- selection machinery ----------------------------------------------------------
+
+    def _score_and_maybe_switch(self, miss: int) -> None:
+        if self._misses_seen > 0:
+            for i, score in enumerate(self._scores):
+                score.record(miss in self._shadows[i])
+        self._misses_seen += 1
+        if self._misses_seen % self.epoch != 0:
+            return
+        best = max(range(len(self.candidates)),
+                   key=lambda i: self._scores[i].accuracy)
+        if best != self._selected:
+            margin = (self._scores[best].accuracy
+                      - self._scores[self._selected].accuracy)
+            if margin > self.hysteresis:
+                self._selected = best
+                self.switches += 1
+
+    def accuracies(self) -> dict[str, float]:
+        """Current shadow accuracy per candidate (diagnostics)."""
+        return {s.name: s.accuracy for s in self._scores}

@@ -1,0 +1,267 @@
+"""The pair-based correlation prefetching algorithms of the paper.
+
+Three algorithms (Figure 4, Table 1):
+
+* **Base** — the conventional algorithm of Joseph & Grunwald: one level of
+  immediate successors; prefetches the ``NumSucc`` MRU successors of the
+  observed miss.
+* **Chain** — same table, but after prefetching the immediate successors it
+  follows the MRU successor's row ``NumLevels - 1`` more times, prefetching
+  along the MRU *path* (far ahead, but not the true MRU successors of each
+  level, and each level costs another associative search).
+* **Replicated** — the paper's new organisation: each row replicates
+  ``NumLevels`` levels of *true* MRU successors, so the prefetching step
+  needs a single row access while the learning step updates ``NumLevels``
+  rows through pointers (no searches).
+
+Every algorithm exposes:
+
+``prefetch_step(miss, sink)``
+    The time-critical step: look up the table, return line addresses to
+    prefetch in issue order (executed *before* learning, Figure 2).
+``learn(miss, sink)``
+    Update the table with the observed miss.
+``predict_levels(max_level)``
+    The successor sets currently predicted for levels 1..max_level — used by
+    the Figure 5 predictability analysis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.table import NULL_SINK, CorrelationTable, CostSink, Row
+from repro.params import ROW_BYTES, CorrelationParams
+
+
+@dataclass(frozen=True)
+class AlgorithmTraits:
+    """The qualitative comparison rows of the paper's Table 1."""
+
+    name: str
+    levels_prefetched: str
+    true_mru_per_level: bool
+    prefetch_row_accesses: str   # requires associative SEARCH
+    learning_row_accesses: str   # requires NO search
+    response_time: str
+    space_requirement: str
+
+
+class UlmtAlgorithm(ABC):
+    """A correlation prefetching algorithm run by the ULMT."""
+
+    name: str = "abstract"
+    traits: AlgorithmTraits
+
+    @abstractmethod
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        """Return the line addresses to prefetch for an observed miss."""
+
+    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+        """Yield prefetch address batches as they become available.
+
+        A plain algorithm produces one batch; compositions (see
+        :class:`repro.core.combined.CombinedUlmtPrefetcher`) yield one batch
+        per component so that a low-response component's prefetches are
+        issued before a slower component finishes — the ordering the paper's
+        CG customisation relies on ("Seq1 before executing Repl").
+        """
+        yield self.prefetch_step(miss, sink)
+
+    @abstractmethod
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        """Record the observed miss in the correlation table."""
+
+    @abstractmethod
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        """Current successor predictions for levels 1..max_level."""
+
+    def reset(self) -> None:
+        """Forget transient (non-table) state, e.g. at a context switch."""
+
+
+#: Instruction cost of scanning one successor entry of a *conventional*
+#: table row during the prefetching step.  The conventional organisation
+#: keeps NumSucc entries in LRU order that must be walked, validity-checked
+#: and re-ordered on access; the Replicated organisation's flat per-level
+#: groups avoid this (its prefetch step is a single plain row read), which
+#: is why Figure 10 shows Base/Chain responses several times Repl's.
+_CONVENTIONAL_SCAN_INSTR = 7
+
+
+def _dedup(addresses: list[int], exclude: int | None = None) -> list[int]:
+    """Drop duplicates (and the currently missing line itself, which is
+    already being fetched on demand)."""
+    seen: set[int] = set()
+    out: list[int] = []
+    for addr in addresses:
+        if addr != exclude and addr not in seen:
+            seen.add(addr)
+            out.append(addr)
+    return out
+
+
+class BasePrefetcher(UlmtAlgorithm):
+    """The conventional single-level algorithm (Figure 4-(a))."""
+
+    name = "base"
+    traits = AlgorithmTraits(
+        name="Base", levels_prefetched="1", true_mru_per_level=True,
+        prefetch_row_accesses="1", learning_row_accesses="1",
+        response_time="Low", space_requirement="1")
+
+    def __init__(self, params: CorrelationParams | None = None,
+                 base_addr: int = 0x8000_0000) -> None:
+        self.params = params or CorrelationParams(num_succ=4, assoc=4, num_levels=1)
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=1,
+            row_bytes=ROW_BYTES["base"], base_addr=base_addr)
+        self._last_row: Row | None = None
+        self._last_miss: int | None = None
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        row = self.table.find(miss, sink)
+        if row is None:
+            return []
+        successors = row.successors(0)
+        sink.charge_instructions(_CONVENTIONAL_SCAN_INSTR * len(successors))
+        return _dedup(successors, exclude=miss)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        if self._last_row is not None and self._last_miss != miss:
+            self.table.insert_successor(self._last_row, 0, miss, sink)
+        self._last_row = self.table.find_or_alloc(miss, sink)
+        self._last_miss = miss
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        if self._last_row is None:
+            return [[] for _ in range(max_level)]
+        level1 = list(self._last_row.successors(0))
+        # Base only predicts immediate successors; deeper levels are empty
+        # (the paper marks Base "not applicable" beyond level 1).
+        return [level1] + [[] for _ in range(max_level - 1)]
+
+    def reset(self) -> None:
+        self._last_row = None
+        self._last_miss = None
+
+
+class ChainPrefetcher(UlmtAlgorithm):
+    """Multi-level prefetching over the conventional table (Figure 4-(b))."""
+
+    name = "chain"
+    traits = AlgorithmTraits(
+        name="Chain", levels_prefetched="NumLevels", true_mru_per_level=False,
+        prefetch_row_accesses="NumLevels", learning_row_accesses="1",
+        response_time="High", space_requirement="1")
+
+    def __init__(self, params: CorrelationParams | None = None,
+                 base_addr: int = 0x8000_0000) -> None:
+        self.params = params or CorrelationParams(num_succ=2, assoc=2, num_levels=3)
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=1,
+            row_bytes=ROW_BYTES["chain"], base_addr=base_addr)
+        self._last_row: Row | None = None
+        self._last_miss: int | None = None
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        prefetches: list[int] = []
+        row = self.table.find(miss, sink)
+        for _ in range(self.params.num_levels):
+            if row is None:
+                break
+            succs = row.successors(0)
+            if not succs:
+                break
+            sink.charge_instructions(_CONVENTIONAL_SCAN_INSTR * len(succs))
+            prefetches.extend(succs)
+            # Follow the MRU link to the next level (another search).
+            row = self.table.find(succs[0], sink)
+        return _dedup(prefetches, exclude=miss)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        if self._last_row is not None and self._last_miss != miss:
+            self.table.insert_successor(self._last_row, 0, miss, sink)
+        self._last_row = self.table.find_or_alloc(miss, sink)
+        self._last_miss = miss
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        predictions: list[list[int]] = []
+        row = self._last_row
+        for _ in range(max_level):
+            if row is None:
+                predictions.append([])
+                continue
+            succs = list(row.successors(0))
+            predictions.append(succs)
+            row = self.table.peek(succs[0]) if succs else None
+        return predictions
+
+    def reset(self) -> None:
+        self._last_row = None
+        self._last_miss = None
+
+
+class ReplicatedPrefetcher(UlmtAlgorithm):
+    """The paper's new replicated-table algorithm (Figure 4-(c))."""
+
+    name = "repl"
+    traits = AlgorithmTraits(
+        name="Replicated", levels_prefetched="NumLevels", true_mru_per_level=True,
+        prefetch_row_accesses="1", learning_row_accesses="NumLevels",
+        response_time="Low", space_requirement="NumLevels")
+
+    def __init__(self, params: CorrelationParams | None = None,
+                 base_addr: int = 0x8000_0000) -> None:
+        self.params = params or CorrelationParams(num_succ=2, assoc=2, num_levels=3)
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=self.params.num_levels,
+            row_bytes=ROW_BYTES["repl"], base_addr=base_addr)
+        # Pointers to the rows of the last NumLevels misses, most recent
+        # first: the pointer-based learning updates that avoid searches.
+        self._pointers: deque[Row] = deque(maxlen=self.params.num_levels)
+        self._last_miss: int | None = None
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        row = self.table.find(miss, sink)
+        if row is None:
+            return []
+        # A single row access yields every level, MRU-first within a level.
+        prefetches: list[int] = []
+        for level in range(self.params.num_levels):
+            prefetches.extend(row.successors(level))
+        return _dedup(prefetches, exclude=miss)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        if self._last_miss != miss:
+            for level, row in enumerate(self._pointers):
+                self.table.insert_successor(row, level, miss, sink)
+        new_row = self.table.find_or_alloc(miss, sink)
+        self._pointers.appendleft(new_row)
+        self._last_miss = miss
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        if not self._pointers:
+            return [[] for _ in range(max_level)]
+        row = self._pointers[0]
+        predictions = []
+        for level in range(max_level):
+            if level < self.params.num_levels:
+                predictions.append(list(row.successors(level)))
+            else:
+                predictions.append([])
+        return predictions
+
+    def reset(self) -> None:
+        self._pointers.clear()
+        self._last_miss = None
+
+
+#: Table 1 of the paper, generated from the algorithm classes themselves.
+TABLE1_TRAITS = [BasePrefetcher.traits, ChainPrefetcher.traits,
+                 ReplicatedPrefetcher.traits]

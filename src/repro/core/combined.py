@@ -1,0 +1,53 @@
+"""Composition of ULMT algorithms.
+
+The paper's customisation study (Section 5.2, Table 5) extends the ULMT for
+CG with a single-stream sequential algorithm executed *before* Replicated,
+so the sequential part answers with low response time while Replicated
+covers the irregular remainder.  :class:`CombinedUlmtPrefetcher` expresses
+that composition generically: components run in order, their prefetches are
+concatenated (deduplicated), learning runs in the same order.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import UlmtAlgorithm, _dedup
+from repro.core.table import NULL_SINK, CostSink
+
+
+class CombinedUlmtPrefetcher(UlmtAlgorithm):
+    """Run several ULMT algorithms over the same observed miss stream."""
+
+    def __init__(self, components: list[UlmtAlgorithm], name: str | None = None) -> None:
+        if not components:
+            raise ValueError("combined prefetcher needs at least one component")
+        self.components = components
+        self.name = name or "+".join(c.name for c in components)
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        prefetches: list[int] = []
+        for component in self.components:
+            prefetches.extend(component.prefetch_step(miss, sink))
+        return _dedup(prefetches)
+
+    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+        seen: set[int] = set()
+        for component in self.components:
+            batch = [a for a in component.prefetch_step(miss, sink)
+                     if a not in seen]
+            seen.update(batch)
+            yield batch
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        for component in self.components:
+            component.learn(miss, sink)
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        merged: list[list[int]] = [[] for _ in range(max_level)]
+        for component in self.components:
+            for level, preds in enumerate(component.predict_levels(max_level)):
+                merged[level].extend(preds)
+        return [_dedup(level) for level in merged]
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()

@@ -1,0 +1,125 @@
+"""Cache-conflict-aware prefetching (the paper's conclusion / future work).
+
+    "This work is being extended by ... customizing for ... cache conflict
+    detection and elimination.  Customization for cache conflict
+    elimination should improve Sparse and Tree, the applications with the
+    smallest speedups."
+
+The ULMT observes *physical* miss addresses, so it can compute each line's
+L2 set and notice sets that miss far more often than average — the
+signature of conflict thrashing.  :class:`ConflictAwarePrefetcher` wraps
+any inner algorithm with two conflict defences:
+
+* **prefetch gating** — prefetches into currently-thrashing sets are
+  suppressed: they would evict live lines and be evicted themselves before
+  use (the ``Replaced`` waste of Figure 9);
+* **conflict reporting** — the hot-set list is exported so an OS-level
+  remedy (page re-colouring via :meth:`CorrelationTable.remap_page`-style
+  machinery) can be driven from it.
+
+The detector uses a decayed per-set miss counter, so phases with different
+conflict patterns are tracked as the application moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithms import UlmtAlgorithm
+from repro.core.table import NULL_SINK, CostSink
+
+#: Default L2 geometry: 512 KB, 4-way, 64 B lines -> 2048 sets.
+DEFAULT_L2_SETS = 2048
+
+
+@dataclass
+class ConflictStats:
+    prefetches_gated: int = 0
+    prefetches_passed: int = 0
+
+    @property
+    def gate_rate(self) -> float:
+        total = self.prefetches_gated + self.prefetches_passed
+        return self.prefetches_gated / total if total else 0.0
+
+
+class ConflictDetector:
+    """Decayed per-set miss counters with a hot-set threshold."""
+
+    def __init__(self, num_sets: int = DEFAULT_L2_SETS,
+                 decay_period: int = 4096,
+                 hot_factor: float = 8.0) -> None:
+        if num_sets <= 0 or (num_sets & (num_sets - 1)) != 0:
+            raise ValueError(f"num_sets must be a power of two: {num_sets}")
+        self.num_sets = num_sets
+        self.decay_period = decay_period
+        self.hot_factor = hot_factor
+        self._counts = [0] * num_sets
+        self._total = 0
+
+    def set_of(self, line_addr: int) -> int:
+        return line_addr & (self.num_sets - 1)
+
+    def observe(self, line_addr: int) -> None:
+        self._counts[self.set_of(line_addr)] += 1
+        self._total += 1
+        if self._total >= self.decay_period:
+            self._counts = [c // 2 for c in self._counts]
+            self._total //= 2
+
+    def is_hot(self, line_addr: int) -> bool:
+        """True when this line's set misses ``hot_factor`` x the average."""
+        if self._total < self.num_sets // 8:
+            return False  # not enough evidence yet
+        average = self._total / self.num_sets
+        return self._counts[self.set_of(line_addr)] > self.hot_factor * average
+
+    def hot_sets(self) -> list[int]:
+        if self._total < self.num_sets // 8:
+            return []
+        average = self._total / self.num_sets
+        cutoff = self.hot_factor * average
+        return [s for s, c in enumerate(self._counts) if c > cutoff]
+
+
+class ConflictAwarePrefetcher(UlmtAlgorithm):
+    """Wrap an algorithm with conflict detection and prefetch gating."""
+
+    def __init__(self, inner: UlmtAlgorithm,
+                 detector: ConflictDetector | None = None) -> None:
+        self.inner = inner
+        self.detector = detector or ConflictDetector()
+        self.stats = ConflictStats()
+        self.name = f"conflict-aware({inner.name})"
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        batch = self.inner.prefetch_step(miss, sink)
+        passed = []
+        for addr in batch:
+            if self.detector.is_hot(addr):
+                self.stats.prefetches_gated += 1
+            else:
+                self.stats.prefetches_passed += 1
+                passed.append(addr)
+        return passed
+
+    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+        for batch in self.inner.prefetch_batches(miss, sink):
+            passed = []
+            for addr in batch:
+                if self.detector.is_hot(addr):
+                    self.stats.prefetches_gated += 1
+                else:
+                    self.stats.prefetches_passed += 1
+                    passed.append(addr)
+            yield passed
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        self.detector.observe(miss)
+        self.inner.learn(miss, sink)
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        return self.inner.predict_levels(max_level)
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -1,0 +1,197 @@
+"""Execution-cost model of the ULMT on the memory processor.
+
+The ULMTs in the paper are hand-optimised C (branches unrolled, parameters
+hardwired, no floating point); their cost is dominated by table searches,
+row reads/updates, prefetch-issue work, and — crucially — the memory
+processor's own cache behaviour on the software correlation table.  We model
+exactly those components:
+
+* every table operation reports itself through the :class:`CostSink`
+  interface (``charge_search`` / ``charge_row_access``), adding a calibrated
+  number of memory-processor *instructions* and touching the row's address
+  in a simulated 32 KB memory-processor L1;
+* a cache miss on the table stalls the ULMT for a memory round trip obtained
+  from the memory controller (21/56 cycles in DRAM, 65/100 in the North
+  Bridge — which is why Figure 10's ReplMC bars show more ``Mem`` time);
+* instructions convert to cycles through the 2-issue core's effective issue
+  rate, then to 1.6 GHz main-processor cycles (x2).
+
+The model yields the two quantities Figure 2 defines: the **response time**
+(observation until the prefetch addresses have been generated — the
+prefetching step) and the **occupancy time** (prefetching + learning), plus
+the IPC annotation of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsys.cache import Cache
+from repro.memsys.controller import MemoryController
+from repro.params import MEMPROC_L1
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Instruction costs of ULMT primitives (memory-processor instructions).
+
+    Calibrated so the default algorithms land near Figure 10: Repl response
+    around 30 main cycles, every occupancy below the 200-cycle budget set by
+    the inter-miss distances of Figure 6.
+    """
+
+    observe_overhead: int = 4      # dequeue miss, mask, hash set index
+    search_base: int = 2
+    search_per_way: int = 1        # tag compare per probed way
+    row_access: int = 3            # pointer-based row read or update
+    issue_per_prefetch: int = 2    # format + deposit one address to queue 3
+    #: Effective issue rate of the 2-issue in-order-ish core on this code.
+    issue_ipc: float = 1.5
+    #: Main-processor cycles per memory-processor cycle (1.6 GHz / 800 MHz).
+    clock_ratio: int = 2
+    #: Memory-processor cycles for an L1 hit folded into the pipeline.
+    cache_hit_cycles: int = 1
+
+
+@dataclass
+class UlmtObservation:
+    """Timing of processing one observed miss."""
+
+    start: int
+    response: int     # main cycles: observation -> prefetch addresses ready
+    occupancy: int    # main cycles: observation -> learning finished
+    instructions: int
+    mem_stall: int    # main cycles stalled on table cache misses
+
+
+class UlmtCostModel:
+    """Implements :class:`repro.core.table.CostSink` with real timing."""
+
+    def __init__(self, controller: MemoryController,
+                 constants: CostConstants | None = None) -> None:
+        self.controller = controller
+        self.constants = constants or CostConstants()
+        self.cache = Cache(MEMPROC_L1)
+        # Per-observation state.
+        self._start = 0
+        self._instr = 0
+        self._stall = 0
+        self._response: int | None = None
+        # Aggregates for Figure 10.
+        self.observations = 0
+        self.total_instructions = 0
+        self.total_busy = 0          # main cycles
+        self.total_mem_stall = 0     # main cycles
+        self.total_response = 0
+        self.total_occupancy = 0
+        self.response_busy = 0
+        self.response_mem = 0
+
+    # -- CostSink interface ----------------------------------------------------
+
+    def charge_search(self, ways_probed: int, row_addr: int) -> None:
+        c = self.constants
+        self._instr += c.search_base + c.search_per_way * ways_probed
+        self._touch(row_addr)
+
+    def charge_row_access(self, row_addr: int) -> None:
+        self._instr += self.constants.row_access
+        self._touch(row_addr)
+
+    def charge_instructions(self, count: int) -> None:
+        self._instr += count
+
+    # -- observation lifecycle ----------------------------------------------------
+
+    def begin(self, now: int) -> None:
+        self._start = now
+        self._instr = 0
+        self._stall = 0
+        self._response = None
+        self.charge_instructions(self.constants.observe_overhead)
+
+    def charge_issues(self, num_prefetches: int) -> None:
+        self._instr += self.constants.issue_per_prefetch * num_prefetches
+
+    def elapsed(self) -> int:
+        """Main cycles spent so far on the current observation."""
+        return self._elapsed()
+
+    def mark_response(self) -> None:
+        """The prefetch addresses are generated; the response clock stops.
+
+        Only the first call per observation counts (a combined algorithm's
+        response is the time to its *first* batch of addresses)."""
+        if self._response is not None:
+            return
+        self._response = self._elapsed()
+        self.response_busy += self._busy_main()
+        self.response_mem += self._stall
+
+    def end(self) -> UlmtObservation:
+        occupancy = self._elapsed()
+        response = self._response if self._response is not None else occupancy
+        obs = UlmtObservation(start=self._start, response=response,
+                              occupancy=occupancy, instructions=self._instr,
+                              mem_stall=self._stall)
+        self.observations += 1
+        self.total_instructions += self._instr
+        self.total_busy += self._busy_main()
+        self.total_mem_stall += self._stall
+        self.total_response += response
+        self.total_occupancy += occupancy
+        return obs
+
+    # -- aggregates (Figure 10) ------------------------------------------------------
+
+    @property
+    def avg_response(self) -> float:
+        return self.total_response / self.observations if self.observations else 0.0
+
+    @property
+    def avg_occupancy(self) -> float:
+        return self.total_occupancy / self.observations if self.observations else 0.0
+
+    @property
+    def avg_response_busy(self) -> float:
+        return self.response_busy / self.observations if self.observations else 0.0
+
+    @property
+    def avg_response_mem(self) -> float:
+        return self.response_mem / self.observations if self.observations else 0.0
+
+    @property
+    def avg_occupancy_busy(self) -> float:
+        return self.total_busy / self.observations if self.observations else 0.0
+
+    @property
+    def avg_occupancy_mem(self) -> float:
+        return self.total_mem_stall / self.observations if self.observations else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per memory-processor cycle, stalls included."""
+        total_main = self.total_busy + self.total_mem_stall
+        if total_main == 0:
+            return 0.0
+        return self.total_instructions / (total_main / self.constants.clock_ratio)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _busy_main(self) -> int:
+        c = self.constants
+        memproc_cycles = self._instr / c.issue_ipc
+        return int(round(memproc_cycles * c.clock_ratio))
+
+    def _elapsed(self) -> int:
+        return self._busy_main() + self._stall
+
+    def _touch(self, byte_addr: int) -> None:
+        line = self.cache.line_addr(byte_addr)
+        if self.cache.access(line):
+            self._instr += self.constants.cache_hit_cycles
+            return
+        now = self._start + self._elapsed()
+        completion = self.controller.memproc_fetch(byte_addr, now)
+        self._stall += max(0, completion - now)
+        self.cache.fill(line)

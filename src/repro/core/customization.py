@@ -1,0 +1,199 @@
+"""Algorithm construction and per-application customisation (Table 5).
+
+A software prefetcher can be customised per application — the paper calls
+this the key flexibility advantage of the ULMT approach.  This module is the
+registry that realises it:
+
+* :func:`build_algorithm` constructs any named ULMT algorithm
+  (``base``, ``chain``, ``repl``, ``seq1``, ``seq4``, compositions like
+  ``seq1+repl``, and parameter overrides like ``repl@levels=4``);
+* :data:`CUSTOMIZATIONS` records the paper's Table 5 choices — CG runs
+  Seq1+Repl in Verbose mode, MST and Mcf run Repl with NumLevels = 4;
+* :class:`ProfilingAlgorithm` demonstrates the profiling use of a ULMT
+  mentioned in Section 3.3.3 (miss counts, hot pages, page conflicts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.algorithms import (
+    BasePrefetcher,
+    ChainPrefetcher,
+    ReplicatedPrefetcher,
+    UlmtAlgorithm,
+)
+from repro.core.combined import CombinedUlmtPrefetcher
+from repro.core.sequential import SequentialUlmtPrefetcher
+from repro.core.table import NULL_SINK, CostSink
+from repro.params import (
+    BASE_PARAMS,
+    CHAIN_PARAMS,
+    REPL_PARAMS,
+    SEQ1_PARAMS,
+    SEQ4_PARAMS,
+    CorrelationParams,
+    SequentialParams,
+)
+
+
+@dataclass(frozen=True)
+class Customization:
+    """One Table 5 entry: which algorithm a ULMT runs for an application."""
+
+    algorithm: str
+    verbose: bool = False
+
+
+#: Table 5 of the paper (Conven4 stays on alongside these).
+CUSTOMIZATIONS: dict[str, Customization] = {
+    "cg": Customization(algorithm="seq1+repl", verbose=True),
+    "mst": Customization(algorithm="repl@levels=4", verbose=False),
+    "mcf": Customization(algorithm="repl@levels=4", verbose=False),
+}
+
+
+def _parse_overrides(spec: str) -> tuple[str, dict[str, int]]:
+    """Split ``"repl@levels=4,rows=8192"`` into a name and override map."""
+    if "@" not in spec:
+        return spec, {}
+    name, _, override_text = spec.partition("@")
+    overrides: dict[str, int] = {}
+    for item in override_text.split(","):
+        key, _, value = item.partition("=")
+        if not value:
+            raise ValueError(f"malformed algorithm override: {item!r}")
+        overrides[key.strip()] = int(value)
+    return name, overrides
+
+
+def _correlation_params(defaults: CorrelationParams, num_rows: int | None,
+                        overrides: dict[str, int]) -> CorrelationParams:
+    params = defaults
+    if num_rows is not None:
+        params = params.replaced(num_rows=num_rows)
+    if "levels" in overrides:
+        params = params.replaced(num_levels=overrides["levels"])
+    if "succ" in overrides:
+        params = params.replaced(num_succ=overrides["succ"])
+    if "rows" in overrides:
+        params = params.replaced(num_rows=overrides["rows"])
+    return params
+
+
+def build_algorithm(spec: str, num_rows: int | None = None,
+                    base_addr: int = 0x8000_0000) -> UlmtAlgorithm:
+    """Construct a ULMT algorithm from a specification string.
+
+    ``spec`` is an algorithm name (``base``, ``chain``, ``repl``, ``seq1``,
+    ``seq4``), optionally with overrides (``repl@levels=4``), optionally
+    composed with ``+`` (``seq1+repl``).  Two wrapper prefixes realise the
+    paper's future-work customisations: ``conflict:<spec>`` adds
+    cache-conflict gating, and ``adaptive:<specA>|<specB>|...`` selects
+    among candidates on the fly.  ``num_rows`` overrides the table size for
+    correlation algorithms (per-application sizing, Table 2).
+    """
+    from repro.core.adaptive import AdaptiveUlmtPrefetcher
+    from repro.core.conflict import ConflictAwarePrefetcher
+
+    spec = spec.strip()
+    if spec.startswith("conflict:"):
+        inner = build_algorithm(spec[len("conflict:"):], num_rows, base_addr)
+        return ConflictAwarePrefetcher(inner)
+    if spec.startswith("adaptive:"):
+        names = [n.strip() for n in spec[len("adaptive:"):].split("|")
+                 if n.strip()]
+        if not names:
+            raise ValueError(f"adaptive spec needs candidates: {spec!r}")
+        candidates = [build_algorithm(n, num_rows,
+                                      base_addr + i * 0x0100_0000)
+                      for i, n in enumerate(names)]
+        return AdaptiveUlmtPrefetcher(candidates)
+
+    parts = [p.strip() for p in spec.split("+") if p.strip()]
+    if not parts:
+        raise ValueError(f"empty algorithm specification: {spec!r}")
+    if len(parts) > 1:
+        components = [build_algorithm(p, num_rows, base_addr + i * 0x0100_0000)
+                      for i, p in enumerate(parts)]
+        return CombinedUlmtPrefetcher(components, name=spec)
+
+    name, overrides = _parse_overrides(parts[0])
+    if name in ("base", "chain", "repl"):
+        defaults = {"base": BASE_PARAMS, "chain": CHAIN_PARAMS,
+                    "repl": REPL_PARAMS}[name]
+        cls = {"base": BasePrefetcher, "chain": ChainPrefetcher,
+               "repl": ReplicatedPrefetcher}[name]
+        params = _correlation_params(defaults, num_rows, overrides)
+        algorithm = cls(params, base_addr=base_addr)
+        if overrides:
+            algorithm.name = parts[0]   # e.g. "repl@levels=4"
+        return algorithm
+    if name in ("seq1", "seq4"):
+        defaults = SEQ1_PARAMS if name == "seq1" else SEQ4_PARAMS
+        num_pref = overrides.get("pref", defaults.num_pref)
+        num_seq = overrides.get("streams", defaults.num_seq)
+        return SequentialUlmtPrefetcher(
+            SequentialParams(num_seq=num_seq, num_pref=num_pref))
+    raise ValueError(f"unknown ULMT algorithm: {name!r}")
+
+
+def customization_for(app: str) -> Customization | None:
+    """The paper's Table 5 customisation for ``app``, if any."""
+    return CUSTOMIZATIONS.get(app.lower())
+
+
+class ProfilingAlgorithm(UlmtAlgorithm):
+    """A ULMT used for application profiling (paper Section 3.3.3).
+
+    Wraps another algorithm (or runs standalone with no prefetching) while
+    collecting the higher-level information the paper suggests a ULMT can
+    infer from the miss stream: per-page miss counts, the hottest pages,
+    and cache-set conflict estimates.
+    """
+
+    name = "profiling"
+
+    def __init__(self, inner: UlmtAlgorithm | None = None,
+                 page_lines: int = 64, l2_sets: int = 2048) -> None:
+        self.inner = inner
+        self.page_lines = page_lines
+        self.l2_sets = l2_sets
+        self.page_misses: Counter[int] = Counter()
+        self.set_misses: Counter[int] = Counter()
+        self.total_misses = 0
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        if self.inner is None:
+            return []
+        return self.inner.prefetch_step(miss, sink)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        self.total_misses += 1
+        self.page_misses[miss // self.page_lines] += 1
+        self.set_misses[miss % self.l2_sets] += 1
+        if self.inner is not None:
+            self.inner.learn(miss, sink)
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        if self.inner is None:
+            return [[] for _ in range(max_level)]
+        return self.inner.predict_levels(max_level)
+
+    def hot_pages(self, count: int = 10) -> list[tuple[int, int]]:
+        """The ``count`` pages with the most L2 misses."""
+        return self.page_misses.most_common(count)
+
+    def conflict_sets(self, threshold_fraction: float = 0.01) -> list[int]:
+        """L2 sets absorbing more than ``threshold_fraction`` of all misses —
+        candidates for the cache-conflict elimination the paper's conclusion
+        proposes as future ULMT customisation."""
+        if self.total_misses == 0:
+            return []
+        cutoff = self.total_misses * threshold_fraction
+        return sorted(s for s, n in self.set_misses.items() if n > cutoff)
+
+    def reset(self) -> None:
+        if self.inner is not None:
+            self.inner.reset()

@@ -1,0 +1,174 @@
+"""Operating-system integration for ULMTs (paper Section 3.4).
+
+Four concerns, each realised here:
+
+* **Protection** — a ULMT has its own address space; it observes physical
+  miss addresses and issues prefetches for them but can neither read nor
+  write the data.  Our ULMTs only ever handle addresses, never contents,
+  so the property holds by construction; :class:`UlmtRegistry` additionally
+  keeps per-application state fully disjoint.
+* **Multiprogrammed environments** — one ULMT (with its own table) per
+  application, so tables never interfere and each application can be
+  customised independently.  With ~4 MB per table, 8 applications cost
+  ~32 MB of main memory — the paper's "modest fraction".
+* **Scheduling** — application and ULMT are scheduled and preempted as a
+  group; :meth:`UlmtRegistry.switch_to` models the context switch
+  (transient stream/pointer state resets; the software table, being plain
+  memory, survives).
+* **Page re-mapping** — the OS can notify the ULMT of a re-mapping, which
+  relocates the affected table rows (a few microseconds of work); stale
+  successors elsewhere heal through learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.algorithms import UlmtAlgorithm
+from repro.core.cost_model import UlmtCostModel
+from repro.core.customization import build_algorithm, customization_for
+from repro.core.table import CorrelationTable
+from repro.core.ulmt import Ulmt
+from repro.memsys.controller import MemoryController
+
+#: Lines per 4 KB page with 64 B L2 lines.
+PAGE_LINES = 64
+
+
+@dataclass
+class RegisteredUlmt:
+    """One application's ULMT and its bookkeeping."""
+
+    app: str
+    ulmt: Ulmt
+    context_switches: int = 0
+    pages_remapped: int = 0
+
+
+class UlmtRegistry:
+    """Per-application ULMTs sharing one memory processor.
+
+    The registry is the OS-visible face of the scheme: applications
+    register (picking up their Table 5 customisation automatically unless
+    an explicit algorithm is given), the scheduler switches the active
+    thread together with the application, and VM code forwards page
+    re-mappings.
+    """
+
+    def __init__(self, controller: MemoryController,
+                 table_arena_base: int = 0x8000_0000,
+                 table_arena_stride: int = 0x0400_0000) -> None:
+        self.controller = controller
+        self._threads: dict[str, RegisteredUlmt] = {}
+        self._active: Optional[str] = None
+        self._arena_base = table_arena_base
+        self._arena_stride = table_arena_stride
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, app: str, algorithm: str | UlmtAlgorithm | None = None,
+                 verbose: bool | None = None) -> RegisteredUlmt:
+        """Create the ULMT for ``app`` with its own table and cost model."""
+        if app in self._threads:
+            raise ValueError(f"application {app!r} already has a ULMT")
+        customization = customization_for(app)
+        if algorithm is None:
+            algorithm = (customization.algorithm if customization is not None
+                         else "repl")
+        if verbose is None:
+            verbose = (customization.verbose if customization is not None
+                       else False)
+        if isinstance(algorithm, str):
+            base = (self._arena_base
+                    + len(self._threads) * self._arena_stride)
+            algorithm = build_algorithm(algorithm, base_addr=base)
+        ulmt = Ulmt(algorithm, UlmtCostModel(self.controller),
+                    verbose=verbose)
+        entry = RegisteredUlmt(app=app, ulmt=ulmt)
+        self._threads[app] = entry
+        if self._active is None:
+            self._active = app
+        return entry
+
+    def unregister(self, app: str) -> None:
+        del self._threads[app]
+        if self._active == app:
+            self._active = next(iter(self._threads), None)
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+    def get(self, app: str) -> RegisteredUlmt:
+        return self._threads[app]
+
+    # -- scheduling --------------------------------------------------------------
+
+    @property
+    def active(self) -> Optional[str]:
+        return self._active
+
+    def switch_to(self, app: str) -> RegisteredUlmt:
+        """Schedule ``app`` (and therefore its ULMT) onto the processor.
+
+        The preempted thread's transient state (stream registers, pointer
+        window) is reset — the correlation table itself lives in memory and
+        survives the switch untouched.
+        """
+        if app not in self._threads:
+            raise KeyError(f"no ULMT registered for {app!r}")
+        if self._active == app:
+            return self._threads[app]
+        if self._active is not None:
+            outgoing = self._threads[self._active]
+            outgoing.ulmt.algorithm.reset()
+            outgoing.context_switches += 1
+        self._active = app
+        return self._threads[app]
+
+    def observe_miss(self, line_addr: int, now: int,
+                     is_processor_prefetch: bool = False):
+        """Route a miss to the *active* application's ULMT."""
+        if self._active is None:
+            return []
+        return self._threads[self._active].ulmt.observe_miss(
+            line_addr, now, is_processor_prefetch)
+
+    # -- virtual memory ----------------------------------------------------------
+
+    def remap_page(self, app: str, old_page: int, new_page: int,
+                   page_lines: int = PAGE_LINES) -> int:
+        """Forward an OS page re-mapping to ``app``'s ULMT.
+
+        Returns the number of table rows relocated (0 when the algorithm
+        keeps no correlation table, e.g. a pure sequential ULMT).
+        """
+        entry = self._threads[app]
+        moved = 0
+        for table in _tables_of(entry.ulmt.algorithm):
+            moved += table.remap_page(old_page, new_page, page_lines)
+        entry.pages_remapped += 1
+        return moved
+
+    # -- accounting ----------------------------------------------------------------
+
+    def total_table_bytes(self) -> int:
+        """Aggregate table memory across applications (the paper's ~32 MB
+        for 8 applications figure is the analogous quantity)."""
+        return sum(table.size_bytes
+                   for entry in self._threads.values()
+                   for table in _tables_of(entry.ulmt.algorithm))
+
+
+def _tables_of(algorithm: UlmtAlgorithm) -> list[CorrelationTable]:
+    """Every correlation table an algorithm (or composition) owns."""
+    tables: list[CorrelationTable] = []
+    table = getattr(algorithm, "table", None)
+    if isinstance(table, CorrelationTable):
+        tables.append(table)
+    for component in getattr(algorithm, "components", []):
+        tables.extend(_tables_of(component))
+    inner = getattr(algorithm, "inner", None)
+    if inner is not None:
+        tables.extend(_tables_of(inner))
+    return tables

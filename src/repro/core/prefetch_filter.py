@@ -1,0 +1,48 @@
+"""The Filter module of Figure 3.
+
+Correlation prefetching may generate the same address several times in a
+short window.  The Filter is a fixed-size FIFO list of recently issued
+prefetch addresses sitting in front of queue 3: a request whose address is
+already on the list is dropped (and the list left unmodified); otherwise the
+address is appended to the tail, evicting the oldest entry when full.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class PrefetchFilter:
+    """Fixed-size FIFO of recently issued prefetch line addresses."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries <= 0:
+            raise ValueError(f"filter size must be positive: {entries}")
+        self.entries = entries
+        self._fifo: deque[int] = deque(maxlen=entries)
+        self._members: set[int] = set()
+        self.passed = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def admit(self, line_addr: int) -> bool:
+        """True if the prefetch should be issued; False if filtered out."""
+        if line_addr in self._members:
+            self.dropped += 1
+            return False
+        if len(self._fifo) == self.entries:
+            evicted = self._fifo[0]
+            self._members.discard(evicted)
+        self._fifo.append(line_addr)
+        self._members.add(line_addr)
+        self.passed += 1
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._members
+
+    def reset(self) -> None:
+        self._fifo.clear()
+        self._members.clear()

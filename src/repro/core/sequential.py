@@ -1,0 +1,214 @@
+"""Sequential (stream) prefetching implemented in software by the ULMT.
+
+The paper evaluates two software variants, Seq1 and Seq4 (Table 4), that
+observe the L2 miss stream and recognise unit-stride streams the same way
+the processor-side hardware prefetcher does: the third miss of a +1/-1
+stride sequence establishes a stream, a burst of ``NumPref`` lines is
+prefetched, and a stream register remembers the next expected miss so a
+later miss on it extends the stream.
+
+The detector core (:class:`StreamDetector`) is shared with the hardware
+Conven4 prefetcher in :mod:`repro.cpu.stream_prefetcher`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.algorithms import UlmtAlgorithm, _dedup
+from repro.core.table import NULL_SINK, CostSink
+from repro.params import SequentialParams
+
+
+@dataclass
+class Stream:
+    """One recognised stream.
+
+    ``next_pf`` is the first line not yet prefetched; the prefetched window
+    is the ``num_pref`` lines behind it.  A miss (or a late-prefetch
+    consumption) landing inside the window tops the stream up so that the
+    lookahead stays at ``num_pref`` lines — when prefetches are timely the
+    stream goes quiet and resumes at the first unprefetched line, which is
+    exactly the "miss on the address in the register" of the paper.
+    """
+
+    stride: int
+    next_pf: int
+
+    def window_distance(self, line_addr: int) -> int | None:
+        """How far ahead ``next_pf`` is of ``line_addr``, in strides.
+
+        Returns None when the address is not on this stream's lattice or
+        outside the window.
+        """
+        delta = (self.next_pf - line_addr) * (1 if self.stride > 0 else -1)
+        return delta if delta >= 0 else None
+
+
+class StreamDetector:
+    """Recognises unit-stride streams in a line-address miss sequence.
+
+    Candidate sequences are tracked in a bounded table keyed by the next
+    address that would continue them; after the third miss in a sequence a
+    stream register is allocated (LRU replacement among ``num_seq``
+    registers).
+    """
+
+    RECOGNITION_COUNT = 3
+
+    #: Candidate-table capacity.  Deliberately small, like the hardware it
+    #: models: a genuine stream's second and third misses arrive within a
+    #: few observations, while the widely-spaced coincidental +-1 pairs of
+    #: strided sweeps (e.g. FT's transposes) get evicted before they can
+    #: establish a false stream.
+    DEFAULT_CANDIDATES = 16
+
+    def __init__(self, params: SequentialParams,
+                 candidate_capacity: int = DEFAULT_CANDIDATES) -> None:
+        self.params = params
+        self.candidate_capacity = candidate_capacity
+        # next_expected_addr -> (stride, misses seen so far)
+        self._candidates: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        # LRU-ordered stream registers (last = MRU).
+        self._streams: OrderedDict[int, Stream] = OrderedDict()
+        self._next_stream_id = 0
+        self.streams_recognized = 0
+
+    def observe(self, line_addr: int) -> list[int]:
+        """Process one miss; returns line addresses to prefetch (maybe [])."""
+        # 1. Is the miss inside (or at the edge of) an established stream's
+        #    prefetch window?  Top the lookahead back up to num_pref lines.
+        topped = self._top_up(line_addr)
+        if topped is not None:
+            return topped
+
+        # 2. Does it continue a candidate sequence?
+        entry = self._candidates.pop(line_addr, None)
+        if entry is not None:
+            stride, count = entry
+            count += 1
+            if count >= self.RECOGNITION_COUNT:
+                return self._allocate_stream(line_addr, stride)
+            self._candidates[line_addr + stride] = (stride, count)
+            return []
+
+        # 3. A new potential sequence in both directions.
+        self._add_candidate(line_addr + 1, 1)
+        self._add_candidate(line_addr - 1, -1)
+        return []
+
+    def consumed(self, line_addr: int) -> list[int]:
+        """A previously prefetched line was consumed (late, via an MSHR
+        merge): keep the stream's lookahead topped up."""
+        return self._top_up(line_addr) or []
+
+    def _top_up(self, line_addr: int) -> list[int] | None:
+        num_pref = self.params.num_pref
+        for sid, stream in self._streams.items():
+            distance = stream.window_distance(line_addr)
+            if distance is None or distance > num_pref:
+                continue
+            self._streams.move_to_end(sid)
+            count = min(num_pref, num_pref - distance + 1)
+            burst = [stream.next_pf + k * stream.stride for k in range(count)]
+            stream.next_pf += count * stream.stride
+            return burst
+        return None
+
+    def _allocate_stream(self, line_addr: int, stride: int) -> list[int]:
+        self.streams_recognized += 1
+        if len(self._streams) >= self.params.num_seq:
+            self._streams.popitem(last=False)  # evict LRU stream
+        burst = [line_addr + k * stride
+                 for k in range(1, self.params.num_pref + 1)]
+        stream = Stream(stride=stride,
+                        next_pf=line_addr + (self.params.num_pref + 1) * stride)
+        self._streams[self._next_stream_id] = stream
+        self._next_stream_id += 1
+        return burst
+
+    def _add_candidate(self, next_addr: int, stride: int) -> None:
+        while len(self._candidates) >= self.candidate_capacity:
+            self._candidates.popitem(last=False)
+        self._candidates[next_addr] = (stride, 1)
+
+    # -- prediction interface (Figure 5) ------------------------------------------
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        """Next ``max_level`` miss addresses each stream predicts.
+
+        In observe-only mode nothing is prefetched, so a stream whose
+        register holds ``r`` with stride ``s`` predicts ``r, r+s, r+2s, ...``
+        as the upcoming misses.
+        """
+        predictions: list[list[int]] = [[] for _ in range(max_level)]
+        for stream in self._streams.values():
+            for level in range(max_level):
+                predictions[level].append(
+                    stream.next_pf + level * stream.stride)
+        return predictions
+
+    def observe_for_prediction(self, line_addr: int) -> None:
+        """Observe a miss without generating prefetches.
+
+        In prediction mode the stream register simply tracks the actual miss
+        stream: a miss matching (or stepping past) a register advances it by
+        one stride instead of a full burst.
+        """
+        for sid, stream in self._streams.items():
+            if line_addr == stream.next_pf:
+                stream.next_pf = line_addr + stream.stride
+                self._streams.move_to_end(sid)
+                return
+        entry = self._candidates.pop(line_addr, None)
+        if entry is not None:
+            stride, count = entry
+            count += 1
+            if count >= self.RECOGNITION_COUNT:
+                self.streams_recognized += 1
+                if len(self._streams) >= self.params.num_seq:
+                    self._streams.popitem(last=False)
+                self._streams[self._next_stream_id] = Stream(
+                    stride=stride, next_pf=line_addr + stride)
+                self._next_stream_id += 1
+            else:
+                self._candidates[line_addr + stride] = (stride, count)
+            return
+        self._add_candidate(line_addr + 1, 1)
+        self._add_candidate(line_addr - 1, -1)
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._streams)
+
+    def reset(self) -> None:
+        self._candidates.clear()
+        self._streams.clear()
+
+
+class SequentialUlmtPrefetcher(UlmtAlgorithm):
+    """Seq1/Seq4 of Table 4: the stream detector run as a ULMT algorithm."""
+
+    def __init__(self, params: SequentialParams) -> None:
+        self.params = params
+        self.name = f"seq{params.num_seq}"
+        self.detector = StreamDetector(params)
+        self._pending: list[int] = []
+
+    def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
+        # The stream check is a handful of register compares — charge one
+        # direct access against the (tiny, always-cached) stream state.
+        sink.charge_row_access(0x7F00_0000)
+        self._pending = self.detector.observe(miss)
+        return list(self._pending)
+
+    def learn(self, miss: int, sink: CostSink = NULL_SINK) -> None:
+        # Stream state was already updated during the prefetch step.
+        pass
+
+    def predict_levels(self, max_level: int = 3) -> list[list[int]]:
+        return self.detector.predict_levels(max_level)
+
+    def reset(self) -> None:
+        self.detector.reset()

@@ -1,0 +1,228 @@
+"""Software correlation tables (Figure 4 of the paper).
+
+The table is an ordinary data structure in main memory — eliminating the
+1-7.6 MB hardware SRAM tables of previous correlation prefetchers is one of
+the paper's central points.  Two organisations are provided:
+
+* the **conventional** organisation used by the Base and Chain algorithms:
+  each row stores the tag of a miss address plus up to ``NumSucc`` immediate
+  successors in MRU order (``num_levels == 1``);
+* the **replicated** organisation introduced by the paper: each row stores
+  ``NumLevels`` levels of successors, each level holding the *true* MRU
+  successors at that distance (``num_levels > 1``).
+
+Rows live in a set-associative structure (``NumRows`` rows, ``Assoc`` ways,
+LRU row replacement).  Every row has a stable *memory address* so the ULMT
+cost model can simulate the memory processor's cache over the table; row
+sizes (20/12/28 bytes for Base/Chain/Repl on a 32-bit machine) come from the
+paper's Section 4.
+
+Accesses report their work to a *cost sink* (see
+:mod:`repro.core.cost_model`): an associative ``find`` charges a tag search,
+while pointer-based accesses (Replicated's learning step) touch the row
+memory without a search — the distinction Table 1 of the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+
+class CostSink(Protocol):
+    """Receiver for the work a table access performs."""
+
+    def charge_search(self, ways_probed: int, row_addr: int) -> None:
+        """An associative lookup probing ``ways_probed`` tags."""
+
+    def charge_row_access(self, row_addr: int) -> None:
+        """A direct (pointer-based) read or update of one row."""
+
+    def charge_instructions(self, count: int) -> None:
+        """Raw instruction work (e.g. successor-list scanning)."""
+
+
+class NullCostSink:
+    """Cost sink that ignores everything (functional analyses)."""
+
+    def charge_search(self, ways_probed: int, row_addr: int) -> None:  # noqa: D102
+        pass
+
+    def charge_row_access(self, row_addr: int) -> None:  # noqa: D102
+        pass
+
+    def charge_instructions(self, count: int) -> None:  # noqa: D102
+        pass
+
+
+NULL_SINK = NullCostSink()
+
+
+class Row:
+    """One correlation-table row.
+
+    ``levels[k]`` lists the level-``k+1`` successors of ``tag`` in MRU order
+    (index 0 is most recent).  The conventional organisation uses a single
+    level.
+    """
+
+    __slots__ = ("tag", "levels", "addr")
+
+    def __init__(self, tag: int, num_levels: int, addr: int) -> None:
+        self.tag = tag
+        self.levels: list[list[int]] = [[] for _ in range(num_levels)]
+        self.addr = addr
+
+    def successors(self, level: int = 0) -> list[int]:
+        return self.levels[level]
+
+
+class CorrelationTable:
+    """Set-associative software correlation table."""
+
+    def __init__(self, num_rows: int, assoc: int, num_succ: int,
+                 num_levels: int = 1, row_bytes: int = 28,
+                 base_addr: int = 0x8000_0000) -> None:
+        if num_rows <= 0 or num_rows % assoc != 0:
+            raise ValueError(
+                f"num_rows ({num_rows}) must be a positive multiple of assoc ({assoc})")
+        if num_succ <= 0 or num_levels <= 0:
+            raise ValueError("num_succ and num_levels must be positive")
+        self.num_rows = num_rows
+        self.assoc = assoc
+        self.num_succ = num_succ
+        self.num_levels = num_levels
+        self.row_bytes = row_bytes
+        self.base_addr = base_addr
+        self.num_sets = num_rows // assoc
+        # Each set maps tag -> Row in LRU order (last = MRU); ways are
+        # recycled so row addresses stay stable per physical slot.
+        self._sets: list[dict[int, Row]] = [{} for _ in range(self.num_sets)]
+        self._way_of: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self.rows_allocated = 0
+        self.row_replacements = 0
+        self.successor_insertions = 0
+
+    # -- geometry ---------------------------------------------------------------
+
+    def _set_index(self, tag: int) -> int:
+        return tag % self.num_sets
+
+    def _row_addr(self, set_idx: int, way: int) -> int:
+        return self.base_addr + (set_idx * self.assoc + way) * self.row_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Total table capacity (NumRows x row size)."""
+        return self.num_rows * self.row_bytes
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    # -- access ------------------------------------------------------------------
+
+    def find(self, tag: int, sink: CostSink = NULL_SINK) -> Optional[Row]:
+        """Associative lookup; refreshes the row's LRU position."""
+        set_idx = self._set_index(tag)
+        cset = self._sets[set_idx]
+        row = cset.pop(tag, None)
+        if row is None:
+            # An unsuccessful search still probes every valid way.
+            probe_addr = self._row_addr(set_idx, 0)
+            sink.charge_search(max(1, len(cset)), probe_addr)
+            return None
+        cset[tag] = row
+        sink.charge_search(len(cset), row.addr)
+        return row
+
+    def find_or_alloc(self, tag: int, sink: CostSink = NULL_SINK) -> Row:
+        """Lookup, allocating (and possibly replacing) a row on miss."""
+        row = self.find(tag, sink)
+        if row is not None:
+            return row
+        set_idx = self._set_index(tag)
+        cset = self._sets[set_idx]
+        ways = self._way_of[set_idx]
+        if len(cset) >= self.assoc:
+            victim_tag = next(iter(cset))
+            del cset[victim_tag]
+            way = ways.pop(victim_tag)
+            self.row_replacements += 1
+        else:
+            way = len(cset)
+        row = Row(tag, self.num_levels, self._row_addr(set_idx, way))
+        cset[tag] = row
+        ways[tag] = way
+        self.rows_allocated += 1
+        sink.charge_row_access(row.addr)
+        return row
+
+    def insert_successor(self, row: Row, level: int, succ: int,
+                         sink: CostSink = NULL_SINK) -> None:
+        """Record ``succ`` as the MRU level-``level`` successor of ``row``."""
+        succs = row.levels[level]
+        try:
+            succs.remove(succ)
+        except ValueError:
+            pass
+        succs.insert(0, succ)
+        del succs[self.num_succ:]
+        self.successor_insertions += 1
+        sink.charge_row_access(row.addr)
+
+    def peek(self, tag: int) -> Optional[Row]:
+        """Lookup without LRU or cost side effects (tests/analyses)."""
+        return self._sets[self._set_index(tag)].get(tag)
+
+    # -- operating-system hooks (paper Section 3.4) --------------------------------
+
+    def remap_page(self, old_page: int, new_page: int,
+                   page_lines: int) -> int:
+        """Relocate table state after an OS page re-mapping.
+
+        Every line of the old physical page is looked up; found rows are
+        re-tagged, and successor entries pointing into the old page are
+        rewritten.  Returns the number of rows touched.  (Stale successors in
+        unvisited rows are tolerated, exactly as the paper describes — the
+        table heals through learning.)
+        """
+        touched = 0
+        old_base = old_page * page_lines
+        new_base = new_page * page_lines
+        for offset in range(page_lines):
+            old_tag = old_base + offset
+            row = self.peek(old_tag)
+            if row is None:
+                continue
+            set_idx = self._set_index(old_tag)
+            del self._sets[set_idx][old_tag]
+            self._way_of[set_idx].pop(old_tag, None)
+            new_tag = new_base + offset
+            row.tag = new_tag
+            new_set = self._set_index(new_tag)
+            dest = self._sets[new_set]
+            if len(dest) >= self.assoc:
+                victim = next(iter(dest))
+                del dest[victim]
+                way = self._way_of[new_set].pop(victim)
+                self.row_replacements += 1
+            else:
+                way = len(dest)
+            row.addr = self._row_addr(new_set, way)
+            dest[new_tag] = row
+            self._way_of[new_set][new_tag] = way
+            touched += 1
+        # Rewrite successors within relocated rows.
+        for cset in self._sets:
+            for row in cset.values():
+                for succs in row.levels:
+                    for i, s in enumerate(succs):
+                        if old_base <= s < old_base + page_lines:
+                            succs[i] = new_base + (s - old_base)
+        return touched
+
+    def replacement_fraction(self) -> float:
+        """Fraction of row allocations that replaced an existing row
+        (the < 5 % criterion the paper uses to size NumRows in Table 2)."""
+        if self.rows_allocated == 0:
+            return 0.0
+        return self.row_replacements / self.rows_allocated

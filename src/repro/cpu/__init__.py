@@ -1,0 +1,25 @@
+"""Processor models: the main OoO core and the in-memory core."""
+
+from repro.cpu.memproc import MemoryProcessor
+from repro.cpu.processor import (
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_MEM,
+    AccessResult,
+    MainProcessor,
+    MemoryInterface,
+    ProcessorStats,
+)
+from repro.cpu.stream_prefetcher import HardwareStreamPrefetcher
+
+__all__ = [
+    "MemoryProcessor",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_MEM",
+    "AccessResult",
+    "MainProcessor",
+    "MemoryInterface",
+    "ProcessorStats",
+    "HardwareStreamPrefetcher",
+]

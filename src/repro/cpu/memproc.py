@@ -1,0 +1,51 @@
+"""The memory processor: the simple general-purpose core hosting the ULMT.
+
+The paper's memory processor is a 2-issue 800 MHz core with a 32 KB L1 and
+no floating point, placed either in the North Bridge chip or inside a DRAM
+chip (Figure 1-(a)).  Its execution cost is modelled by
+:class:`repro.core.cost_model.UlmtCostModel`; this module packages the core,
+its cost model, and the hosted ULMT into one component with the placement
+baked in, which is what the system simulator instantiates.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import UlmtAlgorithm
+from repro.core.cost_model import CostConstants, UlmtCostModel
+from repro.core.ulmt import Ulmt
+from repro.memsys.controller import MemoryController
+from repro.params import MemProcessorParams, MemProcLocation, QueueParams
+
+
+class MemoryProcessor:
+    """The in-memory core together with the ULMT it runs."""
+
+    def __init__(self, controller: MemoryController, algorithm: UlmtAlgorithm,
+                 verbose: bool = False,
+                 core_params: MemProcessorParams | None = None,
+                 cost_constants: CostConstants | None = None,
+                 queue_params: QueueParams | None = None) -> None:
+        self.controller = controller
+        self.core_params = core_params or MemProcessorParams()
+        self.cost_model = UlmtCostModel(controller, cost_constants)
+        self.ulmt = Ulmt(algorithm, self.cost_model,
+                         queue_params=queue_params, verbose=verbose)
+
+    @property
+    def location(self) -> MemProcLocation:
+        return self.controller.location
+
+    @property
+    def algorithm(self) -> UlmtAlgorithm:
+        return self.ulmt.algorithm
+
+    def observe_miss(self, line_addr: int, now: int,
+                     is_processor_prefetch: bool = False):
+        """Forward one observed miss to the ULMT (see :class:`Ulmt`)."""
+        return self.ulmt.observe_miss(line_addr, now, is_processor_prefetch)
+
+    def drain(self, up_to: int):
+        return self.ulmt.drain(up_to)
+
+    def drain_all(self):
+        return self.ulmt.drain_all()

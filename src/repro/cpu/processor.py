@@ -1,0 +1,261 @@
+"""Trace-driven timing model of the 6-issue out-of-order main processor.
+
+The substitution for the paper's execution-driven superscalar model (see
+DESIGN.md): the processor walks a workload trace in order, accumulating the
+``Busy`` computation cycles each reference carries, and models the memory
+behaviour that matters to prefetching:
+
+* a 16 KB L1 with in-flight fills and the optional Conven4 stream
+  prefetcher;
+* a miss-overlap window of ``pending_loads`` (8) outstanding load misses —
+  independent misses overlap, and the processor blocks when the window
+  fills (which is how bandwidth contention surfaces as stall time);
+* *dependent* references (pointer chasing) that must wait for the previous
+  load to complete before they can issue — these pay the full round trip,
+  producing the dominant [200, 280) inter-miss bin of Figure 6;
+* stalls attributed to ``UptoL2`` (served by the L2) or ``BeyondL2``
+  (served by memory), the two stacked components of Figure 7.
+
+Everything below the L1 is behind the :class:`MemoryInterface` the system
+simulator implements; the processor itself never talks to the L2 directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cpu.stream_prefetcher import HardwareStreamPrefetcher
+from repro.memsys.cache import Cache
+from repro.params import MAIN_L1, MainProcessorParams
+from repro.workloads.trace import MemRef, Trace
+
+#: Levels a request can be served from, used for stall attribution.
+LEVEL_L1 = "l1"
+LEVEL_L2 = "l2"
+LEVEL_MEM = "mem"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Answer from the L2-and-beyond hierarchy for one L1 miss."""
+
+    completion_time: int
+    level: str  # LEVEL_L2 or LEVEL_MEM
+
+
+class MemoryInterface(Protocol):
+    """What the processor needs from everything below its L1."""
+
+    def access(self, l2_line: int, is_write: bool, now: int,
+               is_prefetch: bool) -> AccessResult:
+        """Service an L1 miss (or an L1 prefetch) for ``l2_line``."""
+
+
+@dataclass
+class ProcessorStats:
+    """Execution-time breakdown (the three stacked bars of Figure 7)."""
+
+    busy_cycles: int = 0
+    uptol2_stall: int = 0
+    beyondl2_stall: int = 0
+    refs: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l1_prefetch_hits: int = 0
+    finish_time: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.uptol2_stall + self.beyondl2_stall
+
+    def breakdown(self) -> dict[str, float]:
+        """Normalised Busy / UptoL2 / BeyondL2 fractions."""
+        total = self.total_cycles
+        if total == 0:
+            return {"busy": 0.0, "uptol2": 0.0, "beyondl2": 0.0}
+        return {"busy": self.busy_cycles / total,
+                "uptol2": self.uptol2_stall / total,
+                "beyondl2": self.beyondl2_stall / total}
+
+
+class _InflightFill:
+    """An L1 line travelling toward the cache (demand fill or prefetch)."""
+
+    __slots__ = ("arrival", "level", "is_prefetch")
+
+    def __init__(self, arrival: int, level: str,
+                 is_prefetch: bool = False) -> None:
+        self.arrival = arrival
+        self.level = level
+        self.is_prefetch = is_prefetch
+
+
+class MainProcessor:
+    """The trace-walking timing model."""
+
+    def __init__(self, memory: MemoryInterface,
+                 params: MainProcessorParams | None = None,
+                 stream_prefetcher: HardwareStreamPrefetcher | None = None) -> None:
+        self.memory = memory
+        self.params = params or MainProcessorParams()
+        self.stream_prefetcher = stream_prefetcher
+        self.l1 = Cache(MAIN_L1)
+        self.stats = ProcessorStats()
+        self.now = 0
+        # Outstanding load misses: (completion_time, level, ref_index),
+        # limited both by pending-load capacity and by ROB run-ahead.
+        self._load_window: list[tuple[int, str, int]] = []
+        self._store_window: list[tuple[int, str, int]] = []
+        # L1 lines still in flight (demand fill or stream prefetch).
+        self._l1_inflight: dict[int, _InflightFill] = {}
+        # Completion/level of the most recent load, for dependent references.
+        self._prev_load: tuple[int, str] = (0, LEVEL_L1)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> ProcessorStats:
+        for ref in trace:
+            self.step(ref)
+        self._drain_windows()
+        self.stats.finish_time = self.now
+        return self.stats
+
+    def step(self, ref: MemRef) -> None:
+        self.stats.refs += 1
+        self.now += ref.comp_cycles
+        self.stats.busy_cycles += ref.comp_cycles
+
+        if ref.dependent:
+            self._wait_for_previous_load()
+        self._enforce_rob_limit()
+
+        l1_line = self.l1.line_addr(ref.addr)
+        completion, level = self._access_l1(l1_line, ref.is_write)
+
+        if ref.is_write:
+            self._track_store(completion, level)
+        else:
+            self._track_load(completion, level)
+            self._prev_load = (completion, level)
+
+    # -- L1 + stream prefetcher --------------------------------------------------------
+
+    def _access_l1(self, l1_line: int, is_write: bool) -> tuple[int, str]:
+        self._land_arrived_fills()
+        if self.l1.access(l1_line, is_write):
+            self.stats.l1_hits += 1
+            return self.now, LEVEL_L1
+
+        inflight = self._l1_inflight.get(l1_line)
+        if inflight is not None:
+            # The line is on its way (demand merge or late-ish prefetch).
+            # Consuming a late *prefetch* tells the stream prefetcher to
+            # keep that stream's lookahead topped up; demand merges must
+            # not touch stream state (they would spuriously extend stale
+            # streams during strided phases).
+            self.stats.l1_prefetch_hits += 1
+            if inflight.is_prefetch and self.stream_prefetcher is not None:
+                self._top_up_streams(l1_line)
+            return inflight.arrival, inflight.level
+
+        self.stats.l1_misses += 1
+        result = self.memory.access(self._l2_line(l1_line), is_write,
+                                    self.now, is_prefetch=False)
+        self._l1_inflight[l1_line] = _InflightFill(result.completion_time,
+                                                   result.level)
+        if self.stream_prefetcher is not None:
+            self._issue_stream_prefetches(l1_line)
+        return result.completion_time, result.level
+
+    def _top_up_streams(self, consumed_line: int) -> None:
+        self._issue_prefetch_lines(
+            self.stream_prefetcher.detector.consumed(consumed_line))
+
+    def _issue_stream_prefetches(self, miss_line: int) -> None:
+        self._issue_prefetch_lines(
+            self.stream_prefetcher.on_l1_miss(miss_line))
+
+    def _issue_prefetch_lines(self, lines) -> None:
+        for pf_line in lines:
+            if pf_line < 0 or self.l1.contains(pf_line):
+                continue
+            if pf_line in self._l1_inflight:
+                continue
+            result = self.memory.access(self._l2_line(pf_line),
+                                        is_write=False, now=self.now,
+                                        is_prefetch=True)
+            self._l1_inflight[pf_line] = _InflightFill(
+                result.completion_time, result.level, is_prefetch=True)
+
+    def _land_arrived_fills(self) -> None:
+        if not self._l1_inflight:
+            return
+        arrived = [line for line, f in self._l1_inflight.items()
+                   if f.arrival <= self.now]
+        for line in arrived:
+            del self._l1_inflight[line]
+            self.l1.fill(line)
+
+    @staticmethod
+    def _l2_line(l1_line: int) -> int:
+        # L1 lines are 32 B, L2 lines 64 B: two L1 lines per L2 line.
+        return l1_line // 2
+
+    # -- overlap windows ------------------------------------------------------------------
+
+    def _track_load(self, completion: int, level: str) -> None:
+        if completion <= self.now or level == LEVEL_L1:
+            return
+        self._load_window.append((completion, level, self.stats.refs))
+        self._retire(self._load_window)
+        while len(self._load_window) > self.params.pending_loads:
+            self._stall_on_earliest(self._load_window)
+
+    def _track_store(self, completion: int, level: str) -> None:
+        if completion <= self.now or level == LEVEL_L1:
+            return
+        self._store_window.append((completion, level, self.stats.refs))
+        self._retire(self._store_window)
+        while len(self._store_window) > self.params.pending_stores:
+            self._stall_on_earliest(self._store_window)
+
+    def _enforce_rob_limit(self) -> None:
+        """Block when the oldest outstanding load falls outside the ROB."""
+        self._retire(self._load_window)
+        while self._load_window:
+            oldest_ref = min(ref_idx for _, _, ref_idx in self._load_window)
+            if self.stats.refs - oldest_ref < self.params.rob_refs:
+                return
+            self._stall_on_earliest(self._load_window)
+
+    def _wait_for_previous_load(self) -> None:
+        completion, level = self._prev_load
+        if completion > self.now:
+            self._stall_until(completion, level)
+        self._retire(self._load_window)
+
+    def _retire(self, window: list[tuple[int, str, int]]) -> None:
+        window[:] = [entry for entry in window if entry[0] > self.now]
+
+    def _stall_on_earliest(self, window: list[tuple[int, str, int]]) -> None:
+        completion, level, _ = min(window)
+        self._stall_until(completion, level)
+        self._retire(window)
+
+    def _stall_until(self, completion: int, level: str) -> None:
+        stall = completion - self.now
+        if stall <= 0:
+            return
+        if level == LEVEL_MEM:
+            self.stats.beyondl2_stall += stall
+        else:
+            self.stats.uptol2_stall += stall
+        self.now = completion
+
+    def _drain_windows(self) -> None:
+        """Wait for every outstanding access at the end of the trace."""
+        for window in (self._load_window, self._store_window):
+            while window:
+                self._stall_on_earliest(window)

@@ -1,0 +1,42 @@
+"""Conven4: the processor-side hardware sequential prefetcher (Table 4).
+
+The main processor optionally includes a hardware prefetcher that monitors
+L1 miss addresses and can identify and prefetch up to ``NumSeq`` concurrent
+unit-stride streams into the L1 cache: when the third miss of a +1/-1
+sequence is observed a stream is recognised and the next ``NumPref`` lines
+are prefetched; a stream register remembers the next expected address so a
+later miss on it extends the stream (paper Section 4).
+
+The stream-recognition machinery is shared with the ULMT software variants
+(:class:`repro.core.sequential.StreamDetector`); the difference is purely
+*where* it runs (L1 miss stream, prefetching into L1) and that its requests
+reaching memory are tagged as processor prefetches — which the ULMT only
+sees in Verbose mode.
+"""
+
+from __future__ import annotations
+
+from repro.core.sequential import StreamDetector
+from repro.params import CONVEN4_PARAMS, SequentialParams
+
+
+class HardwareStreamPrefetcher:
+    """Conven4 (or Conven1/ConvenN): stream prefetching into the L1."""
+
+    def __init__(self, params: SequentialParams | None = None) -> None:
+        self.params = params or CONVEN4_PARAMS
+        self.detector = StreamDetector(self.params)
+        self.prefetches_issued = 0
+
+    @property
+    def name(self) -> str:
+        return f"conven{self.params.num_seq}"
+
+    def on_l1_miss(self, l1_line: int) -> list[int]:
+        """Observe one L1 miss; returns L1 line addresses to prefetch."""
+        burst = self.detector.observe(l1_line)
+        self.prefetches_issued += len(burst)
+        return burst
+
+    def reset(self) -> None:
+        self.detector.reset()

@@ -1,0 +1,36 @@
+"""One module per table and figure of the paper's evaluation.
+
+Run any of them as scripts, e.g. ``python -m repro.experiments.fig7``, or
+everything at once with ``python -m repro.experiments.runall``.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    charts,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    validate,
+)
+from repro.experiments.common import (
+    cached_run,
+    clear_result_cache,
+    format_table,
+    resolve_scale,
+)
+
+__all__ = [
+    "ablations", "charts", "validate",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "table1", "table2", "table3", "table4", "table5",
+    "cached_run", "clear_result_cache", "format_table", "resolve_scale",
+]

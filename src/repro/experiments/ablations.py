@@ -1,0 +1,208 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+The paper motivates each mechanism qualitatively; these sweeps quantify
+them on our reproduction:
+
+* ``num_levels``    — how far ahead Replicated prefetches (the Table 5
+  customisation sets 4 for MST/Mcf; Section 3.3.3 discusses the trade-off);
+* ``num_succ``      — successor-list width per level;
+* ``num_rows``      — correlation-table size (the Table 2 sizing rule);
+* ``filter``        — the Filter module (Figure 3): how many duplicate
+  prefetches it absorbs and what that is worth;
+* ``queue_depth``   — queue 2/3 depth (Table 3 sets 16): ULMT drop rate;
+* ``rob``           — main-processor run-ahead (model sensitivity, not a
+  paper knob: shows the NoPref baseline's MLP assumption).
+
+Each sweep returns a list of (value, speedup, extra) tuples against the
+same NoPref baseline.  Run as ``python -m repro.experiments.ablations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.experiments.common import (
+    all_apps,
+    cached_run,
+    fmt,
+    format_table,
+    resolve_scale,
+)
+from repro.params import CONVEN4_PARAMS
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_simulation
+
+#: The irregular applications the ablations focus on (the pair-based
+#: prefetcher's home turf, per the paper).
+DEFAULT_APPS = ("mcf", "mst")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One swept configuration's outcome."""
+
+    value: object
+    speedup: float
+    coverage: float
+    detail: str = ""
+
+
+def _speedup(app: str, config: SystemConfig, scale: float) -> tuple[float, "object"]:
+    baseline = cached_run(app, "nopref", scale)
+    result = run_simulation(app, config, scale=scale)
+    return baseline.execution_time / result.execution_time, result
+
+
+def sweep_num_levels(app: str, scale: float | None = None,
+                     levels: tuple[int, ...] = (1, 2, 3, 4, 5)) -> list[AblationPoint]:
+    """Replicated with NumLevels swept (Table 5 sets 4 for MST/Mcf)."""
+    scale = resolve_scale(scale)
+    points = []
+    for nl in levels:
+        config = SystemConfig(name=f"repl-l{nl}",
+                              ulmt_algorithm=f"repl@levels={nl}")
+        speedup, result = _speedup(app, config, scale)
+        points.append(AblationPoint(nl, speedup, result.coverage(),
+                                    detail=f"occ={result.ulmt_timing.avg_occupancy:.0f}"))
+    return points
+
+
+def sweep_num_succ(app: str, scale: float | None = None,
+                   succs: tuple[int, ...] = (1, 2, 4)) -> list[AblationPoint]:
+    """Replicated successor-list width per level."""
+    scale = resolve_scale(scale)
+    points = []
+    for ns in succs:
+        config = SystemConfig(name=f"repl-s{ns}",
+                              ulmt_algorithm=f"repl@succ={ns}")
+        speedup, result = _speedup(app, config, scale)
+        points.append(AblationPoint(ns, speedup, result.coverage()))
+    return points
+
+
+def sweep_num_rows(app: str, scale: float | None = None,
+                   rows: tuple[int, ...] = (1024, 4096, 16384, 65536)
+                   ) -> list[AblationPoint]:
+    """Correlation-table size: undersized tables thrash rows (Table 2)."""
+    scale = resolve_scale(scale)
+    points = []
+    for nr in rows:
+        config = SystemConfig(name=f"repl-r{nr}", ulmt_algorithm="repl",
+                              num_rows=nr)
+        speedup, result = _speedup(app, config, scale)
+        points.append(AblationPoint(nr, speedup, result.coverage()))
+    return points
+
+
+def sweep_filter(app: str, scale: float | None = None,
+                 sizes: tuple[int, ...] = (1, 8, 32, 128)) -> list[AblationPoint]:
+    """Filter module size (Table 3 default: 32 entries)."""
+    scale = resolve_scale(scale)
+    points = []
+    for entries in sizes:
+        config = SystemConfig(name=f"repl-f{entries}", ulmt_algorithm="repl",
+                              filter_entries=entries)
+        speedup, result = _speedup(app, config, scale)
+        dropped = result.ulmt and getattr(result.ulmt, "prefetches_filtered", 0)
+        points.append(AblationPoint(entries, speedup, result.coverage(),
+                                    detail=f"filtered={dropped}"))
+    return points
+
+
+def sweep_queue_depth(app: str, scale: float | None = None,
+                      depths: tuple[int, ...] = (2, 4, 16, 64)) -> list[AblationPoint]:
+    """Queue 2/3 depth (Table 3 default: 16): drop rate under bursts."""
+    scale = resolve_scale(scale)
+    points = []
+    for depth in depths:
+        config = SystemConfig(name=f"repl-q{depth}", ulmt_algorithm="repl",
+                              queue_depth=depth)
+        speedup, result = _speedup(app, config, scale)
+        dropped = result.ulmt.misses_dropped if result.ulmt else 0
+        points.append(AblationPoint(depth, speedup, result.coverage(),
+                                    detail=f"dropped={dropped}"))
+    return points
+
+
+def sweep_rob(app: str, scale: float | None = None,
+              robs: tuple[int, ...] = (4, 8, 16, 32)) -> list[AblationPoint]:
+    """Model sensitivity: the baseline core's run-ahead window."""
+    scale = resolve_scale(scale)
+    points = []
+    for rob in robs:
+        nopref = run_simulation(app, SystemConfig(name=f"nopref-rob{rob}",
+                                                  rob_refs=rob), scale=scale)
+        repl = run_simulation(app, SystemConfig(name=f"repl-rob{rob}",
+                                                ulmt_algorithm="repl",
+                                                rob_refs=rob), scale=scale)
+        points.append(AblationPoint(
+            rob, nopref.execution_time / repl.execution_time,
+            repl.coverage(),
+            detail=f"nopref={nopref.execution_time:,}"))
+    return points
+
+
+def sweep_memory_latency(app: str, scale: float | None = None,
+                         extra_fixed: tuple[int, ...] = (0, 100, 200)
+                         ) -> list[AblationPoint]:
+    """What-if: slower main memory (larger tSystem).
+
+    The paper's latencies are 2002-era; this sweep adds cycles to the fixed
+    portion of the round trip to show how the value of far-ahead
+    prefetching grows with the processor-memory gap.
+    """
+    from repro.params import MemoryParams
+    from repro.sim.system import System
+    from repro.workloads.registry import get_trace
+
+    scale = resolve_scale(scale)
+    trace = get_trace(app, scale=scale)
+    points = []
+    for extra in extra_fixed:
+        params = MemoryParams(main_fixed=96 + extra)
+        nopref = System(SystemConfig(name="nopref"), params).run(trace)
+        repl = System(SystemConfig(name="repl", ulmt_algorithm="repl"),
+                      params).run(trace)
+        points.append(AblationPoint(
+            96 + extra,
+            nopref.execution_time / repl.execution_time,
+            repl.coverage(),
+            detail=f"RT={208 + extra}"))
+    return points
+
+
+SWEEPS: dict[str, Callable[..., list[AblationPoint]]] = {
+    "num_levels": sweep_num_levels,
+    "num_succ": sweep_num_succ,
+    "num_rows": sweep_num_rows,
+    "filter": sweep_filter,
+    "queue_depth": sweep_queue_depth,
+    "rob": sweep_rob,
+    "memory_latency": sweep_memory_latency,
+}
+
+
+def run(scale: float | None = None,
+        apps: tuple[str, ...] = DEFAULT_APPS,
+        sweeps: tuple[str, ...] = tuple(SWEEPS)) -> dict:
+    results: dict[str, dict[str, list[AblationPoint]]] = {}
+    for name in sweeps:
+        results[name] = {app: SWEEPS[name](app, scale) for app in apps}
+    return results
+
+
+def main() -> None:
+    results = run()
+    for sweep_name, per_app in results.items():
+        for app, points in per_app.items():
+            rows = [(str(p.value), fmt(p.speedup), fmt(p.coverage), p.detail)
+                    for p in points]
+            print(format_table(
+                ["value", "speedup", "coverage", "detail"], rows,
+                title=f"Ablation {sweep_name} — {app}"))
+            print()
+
+
+if __name__ == "__main__":
+    main()

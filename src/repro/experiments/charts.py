@@ -1,0 +1,66 @@
+"""Terminal rendering of the paper's figures.
+
+The original figures are stacked/grouped bar charts; these helpers render
+the same data as Unicode bar charts so ``python -m repro.experiments.figN``
+output is visually comparable with the paper, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Fill characters for stacked segments, in drawing order.
+SEGMENT_CHARS = ("█", "▓", "▒", "░", "·")
+
+
+def hbar(value: float, max_value: float, width: int = 40,
+         char: str = "█") -> str:
+    """One horizontal bar scaled to ``width`` characters."""
+    if max_value <= 0:
+        return ""
+    filled = int(round(width * min(value, max_value) / max_value))
+    return char * filled
+
+
+def bar_chart(items: Sequence[tuple[str, float]], width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Simple labelled horizontal bar chart."""
+    if not items:
+        return title
+    max_value = max(v for _, v in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = hbar(value, max_value, width)
+        lines.append(f"{label:>{label_width}s} |{bar:<{width}s}| "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(items: Sequence[tuple[str, Mapping[str, float]]],
+                      segments: Sequence[str], width: int = 40,
+                      title: str = "", total_of: float | None = None) -> str:
+    """Stacked horizontal bars (e.g. Busy/UptoL2/BeyondL2 of Figure 7).
+
+    ``segments`` orders the stack; each bar's segments are drawn with
+    successive fill characters and a legend line is appended.
+    """
+    if not items:
+        return title
+    totals = [sum(parts.get(s, 0.0) for s in segments) for _, parts in items]
+    max_total = total_of or (max(totals) or 1.0)
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for (label, parts), total in zip(items, totals):
+        bar = ""
+        for i, segment in enumerate(segments):
+            seg_chars = int(round(width * parts.get(segment, 0.0) / max_total))
+            bar += SEGMENT_CHARS[i % len(SEGMENT_CHARS)] * seg_chars
+        bar = bar[:width]
+        lines.append(f"{label:>{label_width}s} |{bar:<{width}s}| "
+                     f"{total:.2f}")
+    legend = "  ".join(f"{SEGMENT_CHARS[i % len(SEGMENT_CHARS)]} {s}"
+                       for i, s in enumerate(segments))
+    lines.append(f"{'':>{label_width}s}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Figure 10: average response and occupancy time of the ULMT algorithms.
+
+Each bar (Base, Chain, Repl, ReplMC) splits into computation (Busy) and
+memory stall (Mem) time, in 1.6 GHz main-processor cycles, with the ULMT's
+IPC printed on top.
+
+Paper reference: every occupancy is below 200 cycles (fast enough for the
+dominant Figure 6 bin); Chain and Repl have the lowest occupancies; Repl
+has the lowest response (~30 cycles); ReplMC's response roughly doubles;
+memory stall is about half the ULMT time in DRAM and more in the North
+Bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    resolve_scale,
+    all_apps,
+    cached_run,
+    fmt,
+    format_table,
+)
+
+CONFIGS = ("base", "chain", "repl", "replMC")
+
+PAPER_OCCUPANCY_BUDGET = 200
+
+
+@dataclass(frozen=True)
+class Fig10Bar:
+    config: str
+    response: float
+    response_busy: float
+    response_mem: float
+    occupancy: float
+    occupancy_busy: float
+    occupancy_mem: float
+    ipc: float
+
+
+def run(scale: float | None = None, apps: list[str] | None = None,
+        configs: tuple[str, ...] = CONFIGS) -> list[Fig10Bar]:
+    apps = apps or all_apps()
+    bars = []
+    for config in configs:
+        timings = [cached_run(app, config, scale).ulmt_timing
+                   for app in apps]
+        timings = [t for t in timings if t is not None and t.observations > 0]
+        n = len(timings)
+        bars.append(Fig10Bar(
+            config=config,
+            response=sum(t.avg_response for t in timings) / n,
+            response_busy=sum(t.response_busy for t in timings) / n,
+            response_mem=sum(t.response_mem for t in timings) / n,
+            occupancy=sum(t.avg_occupancy for t in timings) / n,
+            occupancy_busy=sum(t.occupancy_busy for t in timings) / n,
+            occupancy_mem=sum(t.occupancy_mem for t in timings) / n,
+            ipc=sum(t.ipc for t in timings) / n,
+        ))
+    return bars
+
+
+def main() -> None:
+    bars = run()
+    rows = [(b.config, fmt(b.response, 1), fmt(b.response_busy, 1),
+             fmt(b.response_mem, 1), fmt(b.occupancy, 1),
+             fmt(b.occupancy_busy, 1), fmt(b.occupancy_mem, 1),
+             fmt(b.ipc, 2))
+            for b in bars]
+    print(format_table(
+        ["Config", "Response", "  Busy", "  Mem", "Occupancy", "  Busy",
+         "  Mem", "IPC"],
+        rows, title="Figure 10 — ULMT response/occupancy (main-processor cycles)"))
+    worst = max(b.occupancy for b in bars)
+    print(f"\nPaper: all occupancies < {PAPER_OCCUPANCY_BUDGET} cycles; "
+          f"ours, worst occupancy: {worst:.0f}")
+    repl = next(b for b in bars if b.config == "repl")
+    replmc = next(b for b in bars if b.config == "replMC")
+    print(f"Paper: Repl response ~30, ReplMC ~2x that; "
+          f"ours: {repl.response:.0f} vs {replmc.response:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Figure 5: fraction of L2 misses correctly predicted per successor level.
+
+Paper reference points (averages over the nine applications):
+level 1 — Seq4 49%, Base 82%; levels 2/3 — Repl 77% / 73%, with Repl
+outperforming Chain by a wide margin and Mcf/Tree showing ~0% for the
+sequential predictors while CG is almost fully sequential.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.prediction import PREDICTORS, figure5_row
+from repro.experiments.common import all_apps, format_table, pct, resolve_scale
+
+#: Paper's average values for quick comparison (level -> predictor -> frac).
+PAPER_AVERAGES = {
+    1: {"seq4": 0.49, "base": 0.82},
+    2: {"repl": 0.77},
+    3: {"repl": 0.73},
+}
+
+
+def run(scale: float | None = None, apps: list[str] | None = None,
+        predictors: tuple[str, ...] = PREDICTORS) -> dict:
+    """Returns {app: {predictor: PredictionResult}} plus an average row."""
+    scale = resolve_scale(scale)
+    apps = apps or all_apps()
+    data = {app: figure5_row(app, scale, predictors) for app in apps}
+    averages = {}
+    for p in predictors:
+        level_avgs = tuple(
+            sum(data[app][p].levels[k] for app in apps) / len(apps)
+            for k in range(3))
+        averages[p] = level_avgs
+    return {"apps": data, "averages": averages}
+
+
+def main() -> None:
+    result = run()
+    predictors = list(next(iter(result["apps"].values())).keys())
+    for level in range(3):
+        rows = []
+        for app, row in result["apps"].items():
+            rows.append([app] + [pct(row[p].levels[level])
+                                 for p in predictors])
+        rows.append(["Average"] + [pct(result["averages"][p][level])
+                                   for p in predictors])
+        print(format_table(["App"] + predictors, rows,
+                           title=f"Figure 5 — Level {level + 1} prediction"))
+        print()
+    avg = result["averages"]
+    print("Paper: level-1 Seq4 49%, Base 82%; Repl level-2 77%, level-3 73%")
+    print(f"Ours:  level-1 Seq4 {pct(avg['seq4'][0])}, "
+          f"Base {pct(avg['base'][0])}; "
+          f"Repl level-2 {pct(avg['repl'][1])}, "
+          f"level-3 {pct(avg['repl'][2])}")
+
+
+if __name__ == "__main__":
+    main()

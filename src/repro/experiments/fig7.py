@@ -1,0 +1,107 @@
+"""Figure 7: execution time under the different prefetching algorithms.
+
+For every application the bar set is NoPref, Conven4, Base, Chain, Repl,
+Conven4+Repl (plus Custom for CG/MST/Mcf), each bar split into Busy,
+UptoL2, and BeyondL2 stall, normalised to NoPref.
+
+Paper reference (average application speedups over NoPref):
+Conven4 ~1.2 (17% time reduction), Base 1.06, Chain 1.14, **Repl 1.32**,
+**Conven4+Repl 1.46**, and with the Table 5 customisations **1.53**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.customization import CUSTOMIZATIONS
+from repro.experiments.common import (
+    resolve_scale,
+    all_apps,
+    cached_run,
+    fmt,
+    format_table,
+)
+from repro.sim.driver import arithmetic_mean
+
+CONFIGS = ("nopref", "conven4", "base", "chain", "repl", "conven4+repl")
+
+PAPER_AVG_SPEEDUPS = {
+    "conven4": 1.20,
+    "base": 1.06,
+    "chain": 1.14,
+    "repl": 1.32,
+    "conven4+repl": 1.46,
+    "custom": 1.53,
+}
+
+
+@dataclass(frozen=True)
+class Fig7Bar:
+    app: str
+    config: str
+    normalized_time: float
+    busy: float
+    uptol2: float
+    beyondl2: float
+    speedup: float
+
+
+def run(scale: float | None = None, apps: list[str] | None = None,
+        configs: tuple[str, ...] = CONFIGS,
+        include_custom: bool = True) -> dict:
+    apps = apps or all_apps()
+    bars: dict[str, list[Fig7Bar]] = {}
+    speedups: dict[str, list[float]] = {c: [] for c in configs}
+    speedups["custom"] = []
+    for app in apps:
+        baseline = cached_run(app, "nopref", scale)
+        base_time = baseline.execution_time
+        app_bars = []
+        app_configs = list(configs)
+        if include_custom:
+            app_configs.append("custom")
+        for config in app_configs:
+            result = cached_run(app, config, scale)
+            bd = result.normalized_breakdown(base_time)
+            bar = Fig7Bar(app=app, config=config,
+                          normalized_time=result.execution_time / base_time,
+                          busy=bd["busy"], uptol2=bd["uptol2"],
+                          beyondl2=bd["beyondl2"],
+                          speedup=base_time / result.execution_time)
+            app_bars.append(bar)
+            if config in speedups:
+                speedups[config].append(bar.speedup)
+        bars[app] = app_bars
+    averages = {c: arithmetic_mean(v) for c, v in speedups.items() if v}
+    return {"bars": bars, "avg_speedups": averages}
+
+
+def main() -> None:
+    from repro.experiments.charts import stacked_bar_chart
+
+    result = run()
+    for app, app_bars in result["bars"].items():
+        rows = [(b.config, fmt(b.normalized_time), fmt(b.busy),
+                 fmt(b.uptol2), fmt(b.beyondl2), fmt(b.speedup))
+                for b in app_bars
+                if b.config != "custom" or app in CUSTOMIZATIONS]
+        print(format_table(
+            ["Config", "Norm. time", "Busy", "UptoL2", "BeyondL2", "Speedup"],
+            rows, title=f"Figure 7 — {app}"))
+        chart_items = [(b.config, {"busy": b.busy, "uptol2": b.uptol2,
+                                   "beyondl2": b.beyondl2})
+                       for b in app_bars
+                       if b.config != "custom" or app in CUSTOMIZATIONS]
+        print(stacked_bar_chart(chart_items,
+                                ("busy", "uptol2", "beyondl2"),
+                                total_of=1.0))
+        print()
+    print("Average speedups over NoPref (paper -> ours):")
+    for config, paper in PAPER_AVG_SPEEDUPS.items():
+        ours = result["avg_speedups"].get(config)
+        if ours is not None:
+            print(f"  {config:14s} {paper:.2f} -> {ours:.2f}")
+
+
+if __name__ == "__main__":
+    main()

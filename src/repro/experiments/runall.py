@@ -1,0 +1,66 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python -m repro.experiments.runall [--scale 1.0]
+
+Simulation results are shared across figures through the common result
+cache, so the full matrix (9 applications x ~9 configurations) is only run
+once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments import common
+
+SECTIONS = (
+    ("Table 1", table1.main, False),
+    ("Table 2", table2.main, True),
+    ("Table 3", table3.main, False),
+    ("Table 4", table4.main, False),
+    ("Table 5", table5.main, False),
+    ("Figure 5", fig5.main, True),
+    ("Figure 6", fig6.main, True),
+    ("Figure 7", fig7.main, True),
+    ("Figure 8", fig8.main, True),
+    ("Figure 9", fig9.main, True),
+    ("Figure 10", fig10.main, True),
+    ("Figure 11", fig11.main, True),
+)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
+                        help="workload scale factor (default 1.0)")
+    args = parser.parse_args(argv)
+    common.DEFAULT_SCALE = args.scale  # noqa: simple module-level knob
+
+    start = time.time()
+    for name, runner, _expensive in SECTIONS:
+        print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n")
+        section_start = time.time()
+        runner()
+        print(f"\n[{name} done in {time.time() - section_start:.1f}s]")
+    print(f"\nAll experiments regenerated in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

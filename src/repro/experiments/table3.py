@@ -1,0 +1,112 @@
+"""Table 3: parameters of the simulated architecture.
+
+Prints the configuration the simulator actually uses and checks the derived
+round-trip identities against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.params import (
+    MAIN_L1,
+    MAIN_L2,
+    MAIN_PROC,
+    MEM_PROC,
+    MEMPROC_L1,
+    MEMORY,
+    QUEUES,
+    MemProcLocation,
+)
+
+
+def run() -> dict[str, list[tuple[str, str]]]:
+    """Grouped (parameter, value) pairs, all derived from live config."""
+    return {
+        "Main processor": [
+            ("Issue width", f"{MAIN_PROC.issue_width}-issue dynamic"),
+            ("Frequency", f"{MAIN_PROC.frequency_ghz} GHz"),
+            ("Int/FP/LdSt FUs",
+             f"{MAIN_PROC.int_fus}, {MAIN_PROC.fp_fus}, {MAIN_PROC.ldst_fus}"),
+            ("Pending ld, st",
+             f"{MAIN_PROC.pending_loads}, {MAIN_PROC.pending_stores}"),
+            ("Branch penalty", f"{MAIN_PROC.branch_penalty} cycles"),
+        ],
+        "Memory processor": [
+            ("Issue width", f"{MEM_PROC.issue_width}-issue dynamic"),
+            ("Frequency", f"{int(MEM_PROC.frequency_ghz * 1000)} MHz"),
+            ("Int/FP/LdSt FUs",
+             f"{MEM_PROC.int_fus}, {MEM_PROC.fp_fus}, {MEM_PROC.ldst_fus}"),
+            ("Pending ld, st",
+             f"{MEM_PROC.pending_loads}, {MEM_PROC.pending_stores}"),
+            ("Branch penalty", f"{MEM_PROC.branch_penalty} cycles"),
+        ],
+        "Main processor memory hierarchy": [
+            ("L1 data", f"write-back, {MAIN_L1.size_bytes // 1024} KB, "
+                        f"{MAIN_L1.assoc} way, {MAIN_L1.line_bytes}-B line, "
+                        f"{MAIN_L1.hit_cycles}-cycle hit RT"),
+            ("L2 data", f"write-back, {MAIN_L2.size_bytes // 1024} KB, "
+                        f"{MAIN_L2.assoc} way, {MAIN_L2.line_bytes}-B line, "
+                        f"{MAIN_L2.hit_cycles}-cycle hit RT"),
+            ("RT memory latency",
+             f"{MEMORY.main_round_trip(False)} cycles (row miss), "
+             f"{MEMORY.main_round_trip(True)} cycles (row hit)"),
+            ("Memory bus", "split-transaction, 8 B, 400 MHz, 3.2 GB/s peak"),
+        ],
+        "Memory processor memory hierarchy": [
+            ("L1 data", f"write-back, {MEMPROC_L1.size_bytes // 1024} KB, "
+                        f"{MEMPROC_L1.assoc} way, {MEMPROC_L1.line_bytes}-B "
+                        f"line, {MEMPROC_L1.hit_cycles}-cycle hit RT"),
+            ("In North Bridge RT",
+             f"{MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, False)}"
+             f" cycles (row miss), "
+             f"{MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, True)}"
+             f" cycles (row hit)"),
+            ("NB prefetch request to DRAM",
+             f"{MEMORY.nb_prefetch_request_delay} cycles"),
+            ("In DRAM RT",
+             f"{MEMORY.memproc_round_trip(MemProcLocation.DRAM, False)} cycles"
+             f" (row miss), "
+             f"{MEMORY.memproc_round_trip(MemProcLocation.DRAM, True)} cycles"
+             f" (row hit)"),
+        ],
+        "DRAM and queues": [
+            ("Channels", f"{MEMORY.num_channels} x 2 B, 800 MHz "
+                         f"(3.2 GB/s total)"),
+            ("Banks per channel", str(MEMORY.banks_per_channel)),
+            ("Row buffer", f"{MEMORY.row_bytes} B"),
+            ("Queues 1-6 depth", str(QUEUES.queue_depth)),
+            ("Filter module", f"{QUEUES.filter_entries} entries, FIFO"),
+        ],
+    }
+
+
+#: Paper values the identities must hit.
+PAPER_ROUND_TRIPS = {
+    "main": (243, 208),
+    "dram": (56, 21),
+    "north_bridge": (100, 65),
+}
+
+
+def verify_round_trips() -> bool:
+    return (
+        (MEMORY.main_round_trip(False), MEMORY.main_round_trip(True))
+        == PAPER_ROUND_TRIPS["main"]
+        and (MEMORY.memproc_round_trip(MemProcLocation.DRAM, False),
+             MEMORY.memproc_round_trip(MemProcLocation.DRAM, True))
+        == PAPER_ROUND_TRIPS["dram"]
+        and (MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, False),
+             MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, True))
+        == PAPER_ROUND_TRIPS["north_bridge"]
+    )
+
+
+def main() -> None:
+    for group, pairs in run().items():
+        print(format_table(["Parameter", "Value"], pairs, title=group))
+        print()
+    print(f"Round trips match paper Table 3: {verify_round_trips()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Table 4: parameter values used for the different algorithms."""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.params import (
+    BASE_PARAMS,
+    CHAIN_PARAMS,
+    CONVEN4_PARAMS,
+    REPL_PARAMS,
+    SEQ1_PARAMS,
+    SEQ4_PARAMS,
+)
+
+
+def run() -> list[tuple[str, str, str, str]]:
+    return [
+        ("Base", "Base", "Software in memory as ULMT",
+         f"NumSucc = {BASE_PARAMS.num_succ}, Assoc = {BASE_PARAMS.assoc}"),
+        ("Chain", "Chain", "Software in memory as ULMT",
+         f"NumSucc = {CHAIN_PARAMS.num_succ}, Assoc = {CHAIN_PARAMS.assoc}, "
+         f"NumLevels = {CHAIN_PARAMS.num_levels}"),
+        ("Replicated", "Repl", "Software in memory as ULMT",
+         f"NumSucc = {REPL_PARAMS.num_succ}, Assoc = {REPL_PARAMS.assoc}, "
+         f"NumLevels = {REPL_PARAMS.num_levels}"),
+        ("Sequential 1-Stream", "Seq1", "Software in memory as ULMT",
+         f"NumSeq = {SEQ1_PARAMS.num_seq}, NumPref = {SEQ1_PARAMS.num_pref}"),
+        ("Sequential 4-Streams", "Seq4", "Software in memory as ULMT",
+         f"NumSeq = {SEQ4_PARAMS.num_seq}, NumPref = {SEQ4_PARAMS.num_pref}"),
+        ("Sequential 4-Streams", "Conven4", "Hardware in L1 of main processor",
+         f"NumSeq = {CONVEN4_PARAMS.num_seq}, "
+         f"NumPref = {CONVEN4_PARAMS.num_pref}"),
+    ]
+
+
+def main() -> None:
+    print(format_table(
+        ["Prefetching algorithm", "Name", "Implementation", "Parameters"],
+        run(), title="Table 4: algorithm parameter values"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Table 5: per-application ULMT customisations (Conven4 stays on)."""
+
+from __future__ import annotations
+
+from repro.core.customization import CUSTOMIZATIONS
+from repro.experiments.common import format_table
+
+
+def run() -> list[tuple[str, str]]:
+    rows = []
+    grouped: dict[tuple[str, bool], list[str]] = {}
+    for app, c in CUSTOMIZATIONS.items():
+        grouped.setdefault((c.algorithm, c.verbose), []).append(app)
+    for (algorithm, verbose), apps in grouped.items():
+        description = algorithm.replace("@levels=", " with NumLevels = ")
+        if verbose:
+            description += " in Verbose mode"
+        rows.append((", ".join(sorted(a.upper() for a in apps)), description))
+    return rows
+
+
+def main() -> None:
+    print(format_table(["Application", "Customized ULMT algorithm"], run(),
+                       title="Table 5: customizations (Conven4 is also on)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,226 @@
+"""Shape validation: check every qualitative claim of the paper at once.
+
+Absolute numbers are not reproducible across a different substrate; the
+*shapes* are.  This module encodes each claim the paper's evaluation makes
+as a checkable predicate over the experiment results and prints a PASS/FAIL
+report — the programmatic backbone of EXPERIMENTS.md.
+
+Run with ``python -m repro.experiments.validate [--scale S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11
+from repro.experiments import table1, table3
+from repro.experiments.common import resolve_scale
+
+
+@dataclass
+class Claim:
+    """One testable statement from the paper."""
+
+    source: str
+    statement: str
+    passed: bool
+    measured: str
+
+
+def _fig7_claims(scale: float) -> list[Claim]:
+    result = fig7.run(scale=scale)
+    avg = result["avg_speedups"]
+    bars = result["bars"]
+
+    def app_speedup(app: str, config: str) -> float:
+        return next(b.speedup for b in bars[app] if b.config == config)
+
+    claims = [
+        Claim("Fig 7 / §5.2", "Repl outperforms Base and Chain on average",
+              avg["repl"] >= avg["chain"] - 0.02 >= avg["base"] - 0.04,
+              f"base={avg['base']:.2f} chain={avg['chain']:.2f} "
+              f"repl={avg['repl']:.2f}"),
+        Claim("Fig 7", "Repl delivers a clear average speedup (paper: 1.32)",
+              1.15 <= avg["repl"] <= 1.60, f"repl={avg['repl']:.2f}"),
+        Claim("Fig 7", "Conven4+Repl is at least as good as either alone "
+              "(paper: 1.46)",
+              avg["conven4+repl"] >= max(avg["repl"], avg["conven4"]) - 0.02,
+              f"conven4+repl={avg['conven4+repl']:.2f}"),
+        Claim("Fig 7 / Table 5", "Customisation raises the average further "
+              "(paper: 1.53)",
+              avg["custom"] >= avg["conven4+repl"] - 0.01,
+              f"custom={avg['custom']:.2f}"),
+        Claim("§5.2", "Conven4 is ineffective on the purely irregular "
+              "applications (Mcf, Tree)",
+              abs(app_speedup("mcf", "conven4") - 1.0) < 0.05
+              and abs(app_speedup("tree", "conven4") - 1.0) < 0.05,
+              f"mcf={app_speedup('mcf', 'conven4'):.2f} "
+              f"tree={app_speedup('tree', 'conven4'):.2f}"),
+        Claim("§5.2", "Conven4 performs well on CG (sequential patterns "
+              "dominate)",
+              app_speedup("cg", "conven4") > 1.3,
+              f"cg={app_speedup('cg', 'conven4'):.2f}"),
+        Claim("§5.2 / Fig 9", "The conflict-limited application (Sparse) is "
+              "among the smallest Repl speedups",
+              "sparse" in sorted(bars,
+                                 key=lambda a: app_speedup(a, "repl"))[:3],
+              "smallest: " + ", ".join(
+                  sorted(bars, key=lambda a: app_speedup(a, "repl"))[:3])),
+        Claim("§5.2 custom CG", "CG's Seq1+Repl-verbose customisation beats "
+              "plain Conven4+Repl",
+              app_speedup("cg", "custom")
+              >= app_speedup("cg", "conven4+repl") - 0.01,
+              f"custom={app_speedup('cg', 'custom'):.2f} vs "
+              f"c4+repl={app_speedup('cg', 'conven4+repl'):.2f}"),
+        Claim("§5.2 custom MST", "NumLevels=4 helps MST",
+              app_speedup("mst", "custom")
+              >= app_speedup("mst", "conven4+repl") - 0.01,
+              f"custom={app_speedup('mst', 'custom'):.2f}"),
+    ]
+    return claims
+
+
+def _fig5_claims(scale: float) -> list[Claim]:
+    result = fig5.run(scale=scale)
+    avg = result["averages"]
+    apps = result["apps"]
+    return [
+        Claim("Fig 5", "Pair-based level-1 prediction is high on average "
+              "(paper: Base 82%)",
+              avg["base"][0] > 0.55, f"base L1={avg['base'][0]:.2f}"),
+        Claim("Fig 5", "Repl keeps predicting across levels (paper: 77%/73%)",
+              avg["repl"][1] > 0.5 and avg["repl"][2] > 0.45,
+              f"repl L2={avg['repl'][1]:.2f} L3={avg['repl'][2]:.2f}"),
+        Claim("Fig 5", "Repl beats Chain at deeper levels (true MRU)",
+              avg["repl"][2] >= avg["chain"][2],
+              f"repl L3={avg['repl'][2]:.2f} chain L3={avg['chain'][2]:.2f}"),
+        Claim("Fig 5", "Sequential predictors see nothing on Mcf and Tree",
+              apps["mcf"]["seq4"].levels[0] < 0.1
+              and apps["tree"]["seq4"].levels[0] < 0.1,
+              f"mcf={apps['mcf']['seq4'].levels[0]:.2f} "
+              f"tree={apps['tree']['seq4'].levels[0]:.2f}"),
+        Claim("Fig 5", "Sequential prediction is near-perfect on CG",
+              apps["cg"]["seq4"].levels[0] > 0.9,
+              f"cg seq4 L1={apps['cg']['seq4'].levels[0]:.2f}"),
+    ]
+
+
+def _fig6_claims(scale: float) -> list[Claim]:
+    result = fig6.run(scale=scale)
+    avg = result["average"]
+    return [
+        Claim("Fig 6", "The [200,280) round-trip bin dominates on average "
+              "(paper: ~60%)",
+              avg[2] == max(avg), f"bins={tuple(round(f, 2) for f in avg)}"),
+    ]
+
+
+def _fig8_claims(scale: float) -> list[Claim]:
+    result = fig8.run(scale=scale)
+    dram = result["avg_speedups"]["conven4+repl"]
+    nb = result["avg_speedups"]["conven4+replMC"]
+    return [
+        Claim("Fig 8", "North Bridge placement loses only a little "
+              "(paper: 1.46 -> 1.41)",
+              nb >= dram - 0.12 and nb <= dram + 0.02,
+              f"dram={dram:.2f} nb={nb:.2f}"),
+    ]
+
+
+def _fig9_claims(scale: float) -> list[Claim]:
+    result = fig9.run(scale=scale, configs=("base", "repl"))
+    repl = result["groups"]["repl"]["avg-other-7"]
+    base = result["groups"]["base"]["avg-other-7"]
+    return [
+        Claim("Fig 9", "Repl's coverage well exceeds Base's (paper: 0.74 "
+              "vs ~0.15)",
+              repl.coverage > base.coverage + 0.1,
+              f"repl={repl.coverage:.2f} base={base.coverage:.2f}"),
+        Claim("Fig 9", "Repl's coverage comes with useless prefetches "
+              "(Replaced + Redundant)",
+              repl.replaced + repl.redundant > 0.05,
+              f"replaced+redundant={repl.replaced + repl.redundant:.2f}"),
+    ]
+
+
+def _fig10_claims(scale: float) -> list[Claim]:
+    bars = {b.config: b for b in fig10.run(scale=scale)}
+    return [
+        Claim("Fig 10", "Every occupancy is below 200 cycles (the Fig 6 "
+              "inter-miss budget)",
+              all(b.occupancy < 200 for b in bars.values()),
+              ", ".join(f"{c}={b.occupancy:.0f}" for c, b in bars.items())),
+        Claim("Fig 10", "Repl has the lowest response time (paper: ~30)",
+              bars["repl"].response <= min(b.response for b in bars.values()) + 1,
+              f"repl={bars['repl'].response:.0f}"),
+        Claim("Fig 10", "Chain's response is the highest of the three "
+              "algorithms",
+              bars["chain"].response >= max(bars["base"].response,
+                                            bars["repl"].response),
+              f"chain={bars['chain'].response:.0f}"),
+        Claim("Fig 10", "North Bridge placement roughly doubles Repl's "
+              "response",
+              1.3 * bars["repl"].response <= bars["replMC"].response
+              <= 3.5 * bars["repl"].response,
+              f"repl={bars['repl'].response:.0f} "
+              f"replMC={bars['replMC'].response:.0f}"),
+    ]
+
+
+def _fig11_claims(scale: float) -> list[Claim]:
+    bars = {b.config: b for b in fig11.run(scale=scale)}
+    worst = max(bars.values(), key=lambda b: b.utilization)
+    return [
+        Claim("Fig 11", "Bus utilisation stays tolerable (paper: <= ~36%)",
+              worst.utilization < 0.6,
+              f"worst={worst.utilization:.2f} ({worst.config})"),
+        Claim("Fig 11", "Only a small part is directly prefetch traffic "
+              "(paper: ~6%)",
+              worst.prefetch_part < 0.2,
+              f"prefetch-direct={worst.prefetch_part:.2f}"),
+    ]
+
+
+def _static_claims() -> list[Claim]:
+    return [
+        Claim("Table 1", "Generated algorithm traits match the paper",
+              table1.verify_against_paper(table1.run()), "see table1"),
+        Claim("Table 3", "Round-trip latencies match the paper exactly",
+              table3.verify_round_trips(), "208/243, 21/56, 65/100"),
+    ]
+
+
+SECTIONS: list[Callable[[float], list[Claim]]] = [
+    _fig7_claims, _fig5_claims, _fig6_claims, _fig8_claims,
+    _fig9_claims, _fig10_claims, _fig11_claims,
+]
+
+
+def run(scale: float | None = None) -> list[Claim]:
+    scale = resolve_scale(scale)
+    claims = _static_claims()
+    for section in SECTIONS:
+        claims.extend(section(scale))
+    return claims
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None)
+    args = parser.parse_args(argv)
+    claims = run(scale=args.scale)
+    failures = 0
+    for claim in claims:
+        status = "PASS" if claim.passed else "FAIL"
+        if not claim.passed:
+            failures += 1
+        print(f"[{status}] {claim.source:16s} {claim.statement}")
+        print(f"       measured: {claim.measured}")
+    print(f"\n{len(claims) - failures}/{len(claims)} claims reproduced")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

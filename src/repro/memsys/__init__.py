@@ -1,0 +1,37 @@
+"""Memory-system substrate: caches, MSHRs, DRAM, buses, and queues."""
+
+from repro.memsys.bus import Bus, BusStats
+from repro.memsys.cache import Cache, Eviction, Line
+from repro.memsys.controller import MemoryController
+from repro.memsys.dram import Dram, DramAccess
+from repro.memsys.l2 import DemandKind, DemandOutcome, L2Cache, L2Stats
+from repro.memsys.mshr import MshrEntry, MshrFile
+from repro.memsys.queues import (
+    ObservationQueue,
+    ObservedMiss,
+    PrefetchQueue,
+    PrefetchRequest,
+    WritebackQueue,
+)
+
+__all__ = [
+    "Bus",
+    "BusStats",
+    "Cache",
+    "Eviction",
+    "Line",
+    "MemoryController",
+    "Dram",
+    "DramAccess",
+    "DemandKind",
+    "DemandOutcome",
+    "L2Cache",
+    "L2Stats",
+    "MshrEntry",
+    "MshrFile",
+    "ObservationQueue",
+    "ObservedMiss",
+    "PrefetchQueue",
+    "PrefetchRequest",
+    "WritebackQueue",
+]

@@ -1,0 +1,131 @@
+"""Set-associative write-back cache model with LRU replacement.
+
+The model is *functional* (which lines are present) rather than cycle-timed;
+timing is layered on top by the processor / memory-controller models.  Each
+line carries the state bits the paper's evaluation needs:
+
+``dirty``
+    Set by stores; evicting a dirty line produces a write-back.
+``prefetched``
+    The line entered the cache through a prefetch rather than a demand miss.
+``referenced``
+    The line has been touched by a demand access since it was filled.  A
+    prefetched line that is evicted with ``referenced == False`` is counted
+    in the ``Replaced`` category of Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.params import CacheParams
+
+
+@dataclass
+class Line:
+    """State of one resident cache line."""
+
+    tag: int
+    dirty: bool = False
+    prefetched: bool = False
+    referenced: bool = False
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """Information about a line evicted to make room for a fill."""
+
+    line_addr: int
+    dirty: bool
+    prefetched: bool
+    referenced: bool
+
+
+class Cache:
+    """A set-associative cache operating on *line* addresses.
+
+    Callers convert byte addresses via :meth:`line_addr` once and use line
+    addresses afterwards; this keeps the L1 (32 B) and L2 (64 B) granularity
+    explicit at the call sites.
+    """
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self.num_sets = params.num_sets
+        if self.num_sets <= 0 or (self.num_sets & (self.num_sets - 1)) != 0:
+            raise ValueError(f"number of sets must be a power of two: {self.num_sets}")
+        # Python dicts preserve insertion order; each set maps tag -> Line
+        # with the most recently used tag re-inserted last.
+        self._sets: list[dict[int, Line]] = [{} for _ in range(self.num_sets)]
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_addr(self, byte_addr: int) -> int:
+        return byte_addr // self.params.line_bytes
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr & (self.num_sets - 1)
+
+    # -- functional interface ------------------------------------------------
+
+    def access(self, line_addr: int, is_write: bool = False) -> bool:
+        """Demand access.  Returns True on hit and updates LRU/state bits."""
+        cset = self._sets[self._set_index(line_addr)]
+        line = cset.pop(line_addr, None)
+        if line is None:
+            return False
+        line.referenced = True
+        if is_write:
+            line.dirty = True
+        cset[line_addr] = line  # re-insert as MRU
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check with no LRU or state side effects."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def fill(self, line_addr: int, dirty: bool = False,
+             prefetched: bool = False) -> Optional[Eviction]:
+        """Install a line, returning the eviction it caused, if any.
+
+        Filling a line that is already resident refreshes its LRU position
+        and merges the dirty bit but does not evict.
+        """
+        cset = self._sets[self._set_index(line_addr)]
+        existing = cset.pop(line_addr, None)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            cset[line_addr] = existing
+            return None
+        evicted = None
+        if len(cset) >= self.params.assoc:
+            victim_tag = next(iter(cset))  # LRU = oldest insertion
+            victim = cset.pop(victim_tag)
+            evicted = Eviction(victim_tag, victim.dirty,
+                               victim.prefetched, victim.referenced)
+        cset[line_addr] = Line(line_addr, dirty=dirty, prefetched=prefetched,
+                               referenced=not prefetched)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present.  Returns True if it was resident."""
+        cset = self._sets[self._set_index(line_addr)]
+        return cset.pop(line_addr, None) is not None
+
+    def peek(self, line_addr: int) -> Optional[Line]:
+        """Return the resident line's state without touching LRU."""
+        return self._sets[self._set_index(line_addr)].get(line_addr)
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> Iterator[int]:
+        for cset in self._sets:
+            yield from cset
+
+    def set_occupancy(self, line_addr: int) -> int:
+        """Number of resident lines in the set this address maps to."""
+        return len(self._sets[self._set_index(line_addr)])

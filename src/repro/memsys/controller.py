@@ -1,0 +1,106 @@
+"""Memory controller: glues the bus, the DRAM, and the memory processor path.
+
+The controller exposes exactly the timing questions the rest of the system
+asks:
+
+* ``demand_fetch``     — a main-processor L2 miss: when does the line arrive?
+* ``push_prefetch``    — a ULMT prefetch: when does the pushed line reach L2?
+* ``memproc_fetch``    — a memory-processor cache miss on the correlation
+  table: when is the table data available to the ULMT?
+* ``writeback``        — drain one dirty L2 victim.
+
+Latency composition is documented in :mod:`repro.params`; the unit tests
+assert that the contention-free round trips equal the paper's Table 3
+numbers (208/243, 21/56, 65/100 cycles).
+"""
+
+from __future__ import annotations
+
+from repro.memsys.bus import Bus
+from repro.memsys.dram import Dram
+from repro.params import MemoryParams, MemProcLocation
+
+#: Split of ``main_fixed`` (96 cycles, tSystem) around the bus address phase:
+#: request pipe + 4-cycle address phase + reply pipe = 40 + 4 + 52 = 96.
+_REQ_FIXED = 40
+_REPLY_FIXED = 52
+
+
+class MemoryController:
+    """Timing model of the North Bridge + DRAM subsystem."""
+
+    def __init__(self, params: MemoryParams | None = None,
+                 location: MemProcLocation = MemProcLocation.DRAM) -> None:
+        self.params = params or MemoryParams()
+        self.location = location
+        self.bus = Bus()
+        self.dram = Dram(self.params)
+        self.demand_fetches = 0
+        self.prefetch_pushes = 0
+        self.memproc_fetches = 0
+
+    # -- main processor demand path --------------------------------------------
+
+    def demand_fetch(self, byte_addr: int, now: int,
+                     low_priority: bool = False) -> int:
+        """Fetch a 64 B line for an L2 miss; returns its arrival time.
+
+        ``low_priority`` marks processor-side *prefetch* requests (they are
+        tagged, like the MIPS R10000 tags the paper cites): they use the
+        same path but yield to demand traffic on the bus and channels.
+        """
+        p = self.params
+        self.demand_fetches += 1
+        kind = "prefetch" if low_priority else "demand"
+        at_bus = now + _REQ_FIXED
+        at_controller = self.bus.schedule(at_bus, p.bus_request_cycles, kind)
+        access = self.dram.access(byte_addr, at_controller,
+                                  low_priority=low_priority)
+        bus_done = self.bus.schedule(access.data_ready,
+                                     p.bus_transfer_l2_line, kind)
+        return bus_done + _REPLY_FIXED
+
+    def writeback(self, byte_addr: int, now: int) -> int:
+        """Drain one dirty L2 line to memory; returns completion time."""
+        p = self.params
+        bus_done = self.bus.schedule(now, p.bus_transfer_l2_line, "writeback")
+        access = self.dram.access(byte_addr, bus_done, low_priority=True)
+        return access.data_ready
+
+    # -- prefetch push path -------------------------------------------------------
+
+    def push_prefetch(self, byte_addr: int, now: int) -> int:
+        """Push one prefetched line toward the L2; returns its arrival time.
+
+        When the memory processor sits in the North Bridge, its prefetch
+        request takes an extra 25 cycles to reach the DRAM (paper Table 3).
+        Memory-side prefetching adds only one-way (memory -> processor)
+        traffic on the main bus.
+        """
+        p = self.params
+        self.prefetch_pushes += 1
+        ready = now
+        if self.location is MemProcLocation.NORTH_BRIDGE:
+            ready += p.nb_prefetch_request_delay
+        access = self.dram.access(byte_addr, ready, low_priority=True)
+        bus_done = self.bus.schedule(access.data_ready,
+                                     p.bus_transfer_l2_line, "prefetch")
+        return bus_done + p.push_fixed
+
+    # -- memory-processor (ULMT table) path -----------------------------------------
+
+    def memproc_fetch(self, byte_addr: int, now: int) -> int:
+        """Fetch a 32 B memory-processor line (correlation-table miss)."""
+        p = self.params
+        self.memproc_fetches += 1
+        if self.location is MemProcLocation.DRAM:
+            access = self.dram.access_no_transfer(
+                byte_addr, now + p.memproc_dram_fixed)
+            return access.data_ready + p.memproc_dram_transfer
+        access = self.dram.access(byte_addr, now + p.memproc_nb_fixed,
+                                  transfer_cycles=p.channel_transfer_mp_line)
+        return access.data_ready
+
+    def memproc_round_trip(self, row_hit: bool) -> int:
+        """Contention-free round trip for the configured placement."""
+        return self.params.memproc_round_trip(self.location, row_hit)

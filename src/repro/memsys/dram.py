@@ -1,0 +1,139 @@
+"""Dual-channel banked DRAM timing model with open-row policy.
+
+Addresses are interleaved across channels and banks at line granularity so
+that sequential streams exploit both channels, matching the paper's
+dual-channel 3.2 GB/s organisation.  Each bank keeps its open row; a request
+to the open row pays the CAS-only service time (16 cycles) while a row miss
+pays RAS+CAS (51 cycles).  After bank service the line is moved over the
+bank's channel (64 cycles for a 64 B L2 line on a 2 B x 800 MHz channel).
+
+Contention is modelled with per-bank and per-channel ``busy_until`` horizons;
+requests must be presented in non-decreasing time order, which the
+event-driven system simulator guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import MemoryParams
+
+
+@dataclass(frozen=True)
+class DramAccess:
+    """Result of one DRAM access."""
+
+    data_ready: int     # time the line is available at the controller
+    row_hit: bool
+    channel: int
+    bank: int
+
+
+class _Bank:
+    __slots__ = ("busy_until", "open_row")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.open_row = -1
+
+
+class Dram:
+    """The DRAM array shared by demand, prefetch, and ULMT-table traffic."""
+
+    def __init__(self, params: MemoryParams) -> None:
+        self.params = params
+        # Two priority lanes per channel, mirroring the bus: demand data
+        # movement is never delayed by prefetch transfers (queue 3 has
+        # lower priority than queue 1), while bank occupancy stays shared
+        # because an activated row cannot be preempted.
+        self._demand_busy = [0] * params.num_channels
+        self._low_busy = [0] * params.num_channels
+        self._banks = [[_Bank() for _ in range(params.banks_per_channel)]
+                       for _ in range(params.num_channels)]
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # -- address mapping ------------------------------------------------------
+
+    def map_address(self, byte_addr: int) -> tuple[int, int, int]:
+        """Return (channel, bank, row) for a byte address.
+
+        Channel interleaving is at 64 B granularity, bank interleaving at row
+        (4 KB) granularity, so a sequential stream alternates channels while
+        staying in one open row per bank.
+        """
+        p = self.params
+        line = byte_addr // 64
+        channel = line % p.num_channels
+        row_id = byte_addr // p.row_bytes
+        bank = (row_id // p.num_channels) % p.banks_per_channel
+        row = row_id // (p.num_channels * p.banks_per_channel)
+        return channel, bank, row
+
+    # -- timing ----------------------------------------------------------------
+
+    def access(self, byte_addr: int, ready_time: int,
+               transfer_cycles: int | None = None,
+               low_priority: bool = False) -> DramAccess:
+        """Service one line request arriving at the controller at ``ready_time``.
+
+        ``transfer_cycles`` is the channel occupancy of the data movement
+        (defaults to a full 64 B L2 line); the memory processor's 32 B lines
+        pass ``channel_transfer_mp_line`` instead.  ``low_priority`` puts
+        the channel transfer in the prefetch/write-back lane.
+        """
+        p = self.params
+        if transfer_cycles is None:
+            transfer_cycles = p.channel_transfer_l2_line
+        channel, bank_idx, row = self.map_address(byte_addr)
+        bank = self._banks[channel][bank_idx]
+
+        start = max(ready_time, bank.busy_until)
+        row_hit = bank.open_row == row
+        service = (p.bank_service_row_hit if row_hit
+                   else p.bank_service_row_miss)
+        bank_done = start + service
+        bank.busy_until = bank_done
+        bank.open_row = row
+        if row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+
+        if low_priority:
+            xfer_start = max(bank_done, self._demand_busy[channel],
+                             self._low_busy[channel])
+            data_ready = xfer_start + transfer_cycles
+            self._low_busy[channel] = data_ready
+        else:
+            xfer_start = max(bank_done, self._demand_busy[channel])
+            data_ready = xfer_start + transfer_cycles
+            self._demand_busy[channel] = data_ready
+        return DramAccess(data_ready, row_hit, channel, bank_idx)
+
+    def access_no_transfer(self, byte_addr: int, ready_time: int) -> DramAccess:
+        """Bank access with negligible data movement (in-DRAM memory processor).
+
+        The in-DRAM memory processor reads over a 32 B-wide internal bus, so
+        the transfer is not a contended channel resource; only the fixed
+        ``memproc_dram_transfer`` latency applies (added by the caller).
+        """
+        p = self.params
+        channel, bank_idx, row = self.map_address(byte_addr)
+        bank = self._banks[channel][bank_idx]
+        start = max(ready_time, bank.busy_until)
+        row_hit = bank.open_row == row
+        service = (p.bank_service_row_hit if row_hit
+                   else p.bank_service_row_miss)
+        bank.busy_until = start + service
+        bank.open_row = row
+        if row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+        return DramAccess(start + service, row_hit, channel, bank_idx)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,262 @@
+"""The main processor's L2 cache with support for pushed prefetches.
+
+Section 2.1 of the paper lists the only hardware changes the scheme needs on
+the processor side, all in the L2 controller:
+
+1. The L2 accepts lines from memory that it has not requested, using a free
+   MSHR for the fill.
+2. If a pending demand request exists for the address of an arriving
+   prefetched line, the prefetch *steals* the MSHR and acts as the reply.
+3. An arriving prefetched line is dropped when: the cache already holds the
+   line, the write-back queue holds the line, all MSHRs are busy, or every
+   line in the target set is in transaction-pending state.
+
+The cache is functional; timing lives in the memory-controller and processor
+models.  This module also owns the miss/prefetch classification counters of
+Figure 9 (Hits, DelayedHits, NonPrefMisses, Replaced, Redundant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.memsys.cache import Cache
+from repro.memsys.mshr import MshrFile
+from repro.memsys.queues import WritebackQueue
+from repro.params import CacheParams
+
+
+class DemandKind(Enum):
+    """Outcome of a demand lookup."""
+
+    HIT = "hit"
+    PENDING = "pending"          # merged into an outstanding MSHR
+    MISS = "miss"                # caller must fetch from memory
+    MISS_MSHR_FULL = "mshr_full"  # miss but no MSHR free: retry after retire
+
+
+@dataclass(frozen=True)
+class DemandOutcome:
+    kind: DemandKind
+    #: For HIT: True when this is the first demand touch of a prefetched
+    #: line (a fully eliminated miss — the ``Hits`` category of Figure 9).
+    prefetch_first_touch: bool = False
+    #: For PENDING: when the outstanding transaction completes.
+    completion_time: int = 0
+    #: For PENDING: the outstanding transaction is a prefetch (so the wait,
+    #: if any, is a ``DelayedHit``).
+    pending_is_prefetch: bool = False
+    #: For MISS_MSHR_FULL: earliest time an MSHR frees up.
+    earliest_free: int = 0
+
+
+@dataclass
+class L2Stats:
+    """Figure 9 classification plus auxiliary counters."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    prefetch_hits: int = 0           # Hits: miss fully eliminated by prefetch
+    delayed_hits: int = 0            # DelayedHits: partial latency eliminated
+    nonpref_misses: int = 0          # misses paying the full latency
+    replaced_prefetches: int = 0     # prefetched, evicted before any use
+    redundant_prefetches: int = 0    # dropped: line already in cache
+    dropped_writeback_match: int = 0
+    dropped_mshr_full: int = 0
+    dropped_set_pending: int = 0
+    accepted_prefetches: int = 0
+    writebacks: int = 0
+    #: misses that found an in-flight prefetch and waited only for it.
+    merged_with_prefetch: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_prefetches_arrived(self) -> int:
+        return (self.accepted_prefetches + self.redundant_prefetches
+                + self.dropped_writeback_match + self.dropped_mshr_full
+                + self.dropped_set_pending)
+
+    @property
+    def original_misses_equivalent(self) -> int:
+        """Misses there would have been without prefetching ~= eliminated +
+        remaining (the ``1.0`` normalisation line of Figure 9)."""
+        return self.prefetch_hits + self.delayed_hits + self.nonpref_misses
+
+    def coverage(self) -> float:
+        """Fraction of original misses fully or partially eliminated."""
+        denom = self.original_misses_equivalent
+        if denom == 0:
+            return 0.0
+        return (self.prefetch_hits + self.delayed_hits) / denom
+
+
+class L2Cache:
+    """Functional L2 with MSHRs, a write-back queue, and push support."""
+
+    def __init__(self, params: CacheParams, mshr_capacity: int = 8,
+                 writeback_depth: int = 8) -> None:
+        self.params = params
+        self.cache = Cache(params)
+        self.mshrs = MshrFile(mshr_capacity)
+        self.writeback_queue = WritebackQueue(writeback_depth)
+        self.stats = L2Stats()
+        self._pending_is_write: dict[int, bool] = {}
+
+    # -- demand path ----------------------------------------------------------
+
+    def demand_lookup(self, line_addr: int, is_write: bool, now: int) -> DemandOutcome:
+        """Look up a demand access (an L1 miss reaching the L2)."""
+        self.retire(now)
+        self.stats.demand_accesses += 1
+
+        line = self.cache.peek(line_addr)
+        if line is not None:
+            first_touch = line.prefetched and not line.referenced
+            if first_touch:
+                self.stats.prefetch_hits += 1
+            self.stats.demand_hits += 1
+            self.cache.access(line_addr, is_write)
+            return DemandOutcome(DemandKind.HIT, prefetch_first_touch=first_touch)
+
+        entry = self.mshrs.lookup(line_addr)
+        if entry is not None:
+            if entry.is_prefetch:
+                # The in-flight prefetch becomes the reply for this demand
+                # miss: the processor waits only until the prefetch arrives.
+                self.stats.merged_with_prefetch += 1
+                if entry.completion_time > now:
+                    self.stats.delayed_hits += 1
+                else:
+                    self.stats.prefetch_hits += 1
+            if is_write:
+                self._pending_is_write[line_addr] = True
+            return DemandOutcome(DemandKind.PENDING,
+                                 completion_time=entry.completion_time,
+                                 pending_is_prefetch=entry.is_prefetch)
+
+        if self.mshrs.full:
+            earliest = min(e.completion_time for e in self.mshrs.outstanding())
+            return DemandOutcome(DemandKind.MISS_MSHR_FULL, earliest_free=earliest)
+
+        return DemandOutcome(DemandKind.MISS)
+
+    def register_demand_miss(self, line_addr: int, is_write: bool,
+                             now: int, completion_time: int) -> None:
+        """Record a demand miss that was sent to memory."""
+        self.stats.nonpref_misses += 1
+        self.mshrs.allocate(line_addr, is_prefetch=False,
+                            issue_time=now, completion_time=completion_time)
+        self._pending_is_write[line_addr] = is_write
+        # A queued write-back for the same line is superseded by the refetch.
+        self.writeback_queue.remove(line_addr)
+
+    # -- push-prefetch path -----------------------------------------------------
+
+    def accept_prefetch(self, line_addr: int, now: int) -> str:
+        """Handle a pushed prefetch line arriving from memory.
+
+        Returns one of ``"redundant"``, ``"writeback_match"``, ``"steal"``,
+        ``"mshr_full"``, ``"set_pending"``, or ``"filled"``.
+        """
+        self.retire(now)
+
+        if self.cache.contains(line_addr):
+            self.stats.redundant_prefetches += 1
+            return "redundant"
+        if self.writeback_queue.contains(line_addr):
+            self.stats.dropped_writeback_match += 1
+            return "writeback_match"
+
+        entry = self.mshrs.lookup(line_addr)
+        if entry is not None:
+            # Steal the MSHR: the prefetched line is treated as the reply to
+            # the outstanding transaction, completing it now.
+            entry_was_prefetch = entry.is_prefetch
+            self.mshrs.free(line_addr)
+            dirty = self._pending_is_write.pop(line_addr, False)
+            self._fill(line_addr, dirty=dirty,
+                       prefetched=entry_was_prefetch, now=now)
+            return "steal"
+
+        if self.mshrs.full:
+            self.stats.dropped_mshr_full += 1
+            return "mshr_full"
+        if self._set_transaction_pending(line_addr):
+            self.stats.dropped_set_pending += 1
+            return "set_pending"
+
+        self.stats.accepted_prefetches += 1
+        self._fill(line_addr, dirty=False, prefetched=True, now=now)
+        return "filled"
+
+    def register_prefetch_inflight(self, line_addr: int, now: int,
+                                   completion_time: int) -> bool:
+        """Allocate an MSHR for a prefetch travelling from memory.
+
+        Modelling note: the real hardware allocates the MSHR when the line
+        *arrives*; tracking it from issue lets a later demand miss merge with
+        the in-flight prefetch (the DelayedHits of Figure 9).  Returns False
+        when no MSHR is free or the address already has one.
+        """
+        self.retire(now)
+        if self.mshrs.lookup(line_addr) is not None or self.mshrs.full:
+            return False
+        self.mshrs.allocate(line_addr, is_prefetch=True,
+                            issue_time=now, completion_time=completion_time)
+        return True
+
+    def fill_demand_merged(self, line_addr: int, now: int,
+                           dirty: bool = False) -> Optional[int]:
+        """Install a pushed line that a demand miss already consumed in
+        flight (the DelayedHit merge path): it fills as a referenced demand
+        line, not as an unreferenced prefetch."""
+        self.retire(now)
+        if self.cache.contains(line_addr):
+            return None
+        return self._fill(line_addr, dirty=dirty, prefetched=False, now=now)
+
+    # -- completion -----------------------------------------------------------
+
+    def retire(self, now: int) -> list[int]:
+        """Complete finished transactions; returns write-backs to drain."""
+        writebacks: list[int] = []
+        for entry in self.mshrs.retire_completed(now):
+            dirty = self._pending_is_write.pop(entry.line_addr, False)
+            wb = self._fill(entry.line_addr, dirty=dirty,
+                            prefetched=entry.is_prefetch, now=now)
+            if wb is not None:
+                writebacks.append(wb)
+        return writebacks
+
+    def flush_writebacks(self) -> list[int]:
+        """Drain the whole write-back queue (end of simulation)."""
+        drained = self.writeback_queue.drain_all()
+        self.stats.writebacks += len(drained)
+        return drained
+
+    # -- internals --------------------------------------------------------------
+
+    def _fill(self, line_addr: int, dirty: bool, prefetched: bool,
+              now: int) -> Optional[int]:
+        evicted = self.cache.fill(line_addr, dirty=dirty, prefetched=prefetched)
+        if evicted is None:
+            return None
+        if evicted.prefetched and not evicted.referenced:
+            self.stats.replaced_prefetches += 1
+        if evicted.dirty:
+            drained = self.writeback_queue.push(evicted.line_addr)
+            if drained is not None:
+                self.stats.writebacks += 1
+                return drained
+        return None
+
+    def _set_transaction_pending(self, line_addr: int) -> bool:
+        """True when every way of the target set has a pending transaction."""
+        set_mask = self.cache.num_sets - 1
+        target = line_addr & set_mask
+        pending = sum(1 for e in self.mshrs.outstanding()
+                      if (e.line_addr & set_mask) == target)
+        return pending >= self.params.assoc

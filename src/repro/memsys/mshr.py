@@ -1,0 +1,75 @@
+"""Miss Status Handling Registers.
+
+The L2 cache uses MSHRs both for its own demand misses and — per Section 2.1
+of the paper — to accept *pushed* prefetch lines it never requested: a free
+MSHR is allocated when an unrequested line arrives, and a prefetched line
+arriving for an address with a pending demand request "steals" that MSHR and
+acts as the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding transaction."""
+
+    line_addr: int
+    is_prefetch: bool
+    issue_time: int
+    completion_time: int
+
+
+class MshrFile:
+    """A fixed-capacity pool of MSHR entries keyed by line address."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"MSHR capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: dict[int, MshrEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_addr)
+
+    def allocate(self, line_addr: int, is_prefetch: bool,
+                 issue_time: int, completion_time: int) -> Optional[MshrEntry]:
+        """Allocate an entry; returns None when the file is full.
+
+        Allocating for an address that already has an entry is a caller bug
+        (the caller must check :meth:`lookup` first) and raises.
+        """
+        if line_addr in self._entries:
+            raise ValueError(f"MSHR already allocated for line {line_addr:#x}")
+        if self.full:
+            return None
+        entry = MshrEntry(line_addr, is_prefetch, issue_time, completion_time)
+        self._entries[line_addr] = entry
+        return entry
+
+    def free(self, line_addr: int) -> MshrEntry:
+        """Release the entry for ``line_addr`` (it must exist)."""
+        entry = self._entries.pop(line_addr, None)
+        if entry is None:
+            raise KeyError(f"no MSHR for line {line_addr:#x}")
+        return entry
+
+    def retire_completed(self, now: int) -> list[MshrEntry]:
+        """Free and return all entries whose transaction has completed."""
+        done = [e for e in self._entries.values() if e.completion_time <= now]
+        for entry in done:
+            del self._entries[entry.line_addr]
+        return done
+
+    def outstanding(self) -> list[MshrEntry]:
+        return list(self._entries.values())

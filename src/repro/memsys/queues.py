@@ -1,0 +1,172 @@
+"""Queues 1-3 of the paper's Figure 3 micro-architecture.
+
+Queue 1 (demand requests to memory) is implicit in our event-driven model:
+demand misses are presented to the DRAM/bus models in time order, which is
+equivalent to a FIFO of higher priority than prefetches.  The two queues with
+interesting semantics are modelled explicitly:
+
+* **Queue 2** — the observation queue feeding the ULMT.  Miss addresses are
+  deposited here; when the ULMT is still busy with earlier misses and the
+  queue is full, new entries are simply dropped (paper Section 3.2).
+* **Queue 3** — prefetch addresses produced by the ULMT, waiting to access
+  memory at lower priority.
+
+Cross-matching (paper Section 3.2): when an address is pushed to queue 3 and
+the same address sits in queue 2, both entries are removed — the prefetch is
+redundant and processing the miss would waste ULMT occupancy.  Conversely,
+when a main-processor miss arrives and the same address sits in queue 3, the
+queue-3 entry is removed (the demand fetch supersedes the prefetch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObservedMiss:
+    """An entry of queue 2: one L2 miss (or, in Verbose mode, one
+    processor-side prefetch request) observed by the memory processor."""
+
+    line_addr: int
+    arrival_time: int
+    is_processor_prefetch: bool = False
+
+
+class ObservationQueue:
+    """Queue 2: bounded FIFO of misses awaiting the ULMT."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError(f"queue depth must be positive: {depth}")
+        self.depth = depth
+        self._fifo: deque[ObservedMiss] = deque()
+        self.dropped_overflow = 0
+        self.dropped_matched = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    def push(self, miss: ObservedMiss) -> bool:
+        """Deposit an observed miss; returns False when dropped on overflow."""
+        if self.full:
+            self.dropped_overflow += 1
+            return False
+        self._fifo.append(miss)
+        return True
+
+    def pop(self) -> Optional[ObservedMiss]:
+        return self._fifo.popleft() if self._fifo else None
+
+    def peek(self) -> Optional[ObservedMiss]:
+        return self._fifo[0] if self._fifo else None
+
+    def remove_address(self, line_addr: int) -> bool:
+        """Cross-match removal: drop the entry for ``line_addr`` if queued."""
+        for entry in self._fifo:
+            if entry.line_addr == line_addr:
+                self._fifo.remove(entry)
+                self.dropped_matched += 1
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """An entry of queue 3: one line the ULMT wants pushed to the L2."""
+
+    line_addr: int
+    issue_time: int
+
+
+class PrefetchQueue:
+    """Queue 3: bounded FIFO of prefetch requests awaiting memory access."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError(f"queue depth must be positive: {depth}")
+        self.depth = depth
+        self._fifo: deque[PrefetchRequest] = deque()
+        self.dropped_overflow = 0
+        self.cancelled_by_demand = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    def push(self, request: PrefetchRequest) -> bool:
+        """Enqueue a prefetch; returns False when dropped on overflow."""
+        if self.full:
+            self.dropped_overflow += 1
+            return False
+        self._fifo.append(request)
+        return True
+
+    def pop(self) -> Optional[PrefetchRequest]:
+        return self._fifo.popleft() if self._fifo else None
+
+    def push_front(self, request: PrefetchRequest) -> None:
+        """Return a popped entry to the head (it was not due yet)."""
+        self._fifo.appendleft(request)
+
+    def contains(self, line_addr: int) -> bool:
+        return any(e.line_addr == line_addr for e in self._fifo)
+
+    def cancel_address(self, line_addr: int) -> bool:
+        """Remove the request for ``line_addr`` (a demand miss superseded it)."""
+        for entry in self._fifo:
+            if entry.line_addr == line_addr:
+                self._fifo.remove(entry)
+                self.cancelled_by_demand += 1
+                return True
+        return False
+
+
+class WritebackQueue:
+    """The L2's write-back queue.
+
+    Dirty victims wait here before draining to memory; a pushed prefetch whose
+    address matches a queued write-back is dropped (drop rule 2 of Section
+    2.1).  Entries are drained oldest-first whenever the queue grows beyond
+    its depth, each drain scheduling one bus write-back transfer.
+    """
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth <= 0:
+            raise ValueError(f"queue depth must be positive: {depth}")
+        self.depth = depth
+        self._fifo: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def push(self, line_addr: int) -> Optional[int]:
+        """Add a dirty victim; returns a line address to drain now, if any."""
+        self._fifo.append(line_addr)
+        if len(self._fifo) > self.depth:
+            return self._fifo.popleft()
+        return None
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._fifo
+
+    def remove(self, line_addr: int) -> bool:
+        try:
+            self._fifo.remove(line_addr)
+        except ValueError:
+            return False
+        return True
+
+    def drain_all(self) -> list[int]:
+        drained = list(self._fifo)
+        self._fifo.clear()
+        return drained

@@ -1,0 +1,221 @@
+"""Architecture and algorithm parameters from the ISCA 2002 ULMT paper.
+
+This module encodes Table 3 (simulated architecture) and Table 4 (prefetch
+algorithm parameters) of the paper as frozen dataclasses, plus the latency
+decomposition used by the timing model.
+
+All latencies are expressed in 1.6 GHz main-processor cycles, exactly as the
+paper reports them.  The paper gives end-to-end round trips; the timing model
+needs per-resource components (bank service, channel transfer, bus transfer,
+fixed pipe delay).  The decomposition below is calibrated so that the
+contention-free round trips reproduce the paper's numbers exactly:
+
+  main processor L2 miss:   96 + 16 + 64 + 32 = 208   (row hit)
+                            96 + 51 + 64 + 32 = 243   (row miss)
+  memory proc in DRAM:       3 + 16 +  2      =  21   (row hit)
+                             3 + 51 +  2      =  56   (row miss)
+  memory proc in N.Bridge:  17 + 16 + 32      =  65   (row hit)
+                            17 + 51 + 32      = 100   (row miss)
+
+where 96 cycles is the paper's tSystem (60 ns), the 16/51 cycle bank service
+corresponds to CAS-only vs. RAS+CAS access, 64 cycles moves a 64 B line over
+one 2 B x 800 MHz DRAM channel, and 32 cycles moves it over the 8 B x 400 MHz
+memory bus (or a 32 B memory-processor line over a DRAM channel).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MemProcLocation(Enum):
+    """Where the memory processor lives (Figure 3 of the paper)."""
+
+    DRAM = "dram"
+    NORTH_BRIDGE = "north_bridge"
+
+
+# ---------------------------------------------------------------------------
+# Table 3: processor parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MainProcessorParams:
+    """6-issue dynamic superscalar at 1.6 GHz (paper Table 3)."""
+
+    issue_width: int = 6
+    frequency_ghz: float = 1.6
+    int_fus: int = 4
+    fp_fus: int = 4
+    ldst_fus: int = 2
+    pending_loads: int = 8
+    pending_stores: int = 16
+    branch_penalty: int = 12
+    #: Reorder-buffer run-ahead limit expressed in trace references: the
+    #: core cannot issue more than this many references past the oldest
+    #: outstanding load miss (each trace reference stands for roughly six
+    #: to eight instructions, so 8 references approximate a 50-64 entry
+    #: instruction window).  This bounds the memory-level parallelism of
+    #: independent misses, which is what makes prefetching — whose requests
+    #: are not ROB-bound — valuable on streaming code.
+    rob_refs: int = 8
+
+
+@dataclass(frozen=True)
+class MemProcessorParams:
+    """2-issue dynamic core at 800 MHz in the memory system (paper Table 3)."""
+
+    issue_width: int = 2
+    frequency_ghz: float = 0.8
+    int_fus: int = 2
+    fp_fus: int = 0
+    ldst_fus: int = 1
+    pending_loads: int = 4
+    pending_stores: int = 4
+    branch_penalty: int = 6
+
+    @property
+    def cycles_per_main_cycle(self) -> int:
+        """Main-processor cycles per memory-processor cycle (1.6/0.8 = 2)."""
+        return 2
+
+
+# ---------------------------------------------------------------------------
+# Table 3: cache parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and hit time of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    hit_cycles: int
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+#: Main processor L1 data cache: write-back, 16 KB, 2-way, 32 B, 3-cycle RT.
+MAIN_L1 = CacheParams(size_bytes=16 * 1024, assoc=2, line_bytes=32, hit_cycles=3)
+
+#: Main processor L2 data cache: write-back, 512 KB, 4-way, 64 B, 19-cycle RT.
+MAIN_L2 = CacheParams(size_bytes=512 * 1024, assoc=4, line_bytes=64, hit_cycles=19)
+
+#: Memory processor L1: write-back, 32 KB, 2-way, 32 B, 4-cycle RT.
+MEMPROC_L1 = CacheParams(size_bytes=32 * 1024, assoc=2, line_bytes=32, hit_cycles=4)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: memory-system latency decomposition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Latency/bandwidth parameters of the DRAM system and memory bus.
+
+    The round-trip identities documented in the module docstring are asserted
+    by the unit tests (``tests/test_params.py``).
+    """
+
+    # Per-resource components (1.6 GHz cycles).
+    bank_service_row_hit: int = 16
+    bank_service_row_miss: int = 51
+    channel_transfer_l2_line: int = 64   # 64 B over a 2 B x 800 MHz channel
+    channel_transfer_mp_line: int = 32   # 32 B memory-processor line
+    bus_transfer_l2_line: int = 32       # 64 B over the 8 B x 400 MHz bus
+    bus_request_cycles: int = 4          # address phase on the memory bus
+
+    # Fixed pipe delays (everything not modelled as a contended resource).
+    main_fixed: int = 96                 # tSystem = 60 ns, both directions
+    memproc_dram_fixed: int = 3
+    memproc_dram_transfer: int = 2       # 32 B over the 32 B internal bus
+    memproc_nb_fixed: int = 17
+    nb_prefetch_request_delay: int = 25  # prefetch request NB -> DRAM
+
+    # One-way delay for a pushed prefetch line travelling to the L2 after it
+    # leaves the DRAM bank (controller + bus + L2 fill).
+    push_fixed: int = 48
+
+    # Organisation.
+    num_channels: int = 2
+    banks_per_channel: int = 8
+    row_bytes: int = 4096
+
+    def main_round_trip(self, row_hit: bool) -> int:
+        """Contention-free L2-miss round trip seen by the main processor."""
+        bank = self.bank_service_row_hit if row_hit else self.bank_service_row_miss
+        return (self.main_fixed + bank + self.channel_transfer_l2_line
+                + self.bus_transfer_l2_line)
+
+    def memproc_round_trip(self, location: MemProcLocation, row_hit: bool) -> int:
+        """Contention-free memory round trip seen by the memory processor."""
+        bank = self.bank_service_row_hit if row_hit else self.bank_service_row_miss
+        if location is MemProcLocation.DRAM:
+            return self.memproc_dram_fixed + bank + self.memproc_dram_transfer
+        return self.memproc_nb_fixed + bank + self.channel_transfer_mp_line
+
+
+# ---------------------------------------------------------------------------
+# Table 3: queues and filter
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueueParams:
+    """Depth of queues 1 through 6 and the Filter module (paper Table 3)."""
+
+    queue_depth: int = 16
+    filter_entries: int = 32
+
+
+# ---------------------------------------------------------------------------
+# Table 4: prefetch algorithm parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorrelationParams:
+    """Parameters of a pair-based correlation prefetcher."""
+
+    num_succ: int = 2
+    assoc: int = 2
+    num_levels: int = 3
+    num_rows: int = 64 * 1024
+
+    def replaced(self, **changes) -> "CorrelationParams":
+        """Return a copy with some fields changed (customisation hook)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SequentialParams:
+    """Parameters of a sequential (stream) prefetcher."""
+
+    num_seq: int = 4
+    num_pref: int = 6
+
+
+#: Table 4 defaults, keyed by the names the paper uses.
+BASE_PARAMS = CorrelationParams(num_succ=4, assoc=4, num_levels=1)
+CHAIN_PARAMS = CorrelationParams(num_succ=2, assoc=2, num_levels=3)
+REPL_PARAMS = CorrelationParams(num_succ=2, assoc=2, num_levels=3)
+SEQ1_PARAMS = SequentialParams(num_seq=1, num_pref=6)
+SEQ4_PARAMS = SequentialParams(num_seq=4, num_pref=6)
+CONVEN4_PARAMS = SequentialParams(num_seq=4, num_pref=6)
+
+#: Row sizes in bytes on a 32-bit machine (paper Section 4): used by the
+#: Table 2 reproduction to convert NumRows into megabytes.
+ROW_BYTES = {"base": 20, "chain": 12, "repl": 28}
+
+MAIN_PROC = MainProcessorParams()
+MEM_PROC = MemProcessorParams()
+MEMORY = MemoryParams()
+QUEUES = QueueParams()

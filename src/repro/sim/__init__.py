@@ -1,0 +1,34 @@
+"""System simulation: configuration, wiring, statistics, drivers."""
+
+from repro.sim.config import PRESETS, SystemConfig, custom_config, preset
+from repro.sim.driver import (
+    arithmetic_mean,
+    geometric_mean,
+    run_matrix,
+    run_simulation,
+)
+from repro.sim.stats import (
+    MISS_DISTANCE_BINS,
+    MISS_DISTANCE_LABELS,
+    SimResult,
+    UlmtTimingStats,
+    distance_bin,
+)
+from repro.sim.system import System
+
+__all__ = [
+    "PRESETS",
+    "SystemConfig",
+    "custom_config",
+    "preset",
+    "arithmetic_mean",
+    "geometric_mean",
+    "run_matrix",
+    "run_simulation",
+    "MISS_DISTANCE_BINS",
+    "MISS_DISTANCE_LABELS",
+    "SimResult",
+    "UlmtTimingStats",
+    "distance_bin",
+    "System",
+]

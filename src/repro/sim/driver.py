@@ -1,0 +1,111 @@
+"""Top-level entry points: run one simulation or an evaluation matrix."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.config import SystemConfig, custom_config, preset
+from repro.sim.stats import SimResult
+from repro.sim.system import System
+from repro.workloads.registry import get_trace, list_workloads
+from repro.workloads.trace import Trace
+
+
+def run_simulation(workload: str | Trace,
+                   config: str | SystemConfig = "nopref",
+                   scale: float = 1.0) -> SimResult:
+    """Simulate one application under one system configuration.
+
+    ``workload`` is an application name from
+    :func:`repro.workloads.list_workloads` or an explicit :class:`Trace`;
+    ``config`` is a preset name from :mod:`repro.sim.config` (or ``custom``
+    for the per-application Table 5 customisation) or a full
+    :class:`SystemConfig`.
+    """
+    if isinstance(workload, Trace):
+        trace = workload
+        app_name = trace.name or "trace"
+    else:
+        trace = get_trace(workload, scale=scale)
+        app_name = workload
+    if isinstance(config, str):
+        config = (custom_config(app_name) if config == "custom"
+                  else preset(config))
+    system = System(config)
+    return system.run(trace)
+
+
+def run_matrix(workloads: Iterable[str] | None = None,
+               configs: Iterable[str | SystemConfig] = ("nopref",),
+               scale: float = 1.0) -> Mapping[tuple[str, str], SimResult]:
+    """Run every (workload, config) pair; keys are (app, config-name)."""
+    results: dict[tuple[str, str], SimResult] = {}
+    for app in (workloads or list_workloads()):
+        for config in configs:
+            result = run_simulation(app, config, scale=scale)
+            results[(app, result.config_name)] = result
+    return results
+
+
+def run_seeds(workload: str, config: str | SystemConfig,
+              seeds: Iterable[int], scale: float = 1.0,
+              baseline_config: str | SystemConfig = "nopref"
+              ) -> "SeedStudy":
+    """Robustness check: the same experiment over multiple workload seeds.
+
+    Each seed regenerates the workload trace (different heap layouts and
+    random structure, same algorithmic shape) and measures the speedup of
+    ``config`` over ``baseline_config``.  Returns mean and spread — used
+    to confirm that the reproduced shapes are not artifacts of one layout.
+    """
+    speedups = []
+    for seed in seeds:
+        trace = get_trace(workload, scale=scale, seed=seed, cache=False)
+        base = run_simulation(trace, baseline_config)
+        result = run_simulation(trace, config)
+        speedups.append(base.execution_time / result.execution_time)
+    return SeedStudy(workload=workload, speedups=speedups)
+
+
+class SeedStudy:
+    """Outcome of :func:`run_seeds`."""
+
+    def __init__(self, workload: str, speedups: list[float]) -> None:
+        if not speedups:
+            raise ValueError("seed study needs at least one seed")
+        self.workload = workload
+        self.speedups = speedups
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups)
+
+    @property
+    def spread(self) -> float:
+        """Max - min speedup across seeds."""
+        return max(self.speedups) - min(self.speedups)
+
+    def __repr__(self) -> str:
+        return (f"SeedStudy({self.workload}: mean={self.mean:.2f}, "
+                f"spread={self.spread:.2f}, n={len(self.speedups)})")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (speedup aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values: {v}")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper averages application speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,120 @@
+"""Aggregated simulation results.
+
+:class:`SimResult` collects everything a single run produces, with derived
+metrics named after the paper's figures: the execution-time breakdown of
+Figure 7, the miss/prefetch classification of Figure 9, the ULMT
+response/occupancy/IPC of Figure 10, the bus utilisation of Figure 11, and
+the inter-miss-distance histogram of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.processor import ProcessorStats
+from repro.memsys.bus import BusStats
+from repro.memsys.l2 import L2Stats
+from repro.core.ulmt import UlmtStats
+
+#: Figure 6 bin edges (1.6 GHz cycles); the last bin is open-ended.
+MISS_DISTANCE_BINS = (0, 80, 200, 280)
+MISS_DISTANCE_LABELS = ("[0,80)", "[80,200)", "[200,280)", "[280,Inf)")
+
+
+def distance_bin(distance: int) -> int:
+    """Index of the Figure 6 bin a miss distance falls into."""
+    if distance < 80:
+        return 0
+    if distance < 200:
+        return 1
+    if distance < 280:
+        return 2
+    return 3
+
+
+@dataclass
+class UlmtTimingStats:
+    """Figure 10 quantities (main-processor cycles)."""
+
+    avg_response: float = 0.0
+    avg_occupancy: float = 0.0
+    response_busy: float = 0.0
+    response_mem: float = 0.0
+    occupancy_busy: float = 0.0
+    occupancy_mem: float = 0.0
+    ipc: float = 0.0
+    observations: int = 0
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced."""
+
+    workload: str
+    config_name: str
+    processor: ProcessorStats
+    l2: L2Stats
+    bus: BusStats
+    ulmt: Optional[UlmtStats] = None
+    ulmt_timing: Optional[UlmtTimingStats] = None
+    miss_distance_counts: tuple[int, int, int, int] = (0, 0, 0, 0)
+    demand_misses_to_memory: int = 0
+    prefetches_issued_to_memory: int = 0
+
+    # -- Figure 7 -----------------------------------------------------------------
+
+    @property
+    def execution_time(self) -> int:
+        return self.processor.finish_time
+
+    def normalized_breakdown(self, baseline_time: int) -> dict[str, float]:
+        """Busy/UptoL2/BeyondL2 fractions normalised to a baseline run."""
+        if baseline_time <= 0:
+            raise ValueError("baseline execution time must be positive")
+        return {
+            "busy": self.processor.busy_cycles / baseline_time,
+            "uptol2": self.processor.uptol2_stall / baseline_time,
+            "beyondl2": self.processor.beyondl2_stall / baseline_time,
+        }
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        if self.execution_time <= 0:
+            raise ValueError("execution time must be positive")
+        return baseline.execution_time / self.execution_time
+
+    # -- Figure 9 -----------------------------------------------------------------
+
+    def coverage(self) -> float:
+        return self.l2.coverage()
+
+    def miss_breakdown(self) -> dict[str, float]:
+        """Figure 9 categories normalised to the original number of misses."""
+        denom = self.l2.original_misses_equivalent
+        if denom == 0:
+            return {k: 0.0 for k in
+                    ("hits", "delayed_hits", "nonpref_misses",
+                     "replaced", "redundant")}
+        return {
+            "hits": self.l2.prefetch_hits / denom,
+            "delayed_hits": self.l2.delayed_hits / denom,
+            "nonpref_misses": self.l2.nonpref_misses / denom,
+            "replaced": self.l2.replaced_prefetches / denom,
+            "redundant": self.l2.redundant_prefetches / denom,
+        }
+
+    # -- Figure 6 ------------------------------------------------------------------
+
+    def miss_distance_fractions(self) -> tuple[float, float, float, float]:
+        total = sum(self.miss_distance_counts)
+        if total == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        return tuple(c / total for c in self.miss_distance_counts)
+
+    # -- Figure 11 ------------------------------------------------------------------
+
+    def bus_utilization(self) -> float:
+        return self.bus.utilization(self.execution_time)
+
+    def bus_prefetch_utilization(self) -> float:
+        return self.bus.prefetch_utilization(self.execution_time)

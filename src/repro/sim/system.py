@@ -1,0 +1,246 @@
+"""Full-system simulator: Figure 3 of the paper wired together.
+
+The :class:`System` implements the :class:`~repro.cpu.processor.MemoryInterface`
+the main processor talks to.  Below the processor's L1 it owns:
+
+* the L2 cache with push-prefetch support;
+* the memory controller (bus + DRAM) in either placement;
+* optionally, the memory processor running the ULMT, with queue 2
+  (observation), queue 3 (prefetch requests), the Filter module, and the
+  queue 2/3 cross-matching described in Section 3.2.
+
+Time is carried by the main processor's trace walk; the system processes
+deferred work (queue-3 issues, prefetch arrivals, ULMT backlog, write-back
+drains) lazily whenever the processor presents a new access — equivalent to
+an event queue because every deferred item carries its own timestamp and the
+processor's clock is monotonic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.ulmt import UlmtPrefetch
+from repro.cpu.memproc import MemoryProcessor
+from repro.cpu.processor import (
+    LEVEL_L2,
+    LEVEL_MEM,
+    AccessResult,
+    MainProcessor,
+    ProcessorStats,
+)
+from repro.cpu.stream_prefetcher import HardwareStreamPrefetcher
+from repro.memsys.controller import MemoryController
+from repro.memsys.l2 import DemandKind, L2Cache
+from repro.memsys.queues import PrefetchQueue, PrefetchRequest
+from repro.core.customization import build_algorithm
+from repro.params import (
+    MAIN_L2,
+    QUEUES,
+    MainProcessorParams,
+    MemoryParams,
+    QueueParams,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult, UlmtTimingStats, distance_bin
+from repro.workloads.trace import Trace
+
+
+class System:
+    """One simulated machine: main processor + memory system + ULMT."""
+
+    def __init__(self, config: SystemConfig,
+                 memory_params: MemoryParams | None = None) -> None:
+        self.config = config
+        self.l2 = L2Cache(MAIN_L2)
+        self.controller = MemoryController(memory_params or MemoryParams(),
+                                           location=config.location)
+        queue_params = QueueParams(
+            queue_depth=config.queue_depth or QUEUES.queue_depth,
+            filter_entries=config.filter_entries or QUEUES.filter_entries)
+        self.memproc: Optional[MemoryProcessor] = None
+        if config.ulmt_algorithm is not None:
+            algorithm = build_algorithm(config.ulmt_algorithm,
+                                        num_rows=config.num_rows)
+            self.memproc = MemoryProcessor(self.controller, algorithm,
+                                           verbose=config.verbose,
+                                           queue_params=queue_params)
+        stream = (HardwareStreamPrefetcher(config.conven)
+                  if config.conven is not None else None)
+        proc_params = (MainProcessorParams(rob_refs=config.rob_refs)
+                       if config.rob_refs is not None else None)
+        self.processor = MainProcessor(self, params=proc_params,
+                                       stream_prefetcher=stream)
+        self.dasp = None
+        if config.dasp:
+            from repro.memsys.dasp import DaspEngine
+            self.dasp = DaspEngine(self.controller)
+
+        self.prefetch_queue = PrefetchQueue(queue_params.queue_depth)  # queue 3
+        #: in-flight pushed lines: line -> (arrival, demand_merged)
+        self._inflight: dict[int, int] = {}
+        self._arrivals: list[tuple[int, int, bool]] = []  # heap
+        self._merged: set[int] = set()
+
+        # Figure 6 bookkeeping.
+        self._miss_bins = [0, 0, 0, 0]
+        self._last_miss_time: Optional[int] = None
+        self.demand_misses_to_memory = 0
+        self.prefetches_issued = 0
+        #: Optional hook called as (line_addr, now, is_prefetch) for every
+        #: miss that reaches memory — what queue 2 would observe.  Used by
+        #: the Figure 5 predictability analysis.
+        self.miss_observer = None
+
+    # -- MemoryInterface -----------------------------------------------------------
+
+    def access(self, l2_line: int, is_write: bool, now: int,
+               is_prefetch: bool) -> AccessResult:
+        """Service one L1 miss (demand or Conven4 prefetch)."""
+        self._advance(now)
+
+        outcome = self.l2.demand_lookup(l2_line, is_write, now)
+        while outcome.kind is DemandKind.MISS_MSHR_FULL:
+            now = max(now + 1, outcome.earliest_free)
+            self._advance(now)
+            outcome = self.l2.demand_lookup(l2_line, is_write, now)
+
+        if outcome.kind is DemandKind.HIT:
+            return AccessResult(now + self.l2.params.hit_cycles, LEVEL_L2)
+
+        if outcome.kind is DemandKind.PENDING:
+            return AccessResult(outcome.completion_time, LEVEL_MEM)
+
+        # A genuine L2 miss.  First: does an in-flight pushed prefetch cover
+        # it?  (DelayedHit — the miss waits only for the push to arrive.)
+        arrival = self._inflight.get(l2_line)
+        if arrival is not None:
+            self._merged.add(l2_line)
+            del self._inflight[l2_line]
+            if arrival > now:
+                self.l2.stats.delayed_hits += 1
+            else:
+                self.l2.stats.prefetch_hits += 1
+            return AccessResult(max(arrival, now), LEVEL_MEM)
+
+        # Queue 2/3 cross-match: a queued-but-unissued prefetch for this
+        # address is superseded by the demand request.
+        self.prefetch_queue.cancel_address(l2_line)
+
+        if self.dasp is not None and not is_prefetch:
+            completion = self.dasp.demand_fetch(l2_line, now)
+        else:
+            completion = self.controller.demand_fetch(
+                l2_line * 64, now, low_priority=is_prefetch)
+        self.l2.register_demand_miss(l2_line, is_write, now, completion)
+        if not is_prefetch:
+            self._record_miss_distance(now)
+        self.demand_misses_to_memory += 1
+        if self.miss_observer is not None:
+            self.miss_observer(l2_line, now, is_prefetch)
+
+        if self.memproc is not None:
+            issued = self.memproc.observe_miss(l2_line, now,
+                                               is_processor_prefetch=is_prefetch)
+            self._enqueue_prefetches(issued)
+        return AccessResult(completion, LEVEL_MEM)
+
+    # -- deferred work ----------------------------------------------------------------
+
+    def _advance(self, now: int) -> None:
+        """Process every deferred item with a timestamp at or before ``now``."""
+        for wb_line in self.l2.retire(now):
+            self.controller.writeback(wb_line * 64, now)
+        if self.memproc is not None:
+            self._enqueue_prefetches(self.memproc.drain(now))
+        self._issue_prefetches(now)
+        self._process_arrivals(now)
+
+    def _enqueue_prefetches(self, issued: list[UlmtPrefetch]) -> None:
+        for pf in issued:
+            if pf.line_addr in self._inflight:
+                continue
+            self.prefetch_queue.push(PrefetchRequest(pf.line_addr, pf.issue_time))
+
+    def _issue_prefetches(self, now: int) -> None:
+        """Move due queue-3 entries into the memory system."""
+        while True:
+            head = self.prefetch_queue.pop()
+            if head is None:
+                return
+            if head.issue_time > now:
+                # Not due yet: put it back and stop (entries are in
+                # near-increasing issue order).
+                self.prefetch_queue.push_front(head)
+                return
+            if head.line_addr in self._inflight:
+                continue
+            arrival = self.controller.push_prefetch(head.line_addr * 64,
+                                                    head.issue_time)
+            self.prefetches_issued += 1
+            self._inflight[head.line_addr] = arrival
+            heapq.heappush(self._arrivals, (arrival, head.line_addr, False))
+
+    def _process_arrivals(self, now: int) -> None:
+        while self._arrivals and self._arrivals[0][0] <= now:
+            arrival, line, _ = heapq.heappop(self._arrivals)
+            if line in self._merged:
+                # A demand miss consumed this push in flight; install the
+                # line as a normal (referenced) fill.
+                self._merged.discard(line)
+                self.l2.fill_demand_merged(line, arrival)
+                continue
+            if line in self._inflight:
+                del self._inflight[line]
+                self.l2.accept_prefetch(line, arrival)
+
+    def _record_miss_distance(self, now: int) -> None:
+        if self._last_miss_time is not None:
+            self._miss_bins[distance_bin(now - self._last_miss_time)] += 1
+        self._last_miss_time = now
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimResult:
+        processor_stats = self.processor.run(trace)
+        self._finalize(processor_stats)
+        return self._result(trace.name, processor_stats)
+
+    def _finalize(self, processor_stats: ProcessorStats) -> None:
+        end = processor_stats.finish_time
+        if self.memproc is not None:
+            self._enqueue_prefetches(self.memproc.drain_all())
+        self._issue_prefetches(end + 10**9)
+        self._process_arrivals(end + 10**9)
+        self.l2.retire(end + 10**9)
+        self.l2.flush_writebacks()
+
+    def _result(self, workload: str, processor_stats: ProcessorStats) -> SimResult:
+        ulmt_stats = None
+        timing = None
+        if self.memproc is not None:
+            ulmt_stats = self.memproc.ulmt.stats
+            cm = self.memproc.cost_model
+            timing = UlmtTimingStats(
+                avg_response=cm.avg_response,
+                avg_occupancy=cm.avg_occupancy,
+                response_busy=cm.avg_response_busy,
+                response_mem=cm.avg_response_mem,
+                occupancy_busy=cm.avg_occupancy_busy,
+                occupancy_mem=cm.avg_occupancy_mem,
+                ipc=cm.ipc,
+                observations=cm.observations,
+            )
+        return SimResult(
+            workload=workload,
+            config_name=self.config.name,
+            processor=processor_stats,
+            l2=self.l2.stats,
+            bus=self.controller.bus.stats,
+            ulmt=ulmt_stats,
+            ulmt_timing=timing,
+            miss_distance_counts=tuple(self._miss_bins),
+            demand_misses_to_memory=self.demand_misses_to_memory,
+            prefetches_issued_to_memory=self.prefetches_issued,
+        )

@@ -1,0 +1,27 @@
+"""The nine applications of the paper's Table 2, as trace generators."""
+
+from repro.workloads.heap import Heap
+from repro.workloads.registry import (
+    APP_ORDER,
+    WORKLOADS,
+    WorkloadInfo,
+    clear_trace_cache,
+    get_trace,
+    list_workloads,
+    workload_info,
+)
+from repro.workloads.trace import MemRef, Trace, TraceBuilder
+
+__all__ = [
+    "Heap",
+    "APP_ORDER",
+    "WORKLOADS",
+    "WorkloadInfo",
+    "clear_trace_cache",
+    "get_trace",
+    "list_workloads",
+    "workload_info",
+    "MemRef",
+    "Trace",
+    "TraceBuilder",
+]

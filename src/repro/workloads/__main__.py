@@ -1,0 +1,92 @@
+"""Workload/trace tooling CLI: ``python -m repro.workloads``.
+
+Subcommands::
+
+    python -m repro.workloads stats <app> [--scale S]      trace statistics
+    python -m repro.workloads save <app> <file> [--scale S] generate + save
+    python -m repro.workloads info <file>                   inspect a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.workloads.registry import get_trace, list_workloads, workload_info
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def _print_stats(trace, name: str) -> None:
+    lines = trace.line_addresses()
+    print(f"trace {name!r}:")
+    print(f"  references      : {len(trace):,} "
+          f"({trace.num_loads:,} loads, {trace.num_stores:,} stores)")
+    print(f"  dependent       : {trace.num_dependent:,} "
+          f"({trace.num_dependent / len(trace):.0%})")
+    print(f"  computation     : {trace.total_comp_cycles:,} cycles")
+    print(f"  footprint       : {trace.footprint_lines():,} lines "
+          f"({trace.footprint_lines() * 64 / 1024:.0f} KB)")
+    revisit = 1.0 - len(set(lines)) / len(lines)
+    print(f"  line revisits   : {revisit:.0%}")
+    deltas = Counter()
+    for a, b in zip(lines, lines[1:]):
+        d = b - a
+        if d == 1:
+            deltas["+1 line"] += 1
+        elif d == -1:
+            deltas["-1 line"] += 1
+        elif d == 0:
+            deltas["same line"] += 1
+        else:
+            deltas["jump"] += 1
+    total = max(1, len(lines) - 1)
+    print("  successor deltas: " +
+          ", ".join(f"{k} {v / total:.0%}" for k, v in deltas.most_common()))
+
+
+def _cmd_stats(args) -> int:
+    info = workload_info(args.app)
+    print(f"{info.name}: {info.problem} ({info.suite}, {info.input_desc})")
+    trace = get_trace(args.app, scale=args.scale)
+    _print_stats(trace, args.app)
+    return 0
+
+
+def _cmd_save(args) -> int:
+    trace = get_trace(args.app, scale=args.scale)
+    save_trace(trace, args.file)
+    print(f"saved {len(trace):,} references to {args.file}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    trace = load_trace(args.file)
+    _print_stats(trace, trace.name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.workloads",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats_p = sub.add_parser("stats", help="print trace statistics")
+    stats_p.add_argument("app", choices=list_workloads())
+    stats_p.add_argument("--scale", type=float, default=0.4)
+
+    save_p = sub.add_parser("save", help="generate and save a trace")
+    save_p.add_argument("app", choices=list_workloads())
+    save_p.add_argument("file")
+    save_p.add_argument("--scale", type=float, default=0.4)
+
+    info_p = sub.add_parser("info", help="inspect a saved trace")
+    info_p.add_argument("file")
+
+    args = parser.parse_args(argv)
+    handlers = {"stats": _cmd_stats, "save": _cmd_save, "info": _cmd_info}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Equake — SPECfp2000 seismic wave propagation simulation.
+
+Equake time-steps an unstructured finite-element mesh: each step performs a
+sparse matrix-vector product over the stiffness matrix (streaming over the
+CSR arrays plus an irregular-but-repeating gather of nodal displacements)
+and dense vector updates over the nodal arrays.  The mesh is fixed, so the
+irregular gather repeats identically every time step — the classic
+"repeating irregular" pattern correlation prefetching thrives on, layered
+over sequential CSR streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.heap import Heap
+from repro.workloads.trace import Trace, TraceBuilder
+
+NAME = "equake"
+SUITE = "SpecFP2000"
+PROBLEM = "Seismic wave propagation simulation"
+INPUT = "Test (scaled)"
+
+DEFAULT_NODES = 2600
+#: Floor keeping the stiffness-matrix footprint (~1 MB of 3x3 blocks at
+#: 1600 nodes) beyond the L2 at any scale.
+MIN_NODES = 1600
+NNZ_PER_ROW = 14
+DEFAULT_TIMESTEPS = 3
+DOF = 3
+_F8 = 8
+_I4 = 4
+
+
+def generate(scale: float = 1.0, seed: int = 31) -> Trace:
+    rng = random.Random(seed)
+    nodes = max(MIN_NODES, int(DEFAULT_NODES * scale))
+    steps = max(2, round(DEFAULT_TIMESTEPS * scale))
+
+    heap = Heap()
+    # Stiffness matrix in CSR-ish block form: one 3x3 block per nonzero.
+    k_values = heap.alloc_array(nodes * NNZ_PER_ROW * DOF * DOF, _F8)
+    k_colidx = heap.alloc_array(nodes * NNZ_PER_ROW, _I4)
+    disp = heap.alloc_array(nodes * DOF, _F8)
+    disp_prev = heap.alloc_array(nodes * DOF, _F8)
+    force = heap.alloc_array(nodes * DOF, _F8)
+    mass = heap.alloc_array(nodes * DOF, _F8)
+
+    # Unstructured mesh: mostly-local neighbours with some long edges.
+    neighbours = [[_neighbour(rng, i, nodes) for _ in range(NNZ_PER_ROW)]
+                  for i in range(nodes)]
+
+    tb = TraceBuilder()
+    for _ in range(steps):
+        _smvp(tb, nodes, neighbours, k_values, k_colidx, disp, force)
+        _time_integration(tb, nodes, disp, disp_prev, force, mass)
+    return tb.build(NAME)
+
+
+def _neighbour(rng: random.Random, i: int, nodes: int) -> int:
+    if rng.random() < 0.8:
+        return max(0, min(nodes - 1, i + rng.randint(-40, 40)))
+    return rng.randrange(nodes)
+
+
+def _smvp(tb: TraceBuilder, nodes: int, neighbours, k_values: int,
+          k_colidx: int, disp: int, force: int) -> None:
+    """The sparse matrix-vector product dominating each time step."""
+    for i in range(nodes):
+        for j, col in enumerate(neighbours[i]):
+            k = i * NNZ_PER_ROW + j
+            tb.compute(5)
+            # One ref covers the 3x3 coefficient block (two lines, the
+            # second folded into computation) plus the column index.
+            tb.load(k_values + k * DOF * DOF * _F8)
+            tb.load(k_colidx + k * _I4)
+            tb.load(disp + col * DOF * _F8, dependent=True)
+        tb.compute(4)
+        tb.store(force + i * DOF * _F8)
+
+
+def _time_integration(tb: TraceBuilder, nodes: int, disp: int,
+                      disp_prev: int, force: int, mass: int) -> None:
+    """Central-difference update: four sequential streams."""
+    for i in range(0, nodes * DOF, 4):
+        tb.compute(4)
+        tb.load(force + i * _F8)
+        tb.load(mass + i * _F8)
+        tb.load(disp_prev + i * _F8)
+        tb.store(disp + i * _F8)

@@ -1,0 +1,93 @@
+"""FT — NAS Parallel Benchmarks 3-D FFT (Class S, scaled).
+
+FT's misses come from the dimension-wise FFT sweeps over a 3-D complex
+grid: the unit-stride dimension streams sequentially, while the other two
+dimensions walk the array with large power-of-two strides — every access a
+new cache line, nothing a unit-stride stream detector can catch, but a
+sequence that repeats exactly every iteration, which pair-based schemes
+learn.  The paper reports FT with a mix of sequential and non-sequential
+patterns.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.heap import Heap
+from repro.workloads.trace import Trace, TraceBuilder
+
+NAME = "ft"
+SUITE = "NAS"
+PROBLEM = "3D Fourier transform"
+INPUT = "Class S (scaled)"
+
+DEFAULT_NX = 64
+DEFAULT_NY = 32
+DEFAULT_NZ = 32
+#: Grid floor: 64 x 32 x 24 complex points = 768 KB, beyond the L2.
+MIN_NZ = 24
+DEFAULT_ITERS = 2
+COMPLEX_BYTES = 16
+
+
+def generate(scale: float = 1.0, seed: int = 29) -> Trace:
+    nx = DEFAULT_NX
+    ny = DEFAULT_NY
+    nz = max(MIN_NZ, int(DEFAULT_NZ * scale))
+    iters = max(2, round(DEFAULT_ITERS * scale))
+
+    heap = Heap()
+    grid = heap.alloc_array(nx * ny * nz, COMPLEX_BYTES)
+    twiddle = heap.alloc_array(max(nx, ny, nz), COMPLEX_BYTES)
+
+    tb = TraceBuilder()
+    for _ in range(iters):
+        _fft_dim_x(tb, grid, twiddle, nx, ny, nz)
+        _fft_dim_y(tb, grid, twiddle, nx, ny, nz)
+        _fft_dim_z(tb, grid, twiddle, nx, ny, nz)
+        _evolve(tb, grid, nx * ny * nz)
+    return tb.build(NAME)
+
+
+def _addr(grid: int, nx: int, ny: int, x: int, y: int, z: int) -> int:
+    return grid + ((z * ny + y) * nx + x) * COMPLEX_BYTES
+
+
+def _fft_dim_x(tb: TraceBuilder, grid: int, twiddle: int,
+               nx: int, ny: int, nz: int) -> None:
+    """Unit-stride butterflies along x (sequential streams)."""
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(0, nx, 4):  # radix-4 style: one ref per group
+                tb.compute(6)
+                tb.load(_addr(grid, nx, ny, x, y, z))
+                tb.load(twiddle + (x % nx) * COMPLEX_BYTES)
+                tb.store(_addr(grid, nx, ny, x, y, z))
+
+
+def _fft_dim_y(tb: TraceBuilder, grid: int, twiddle: int,
+               nx: int, ny: int, nz: int) -> None:
+    """Stride-nx butterflies along y: every access a new line."""
+    for z in range(nz):
+        for x in range(0, nx, 2):
+            for y in range(0, ny, 2):
+                tb.compute(6)
+                tb.load(_addr(grid, nx, ny, x, y, z))
+                tb.store(_addr(grid, nx, ny, x, y, z))
+
+
+def _fft_dim_z(tb: TraceBuilder, grid: int, twiddle: int,
+               nx: int, ny: int, nz: int) -> None:
+    """Stride-nx*ny butterflies along z: large power-of-two strides."""
+    for y in range(0, ny, 2):
+        for x in range(0, nx, 2):
+            for z in range(nz):
+                tb.compute(6)
+                tb.load(_addr(grid, nx, ny, x, y, z))
+                tb.store(_addr(grid, nx, ny, x, y, z))
+
+
+def _evolve(tb: TraceBuilder, grid: int, total: int) -> None:
+    """Pointwise exponential evolution: pure sequential sweep."""
+    for i in range(0, total, 4):
+        tb.compute(5)
+        tb.load(grid + i * COMPLEX_BYTES)
+        tb.store(grid + i * COMPLEX_BYTES)

@@ -1,0 +1,85 @@
+"""Gap — SPECint2000 group theory interpreter (permutation arithmetic).
+
+GAP's workloads multiply large permutations: ``r[i] = p[q[i]]`` sweeps three
+big arrays, one of them gathered through data-dependent indices.  Because
+the permutations stay fixed across products in an orbit computation, the
+gather's irregular address sequence *repeats* — a mix of sequential streams
+(``q``, ``r``) and repeating irregular accesses (``p`` gather), which is
+the "mix of both patterns" Figure 5 reports for Gap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.heap import Heap
+from repro.workloads.trace import Trace, TraceBuilder
+
+NAME = "gap"
+SUITE = "SpecInt2000"
+PROBLEM = "Group theory solver"
+INPUT = "Rako subset (scaled)"
+
+DEFAULT_DEGREE = 36000
+#: Floor: the gathered element records alone (30000 x 32 B = 960 KB) plus
+#: the index/result streams keep every product missing in the L2.
+MIN_DEGREE = 30000
+DEFAULT_PRODUCTS = 6
+ELEM_BYTES = 4
+#: The gathered group-element records (32 B each): large enough that the
+#: data-dependent gather misses in the L2 and — because the permutations
+#: are fixed — misses in the *same repeating order* every product.
+RECORD_BYTES = 32
+#: The orbit computation cycles through this many distinct permutations.
+NUM_PERMUTATIONS = 3
+
+
+def generate(scale: float = 1.0, seed: int = 23) -> Trace:
+    rng = random.Random(seed)
+    degree = max(MIN_DEGREE, int(DEFAULT_DEGREE * scale))
+    products = max(3, round(DEFAULT_PRODUCTS * scale))
+
+    heap = Heap()
+    perm_arrays = [heap.alloc_array(degree, ELEM_BYTES)
+                   for _ in range(NUM_PERMUTATIONS)]
+    elements = heap.alloc_array(degree, RECORD_BYTES)
+    result = heap.alloc_array(degree, ELEM_BYTES)
+    workspace = heap.alloc_array(degree, ELEM_BYTES)
+
+    # Fixed permutations: the gather pattern repeats product after product.
+    perms = []
+    for _ in range(NUM_PERMUTATIONS):
+        perm = list(range(degree))
+        rng.shuffle(perm)
+        perms.append(perm)
+
+    tb = TraceBuilder()
+    for step in range(products):
+        q_idx = step % NUM_PERMUTATIONS
+        p_idx = (step + 1) % NUM_PERMUTATIONS
+        _permutation_product(tb, degree, perms[q_idx],
+                             perm_arrays[q_idx], elements, result)
+        _orbit_scan(tb, degree, result, workspace)
+    return tb.build(NAME)
+
+
+def _permutation_product(tb: TraceBuilder, degree: int, q_values: list[int],
+                         q: int, elements: int, r: int) -> None:
+    """r[i] = elements[q[i]]: two streams plus a repeating irregular
+    gather of 16 B group-element records."""
+    for i in range(0, degree, 2):  # unrolled by two (shared lines)
+        # The GAP interpreter does substantial bookkeeping per point
+        # (handle dereferencing, bag headers), so computation per gather
+        # is non-trivial.
+        tb.compute(9)
+        tb.load(q + i * ELEM_BYTES)
+        tb.load(elements + q_values[i] * RECORD_BYTES, dependent=True)
+        tb.store(r + i * ELEM_BYTES)
+
+
+def _orbit_scan(tb: TraceBuilder, degree: int, r: int, w: int) -> None:
+    """Sequential pass marking orbit membership (pure streaming)."""
+    for i in range(0, degree, 8):
+        tb.compute(4)
+        tb.load(r + i * ELEM_BYTES)
+        tb.store(w + i * ELEM_BYTES)

@@ -1,0 +1,78 @@
+"""A tiny instrumented heap for the workload mini-implementations.
+
+The nine workloads allocate their data structures from a :class:`Heap` so
+that every object has a concrete byte address; the algorithms then emit
+loads/stores of those addresses through a
+:class:`~repro.workloads.trace.TraceBuilder`.
+
+The heap is a bump allocator.  A shuffle mode allocates objects of one
+arena in a randomised order, which is how linked-data-structure workloads
+(Mcf, MST, Tree, Parser) obtain the scattered layouts that defeat sequential
+prefetching in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class Heap:
+    """Bump allocator handing out aligned byte addresses."""
+
+    #: Default base leaves page 0 unused, mirroring a real process layout.
+    DEFAULT_BASE = 0x1000_0000
+
+    def __init__(self, base: int = DEFAULT_BASE) -> None:
+        if base < 0:
+            raise ValueError("heap base must be non-negative")
+        self._next = base
+        self._base = base
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next - self._base
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes aligned to ``align`` and return the address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError(f"alignment must be a positive power of two: {align}")
+        addr = (self._next + align - 1) & ~(align - 1)
+        self._next = addr + size
+        return addr
+
+    def alloc_array(self, count: int, elem_size: int, align: int = 8) -> int:
+        """Allocate a contiguous array and return its base address."""
+        if count <= 0:
+            raise ValueError(f"array count must be positive: {count}")
+        return self.alloc(count * elem_size, align)
+
+    def alloc_nodes(self, count: int, node_size: int,
+                    rng: random.Random | None = None,
+                    align: int = 8) -> list[int]:
+        """Allocate ``count`` node objects and return their addresses.
+
+        When ``rng`` is given the *logical* order of the returned addresses
+        is shuffled relative to the allocation order, modelling a heap whose
+        nodes were allocated/freed over time: consecutive logical nodes sit
+        on unrelated cache lines, so walking the structure produces an
+        irregular — but repeatable — address sequence.
+        """
+        addrs = [self.alloc(node_size, align) for _ in range(count)]
+        if rng is not None:
+            rng.shuffle(addrs)
+        return addrs
+
+
+def array_index_addr(base: int, index: int, elem_size: int) -> int:
+    """Byte address of ``base[index]`` for an array of ``elem_size`` items."""
+    if index < 0:
+        raise ValueError(f"negative array index: {index}")
+    return base + index * elem_size
+
+
+def strided_addrs(base: int, count: int, stride: int) -> Sequence[int]:
+    """Addresses of a strided sweep (used by regular workload phases)."""
+    return range(base, base + count * stride, stride)

@@ -1,0 +1,105 @@
+"""MST — Olden minimum spanning tree (1024 nodes, scaled).
+
+Olden's MST keeps, for every vertex, a hash table mapping the other
+vertices to edge weights.  The Prim-style main loop repeatedly scans all
+not-yet-inserted vertices and, for each, performs a hash lookup against the
+most recently inserted vertex — chasing the bucket chain of a scattered
+hash table.
+
+Within a phase the key (and therefore the bucket index) is fixed, so the
+walk visits, for every remaining vertex in list order, that vertex's
+record, its bucket-head line, and the scattered nodes of one bucket chain.
+Whenever a later phase hashes to the same bucket the whole miss sequence
+recurs — completely non-sequential but strongly repeating, which is why
+the paper's Repl-with-NumLevels=4 customisation pays off on MST and why
+its Table 2 correlation table is among the largest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.heap import Heap
+from repro.workloads.trace import Trace, TraceBuilder
+
+NAME = "mst"
+SUITE = "Olden"
+PROBLEM = "Finding minimum spanning tree"
+INPUT = "1024 nodes (scaled)"
+
+DEFAULT_VERTICES = 320
+#: Floor: 200 vertices give ~2 MB of scattered hash-chain nodes — well
+#: beyond the L2 at any scale (MST has the suite's largest footprint).
+MIN_VERTICES = 200
+HASH_ENTRY_BYTES = 48
+BUCKET_HEAD_BYTES = 16
+BUCKETS_PER_TABLE = 16
+VERTEX_BYTES = 64
+#: Chain length per bucket (each node of the chain is heap-scattered).
+#: Longer chains make the deterministic within-chain pairs dominate the
+#: miss stream, which is what gives MST its high pair-based predictability.
+CHAIN_RANGE = (3, 5)
+
+
+def generate(scale: float = 1.0, seed: int = 17) -> Trace:
+    rng = random.Random(seed)
+    num_vertices = max(MIN_VERTICES, int(DEFAULT_VERTICES * scale))
+
+    heap = Heap()
+    vertex_addrs = heap.alloc_nodes(num_vertices, VERTEX_BYTES, rng)
+    # Per-vertex hash tables: bucket head array + one scattered chain of
+    # entry nodes per bucket.
+    bucket_arrays = [heap.alloc_array(BUCKETS_PER_TABLE, BUCKET_HEAD_BYTES)
+                     for _ in range(num_vertices)]
+    chains: list[list[list[int]]] = []
+    for v in range(num_vertices):
+        table = []
+        for b in range(BUCKETS_PER_TABLE):
+            length = rng.randint(*CHAIN_RANGE)
+            table.append([heap.alloc(HASH_ENTRY_BYTES)
+                          for _ in range(length)])
+        chains.append(table)
+
+    tb = TraceBuilder()
+    in_tree = [False] * num_vertices
+    in_tree[0] = True
+    last_inserted = 0
+    for _ in range(num_vertices - 1):
+        bucket = _hash(last_inserted)
+        best, best_weight = -1, float("inf")
+        for u in range(num_vertices):
+            if in_tree[u]:
+                continue
+            tb.compute(3)
+            tb.load(vertex_addrs[u])
+            weight = _hash_lookup(tb, bucket_arrays[u], chains[u],
+                                  bucket, last_inserted)
+            if weight < best_weight:
+                best, best_weight = u, weight
+                tb.compute(2)
+        if best < 0:
+            break
+        in_tree[best] = True
+        last_inserted = best
+        tb.compute(6)
+        tb.store(vertex_addrs[best] + 8)
+    return tb.build(NAME)
+
+
+def _hash(key: int) -> int:
+    return (key * 2654435761) % BUCKETS_PER_TABLE
+
+
+def _hash_lookup(tb: TraceBuilder, buckets: int, table: list[list[int]],
+                 bucket: int, key: int) -> float:
+    """Walk one bucket chain of one vertex's hash table."""
+    tb.compute(2)
+    tb.load(buckets + bucket * BUCKET_HEAD_BYTES)
+    chain = table[bucket]
+    # The sought entry sits near the end of the chain: most lookups walk
+    # nearly the whole chain (the key is present in every table).
+    stop = len(chain) - (key & 1)
+    for entry in chain[:stop]:
+        tb.compute(2)
+        tb.load(entry, dependent=True)
+    return ((key * 131 + bucket * 17) % 1000) / 1000.0

@@ -1,0 +1,77 @@
+"""Registry of the nine applications (paper Table 2).
+
+Maps application names to their trace generators and carries the Table 2
+metadata (suite, problem, input).  Traces are deterministic for a given
+``(name, scale, seed)`` and cached, because the evaluation matrix re-runs
+the same trace under many system configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads import cg, equake, ft, gap, mcf, mst, parser, sparse, tree
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Table 2 metadata for one application."""
+
+    name: str
+    suite: str
+    problem: str
+    input_desc: str
+    generate: Callable[..., Trace]
+
+
+_MODULES = (cg, equake, ft, gap, mcf, mst, parser, sparse, tree)
+
+WORKLOADS: dict[str, WorkloadInfo] = {
+    m.NAME: WorkloadInfo(name=m.NAME, suite=m.SUITE, problem=m.PROBLEM,
+                         input_desc=m.INPUT, generate=m.generate)
+    for m in _MODULES
+}
+
+#: Paper order (Table 2 rows).
+APP_ORDER = ("cg", "equake", "ft", "gap", "mcf", "mst", "parser",
+             "sparse", "tree")
+
+_TRACE_CACHE: dict[tuple[str, float, int], Trace] = {}
+
+
+def list_workloads() -> list[str]:
+    """Application names in the paper's Table 2 order."""
+    return list(APP_ORDER)
+
+
+def workload_info(name: str) -> WorkloadInfo:
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: "
+                       f"{sorted(WORKLOADS)}") from None
+
+
+def get_trace(name: str, scale: float = 1.0, seed: int | None = None,
+              cache: bool = True) -> Trace:
+    """Generate (or fetch from cache) the trace of one application."""
+    info = workload_info(name)
+    if seed is None:
+        key = (info.name, scale, -1)
+        if cache and key in _TRACE_CACHE:
+            return _TRACE_CACHE[key]
+        trace = info.generate(scale=scale)
+    else:
+        key = (info.name, scale, seed)
+        if cache and key in _TRACE_CACHE:
+            return _TRACE_CACHE[key]
+        trace = info.generate(scale=scale, seed=seed)
+    if cache:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()

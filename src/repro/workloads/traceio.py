@@ -1,0 +1,68 @@
+"""Trace serialization.
+
+Traces can be expensive to regenerate (the mini-applications actually run
+their algorithms), so the harness can persist them.  The format is a
+compact binary container:
+
+* a one-line JSON header (magic, version, name, reference count),
+* four numpy arrays — addresses (uint64), flags (uint8: bit 0 = write,
+  bit 1 = dependent), and computation cycles (uint32) — written with
+  ``numpy.savez_compressed``.
+
+The format round-trips exactly (``load(save(t)) == t``) and is versioned
+so future extensions stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.trace import MemRef, Trace
+
+MAGIC = "repro-trace"
+VERSION = 1
+
+_WRITE_BIT = 0x1
+_DEP_BIT = 0x2
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (conventionally ``*.trc.npz``)."""
+    path = Path(path)
+    n = len(trace)
+    addrs = np.empty(n, dtype=np.uint64)
+    flags = np.empty(n, dtype=np.uint8)
+    comps = np.empty(n, dtype=np.uint32)
+    for i, ref in enumerate(trace):
+        addrs[i] = ref.addr
+        flags[i] = ((_WRITE_BIT if ref.is_write else 0)
+                    | (_DEP_BIT if ref.dependent else 0))
+        comps[i] = ref.comp_cycles
+    header = json.dumps({"magic": MAGIC, "version": VERSION,
+                         "name": trace.name, "refs": n})
+    np.savez_compressed(path, header=np.frombuffer(
+        header.encode(), dtype=np.uint8), addrs=addrs, flags=flags,
+        comps=comps)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("magic") != MAGIC:
+            raise ValueError(f"{path} is not a repro trace file")
+        if header.get("version") != VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')} in {path}")
+        addrs = data["addrs"]
+        flags = data["flags"]
+        comps = data["comps"]
+    if not (len(addrs) == len(flags) == len(comps) == header["refs"]):
+        raise ValueError(f"corrupt trace file: {path}")
+    refs = [MemRef(int(a), bool(f & _WRITE_BIT), int(c), bool(f & _DEP_BIT))
+            for a, f, c in zip(addrs, flags, comps)]
+    return Trace(refs, name=header.get("name", ""))

@@ -1,0 +1,189 @@
+"""Tree — Barnes-Hut N-body treecode (Univ. of Hawaii, 2048 bodies).
+
+Every force-computation step walks the quadtree once per body: pointer
+chasing from the root, opening cells that are too close and taking
+centre-of-mass approximations for the rest.  Tree nodes are heap-scattered,
+so the walk has no sequential structure (Figure 5: Seq4 predicts nothing
+for Tree), but bodies that are spatially close repeat almost the same
+traversal, giving pair-based prefetchers their predictability.
+
+Tree is one of the two applications with the *smallest* speedups in the
+paper: its working set barely exceeds the L2 and prefetches conflict with
+resident lines.  We reproduce that by keeping the footprint near the
+512 KB L2 size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.heap import Heap
+from repro.workloads.trace import Trace, TraceBuilder
+
+NAME = "tree"
+SUITE = "Univ. of Hawaii"
+PROBLEM = "Barnes-Hut N-body problem"
+INPUT = "2048 bodies (scaled)"
+
+DEFAULT_BODIES = 3072
+MIN_BODIES = 2400
+DEFAULT_STEPS = 2
+#: The treecode rebuilds its cells each step, recycling node storage: a
+#: cell covering the same region of space gets the same address step after
+#: step (freelist reuse), so the walk's miss sequence repeats — which is
+#: what the correlation table learns.  Addresses are derived from the
+#: cell's tree path into a fixed arena of slots.
+CELL_ARENA_BASE = 0x4000_0000
+CELL_ARENA_SLOTS = 8192
+NODE_BYTES = 128   # cell: centre of mass + quadrant pointers (two lines)
+BODY_BYTES = 128   # position line + velocity/acceleration line
+#: Barnes-Hut opening angle; smaller opens more cells (longer walks).
+THETA = 1.2
+
+
+class _Cell:
+    __slots__ = ("centre", "half", "children", "body", "body_pos", "addr",
+                 "path")
+
+    def __init__(self, centre: tuple[float, float], half: float,
+                 path: int = 1) -> None:
+        self.centre = centre
+        self.half = half
+        self.children: list[_Cell | None] = [None, None, None, None]
+        self.body: int | None = None
+        self.body_pos: tuple[float, float] | None = None
+        self.path = path       # 1-rooted quadrant-digit path key
+        self.addr = _cell_addr(path)
+
+
+def _cell_addr(path: int) -> int:
+    """Stable arena address for the cell at tree-path ``path``.
+
+    A Fibonacci-hash spreads paths over the arena slots; collisions model
+    freelist reuse across unrelated cells and are harmless noise.
+    """
+    slot = (path * 2654435761) % CELL_ARENA_SLOTS
+    return CELL_ARENA_BASE + slot * NODE_BYTES
+
+
+def generate(scale: float = 1.0, seed: int = 13) -> Trace:
+    rng = random.Random(seed)
+    num_bodies = max(MIN_BODIES, int(DEFAULT_BODIES * scale))
+    steps = max(2, round(DEFAULT_STEPS * scale))
+
+    positions = [(rng.random(), rng.random()) for _ in range(num_bodies)]
+    # Real treecodes process bodies in space-filling-curve order so that
+    # consecutive bodies traverse nearly the same cells — that locality is
+    # also what makes the miss sequence repeat body after body.
+    positions.sort(key=_morton)
+    body_heap = Heap()
+    body_addrs = body_heap.alloc_nodes(num_bodies, BODY_BYTES, rng)
+    tb = TraceBuilder()
+    for _ in range(steps):
+        # Rebuild the tree each step; recycled (path-keyed) cell addresses
+        # make the walk's miss sequence repeat, slightly perturbed by body
+        # movement.
+        root, cells = _build_tree(tb, positions, body_addrs)
+        _compute_forces(tb, positions, root, body_addrs)
+        positions = [(min(1.0, max(0.0, x + rng.uniform(-0.004, 0.004))),
+                      min(1.0, max(0.0, y + rng.uniform(-0.004, 0.004))))
+                     for x, y in positions]
+    return tb.build(NAME)
+
+
+def _morton(pos: tuple[float, float], bits: int = 10) -> int:
+    """Interleaved-bit (Z-order) key of a position in the unit square."""
+    x = min((1 << bits) - 1, int(pos[0] * (1 << bits)))
+    y = min((1 << bits) - 1, int(pos[1] * (1 << bits)))
+    key = 0
+    for b in range(bits):
+        key |= ((x >> b) & 1) << (2 * b)
+        key |= ((y >> b) & 1) << (2 * b + 1)
+    return key
+
+
+def _build_tree(tb: TraceBuilder, positions, body_addrs: list[int]):
+    """Insert every body into a fresh quadtree (the tree-build phase)."""
+    root = _Cell((0.5, 0.5), 0.5, path=1)
+    cells = [root]
+    for idx, pos in enumerate(positions):
+        tb.compute(4)
+        tb.load(body_addrs[idx])
+        _insert(tb, root, pos, idx, cells)
+    return root, cells
+
+
+def _insert(tb: TraceBuilder, cell: _Cell, pos, body: int,
+            cells: list[_Cell], depth: int = 0) -> None:
+    tb.compute(3)
+    tb.load(cell.addr, dependent=True)
+    if depth > 16:
+        cell.body = body
+        cell.body_pos = pos
+        return
+    quad = _quadrant(cell, pos)
+    child = cell.children[quad]
+    if child is None:
+        leaf = _Cell(_child_centre(cell, quad), cell.half / 2,
+                     path=cell.path * 4 + quad)
+        leaf.body = body
+        leaf.body_pos = pos
+        cell.children[quad] = leaf
+        cells.append(leaf)
+        tb.compute(2)
+        tb.store(cell.addr + 32)
+        return
+    if child.body is not None and all(c is None for c in child.children):
+        # Split the leaf: push the resident body one level down.
+        resident, resident_pos = child.body, child.body_pos
+        child.body = None
+        child.body_pos = None
+        _insert(tb, child, _jitter(resident_pos, resident), resident,
+                cells, depth + 1)
+        _insert(tb, child, pos, body, cells, depth + 1)
+        return
+    _insert(tb, child, pos, body, cells, depth + 1)
+
+
+def _compute_forces(tb: TraceBuilder, positions, root: _Cell,
+                    body_addrs: list[int]) -> None:
+    for idx, pos in enumerate(positions):
+        tb.compute(5)
+        tb.load(body_addrs[idx])
+        _walk(tb, root, pos)
+        tb.compute(4)
+        tb.store(body_addrs[idx] + 64)  # acceleration, second body line
+
+
+def _walk(tb: TraceBuilder, cell: _Cell, pos) -> None:
+    tb.compute(4)
+    tb.load(cell.addr, dependent=True)
+    dx = cell.centre[0] - pos[0]
+    dy = cell.centre[1] - pos[1]
+    dist_sq = dx * dx + dy * dy + 1e-9
+    size = cell.half * 2
+    if size * size < THETA * THETA * dist_sq or all(
+            c is None for c in cell.children):
+        tb.compute(6)  # accumulate the far-field interaction
+        return
+    # Opening the cell reads its child-pointer line (second node line).
+    tb.load(cell.addr + 64)
+    for child in cell.children:
+        if child is not None:
+            _walk(tb, child, pos)
+
+
+def _quadrant(cell: _Cell, pos) -> int:
+    return (1 if pos[0] >= cell.centre[0] else 0) | (
+        2 if pos[1] >= cell.centre[1] else 0)
+
+
+def _child_centre(cell: _Cell, quad: int) -> tuple[float, float]:
+    off = cell.half / 2
+    return (cell.centre[0] + (off if quad & 1 else -off),
+            cell.centre[1] + (off if quad & 2 else -off))
+
+
+def _jitter(pos, body: int) -> tuple[float, float]:
+    # Deterministic tiny displacement so two coincident bodies separate.
+    return (pos[0] + ((body % 7) - 3) * 1e-6, pos[1] + ((body % 5) - 2) * 1e-6)

@@ -1,0 +1,161 @@
+"""Tests for the Base, Chain, and Replicated prefetching algorithms,
+including the Figure 4 worked example from the paper."""
+
+import pytest
+
+from repro.core.algorithms import (
+    TABLE1_TRAITS,
+    BasePrefetcher,
+    ChainPrefetcher,
+    ReplicatedPrefetcher,
+)
+from repro.params import CorrelationParams
+
+#: The miss sequence of Figure 4: a, b, c, a, d, c.
+A, B, C, D = 100, 200, 300, 400
+FIGURE4_SEQUENCE = [A, B, C, A, D, C]
+
+
+def train(prefetcher, sequence):
+    for miss in sequence:
+        prefetcher.learn(miss)
+
+
+class TestBaseFigure4:
+    def test_learns_immediate_successors(self):
+        p = BasePrefetcher(CorrelationParams(num_succ=2, assoc=4,
+                                             num_levels=1, num_rows=64))
+        train(p, FIGURE4_SEQUENCE)
+        # Figure 4-(a)(ii): row a holds successors {d, b} with d MRU.
+        assert p.table.peek(A).successors(0) == [D, B]
+        assert p.table.peek(B).successors(0) == [C]
+        assert p.table.peek(C).successors(0) == [A]
+        assert p.table.peek(D).successors(0) == [C]
+
+    def test_prefetch_on_miss_a(self):
+        p = BasePrefetcher(CorrelationParams(num_succ=2, assoc=4,
+                                             num_levels=1, num_rows=64))
+        train(p, FIGURE4_SEQUENCE)
+        # Figure 4-(a)(iii): on a miss on a, prefetch d and b (MRU first).
+        assert p.prefetch_step(A) == [D, B]
+
+    def test_unknown_miss_prefetches_nothing(self):
+        p = BasePrefetcher()
+        train(p, FIGURE4_SEQUENCE)
+        assert p.prefetch_step(999) == []
+
+    def test_duplicate_miss_not_self_successor(self):
+        p = BasePrefetcher()
+        train(p, [A, A, B])
+        assert A not in p.table.peek(A).successors(0)
+
+
+class TestChainFigure4:
+    def make(self):
+        return ChainPrefetcher(CorrelationParams(num_succ=2, assoc=2,
+                                                 num_levels=2, num_rows=64))
+
+    def test_prefetch_follows_mru_chain(self):
+        p = self.make()
+        train(p, FIGURE4_SEQUENCE)
+        # Figure 4-(b)(iii): on miss a prefetch d, b; then follow the MRU
+        # link (d) and prefetch its successor c.
+        assert p.prefetch_step(A) == [D, B, C]
+
+    def test_chain_misses_off_path_successors(self):
+        """The paper's a,b,c,...,b,e,b,f example: Chain prefetches
+        successors along the MRU path only, so c is not prefetched."""
+        E, F = 500, 600
+        p = ChainPrefetcher(CorrelationParams(num_succ=2, assoc=2,
+                                              num_levels=2, num_rows=64))
+        train(p, [A, B, C, B, E, B, F, A, B])
+        prefetches = p.prefetch_step(A)
+        assert prefetches[0] == B
+        # Row b's NumSucc=2 successors are now {f, e}; c has been evicted,
+        # so the level-2 prefetch through b cannot recover it.
+        assert E in prefetches and F in prefetches
+        assert C not in prefetches
+
+
+class TestReplicatedFigure4:
+    def make(self, levels=2):
+        return ReplicatedPrefetcher(CorrelationParams(
+            num_succ=2, assoc=2, num_levels=levels, num_rows=64))
+
+    def test_levels_learned(self):
+        p = self.make()
+        train(p, FIGURE4_SEQUENCE)
+        # Figure 4-(c)(ii): row a holds level-1 {d, b} and level-2 {c}.
+        row = p.table.peek(A)
+        assert row.successors(0) == [D, B]
+        assert row.successors(1) == [C]
+
+    def test_prefetch_single_row_all_levels(self):
+        p = self.make()
+        train(p, FIGURE4_SEQUENCE)
+        # Figure 4-(c)(iii): on miss a prefetch d, b, c.
+        assert p.prefetch_step(A) == [D, B, C]
+
+    def test_true_mru_across_paths(self):
+        """Replicated keeps the true MRU successors per level, catching what
+        Chain loses (the paper's a,b,c vs b,e,b,f example)."""
+        p = self.make()
+        train(p, [A, B, C, 600, B, 500, B, 700, A, B, C])
+        prefetches = p.prefetch_step(A)
+        assert B in prefetches
+        assert C in prefetches   # level-2 successor of a via *its own* path
+
+    def test_pointer_learning_depth(self):
+        p = self.make(levels=3)
+        train(p, [A, B, C, D])
+        # A's row received B (level 1), C (level 2), D (level 3).
+        row = p.table.peek(A)
+        assert row.successors(0) == [B]
+        assert row.successors(1) == [C]
+        assert row.successors(2) == [D]
+
+    def test_reset_clears_pointers_not_table(self):
+        p = self.make()
+        train(p, [A, B])
+        p.reset()
+        p.learn(C)
+        # After the reset, C must not be recorded as a successor of B.
+        assert p.table.peek(B).successors(0) == []
+        assert p.table.peek(A).successors(0) == [B]
+
+
+class TestPredictLevels:
+    def test_base_predicts_level1_only(self):
+        p = BasePrefetcher()
+        train(p, [A, B, A])
+        preds = p.predict_levels(3)
+        assert preds[0] == [B]
+        assert preds[1] == [] and preds[2] == []
+
+    def test_repl_predicts_all_levels(self):
+        p = ReplicatedPrefetcher()
+        train(p, [A, B, C, D, A])
+        preds = p.predict_levels(3)
+        assert preds[0] == [B]
+        assert preds[1] == [C]
+        assert preds[2] == [D]
+
+    def test_empty_state(self):
+        for p in (BasePrefetcher(), ChainPrefetcher(), ReplicatedPrefetcher()):
+            assert p.predict_levels(3) == [[], [], []]
+
+
+class TestTable1Traits:
+    def test_three_algorithms(self):
+        names = [t.name for t in TABLE1_TRAITS]
+        assert names == ["Base", "Chain", "Replicated"]
+
+    def test_replicated_combines_best_properties(self):
+        base, chain, repl = TABLE1_TRAITS
+        assert repl.levels_prefetched == "NumLevels"
+        assert repl.true_mru_per_level
+        assert repl.prefetch_row_accesses == "1"
+        assert repl.response_time == "Low"
+        assert not chain.true_mru_per_level
+        assert chain.response_time == "High"
+        assert base.levels_prefetched == "1"

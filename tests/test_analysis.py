@@ -1,0 +1,146 @@
+"""Tests for the figure-backing analyses (prediction, distances, coverage,
+table sizing)."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    CoverageBreakdown,
+    average_breakdowns,
+    breakdown_from_result,
+)
+from repro.analysis.missdist import MissDistanceResult, average_fractions
+from repro.analysis.prediction import (
+    PREDICTORS,
+    build_predictor,
+    measure_predictability,
+)
+from repro.analysis.tablesize import replacement_fraction, size_num_rows
+
+
+def cyclic_stream(lines: int, repeats: int) -> list[int]:
+    order = [(i * 37) % 1009 + 10_000 for i in range(lines)]
+    return order * repeats
+
+
+class TestPredictability:
+    def test_repeating_stream_fully_predictable(self):
+        stream = cyclic_stream(50, 8)
+        result = measure_predictability(stream, "repl")
+        assert result.levels[0] > 0.8
+        assert result.levels[1] > 0.8
+        assert result.levels[2] > 0.8
+
+    def test_random_stream_unpredictable(self):
+        import random
+        rng = random.Random(3)
+        stream = [rng.randrange(1_000_000) for _ in range(2000)]
+        result = measure_predictability(stream, "repl")
+        assert result.levels[0] < 0.05
+
+    def test_sequential_stream_seq_predictor(self):
+        stream = list(range(1000, 1400))
+        result = measure_predictability(stream, "seq4")
+        assert result.levels[0] > 0.9
+        assert result.levels[1] > 0.9
+
+    def test_sequential_stream_invisible_to_nothing(self):
+        """A pure stream is also predictable for pair-based predictors."""
+        stream = list(range(1000, 1200)) * 3
+        result = measure_predictability(stream, "base")
+        assert result.levels[0] > 0.5
+
+    def test_base_has_no_deep_levels(self):
+        stream = cyclic_stream(50, 6)
+        result = measure_predictability(stream, "base")
+        assert result.levels[1] == 0.0
+        assert result.levels[2] == 0.0
+
+    def test_repl_beats_chain_on_branching_paths(self):
+        """The paper's a,b,c / b,e,b,f motif: Chain loses level-2 accuracy."""
+        a, b, c, e, f = 1, 2, 3, 4, 5
+        stream = ([a, b, c] + [b, e, b, f]) * 60
+        repl = measure_predictability(stream, "repl")
+        chain = measure_predictability(stream, "chain")
+        assert repl.levels[1] >= chain.levels[1]
+
+    def test_combined_predictor_unions(self):
+        stream = list(range(100, 300))
+        combined = measure_predictability(stream, "seq4+repl")
+        seq_only = measure_predictability(stream, "seq4")
+        assert combined.levels[0] >= seq_only.levels[0] - 1e-9
+
+    def test_all_figure5_predictors_constructible(self):
+        for name in PREDICTORS:
+            assert build_predictor(name) is not None
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError):
+            build_predictor("oracle")
+
+
+class TestMissDistances:
+    def test_average_fractions(self):
+        results = [
+            MissDistanceResult("a", (0.1, 0.2, 0.6, 0.1), 100),
+            MissDistanceResult("b", (0.3, 0.2, 0.4, 0.1), 100),
+        ]
+        avg = average_fractions(results)
+        assert avg == pytest.approx((0.2, 0.2, 0.5, 0.1))
+
+    def test_dominant_bin(self):
+        r = MissDistanceResult("a", (0.1, 0.2, 0.6, 0.1), 100)
+        assert r.dominant_bin == "[200,280)"
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(ValueError):
+            average_fractions([])
+
+
+class TestCoverageBreakdown:
+    def make(self, **kw):
+        defaults = dict(app="x", config="repl", hits=0.5, delayed_hits=0.2,
+                        nonpref_misses=0.4, replaced=0.3, redundant=0.2)
+        defaults.update(kw)
+        return CoverageBreakdown(**defaults)
+
+    def test_coverage_is_hits_plus_delayed(self):
+        assert self.make().coverage == pytest.approx(0.7)
+
+    def test_conflict_misses_above_unity(self):
+        b = self.make(hits=0.5, delayed_hits=0.2, nonpref_misses=0.4)
+        assert b.conflict_misses == pytest.approx(0.1)
+        b2 = self.make(hits=0.3, delayed_hits=0.2, nonpref_misses=0.4)
+        assert b2.conflict_misses == 0.0
+
+    def test_average(self):
+        a = self.make(hits=0.4)
+        b = self.make(hits=0.6)
+        avg = average_breakdowns([a, b], label="avg")
+        assert avg.hits == pytest.approx(0.5)
+        assert avg.app == "avg"
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(ValueError):
+            average_breakdowns([])
+
+
+class TestTableSizing:
+    def test_small_footprint_needs_min_rows(self):
+        stream = cyclic_stream(100, 5)
+        assert size_num_rows(stream, min_rows=1024) == 1024
+
+    def test_large_footprint_needs_more_rows(self):
+        stream = [i * 7 for i in range(20_000)]
+        rows = size_num_rows(stream, min_rows=1024)
+        assert rows > 1024
+        assert rows & (rows - 1) == 0  # power of two
+
+    def test_replacement_fraction_monotone_in_rows(self):
+        stream = [i * 13 for i in range(5000)]
+        small = replacement_fraction(stream, 1024)
+        large = replacement_fraction(stream, 8192)
+        assert large <= small
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            size_num_rows([])

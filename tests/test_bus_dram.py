@@ -1,0 +1,114 @@
+"""Tests for the bus occupancy model and the DRAM timing model."""
+
+import pytest
+
+from repro.memsys.bus import Bus
+from repro.memsys.dram import Dram
+from repro.params import MemoryParams
+
+
+class TestBus:
+    def test_back_to_back_transfers_serialize(self):
+        bus = Bus()
+        end1 = bus.schedule(0, 32, "demand")
+        end2 = bus.schedule(0, 32, "demand")
+        assert end1 == 32
+        assert end2 == 64
+
+    def test_idle_gap_preserved(self):
+        bus = Bus()
+        bus.schedule(0, 32, "demand")
+        end = bus.schedule(100, 32, "demand")
+        assert end == 132
+
+    def test_traffic_attribution(self):
+        bus = Bus()
+        bus.schedule(0, 32, "demand")
+        bus.schedule(0, 32, "prefetch")
+        bus.schedule(0, 32, "writeback")
+        assert bus.stats.demand_cycles == 32
+        assert bus.stats.prefetch_cycles == 32
+        assert bus.stats.writeback_cycles == 32
+        assert bus.stats.total_busy == 96
+
+    def test_utilization(self):
+        bus = Bus()
+        bus.schedule(0, 50, "demand")
+        assert bus.stats.utilization(200) == pytest.approx(0.25)
+        assert bus.stats.prefetch_utilization(200) == 0.0
+
+    def test_unknown_kind_rejected(self):
+        bus = Bus()
+        with pytest.raises(ValueError):
+            bus.schedule(0, 10, "bogus")
+
+    def test_zero_total_cycles(self):
+        assert Bus().stats.utilization(0) == 0.0
+
+
+class TestDramMapping:
+    def test_sequential_lines_alternate_channels(self):
+        dram = Dram(MemoryParams())
+        ch0, _, _ = dram.map_address(0)
+        ch1, _, _ = dram.map_address(64)
+        assert {ch0, ch1} == {0, 1}
+
+    def test_same_row_same_bank(self):
+        dram = Dram(MemoryParams())
+        c1, b1, r1 = dram.map_address(0)
+        c2, b2, r2 = dram.map_address(128)  # same 4 KB row, same channel
+        assert (c1, b1, r1) == (c2, b2, r2)
+
+
+class TestDramTiming:
+    def test_first_access_is_row_miss(self):
+        dram = Dram(MemoryParams())
+        access = dram.access(0, 0)
+        assert not access.row_hit
+        assert dram.row_misses == 1
+
+    def test_second_access_same_row_hits(self):
+        dram = Dram(MemoryParams())
+        dram.access(0, 0)
+        access = dram.access(128, 1000)
+        assert access.row_hit
+
+    def test_row_conflict_misses(self):
+        p = MemoryParams()
+        dram = Dram(p)
+        dram.access(0, 0)
+        # Same channel+bank, different row: rows are row_bytes apart and
+        # banks interleave at row granularity, so skip a full bank rotation.
+        conflict_addr = p.row_bytes * p.num_channels * p.banks_per_channel
+        same = dram.map_address(0)
+        other = dram.map_address(conflict_addr)
+        assert same[:2] == other[:2] and same[2] != other[2]
+        access = dram.access(conflict_addr, 10_000)
+        assert not access.row_hit
+
+    def test_bank_contention_serializes(self):
+        p = MemoryParams()
+        dram = Dram(p)
+        a1 = dram.access(0, 0)
+        a2 = dram.access(128, 0)   # same bank, same row
+        # Second access waits for the first bank service to finish.
+        assert a2.data_ready > a1.data_ready
+
+    def test_contention_free_service_row_miss(self):
+        p = MemoryParams()
+        dram = Dram(p)
+        access = dram.access(0, 0)
+        assert access.data_ready == (p.bank_service_row_miss
+                                     + p.channel_transfer_l2_line)
+
+    def test_row_hit_rate(self):
+        dram = Dram(MemoryParams())
+        dram.access(0, 0)
+        dram.access(128, 1000)
+        assert dram.row_hit_rate == pytest.approx(0.5)
+
+    def test_access_no_transfer_skips_channel(self):
+        p = MemoryParams()
+        dram = Dram(p)
+        access = dram.access_no_transfer(0, 0)
+        assert access.data_ready == p.bank_service_row_miss

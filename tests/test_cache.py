@@ -1,0 +1,133 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memsys.cache import Cache
+from repro.params import CacheParams
+
+
+def small_cache(assoc: int = 2, sets: int = 4, line: int = 32) -> Cache:
+    return Cache(CacheParams(size_bytes=assoc * sets * line, assoc=assoc,
+                             line_bytes=line, hit_cycles=1))
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(10)
+        c.fill(10)
+        assert c.access(10)
+
+    def test_line_addr_conversion(self):
+        c = small_cache(line=32)
+        assert c.line_addr(0) == 0
+        assert c.line_addr(31) == 0
+        assert c.line_addr(32) == 1
+        assert c.line_addr(1000) == 31
+
+    def test_contains_does_not_touch_lru(self):
+        c = small_cache(assoc=2)
+        c.fill(0)
+        c.fill(4)  # same set (4 sets: 0 and 4 map to set 0)
+        assert c.contains(0)
+        c.fill(8)  # evicts LRU = 0 since contains() didn't refresh it
+        assert not c.contains(0)
+        assert c.contains(4)
+        assert c.contains(8)
+
+    def test_access_refreshes_lru(self):
+        c = small_cache(assoc=2)
+        c.fill(0)
+        c.fill(4)
+        c.access(0)        # 0 becomes MRU
+        c.fill(8)          # evicts 4
+        assert c.contains(0)
+        assert not c.contains(4)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(3)
+        assert c.invalidate(3)
+        assert not c.contains(3)
+        assert not c.invalidate(3)
+
+    def test_len_counts_resident_lines(self):
+        c = small_cache()
+        for line in range(5):
+            c.fill(line)
+        assert len(c) == 5
+
+
+class TestEvictions:
+    def test_eviction_returns_victim(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0)
+        ev = c.fill(2)  # same set in a 2-set cache
+        assert ev is not None
+        assert ev.line_addr == 0
+
+    def test_dirty_bit_propagates_to_eviction(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0)
+        c.access(0, is_write=True)
+        ev = c.fill(2)
+        assert ev.dirty
+
+    def test_clean_eviction(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0)
+        ev = c.fill(2)
+        assert not ev.dirty
+
+    def test_refill_does_not_evict(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0)
+        assert c.fill(0) is None
+
+    def test_refill_merges_dirty(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0, dirty=True)
+        c.fill(0, dirty=False)
+        ev = c.fill(2)
+        assert ev.dirty
+
+
+class TestPrefetchState:
+    def test_prefetched_line_starts_unreferenced(self):
+        c = small_cache()
+        c.fill(7, prefetched=True)
+        line = c.peek(7)
+        assert line.prefetched
+        assert not line.referenced
+
+    def test_demand_fill_starts_referenced(self):
+        c = small_cache()
+        c.fill(7)
+        assert c.peek(7).referenced
+
+    def test_access_marks_referenced(self):
+        c = small_cache()
+        c.fill(7, prefetched=True)
+        c.access(7)
+        assert c.peek(7).referenced
+
+    def test_unreferenced_prefetch_eviction_flagged(self):
+        c = small_cache(assoc=1, sets=2)
+        c.fill(0, prefetched=True)
+        ev = c.fill(2)
+        assert ev.prefetched
+        assert not ev.referenced
+
+
+class TestValidation:
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheParams(size_bytes=96, assoc=1, line_bytes=32,
+                              hit_cycles=1))
+
+    def test_set_occupancy(self):
+        c = small_cache(assoc=2, sets=4)
+        c.fill(0)
+        c.fill(4)
+        assert c.set_occupancy(0) == 2
+        assert c.set_occupancy(1) == 0

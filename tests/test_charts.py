@@ -1,0 +1,57 @@
+"""Tests for the terminal chart renderer."""
+
+from repro.experiments.charts import bar_chart, hbar, stacked_bar_chart
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(10, 10, width=5) == "█████"
+
+    def test_half_bar(self):
+        assert hbar(5, 10, width=4) == "██"
+
+    def test_zero_max(self):
+        assert hbar(5, 0) == ""
+
+    def test_clamped_overflow(self):
+        assert hbar(20, 10, width=4) == "████"
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart([("alpha", 1.0), ("b", 2.0)], width=10,
+                         title="T", unit="x")
+        assert "T" in text
+        assert "alpha" in text
+        assert "2.00x" in text
+
+    def test_longest_bar_fills_width(self):
+        text = bar_chart([("a", 1.0), ("b", 4.0)], width=8)
+        lines = text.splitlines()
+        assert "█" * 8 in lines[1]
+        assert "█" * 2 in lines[0]
+
+    def test_empty(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+
+class TestStackedBarChart:
+    def test_segments_and_legend(self):
+        text = stacked_bar_chart(
+            [("nopref", {"busy": 0.2, "beyondl2": 0.8}),
+             ("repl", {"busy": 0.2, "beyondl2": 0.4})],
+            segments=("busy", "beyondl2"), width=10, total_of=1.0)
+        assert "█" in text and "▓" in text
+        assert "busy" in text and "beyondl2" in text
+
+    def test_totals_printed(self):
+        text = stacked_bar_chart([("x", {"a": 0.3, "b": 0.3})],
+                                 segments=("a", "b"), total_of=1.0)
+        assert "0.60" in text
+
+    def test_bar_never_exceeds_width(self):
+        text = stacked_bar_chart([("x", {"a": 5.0})], segments=("a",),
+                                 width=10, total_of=1.0)
+        bar_line = text.splitlines()[0]
+        inside = bar_line.split("|")[1]
+        assert len(inside) == 10

@@ -1,0 +1,64 @@
+"""Tests for the CLI and the ablation sweeps."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments import ablations
+
+SMALL = 0.4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "repl" in out
+
+    def test_run(self, capsys):
+        assert cli_main(["run", "tree", "nopref", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+
+    def test_run_with_ulmt_prints_timing(self, capsys):
+        assert cli_main(["run", "tree", "repl", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ULMT" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+
+class TestAblations:
+    def test_num_levels_sweep(self):
+        points = ablations.sweep_num_levels("mcf", scale=SMALL,
+                                            levels=(1, 3))
+        assert [p.value for p in points] == [1, 3]
+        # One level cannot cover more than three levels on a repeating app.
+        assert points[0].coverage <= points[1].coverage + 0.02
+
+    def test_num_rows_sweep_monotone_coverage(self):
+        points = ablations.sweep_num_rows("mcf", scale=SMALL,
+                                          rows=(1024, 65536))
+        assert points[0].coverage <= points[1].coverage + 0.02
+
+    def test_queue_depth_drops(self):
+        points = ablations.sweep_queue_depth("cg", scale=SMALL,
+                                             depths=(2, 64))
+        drops_shallow = int(points[0].detail.split("=")[1])
+        drops_deep = int(points[1].detail.split("=")[1])
+        assert drops_shallow >= drops_deep
+
+    def test_filter_sweep_reports_filtered(self):
+        points = ablations.sweep_filter("mcf", scale=SMALL, sizes=(1, 32))
+        assert all("filtered=" in p.detail for p in points)
+
+    def test_rob_sweep_speedup_decreases(self):
+        points = ablations.sweep_rob("cg", scale=SMALL, robs=(4, 16))
+        assert points[0].speedup >= points[1].speedup - 0.05
+
+    def test_run_collects_all_sweeps(self):
+        results = ablations.run(scale=SMALL, apps=("tree",),
+                                sweeps=("num_succ",))
+        assert set(results) == {"num_succ"}
+        assert "tree" in results["num_succ"]

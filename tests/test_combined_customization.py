@@ -1,0 +1,135 @@
+"""Tests for algorithm composition and the Table 5 customisation registry."""
+
+import pytest
+
+from repro.core.algorithms import BasePrefetcher, ReplicatedPrefetcher
+from repro.core.combined import CombinedUlmtPrefetcher
+from repro.core.customization import (
+    CUSTOMIZATIONS,
+    ProfilingAlgorithm,
+    build_algorithm,
+    customization_for,
+)
+from repro.core.sequential import SequentialUlmtPrefetcher
+
+
+class TestCombined:
+    def test_prefetches_concatenate_in_order(self):
+        combined = build_algorithm("seq1+repl")
+        # Train the sequential part with a stream and the repl part by
+        # learning the same misses.  After miss 102 the stream has
+        # prefetched up to line 108 (NumPref=6).
+        for miss in (100, 101, 102):
+            combined.prefetch_step(miss)
+            combined.learn(miss)
+        batch = combined.prefetch_step(103)
+        # Sequential contribution comes first (low response time): the
+        # consumption of line 103 tops the stream window up to 109.
+        assert batch[0] == 109
+
+    def test_batches_per_component(self):
+        combined = build_algorithm("seq1+repl")
+        for miss in (100, 101, 102):
+            combined.prefetch_step(miss)
+            combined.learn(miss)
+        batches = list(combined.prefetch_batches(103))
+        assert len(batches) == 2
+
+    def test_batch_dedup_across_components(self):
+        combined = build_algorithm("seq1+repl")
+        for miss in (100, 101, 102, 103):
+            combined.prefetch_step(miss)
+            combined.learn(miss)
+        batches = list(combined.prefetch_batches(100))
+        flat = [a for b in batches for a in b]
+        assert len(flat) == len(set(flat))
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedUlmtPrefetcher([])
+
+    def test_name(self):
+        assert build_algorithm("seq1+repl").name == "seq1+repl"
+
+
+class TestBuildAlgorithm:
+    def test_simple_names(self):
+        assert isinstance(build_algorithm("base"), BasePrefetcher)
+        assert isinstance(build_algorithm("repl"), ReplicatedPrefetcher)
+        assert isinstance(build_algorithm("seq4"), SequentialUlmtPrefetcher)
+
+    def test_overrides(self):
+        repl4 = build_algorithm("repl@levels=4")
+        assert repl4.params.num_levels == 4
+        small = build_algorithm("repl@rows=1024")
+        assert small.params.num_rows == 1024
+
+    def test_num_rows_argument(self):
+        algo = build_algorithm("base", num_rows=2048)
+        assert algo.params.num_rows == 2048
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_algorithm("magic")
+
+    def test_malformed_override_rejected(self):
+        with pytest.raises(ValueError):
+            build_algorithm("repl@levels")
+
+    def test_components_get_distinct_table_addresses(self):
+        combined = build_algorithm("repl+base")
+        addr0 = combined.components[0].table.base_addr
+        addr1 = combined.components[1].table.base_addr
+        assert addr0 != addr1
+
+
+class TestTable5:
+    def test_cg_runs_seq1_repl_verbose(self):
+        c = customization_for("cg")
+        assert c.algorithm == "seq1+repl"
+        assert c.verbose
+
+    def test_mst_mcf_run_repl_levels4(self):
+        for app in ("mst", "mcf"):
+            c = customization_for(app)
+            assert c.algorithm == "repl@levels=4"
+            assert not c.verbose
+
+    def test_other_apps_have_no_customization(self):
+        for app in ("equake", "ft", "gap", "parser", "sparse", "tree"):
+            assert customization_for(app) is None
+
+    def test_registry_has_exactly_three_entries(self):
+        assert set(CUSTOMIZATIONS) == {"cg", "mst", "mcf"}
+
+
+class TestProfiling:
+    def test_collects_page_histogram(self):
+        p = ProfilingAlgorithm(page_lines=4)
+        for miss in (0, 1, 2, 3, 4, 8):
+            p.learn(miss)
+        assert p.page_misses[0] == 4
+        assert p.page_misses[1] == 1
+        assert p.page_misses[2] == 1
+        assert p.hot_pages(1) == [(0, 4)]
+
+    def test_conflict_sets(self):
+        p = ProfilingAlgorithm(l2_sets=4)
+        for _ in range(99):
+            p.learn(8)   # set 0
+        p.learn(1)
+        assert p.conflict_sets(threshold_fraction=0.5) == [0]
+
+    def test_standalone_never_prefetches(self):
+        p = ProfilingAlgorithm()
+        p.learn(1)
+        assert p.prefetch_step(1) == []
+
+    def test_wraps_inner_algorithm(self):
+        inner = build_algorithm("repl")
+        p = ProfilingAlgorithm(inner=inner)
+        for miss in (100, 200, 100):
+            p.prefetch_step(miss)
+            p.learn(miss)
+        assert p.total_misses == 3
+        assert p.prefetch_step(100) == [200]

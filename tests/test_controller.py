@@ -1,0 +1,85 @@
+"""Tests for the memory controller: round trips and contention."""
+
+import pytest
+
+from repro.memsys.controller import MemoryController
+from repro.params import MemoryParams, MemProcLocation
+
+
+class TestContentionFreeRoundTrips:
+    """The paper's Table 3 latencies, end to end through the controller."""
+
+    def test_demand_fetch_row_miss(self):
+        ctrl = MemoryController()
+        completion = ctrl.demand_fetch(0, 0)
+        assert completion == 243
+
+    def test_demand_fetch_row_hit(self):
+        ctrl = MemoryController()
+        ctrl.demand_fetch(0, 0)
+        # Second access to the same row, long after contention has drained.
+        completion = ctrl.demand_fetch(128, 10_000)
+        assert completion - 10_000 == 208
+
+    def test_memproc_fetch_in_dram(self):
+        ctrl = MemoryController(location=MemProcLocation.DRAM)
+        assert ctrl.memproc_fetch(0, 0) == 56
+        assert ctrl.memproc_fetch(128, 10_000) - 10_000 == 21
+
+    def test_memproc_fetch_in_north_bridge(self):
+        ctrl = MemoryController(location=MemProcLocation.NORTH_BRIDGE)
+        assert ctrl.memproc_fetch(0, 0) == 100
+        assert ctrl.memproc_fetch(128, 10_000) - 10_000 == 65
+
+    def test_round_trip_helper_matches_params(self):
+        for loc in MemProcLocation:
+            ctrl = MemoryController(location=loc)
+            p = MemoryParams()
+            assert ctrl.memproc_round_trip(True) == p.memproc_round_trip(loc, True)
+            assert ctrl.memproc_round_trip(False) == p.memproc_round_trip(loc, False)
+
+
+class TestPrefetchPath:
+    def test_north_bridge_prefetch_pays_request_delay(self):
+        dram_ctrl = MemoryController(location=MemProcLocation.DRAM)
+        nb_ctrl = MemoryController(location=MemProcLocation.NORTH_BRIDGE)
+        t_dram = dram_ctrl.push_prefetch(0, 0)
+        t_nb = nb_ctrl.push_prefetch(0, 0)
+        assert t_nb - t_dram == MemoryParams().nb_prefetch_request_delay
+
+    def test_push_uses_prefetch_bus_class(self):
+        ctrl = MemoryController()
+        ctrl.push_prefetch(0, 0)
+        assert ctrl.bus.stats.prefetch_cycles > 0
+        assert ctrl.bus.stats.demand_cycles == 0
+
+    def test_push_is_one_way_traffic(self):
+        """A push occupies the bus once (reply direction only)."""
+        ctrl = MemoryController()
+        ctrl.push_prefetch(0, 0)
+        p = MemoryParams()
+        assert ctrl.bus.stats.prefetch_cycles == p.bus_transfer_l2_line
+
+
+class TestContention:
+    def test_demand_and_prefetch_share_bus(self):
+        ctrl = MemoryController()
+        t1 = ctrl.demand_fetch(0, 0)
+        # A prefetch racing the demand is delayed by bus/bank occupancy.
+        t2 = ctrl.push_prefetch(64, 0)
+        solo = MemoryController().push_prefetch(64, 0)
+        assert t2 >= solo
+
+    def test_writeback_consumes_bus(self):
+        ctrl = MemoryController()
+        ctrl.writeback(0, 0)
+        assert ctrl.bus.stats.writeback_cycles == MemoryParams().bus_transfer_l2_line
+
+    def test_counters(self):
+        ctrl = MemoryController()
+        ctrl.demand_fetch(0, 0)
+        ctrl.push_prefetch(64, 0)
+        ctrl.memproc_fetch(128, 0)
+        assert ctrl.demand_fetches == 1
+        assert ctrl.prefetch_pushes == 1
+        assert ctrl.memproc_fetches == 1

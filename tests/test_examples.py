@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end (tiny scales)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", ["0.05"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ULMT" in out
+
+    def test_custom_prefetcher(self, capsys):
+        run_example("custom_prefetcher.py", ["0.05"])
+        out = capsys.readouterr().out
+        assert "repl@levels=4" in out
+        assert "verbose" in out
+
+    def test_placement_study(self, capsys):
+        run_example("placement_study.py", ["0.05", "tree"])
+        out = capsys.readouterr().out
+        assert "NB" in out or "North Bridge" in out
+
+    def test_adaptive_phases(self, capsys):
+        run_example("adaptive_phases.py", [])
+        out = capsys.readouterr().out
+        assert "selected: seq4" in out
+        assert "selected: repl" in out
+
+    def test_miss_profiling(self, capsys):
+        run_example("miss_profiling.py", ["0.05"])
+        out = capsys.readouterr().out
+        assert "Hottest pages" in out
+        assert "Predictability" in out
+
+    def test_os_multiprogramming(self, capsys):
+        run_example("os_multiprogramming.py", [])
+        out = capsys.readouterr().out
+        assert "registered" in out
+        assert "page re-map" in out
+        assert "aggregate correlation-table memory" in out

@@ -1,0 +1,131 @@
+"""Smoke tests for the table/figure reproduction modules (small subsets)."""
+
+import pytest
+
+from repro.experiments import (
+    common,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SCALE = 0.4
+ONE_APP = ["mcf"]
+
+
+@pytest.fixture(autouse=True)
+def keep_cache():
+    """Share the result cache across these tests (same scale/app)."""
+    yield
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        assert table1.verify_against_paper(table1.run())
+
+    def test_table2_sizing(self):
+        sizings = table2.run(scale=SCALE, apps=ONE_APP)
+        assert len(sizings) == 1
+        s = sizings[0]
+        assert s.num_rows & (s.num_rows - 1) == 0
+        assert s.size_mbytes("repl") > s.size_mbytes("chain")
+        # Row-size arithmetic: 28/12 bytes per row.
+        assert s.size_mbytes("repl") / s.size_mbytes("chain") == pytest.approx(28 / 12)
+
+    def test_table3_round_trips(self):
+        assert table3.verify_round_trips()
+        groups = table3.run()
+        assert "Main processor" in groups
+
+    def test_table4_six_rows(self):
+        assert len(table4.run()) == 6
+
+    def test_table5_groups(self):
+        rows = table5.run()
+        apps = "".join(a for a, _ in rows)
+        assert "CG" in apps and "MCF" in apps and "MST" in apps
+
+
+class TestFigures:
+    def test_fig5_one_app(self):
+        result = fig5.run(scale=SCALE, apps=ONE_APP,
+                          predictors=("seq4", "repl"))
+        levels = result["apps"]["mcf"]["repl"].levels
+        assert len(levels) == 3
+        # Mcf: pair-based predicts, sequential does not (paper Figure 5).
+        assert levels[0] > result["apps"]["mcf"]["seq4"].levels[0]
+
+    def test_fig6_one_app(self):
+        result = fig6.run(scale=SCALE, apps=ONE_APP)
+        fractions = result["apps"][0].fractions
+        assert sum(fractions) == pytest.approx(1.0)
+        # Mcf is dependent-miss bound: the round-trip bin dominates.
+        assert fractions[2] == max(fractions)
+
+    def test_fig7_one_app(self):
+        result = fig7.run(scale=SCALE, apps=ONE_APP,
+                          configs=("nopref", "base", "repl"),
+                          include_custom=False)
+        bars = {b.config: b for b in result["bars"]["mcf"]}
+        assert bars["nopref"].normalized_time == pytest.approx(1.0)
+        assert bars["repl"].speedup > bars["base"].speedup * 0.95
+        assert bars["repl"].speedup > 1.1
+
+    def test_fig8_one_app(self):
+        result = fig8.run(scale=SCALE, apps=ONE_APP)
+        dram = result["avg_speedups"]["conven4+repl"]
+        nb = result["avg_speedups"]["conven4+replMC"]
+        assert nb <= dram * 1.05
+        assert nb > dram * 0.7
+
+    def test_fig9_one_app(self):
+        result = fig9.run(scale=SCALE, apps=ONE_APP, configs=("repl",))
+        group = result["groups"]["repl"]
+        assert "avg-other-7" in group
+        breakdown = group["avg-other-7"]
+        assert 0.0 < breakdown.coverage <= 1.0
+
+    def test_fig10_one_app(self):
+        bars = fig10.run(scale=SCALE, apps=ONE_APP,
+                         configs=("repl", "replMC"))
+        by_name = {b.config: b for b in bars}
+        assert by_name["repl"].occupancy < 200
+        assert by_name["replMC"].response > by_name["repl"].response
+        assert by_name["repl"].ipc > 0
+
+    def test_fig11_one_app(self):
+        bars = fig11.run(scale=SCALE, apps=ONE_APP,
+                         configs=("nopref", "repl"))
+        by_name = {b.config: b for b in bars}
+        assert by_name["nopref"].prefetch_part == 0.0
+        assert by_name["repl"].prefetch_part > 0.0
+        assert 0 < by_name["repl"].utilization < 1
+
+
+class TestCommon:
+    def test_format_table(self):
+        text = common.format_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                                   title="T")
+        assert "T" in text and "333" in text
+
+    def test_resolve_scale(self):
+        assert common.resolve_scale(0.5) == 0.5
+        assert common.resolve_scale(None) == common.DEFAULT_SCALE
+
+    def test_cached_run_reuses_results(self):
+        r1 = common.cached_run("mcf", "nopref", SCALE)
+        r2 = common.cached_run("mcf", "nopref", SCALE)
+        assert r1 is r2
+
+    def test_fmt_pct(self):
+        assert common.fmt(1.234) == "1.23"
+        assert common.pct(0.5) == "50%"

@@ -1,0 +1,57 @@
+"""Tests for the Filter module (Figure 3)."""
+
+import pytest
+
+from repro.core.prefetch_filter import PrefetchFilter
+
+
+class TestFilter:
+    def test_first_occurrence_admitted(self):
+        f = PrefetchFilter(4)
+        assert f.admit(1)
+        assert f.passed == 1
+
+    def test_repeat_dropped(self):
+        f = PrefetchFilter(4)
+        f.admit(1)
+        assert not f.admit(1)
+        assert f.dropped == 1
+
+    def test_fifo_eviction_reopens_address(self):
+        f = PrefetchFilter(2)
+        f.admit(1)
+        f.admit(2)
+        f.admit(3)  # evicts 1
+        assert not f.contains(1)
+        assert f.admit(1)
+
+    def test_drop_leaves_list_unmodified(self):
+        """Per the paper: a filtered request does not refresh its entry."""
+        f = PrefetchFilter(2)
+        f.admit(1)
+        f.admit(2)
+        f.admit(1)       # dropped, 1 stays at the FIFO head
+        f.admit(3)       # evicts 1 (not 2)
+        assert not f.contains(1)
+        assert f.contains(2)
+        assert f.contains(3)
+
+    def test_reset(self):
+        f = PrefetchFilter(4)
+        f.admit(1)
+        f.reset()
+        assert len(f) == 0
+        assert f.admit(1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchFilter(0)
+
+    def test_default_is_32_entries(self):
+        f = PrefetchFilter()
+        assert f.entries == 32
+        for i in range(32):
+            assert f.admit(i)
+        assert not f.admit(0)   # still resident
+        assert f.admit(32)      # evicts 0
+        assert f.admit(0)

@@ -1,0 +1,185 @@
+"""Tests for the L2 cache with push-prefetch support (paper Section 2.1)."""
+
+import pytest
+
+from repro.memsys.l2 import DemandKind, L2Cache
+from repro.params import CacheParams
+
+SMALL_L2 = CacheParams(size_bytes=4 * 4 * 64, assoc=4, line_bytes=64,
+                       hit_cycles=19)
+
+
+def make_l2(mshrs: int = 8) -> L2Cache:
+    return L2Cache(SMALL_L2, mshr_capacity=mshrs)
+
+
+class TestDemandPath:
+    def test_cold_miss(self):
+        l2 = make_l2()
+        outcome = l2.demand_lookup(1, False, 0)
+        assert outcome.kind is DemandKind.MISS
+
+    def test_miss_then_fill_then_hit(self):
+        l2 = make_l2()
+        l2.demand_lookup(1, False, 0)
+        l2.register_demand_miss(1, False, 0, 100)
+        l2.retire(100)
+        outcome = l2.demand_lookup(1, False, 101)
+        assert outcome.kind is DemandKind.HIT
+
+    def test_secondary_miss_merges(self):
+        l2 = make_l2()
+        l2.demand_lookup(1, False, 0)
+        l2.register_demand_miss(1, False, 0, 100)
+        outcome = l2.demand_lookup(1, False, 50)
+        assert outcome.kind is DemandKind.PENDING
+        assert outcome.completion_time == 100
+        assert not outcome.pending_is_prefetch
+
+    def test_mshr_full_reports_earliest_free(self):
+        l2 = make_l2(mshrs=1)
+        l2.demand_lookup(1, False, 0)
+        l2.register_demand_miss(1, False, 0, 100)
+        outcome = l2.demand_lookup(2, False, 10)
+        assert outcome.kind is DemandKind.MISS_MSHR_FULL
+        assert outcome.earliest_free == 100
+
+    def test_store_miss_fills_dirty(self):
+        l2 = make_l2()
+        l2.demand_lookup(1, True, 0)
+        l2.register_demand_miss(1, True, 0, 100)
+        l2.retire(100)
+        assert l2.cache.peek(1).dirty
+
+
+class TestPushPrefetch:
+    def test_accept_fills_as_prefetched(self):
+        l2 = make_l2()
+        assert l2.accept_prefetch(1, 0) == "filled"
+        line = l2.cache.peek(1)
+        assert line.prefetched and not line.referenced
+        assert l2.stats.accepted_prefetches == 1
+
+    def test_redundant_dropped(self):
+        """Drop rule 1: the cache already holds the line."""
+        l2 = make_l2()
+        l2.accept_prefetch(1, 0)
+        assert l2.accept_prefetch(1, 5) == "redundant"
+        assert l2.stats.redundant_prefetches == 1
+
+    def test_writeback_match_dropped(self):
+        """Drop rule 2: the write-back queue holds the line."""
+        l2 = make_l2()
+        l2.writeback_queue.push(1)
+        assert l2.accept_prefetch(1, 0) == "writeback_match"
+
+    def test_mshr_full_dropped(self):
+        """Drop rule 3: all MSHRs are busy."""
+        l2 = make_l2(mshrs=1)
+        l2.register_prefetch_inflight(9, 0, 1000)
+        assert l2.accept_prefetch(1, 0) == "mshr_full"
+        assert l2.stats.dropped_mshr_full == 1
+
+    def test_set_pending_dropped(self):
+        """Drop rule 4: every way of the target set is transaction-pending."""
+        l2 = make_l2(mshrs=8)
+        # SMALL_L2 has 4 sets; lines 0, 4, 8, 12 all map to set 0.
+        for line in (0, 4, 8, 12):
+            l2.register_demand_miss(line, False, 0, 10_000)
+        assert l2.accept_prefetch(16, 0) == "set_pending"
+
+    def test_steal_pending_demand(self):
+        """A prefetched line arriving for a pending demand steals the MSHR."""
+        l2 = make_l2()
+        l2.demand_lookup(1, False, 0)
+        l2.register_demand_miss(1, False, 0, 500)
+        assert l2.accept_prefetch(1, 100) == "steal"
+        assert l2.cache.contains(1)
+        assert l2.mshrs.lookup(1) is None
+
+    def test_prefetch_first_touch_counts_hit(self):
+        l2 = make_l2()
+        l2.accept_prefetch(1, 0)
+        outcome = l2.demand_lookup(1, False, 10)
+        assert outcome.kind is DemandKind.HIT
+        assert outcome.prefetch_first_touch
+        assert l2.stats.prefetch_hits == 1
+        # Second touch is an ordinary hit.
+        outcome = l2.demand_lookup(1, False, 20)
+        assert not outcome.prefetch_first_touch
+        assert l2.stats.prefetch_hits == 1
+
+
+class TestInflightPrefetchMerge:
+    def test_demand_merges_with_inflight_prefetch(self):
+        l2 = make_l2()
+        assert l2.register_prefetch_inflight(1, 0, 300)
+        outcome = l2.demand_lookup(1, False, 100)
+        assert outcome.kind is DemandKind.PENDING
+        assert outcome.pending_is_prefetch
+        assert l2.stats.delayed_hits == 1
+
+    def test_merge_after_arrival_counts_full_hit(self):
+        l2 = make_l2()
+        l2.register_prefetch_inflight(1, 0, 300)
+        # demand_lookup retires completed MSHRs first, so at t=300 the line
+        # is already installed and this is a plain prefetched-line hit.
+        outcome = l2.demand_lookup(1, False, 300)
+        assert outcome.kind is DemandKind.HIT
+        assert l2.stats.prefetch_hits == 1
+
+    def test_register_inflight_rejects_duplicates(self):
+        l2 = make_l2()
+        assert l2.register_prefetch_inflight(1, 0, 300)
+        assert not l2.register_prefetch_inflight(1, 10, 400)
+
+
+class TestReplacedClassification:
+    def test_unreferenced_prefetch_eviction_counted(self):
+        l2 = make_l2()
+        # Fill set 0 (lines 0,4,8,12) with prefetches, then push one more.
+        for line in (0, 4, 8, 12):
+            l2.accept_prefetch(line, 0)
+        l2.accept_prefetch(16, 10)
+        assert l2.stats.replaced_prefetches == 1
+
+    def test_referenced_prefetch_eviction_not_counted(self):
+        l2 = make_l2()
+        for line in (0, 4, 8, 12):
+            l2.accept_prefetch(line, 0)
+            l2.demand_lookup(line, False, 1)
+        l2.accept_prefetch(16, 10)
+        assert l2.stats.replaced_prefetches == 0
+
+
+class TestWritebacks:
+    def test_dirty_eviction_enters_writeback_queue(self):
+        l2 = make_l2()
+        for line in (0, 4, 8, 12):
+            l2.demand_lookup(line, True, 0)
+            l2.register_demand_miss(line, True, 0, 1)
+        l2.retire(1)
+        l2.demand_lookup(16, False, 2)
+        l2.register_demand_miss(16, False, 2, 3)
+        l2.retire(3)
+        assert len(l2.writeback_queue) == 1
+
+    def test_flush_writebacks(self):
+        l2 = make_l2()
+        l2.writeback_queue.push(3)
+        l2.writeback_queue.push(7)
+        assert l2.flush_writebacks() == [3, 7]
+        assert l2.stats.writebacks == 2
+
+
+class TestCoverage:
+    def test_coverage_formula(self):
+        l2 = make_l2()
+        l2.stats.prefetch_hits = 30
+        l2.stats.delayed_hits = 20
+        l2.stats.nonpref_misses = 50
+        assert l2.stats.coverage() == pytest.approx(0.5)
+        assert l2.stats.original_misses_equivalent == 100
+
+    def test_empty_coverage(self):
+        assert make_l2().stats.coverage() == 0.0

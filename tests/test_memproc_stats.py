@@ -1,0 +1,107 @@
+"""Tests for the memory-processor wrapper and the stats containers."""
+
+import pytest
+
+from repro.cpu.memproc import MemoryProcessor
+from repro.cpu.processor import ProcessorStats
+from repro.core.customization import build_algorithm
+from repro.memsys.bus import BusStats
+from repro.memsys.controller import MemoryController
+from repro.memsys.l2 import L2Stats
+from repro.params import MemProcLocation, QueueParams
+from repro.sim.stats import SimResult, UlmtTimingStats
+
+
+def make_memproc(location=MemProcLocation.DRAM, **kw) -> MemoryProcessor:
+    ctrl = MemoryController(location=location)
+    return MemoryProcessor(ctrl, build_algorithm("repl"), **kw)
+
+
+class TestMemoryProcessor:
+    def test_location_follows_controller(self):
+        mp = make_memproc(MemProcLocation.NORTH_BRIDGE)
+        assert mp.location is MemProcLocation.NORTH_BRIDGE
+
+    def test_observe_forwards_to_ulmt(self):
+        mp = make_memproc()
+        mp.observe_miss(100, 0)
+        assert mp.ulmt.stats.misses_observed == 1
+
+    def test_queue_params_respected(self):
+        mp = make_memproc(queue_params=QueueParams(queue_depth=2,
+                                                   filter_entries=4))
+        assert mp.ulmt.obs_queue.depth == 2
+        assert mp.ulmt.filter.entries == 4
+
+    def test_verbose_flag(self):
+        mp = make_memproc(verbose=True)
+        assert mp.ulmt.verbose
+
+    def test_nb_placement_slower_table_misses(self):
+        """The cost model wired through the controller sees the placement:
+        a cold table access stalls longer from the North Bridge."""
+        dram = make_memproc(MemProcLocation.DRAM)
+        nb = make_memproc(MemProcLocation.NORTH_BRIDGE)
+        for mp in (dram, nb):
+            mp.cost_model.begin(0)
+            mp.cost_model.charge_row_access(0x8000_0000)
+        assert (nb.cost_model._stall > dram.cost_model._stall)
+
+
+class TestProcessorStats:
+    def test_breakdown_sums_to_one(self):
+        stats = ProcessorStats(busy_cycles=20, uptol2_stall=30,
+                               beyondl2_stall=50)
+        bd = stats.breakdown()
+        assert sum(bd.values()) == pytest.approx(1.0)
+        assert bd["beyondl2"] == pytest.approx(0.5)
+
+    def test_empty_breakdown(self):
+        assert ProcessorStats().breakdown() == {
+            "busy": 0.0, "uptol2": 0.0, "beyondl2": 0.0}
+
+
+class TestSimResult:
+    def make(self, finish=1000, **l2_kw) -> SimResult:
+        proc = ProcessorStats(busy_cycles=300, uptol2_stall=200,
+                              beyondl2_stall=500, finish_time=finish)
+        l2 = L2Stats(**l2_kw)
+        return SimResult(workload="w", config_name="c", processor=proc,
+                         l2=l2, bus=BusStats())
+
+    def test_speedup_over(self):
+        fast = self.make(finish=500)
+        slow = self.make(finish=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_normalized_breakdown_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            self.make().normalized_breakdown(0)
+
+    def test_miss_breakdown_empty(self):
+        result = self.make()
+        assert all(v == 0.0 for v in result.miss_breakdown().values())
+
+    def test_miss_breakdown_values(self):
+        result = self.make(prefetch_hits=25, delayed_hits=25,
+                           nonpref_misses=50, replaced_prefetches=10,
+                           redundant_prefetches=20)
+        mb = result.miss_breakdown()
+        assert mb["hits"] == pytest.approx(0.25)
+        assert mb["redundant"] == pytest.approx(0.20)
+        assert result.coverage() == pytest.approx(0.5)
+
+    def test_miss_distance_fractions_empty(self):
+        assert self.make().miss_distance_fractions() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_bus_utilization_delegates(self):
+        result = self.make(finish=100)
+        result.bus.demand_cycles = 50
+        assert result.bus_utilization() == pytest.approx(0.5)
+
+
+class TestUlmtTimingStats:
+    def test_defaults(self):
+        t = UlmtTimingStats()
+        assert t.avg_response == 0.0
+        assert t.observations == 0

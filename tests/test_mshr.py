@@ -1,0 +1,66 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.memsys.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        m = MshrFile(2)
+        entry = m.allocate(5, is_prefetch=False, issue_time=0,
+                           completion_time=100)
+        assert entry is not None
+        assert m.lookup(5) is entry
+        assert m.lookup(6) is None
+
+    def test_full_returns_none(self):
+        m = MshrFile(1)
+        assert m.allocate(1, False, 0, 10) is not None
+        assert m.allocate(2, False, 0, 10) is None
+        assert m.full
+
+    def test_duplicate_allocation_raises(self):
+        m = MshrFile(2)
+        m.allocate(1, False, 0, 10)
+        with pytest.raises(ValueError):
+            m.allocate(1, True, 5, 20)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestRetirement:
+    def test_retire_completed_frees_entries(self):
+        m = MshrFile(4)
+        m.allocate(1, False, 0, 10)
+        m.allocate(2, False, 0, 20)
+        m.allocate(3, True, 0, 30)
+        done = m.retire_completed(20)
+        assert {e.line_addr for e in done} == {1, 2}
+        assert len(m) == 1
+        assert m.lookup(3) is not None
+
+    def test_retire_at_exact_completion(self):
+        m = MshrFile(1)
+        m.allocate(1, False, 0, 10)
+        assert len(m.retire_completed(10)) == 1
+
+    def test_free_removes_entry(self):
+        m = MshrFile(1)
+        m.allocate(1, False, 0, 10)
+        entry = m.free(1)
+        assert entry.line_addr == 1
+        assert not m.full
+
+    def test_free_missing_raises(self):
+        m = MshrFile(1)
+        with pytest.raises(KeyError):
+            m.free(9)
+
+    def test_outstanding_lists_entries(self):
+        m = MshrFile(3)
+        m.allocate(1, False, 0, 10)
+        m.allocate(2, True, 0, 20)
+        assert {e.line_addr for e in m.outstanding()} == {1, 2}

@@ -1,0 +1,143 @@
+"""Tests for the OS-integration layer (paper Section 3.4)."""
+
+import pytest
+
+from repro.core.os_support import UlmtRegistry, _tables_of
+from repro.core.customization import build_algorithm
+from repro.memsys.controller import MemoryController
+
+
+def make_registry() -> UlmtRegistry:
+    return UlmtRegistry(MemoryController())
+
+
+class TestRegistration:
+    def test_register_creates_per_app_ulmt(self):
+        reg = make_registry()
+        a = reg.register("mcf")
+        b = reg.register("tree")
+        assert len(reg) == 2
+        assert a.ulmt is not b.ulmt
+
+    def test_duplicate_registration_rejected(self):
+        reg = make_registry()
+        reg.register("mcf")
+        with pytest.raises(ValueError):
+            reg.register("mcf")
+
+    def test_table5_customization_applied_automatically(self):
+        reg = make_registry()
+        cg = reg.register("cg")
+        assert cg.ulmt.verbose
+        assert cg.ulmt.algorithm.name == "seq1+repl"
+        mcf = reg.register("mcf")
+        # Table 5: Repl with NumLevels = 4.
+        assert mcf.ulmt.algorithm.params.num_levels == 4
+
+    def test_explicit_algorithm_overrides_table5(self):
+        reg = make_registry()
+        entry = reg.register("cg", algorithm="base", verbose=False)
+        assert entry.ulmt.algorithm.name == "base"
+        assert not entry.ulmt.verbose
+
+    def test_tables_do_not_interfere(self):
+        """The central multiprogramming claim: per-app tables."""
+        reg = make_registry()
+        a = reg.register("appA", algorithm="repl")
+        b = reg.register("appB", algorithm="repl")
+        for t in (0, 1, 2, 3):
+            a.ulmt.observe_miss(100 + t, t * 1000)
+        assert len(b.ulmt.algorithm.table) == 0
+
+    def test_tables_live_at_disjoint_addresses(self):
+        reg = make_registry()
+        a = reg.register("appA", algorithm="repl")
+        b = reg.register("appB", algorithm="repl")
+        assert (a.ulmt.algorithm.table.base_addr
+                != b.ulmt.algorithm.table.base_addr)
+
+    def test_unregister(self):
+        reg = make_registry()
+        reg.register("a")
+        reg.register("b")
+        reg.unregister("a")
+        assert len(reg) == 1
+        assert reg.active == "b"
+
+
+class TestScheduling:
+    def test_first_registered_is_active(self):
+        reg = make_registry()
+        reg.register("a")
+        reg.register("b")
+        assert reg.active == "a"
+
+    def test_switch_resets_transient_state_only(self):
+        reg = make_registry()
+        a = reg.register("a", algorithm="repl")
+        reg.register("b", algorithm="repl")
+        for t, miss in enumerate((1, 2, 3)):
+            a.ulmt.observe_miss(miss, t * 1000)
+        rows_before = len(a.ulmt.algorithm.table)
+        reg.switch_to("b")
+        # The table (in memory) survives; the pointer window does not.
+        assert len(a.ulmt.algorithm.table) == rows_before
+        assert len(a.ulmt.algorithm._pointers) == 0
+        assert a.context_switches == 1
+
+    def test_switch_to_self_is_noop(self):
+        reg = make_registry()
+        a = reg.register("a")
+        reg.switch_to("a")
+        assert a.context_switches == 0
+
+    def test_switch_to_unknown_rejected(self):
+        reg = make_registry()
+        reg.register("a")
+        with pytest.raises(KeyError):
+            reg.switch_to("ghost")
+
+    def test_observe_routes_to_active(self):
+        reg = make_registry()
+        a = reg.register("a", algorithm="repl")
+        b = reg.register("b", algorithm="repl")
+        reg.observe_miss(42, 0)
+        reg.switch_to("b")
+        reg.observe_miss(43, 10_000)
+        assert a.ulmt.stats.misses_observed == 1
+        assert b.ulmt.stats.misses_observed == 1
+
+
+class TestPageRemap:
+    def test_remap_relocates_rows(self):
+        reg = make_registry()
+        entry = reg.register("a", algorithm="repl")
+        ulmt = entry.ulmt
+        # Misses within page 1 (lines 64..127).
+        for t, miss in enumerate((64, 65, 66)):
+            ulmt.observe_miss(miss, t * 1000)
+        moved = reg.remap_page("a", old_page=1, new_page=9)
+        assert moved == 3
+        assert entry.pages_remapped == 1
+        table = ulmt.algorithm.table
+        assert table.peek(9 * 64) is not None
+        assert table.peek(64) is None
+
+    def test_remap_for_sequential_ulmt_is_safe(self):
+        reg = make_registry()
+        reg.register("a", algorithm="seq4")
+        assert reg.remap_page("a", 1, 2) == 0
+
+
+class TestAccounting:
+    def test_total_table_bytes(self):
+        reg = make_registry()
+        reg.register("a", algorithm="repl")
+        reg.register("b", algorithm="seq1+repl")
+        total = reg.total_table_bytes()
+        repl_bytes = build_algorithm("repl").table.size_bytes
+        assert total == 2 * repl_bytes  # seq1 has no table
+
+    def test_tables_of_finds_nested(self):
+        combined = build_algorithm("repl+base")
+        assert len(_tables_of(combined)) == 2

@@ -1,0 +1,115 @@
+"""Tests for repro.params: the Table 3/4 constants and latency identities."""
+
+import pytest
+
+from repro.params import (
+    BASE_PARAMS,
+    CHAIN_PARAMS,
+    CONVEN4_PARAMS,
+    MAIN_L1,
+    MAIN_L2,
+    MEMPROC_L1,
+    MEMORY,
+    REPL_PARAMS,
+    ROW_BYTES,
+    SEQ1_PARAMS,
+    SEQ4_PARAMS,
+    CacheParams,
+    CorrelationParams,
+    MemProcessorParams,
+    MemProcLocation,
+    MemoryParams,
+)
+
+
+class TestRoundTripIdentities:
+    """The decomposed latencies must reproduce the paper's Table 3 RTs."""
+
+    def test_main_processor_row_hit(self):
+        assert MEMORY.main_round_trip(row_hit=True) == 208
+
+    def test_main_processor_row_miss(self):
+        assert MEMORY.main_round_trip(row_hit=False) == 243
+
+    def test_memproc_in_dram_row_hit(self):
+        assert MEMORY.memproc_round_trip(MemProcLocation.DRAM, True) == 21
+
+    def test_memproc_in_dram_row_miss(self):
+        assert MEMORY.memproc_round_trip(MemProcLocation.DRAM, False) == 56
+
+    def test_memproc_in_north_bridge_row_hit(self):
+        assert MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, True) == 65
+
+    def test_memproc_in_north_bridge_row_miss(self):
+        assert MEMORY.memproc_round_trip(MemProcLocation.NORTH_BRIDGE, False) == 100
+
+    def test_row_miss_penalty_is_35_cycles(self):
+        p = MemoryParams()
+        assert p.bank_service_row_miss - p.bank_service_row_hit == 35
+
+
+class TestCacheGeometry:
+    def test_main_l1_is_16kb_2way_32b(self):
+        assert MAIN_L1.size_bytes == 16 * 1024
+        assert MAIN_L1.assoc == 2
+        assert MAIN_L1.line_bytes == 32
+        assert MAIN_L1.hit_cycles == 3
+        assert MAIN_L1.num_sets == 256
+
+    def test_main_l2_is_512kb_4way_64b(self):
+        assert MAIN_L2.size_bytes == 512 * 1024
+        assert MAIN_L2.assoc == 4
+        assert MAIN_L2.line_bytes == 64
+        assert MAIN_L2.hit_cycles == 19
+        assert MAIN_L2.num_sets == 2048
+
+    def test_memproc_l1_is_32kb_2way_32b(self):
+        assert MEMPROC_L1.size_bytes == 32 * 1024
+        assert MEMPROC_L1.assoc == 2
+        assert MEMPROC_L1.line_bytes == 32
+        assert MEMPROC_L1.hit_cycles == 4
+
+    def test_num_sets_formula(self):
+        params = CacheParams(size_bytes=1024, assoc=2, line_bytes=32,
+                             hit_cycles=1)
+        assert params.num_sets == 16
+
+
+class TestAlgorithmParameters:
+    """Table 4 of the paper."""
+
+    def test_base(self):
+        assert BASE_PARAMS.num_succ == 4
+        assert BASE_PARAMS.assoc == 4
+        assert BASE_PARAMS.num_levels == 1
+
+    def test_chain(self):
+        assert CHAIN_PARAMS.num_succ == 2
+        assert CHAIN_PARAMS.assoc == 2
+        assert CHAIN_PARAMS.num_levels == 3
+
+    def test_repl(self):
+        assert REPL_PARAMS.num_succ == 2
+        assert REPL_PARAMS.assoc == 2
+        assert REPL_PARAMS.num_levels == 3
+
+    def test_sequential(self):
+        assert SEQ1_PARAMS.num_seq == 1
+        assert SEQ4_PARAMS.num_seq == 4
+        assert CONVEN4_PARAMS.num_seq == 4
+        for p in (SEQ1_PARAMS, SEQ4_PARAMS, CONVEN4_PARAMS):
+            assert p.num_pref == 6
+
+    def test_row_bytes_32bit_machine(self):
+        assert ROW_BYTES == {"base": 20, "chain": 12, "repl": 28}
+
+    def test_replaced_creates_modified_copy(self):
+        modified = REPL_PARAMS.replaced(num_levels=4)
+        assert modified.num_levels == 4
+        assert modified.num_succ == REPL_PARAMS.num_succ
+        assert REPL_PARAMS.num_levels == 3  # original untouched
+
+
+class TestProcessorParameters:
+    def test_clock_ratio(self):
+        assert MemProcessorParams().cycles_per_main_cycle == 2

@@ -1,0 +1,139 @@
+"""Tests for the main-processor timing model."""
+
+import pytest
+
+from repro.cpu.processor import (
+    LEVEL_L2,
+    LEVEL_MEM,
+    AccessResult,
+    MainProcessor,
+)
+from repro.cpu.stream_prefetcher import HardwareStreamPrefetcher
+from repro.params import MainProcessorParams
+from repro.workloads.trace import MemRef, Trace
+
+
+class FixedLatencyMemory:
+    """Everything below L1 answers with a fixed latency."""
+
+    def __init__(self, latency: int = 200, level: str = LEVEL_MEM) -> None:
+        self.latency = latency
+        self.level = level
+        self.accesses: list[tuple[int, bool, int, bool]] = []
+
+    def access(self, l2_line, is_write, now, is_prefetch):
+        self.accesses.append((l2_line, is_write, now, is_prefetch))
+        return AccessResult(now + self.latency, self.level)
+
+
+def run(refs, memory=None, **params):
+    memory = memory or FixedLatencyMemory()
+    proc = MainProcessor(memory, params=MainProcessorParams(**params))
+    stats = proc.run(Trace(refs))
+    return stats, memory
+
+
+class TestBusyAccounting:
+    def test_pure_compute(self):
+        refs = [MemRef(addr=i * 32, is_write=False, comp_cycles=10,
+                       dependent=False) for i in range(4)]
+        stats, mem = run(refs, FixedLatencyMemory(latency=0))
+        assert stats.busy_cycles == 40
+
+    def test_l1_hits_do_not_stall(self):
+        refs = [MemRef(0, False, 5, False) for _ in range(10)]
+        stats, mem = run(refs, FixedLatencyMemory(latency=1000))
+        # Only the first access leaves the L1.
+        assert len(mem.accesses) == 1
+
+
+class TestDependentStalls:
+    def test_dependent_load_waits_full_latency(self):
+        refs = [
+            MemRef(0 * 64, False, 0, False),
+            MemRef(1000 * 64, False, 0, True),   # must wait for ref 0
+        ]
+        stats, _ = run(refs, FixedLatencyMemory(latency=200))
+        assert stats.beyondl2_stall >= 200
+
+    def test_independent_loads_overlap(self):
+        refs = [MemRef(i * 1000 * 32, False, 0, False) for i in range(4)]
+        stats, _ = run(refs, FixedLatencyMemory(latency=200))
+        # Four independent misses overlap within the window; the drain at
+        # the end pays one latency, not four.
+        assert stats.total_cycles < 4 * 200
+
+    def test_stall_attribution_l2_vs_mem(self):
+        refs = [
+            MemRef(0, False, 0, False),
+            MemRef(64, False, 0, True),
+        ]
+        stats_l2, _ = run(refs, FixedLatencyMemory(latency=19, level=LEVEL_L2))
+        stats_mem, _ = run(refs, FixedLatencyMemory(latency=200, level=LEVEL_MEM))
+        assert stats_l2.uptol2_stall > 0 and stats_l2.beyondl2_stall == 0
+        assert stats_mem.beyondl2_stall > 0 and stats_mem.uptol2_stall == 0
+
+
+class TestWindows:
+    def test_pending_load_limit_blocks(self):
+        refs = [MemRef(i * 1000 * 32, False, 0, False) for i in range(20)]
+        stats, _ = run(refs, FixedLatencyMemory(latency=10_000),
+                       pending_loads=2, rob_refs=1000)
+        # With only 2 pending loads, the processor repeatedly stalls.
+        assert stats.beyondl2_stall > 0
+
+    def test_rob_limit_bounds_runahead(self):
+        refs = [MemRef(i * 1000 * 32, False, 1, False) for i in range(30)]
+        tight, _ = run(refs, FixedLatencyMemory(latency=500), rob_refs=2)
+        loose, _ = run(refs, FixedLatencyMemory(latency=500), rob_refs=1000)
+        assert tight.total_cycles > loose.total_cycles
+
+    def test_stores_do_not_block_on_rob(self):
+        """Stores use the 16-deep store buffer, not the load ROB limit, so
+        a store stream stalls far less than the same stream of loads."""
+        stores = [MemRef(i * 1000 * 32, True, 1, False) for i in range(30)]
+        loads = [MemRef(i * 1000 * 32, False, 1, False) for i in range(30)]
+        s_stats, _ = run(stores, FixedLatencyMemory(latency=500), rob_refs=2)
+        l_stats, _ = run(loads, FixedLatencyMemory(latency=500), rob_refs=2)
+        assert s_stats.beyondl2_stall < l_stats.beyondl2_stall
+
+    def test_drain_pays_outstanding(self):
+        refs = [MemRef(0, False, 0, False)]
+        stats, _ = run(refs, FixedLatencyMemory(latency=300))
+        assert stats.finish_time >= 300
+
+
+class TestStreamPrefetcherIntegration:
+    def test_prefetches_issued_on_stream(self):
+        mem = FixedLatencyMemory(latency=100)
+        proc = MainProcessor(mem, stream_prefetcher=HardwareStreamPrefetcher())
+        refs = [MemRef(i * 32, False, 2, False) for i in range(10)]
+        proc.run(Trace(refs))
+        prefetches = [a for a in mem.accesses if a[3]]
+        assert prefetches, "a unit-stride L1 miss stream must trigger prefetches"
+
+    def test_prefetched_lines_hit_l1_later(self):
+        mem = FixedLatencyMemory(latency=10)
+        proc = MainProcessor(mem, stream_prefetcher=HardwareStreamPrefetcher())
+        refs = [MemRef(i * 32, False, 50, False) for i in range(20)]
+        stats = proc.run(Trace(refs))
+        demand = [a for a in mem.accesses if not a[3]]
+        # Far fewer demand requests than L1 lines touched.
+        assert len(demand) < 20
+
+    def test_no_prefetcher_no_prefetch_traffic(self):
+        mem = FixedLatencyMemory()
+        proc = MainProcessor(mem)
+        refs = [MemRef(i * 32, False, 2, False) for i in range(10)]
+        proc.run(Trace(refs))
+        assert all(not a[3] for a in mem.accesses)
+
+
+class TestL1Granularity:
+    def test_two_l1_lines_per_l2_line(self):
+        mem = FixedLatencyMemory(latency=0)
+        proc = MainProcessor(mem)
+        proc.run(Trace([MemRef(0, False, 0, False),
+                        MemRef(32, False, 0, False)]))
+        # Both L1 misses, same L2 line 0.
+        assert [a[0] for a in mem.accesses] == [0, 0]

@@ -1,0 +1,72 @@
+"""System-level property tests: invariants of full simulations on random
+(small) traces under every prefetching configuration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.driver import run_simulation
+from repro.workloads.trace import MemRef, Trace
+
+CONFIGS = ("nopref", "conven4", "base", "repl", "dasp")
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4000),   # L2 line
+        st.booleans(),                              # write
+        st.integers(min_value=0, max_value=12),     # comp
+        st.booleans(),                              # dependent
+    ),
+    min_size=20, max_size=250,
+)
+
+
+def to_trace(raw) -> Trace:
+    return Trace([MemRef(line * 64, w, c, d) for line, w, c, d in raw],
+                 name="prop")
+
+
+class TestSystemInvariants:
+    @given(trace_strategy, st.sampled_from(CONFIGS))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_metrics(self, raw, config):
+        result = run_simulation(to_trace(raw), config)
+        assert result.execution_time >= 0
+        assert 0.0 <= result.coverage() <= 1.0
+        assert 0.0 <= result.bus_utilization() <= 1.0
+        assert result.bus_prefetch_utilization() <= result.bus_utilization() + 1e-9
+        mb = result.miss_breakdown()
+        assert all(v >= 0 for v in mb.values())
+
+    @given(trace_strategy, st.sampled_from(CONFIGS))
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_identity_holds_under_prefetching(self, raw, config):
+        result = run_simulation(to_trace(raw), config)
+        p = result.processor
+        assert p.finish_time == (p.busy_cycles + p.uptol2_stall
+                                 + p.beyondl2_stall)
+
+    @given(trace_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_miss_conservation(self, raw):
+        """Misses to memory + merges never exceed L1 misses; every Figure 9
+        category is consistent with the run's own counters."""
+        result = run_simulation(to_trace(raw), "repl")
+        l2 = result.l2
+        assert l2.nonpref_misses <= l2.demand_accesses
+        assert l2.prefetch_hits + l2.delayed_hits <= l2.demand_accesses
+        assert result.demand_misses_to_memory >= l2.nonpref_misses - l2.merged_with_prefetch
+
+    @given(trace_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_ulmt_queue_counters_consistent(self, raw):
+        result = run_simulation(to_trace(raw), "repl")
+        u = result.ulmt
+        assert u.misses_processed + u.misses_dropped <= u.misses_observed
+        assert u.prefetches_generated + u.prefetches_filtered >= 0
+
+    @given(trace_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_nopref_issues_no_prefetch_traffic(self, raw):
+        result = run_simulation(to_trace(raw), "nopref")
+        assert result.prefetches_issued_to_memory == 0
+        assert result.bus.prefetch_cycles == 0

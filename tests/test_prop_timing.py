@@ -1,0 +1,93 @@
+"""Property-based tests on the timing model's accounting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.processor import (
+    LEVEL_L2,
+    LEVEL_MEM,
+    AccessResult,
+    MainProcessor,
+)
+from repro.params import MainProcessorParams
+from repro.workloads.trace import MemRef, Trace
+
+
+class ScriptedMemory:
+    """Deterministic memory with per-address latencies and levels."""
+
+    def __init__(self, latency_mod: int = 7) -> None:
+        self.latency_mod = latency_mod
+
+    def access(self, l2_line, is_write, now, is_prefetch):
+        latency = 20 + (l2_line % self.latency_mod) * 40
+        level = LEVEL_MEM if l2_line % 3 else LEVEL_L2
+        return AccessResult(now + latency, level)
+
+
+refs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),   # line number
+        st.booleans(),                                 # is_write
+        st.integers(min_value=0, max_value=30),        # comp cycles
+        st.booleans(),                                 # dependent
+    ),
+    min_size=1, max_size=400,
+)
+
+
+def to_trace(raw) -> Trace:
+    return Trace([MemRef(line * 32, w, c, d) for line, w, c, d in raw])
+
+
+class TestAccountingIdentity:
+    @given(refs_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_time_equals_busy_plus_stalls(self, raw):
+        """Every cycle of execution time is attributed to exactly one of
+        Busy / UptoL2 / BeyondL2 — the identity Figure 7's stacked bars
+        depend on."""
+        proc = MainProcessor(ScriptedMemory())
+        stats = proc.run(to_trace(raw))
+        assert stats.finish_time == (stats.busy_cycles + stats.uptol2_stall
+                                     + stats.beyondl2_stall)
+
+    @given(refs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_time_is_monotone_nonnegative(self, raw):
+        proc = MainProcessor(ScriptedMemory())
+        stats = proc.run(to_trace(raw))
+        assert stats.finish_time >= 0
+        assert stats.busy_cycles == sum(c for _, _, c, _ in raw)
+        assert stats.refs == len(raw)
+
+    @given(refs_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_l1_accounting(self, raw):
+        proc = MainProcessor(ScriptedMemory())
+        stats = proc.run(to_trace(raw))
+        assert (stats.l1_hits + stats.l1_misses + stats.l1_prefetch_hits
+                == stats.refs)
+
+    @given(refs_strategy, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_smaller_rob_never_faster(self, raw, rob):
+        """Shrinking the run-ahead window can only slow execution."""
+        small = MainProcessor(ScriptedMemory(),
+                              params=MainProcessorParams(rob_refs=rob))
+        large = MainProcessor(ScriptedMemory(),
+                              params=MainProcessorParams(rob_refs=rob + 8))
+        t_small = small.run(to_trace(raw)).finish_time
+        t_large = large.run(to_trace(raw)).finish_time
+        assert t_small >= t_large
+
+    @given(refs_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_dependent_version_never_faster(self, raw):
+        """Marking every reference dependent can only add stalls."""
+        proc_free = MainProcessor(ScriptedMemory())
+        t_free = proc_free.run(to_trace(raw)).finish_time
+        all_dep = [(line, w, c, True) for line, w, c, _ in raw]
+        proc_dep = MainProcessor(ScriptedMemory())
+        t_dep = proc_dep.run(to_trace(all_dep)).finish_time
+        assert t_dep >= t_free

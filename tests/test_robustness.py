@@ -1,0 +1,39 @@
+"""Robustness tests: seed sensitivity and the memory-latency what-if."""
+
+import pytest
+
+from repro.experiments.ablations import sweep_memory_latency
+from repro.sim.driver import SeedStudy, run_seeds
+
+
+class TestSeedStudy:
+    def test_speedup_shape_robust_across_seeds(self):
+        """The mcf Repl speedup must not be an artifact of one heap layout."""
+        study = run_seeds("mcf", "repl", seeds=(1, 2, 3), scale=0.3)
+        assert study.mean > 1.1
+        assert all(s > 1.0 for s in study.speedups)
+        # Seeds change layouts, not the story.
+        assert study.spread < 0.5 * study.mean
+
+    def test_empty_study_rejected(self):
+        with pytest.raises(ValueError):
+            SeedStudy("x", [])
+
+    def test_repr(self):
+        s = SeedStudy("mcf", [1.2, 1.4])
+        assert "mcf" in repr(s)
+        assert s.mean == pytest.approx(1.3)
+        assert s.spread == pytest.approx(0.2)
+
+
+class TestLatencySweep:
+    def test_prefetch_value_grows_with_latency(self):
+        points = sweep_memory_latency("mcf", scale=0.3,
+                                      extra_fixed=(0, 200))
+        assert len(points) == 2
+        # A wider processor-memory gap makes prefetching more valuable.
+        assert points[1].speedup >= points[0].speedup - 0.02
+
+    def test_round_trip_labels(self):
+        points = sweep_memory_latency("tree", scale=0.2, extra_fixed=(0,))
+        assert points[0].detail == "RT=208"

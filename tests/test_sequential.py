@@ -1,0 +1,120 @@
+"""Tests for stream detection and the Seq1/Seq4 ULMT algorithms."""
+
+import pytest
+
+from repro.core.sequential import SequentialUlmtPrefetcher, StreamDetector
+from repro.params import SequentialParams
+
+P4 = SequentialParams(num_seq=4, num_pref=6)
+P1 = SequentialParams(num_seq=1, num_pref=6)
+
+
+class TestRecognition:
+    def test_third_miss_recognizes_stream(self):
+        d = StreamDetector(P4)
+        assert d.observe(100) == []
+        assert d.observe(101) == []
+        burst = d.observe(102)
+        assert burst == [103, 104, 105, 106, 107, 108]
+        assert d.streams_recognized == 1
+
+    def test_negative_stride(self):
+        d = StreamDetector(P4)
+        d.observe(100)
+        d.observe(99)
+        burst = d.observe(98)
+        assert burst == [97, 96, 95, 94, 93, 92]
+
+    def test_random_misses_never_recognize(self):
+        d = StreamDetector(P4)
+        for addr in (10, 500, 90, 7000, 42, 333):
+            assert d.observe(addr) == []
+        assert d.streams_recognized == 0
+
+    def test_interleaved_streams(self):
+        """Two interleaved streams are both recognised (the unscrambling
+        case the paper's CG customisation discusses)."""
+        d = StreamDetector(P4)
+        bursts = []
+        for i in range(4):
+            bursts.append(d.observe(100 + i))
+            bursts.append(d.observe(9000 + i))
+        assert d.streams_recognized == 2
+
+    def test_stream_capacity_lru(self):
+        d = StreamDetector(SequentialParams(num_seq=1, num_pref=2))
+        d.observe(100), d.observe(101), d.observe(102)
+        d.observe(900), d.observe(901), d.observe(902)
+        assert d.active_streams == 1  # stream 100 was evicted
+
+
+class TestTopUp:
+    def test_miss_at_window_edge_continues_stream(self):
+        d = StreamDetector(P4)
+        d.observe(100), d.observe(101)
+        d.observe(102)  # burst 103..108, next_pf = 109
+        burst = d.observe(109)
+        assert burst[0] == 109
+        assert len(burst) == 6
+
+    def test_consumed_tops_up_lookahead(self):
+        d = StreamDetector(P4)
+        d.observe(100), d.observe(101), d.observe(102)
+        # Consuming line 103 (late prefetch) keeps lookahead at 6 lines.
+        extra = d.consumed(103)
+        assert extra == [109]
+
+    def test_consumed_outside_window_is_noop(self):
+        d = StreamDetector(P4)
+        d.observe(100), d.observe(101), d.observe(102)
+        assert d.consumed(500) == []
+
+    def test_miss_inside_window_partial_topup(self):
+        d = StreamDetector(P4)
+        d.observe(100), d.observe(101), d.observe(102)  # next_pf = 109
+        burst = d.observe(106)
+        assert burst == [109, 110, 111, 112]  # lookahead back to 6
+
+
+class TestPredictionMode:
+    def test_observe_for_prediction_tracks_stream(self):
+        d = StreamDetector(P4)
+        for addr in (100, 101, 102):
+            d.observe_for_prediction(addr)
+        preds = d.predict_levels(3)
+        assert preds[0] == [103]
+        assert preds[1] == [104]
+        assert preds[2] == [105]
+
+    def test_prediction_advances_one_line_at_a_time(self):
+        d = StreamDetector(P4)
+        for addr in (100, 101, 102, 103):
+            d.observe_for_prediction(addr)
+        assert d.predict_levels(1)[0] == [104]
+
+
+class TestSequentialUlmtPrefetcher:
+    def test_name_reflects_streams(self):
+        assert SequentialUlmtPrefetcher(P1).name == "seq1"
+        assert SequentialUlmtPrefetcher(P4).name == "seq4"
+
+    def test_prefetch_step_delegates(self):
+        p = SequentialUlmtPrefetcher(P4)
+        p.prefetch_step(100)
+        p.prefetch_step(101)
+        burst = p.prefetch_step(102)
+        assert burst == [103, 104, 105, 106, 107, 108]
+
+    def test_learn_is_free(self):
+        p = SequentialUlmtPrefetcher(P4)
+        p.prefetch_step(100)
+        p.learn(100)  # must not break stream state
+        p.prefetch_step(101)
+        assert p.prefetch_step(102) != []
+
+    def test_reset(self):
+        p = SequentialUlmtPrefetcher(P4)
+        for a in (100, 101, 102):
+            p.prefetch_step(a)
+        p.reset()
+        assert p.detector.active_streams == 0

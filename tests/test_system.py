@@ -1,0 +1,155 @@
+"""Integration tests: the full system end to end on small traces."""
+
+import pytest
+
+from repro.sim.config import PRESETS, SystemConfig, custom_config, preset
+from repro.sim.driver import (
+    arithmetic_mean,
+    geometric_mean,
+    run_matrix,
+    run_simulation,
+)
+from repro.sim.stats import distance_bin
+from repro.sim.system import System
+from repro.workloads.trace import MemRef, Trace
+
+SMALL = 0.05
+
+
+def chase_trace(lines: int = 12000, repeats: int = 3) -> Trace:
+    """A pointer-chase loop over scattered lines (footprint well beyond the
+    512 KB L2), repeated identically: the ideal correlation-prefetching
+    workload."""
+    import random
+    rng = random.Random(5)
+    order = list(range(lines))
+    rng.shuffle(order)
+    refs = []
+    for _ in range(repeats):
+        for line in order:
+            refs.append(MemRef(line * 64, False, 4, True))
+    return Trace(refs, name="chase")
+
+
+class TestPresets:
+    def test_known_presets(self):
+        for name in ("nopref", "conven4", "base", "chain", "repl",
+                     "conven4+repl", "conven4+replMC"):
+            assert preset(name).name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("hyperspeed")
+
+    def test_custom_config_resolves_table5(self):
+        cfg = custom_config("cg")
+        assert cfg.ulmt_algorithm == "seq1+repl"
+        assert cfg.verbose
+        assert custom_config("mcf").ulmt_algorithm == "repl@levels=4"
+        # No Table 5 entry: fall back to conven4+repl.
+        assert custom_config("gap").name == "conven4+repl"
+
+
+class TestEndToEnd:
+    def test_nopref_runs(self):
+        result = run_simulation(chase_trace(), "nopref")
+        assert result.execution_time > 0
+        assert result.l2.nonpref_misses > 0
+        assert result.ulmt is None
+
+    def test_repl_speeds_up_pointer_chase(self):
+        nopref = run_simulation(chase_trace(), "nopref")
+        repl = run_simulation(chase_trace(), "repl")
+        assert repl.speedup_over(nopref) > 1.2
+        assert repl.coverage() > 0.3
+
+    def test_algorithm_ordering_on_repeating_misses(self):
+        """The paper's central qualitative claim: Repl >= Chain >= Base."""
+        results = {cfg: run_simulation(chase_trace(), cfg)
+                   for cfg in ("nopref", "base", "chain", "repl")}
+        t = {k: v.execution_time for k, v in results.items()}
+        assert t["repl"] <= t["chain"] * 1.05
+        assert t["chain"] <= t["base"] * 1.10
+        assert t["repl"] < t["nopref"]
+
+    def test_prefetching_preserves_functionality(self):
+        """Same trace, same demand reference count, with and without ULMT."""
+        a = run_simulation(chase_trace(), "nopref")
+        b = run_simulation(chase_trace(), "repl")
+        assert a.processor.refs == b.processor.refs
+
+    def test_nb_placement_slower_but_close(self):
+        dram = run_simulation(chase_trace(), "repl")
+        nb = run_simulation(chase_trace(), "replMC")
+        assert nb.execution_time >= dram.execution_time
+        # Figure 8: the impact of the placement is small.
+        assert nb.execution_time < dram.execution_time * 1.3
+
+    def test_verbose_flag_reaches_ulmt(self):
+        cfg = SystemConfig(name="v", ulmt_algorithm="repl", verbose=True)
+        system = System(cfg)
+        assert system.memproc.ulmt.verbose
+
+    def test_bus_utilization_grows_with_prefetching(self):
+        nopref = run_simulation(chase_trace(), "nopref")
+        repl = run_simulation(chase_trace(), "repl")
+        assert repl.bus_utilization() > 0
+        assert repl.bus_prefetch_utilization() > 0
+        assert nopref.bus_prefetch_utilization() == 0.0
+
+    def test_miss_distance_histogram_dependent_chase(self):
+        """Dependent misses land in the [200, 280) round-trip bin."""
+        result = run_simulation(chase_trace(), "nopref")
+        fractions = result.miss_distance_fractions()
+        assert fractions[2] > 0.5
+
+    def test_ulmt_timing_within_budget(self):
+        result = run_simulation(chase_trace(), "repl")
+        assert result.ulmt_timing.avg_occupancy < 200
+        assert 0 < result.ulmt_timing.avg_response <= result.ulmt_timing.avg_occupancy
+        assert result.ulmt_timing.ipc > 0
+
+
+class TestDriver:
+    def test_run_by_name(self):
+        result = run_simulation("tree", "nopref", scale=SMALL)
+        assert result.workload == "tree"
+
+    def test_run_matrix(self):
+        results = run_matrix(["tree"], ["nopref", "repl"], scale=SMALL)
+        assert set(results) == {("tree", "nopref"), ("tree", "repl")}
+
+    def test_means(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([1.0, 2.0]) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([0.0])
+
+    def test_distance_bins(self):
+        assert distance_bin(0) == 0
+        assert distance_bin(79) == 0
+        assert distance_bin(80) == 1
+        assert distance_bin(199) == 1
+        assert distance_bin(200) == 2
+        assert distance_bin(279) == 2
+        assert distance_bin(280) == 3
+        assert distance_bin(10**9) == 3
+
+
+class TestNormalization:
+    def test_breakdown_normalizes_to_baseline(self):
+        nopref = run_simulation(chase_trace(), "nopref")
+        repl = run_simulation(chase_trace(), "repl")
+        bd = repl.normalized_breakdown(nopref.execution_time)
+        assert sum(bd.values()) == pytest.approx(
+            repl.execution_time / nopref.execution_time, rel=0.05)
+
+    def test_miss_breakdown_categories(self):
+        repl = run_simulation(chase_trace(), "repl")
+        mb = repl.miss_breakdown()
+        assert set(mb) == {"hits", "delayed_hits", "nonpref_misses",
+                           "replaced", "redundant"}
+        coverage = mb["hits"] + mb["delayed_hits"]
+        assert coverage == pytest.approx(repl.coverage(), abs=1e-9)

@@ -1,0 +1,100 @@
+"""Integration tests for system-level features: verbose mode, config
+overrides, wrapped algorithms in the full system."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_simulation
+from repro.sim.system import System
+from repro.params import CONVEN4_PARAMS
+from repro.workloads.trace import MemRef, Trace
+
+
+def stream_then_chase(stream_lines: int = 8000,
+                      chase_lines: int = 12000) -> Trace:
+    """A unit-stride stream phase (L1-line granularity, so Conven4 can
+    latch on) followed by a repeated pointer chase whose footprint
+    exceeds the 512 KB L2 (so misses repeat and correlation learns)."""
+    import random
+    rng = random.Random(9)
+    order = list(range(40_000, 40_000 + chase_lines))
+    rng.shuffle(order)
+    refs = [MemRef(i * 32, False, 6, False) for i in range(stream_lines)]
+    refs += [MemRef(l * 64, False, 6, True) for _ in range(2) for l in order]
+    return Trace(refs, name="mix")
+
+
+class TestVerboseMode:
+    def test_verbose_ulmt_observes_processor_prefetches(self):
+        base_cfg = SystemConfig(name="nv", ulmt_algorithm="repl",
+                                conven=CONVEN4_PARAMS, verbose=False)
+        verbose_cfg = SystemConfig(name="v", ulmt_algorithm="repl",
+                                   conven=CONVEN4_PARAMS, verbose=True)
+        trace = stream_then_chase()
+        nv = run_simulation(trace, base_cfg)
+        v = run_simulation(trace, verbose_cfg)
+        # In verbose mode the ULMT sees strictly more events (the stream
+        # phase generates processor prefetch requests).
+        assert v.ulmt.misses_observed > nv.ulmt.misses_observed
+
+
+class TestConfigOverrides:
+    def test_queue_depth_override_reaches_queues(self):
+        cfg = SystemConfig(name="q", ulmt_algorithm="repl", queue_depth=4)
+        system = System(cfg)
+        assert system.prefetch_queue.depth == 4
+        assert system.memproc.ulmt.obs_queue.depth == 4
+
+    def test_filter_override(self):
+        cfg = SystemConfig(name="f", ulmt_algorithm="repl",
+                           filter_entries=8)
+        system = System(cfg)
+        assert system.memproc.ulmt.filter.entries == 8
+
+    def test_rob_override(self):
+        cfg = SystemConfig(name="r", rob_refs=3)
+        system = System(cfg)
+        assert system.processor.params.rob_refs == 3
+
+    def test_num_rows_override(self):
+        cfg = SystemConfig(name="n", ulmt_algorithm="repl", num_rows=256)
+        system = System(cfg)
+        assert system.memproc.algorithm.table.num_rows == 256
+
+
+class TestWrappedAlgorithmsInSystem:
+    def test_conflict_wrapped_repl_runs_end_to_end(self):
+        trace = stream_then_chase()
+        result = run_simulation(
+            trace, SystemConfig(name="c", ulmt_algorithm="conflict:repl"))
+        assert result.execution_time > 0
+        assert result.ulmt.misses_observed > 0
+
+    def test_adaptive_runs_end_to_end(self):
+        trace = stream_then_chase()
+        nopref = run_simulation(trace, "nopref")
+        result = run_simulation(
+            trace, SystemConfig(name="a",
+                                ulmt_algorithm="adaptive:seq4|repl"))
+        assert result.speedup_over(nopref) > 1.0
+
+    def test_repl_levels4_runs_end_to_end(self):
+        trace = stream_then_chase()
+        result = run_simulation(
+            trace, SystemConfig(name="l4", ulmt_algorithm="repl@levels=4"))
+        assert result.ulmt.prefetches_generated > 0
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self):
+        trace = stream_then_chase()
+        a = run_simulation(trace, "repl")
+        b = run_simulation(trace, "repl")
+        assert a.execution_time == b.execution_time
+        assert a.l2.prefetch_hits == b.l2.prefetch_hits
+
+    def test_prefetching_never_changes_reference_count(self):
+        trace = stream_then_chase()
+        for cfg in ("nopref", "conven4", "repl", "dasp"):
+            result = run_simulation(trace, cfg)
+            assert result.processor.refs == len(trace)

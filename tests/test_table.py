@@ -1,0 +1,135 @@
+"""Tests for the software correlation table."""
+
+import pytest
+
+from repro.core.table import CorrelationTable, NullCostSink
+
+
+def make_table(num_rows=8, assoc=2, num_succ=2, num_levels=1):
+    return CorrelationTable(num_rows=num_rows, assoc=assoc,
+                            num_succ=num_succ, num_levels=num_levels)
+
+
+class TestAllocation:
+    def test_find_missing_returns_none(self):
+        t = make_table()
+        assert t.find(5) is None
+
+    def test_find_or_alloc_creates_row(self):
+        t = make_table()
+        row = t.find_or_alloc(5)
+        assert row.tag == 5
+        assert t.find(5) is row
+        assert t.rows_allocated == 1
+
+    def test_row_replacement_lru(self):
+        t = make_table(num_rows=4, assoc=2)  # 2 sets
+        # Tags 0, 2, 4 all map to set 0.
+        t.find_or_alloc(0)
+        t.find_or_alloc(2)
+        t.find(0)            # refresh 0
+        t.find_or_alloc(4)   # evicts 2
+        assert t.find(0) is not None
+        assert t.find(2) is None
+        assert t.row_replacements == 1
+
+    def test_row_addresses_stable_per_way(self):
+        t = make_table(num_rows=4, assoc=2)
+        r0 = t.find_or_alloc(0)
+        r2 = t.find_or_alloc(2)
+        addr2 = r2.addr
+        t.find(0)
+        r4 = t.find_or_alloc(4)  # recycles row 2's slot
+        assert r4.addr == addr2
+
+    def test_size_bytes(self):
+        t = CorrelationTable(num_rows=100, assoc=2, num_succ=2,
+                             row_bytes=28)
+        assert t.size_bytes == 2800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelationTable(num_rows=0, assoc=2, num_succ=2)
+        with pytest.raises(ValueError):
+            CorrelationTable(num_rows=5, assoc=2, num_succ=2)
+        with pytest.raises(ValueError):
+            CorrelationTable(num_rows=4, assoc=2, num_succ=0)
+
+
+class TestSuccessors:
+    def test_mru_insertion(self):
+        t = make_table(num_succ=2)
+        row = t.find_or_alloc(1)
+        t.insert_successor(row, 0, 10)
+        t.insert_successor(row, 0, 20)
+        assert row.successors(0) == [20, 10]
+
+    def test_mru_reinsertion_moves_to_front(self):
+        t = make_table(num_succ=3)
+        row = t.find_or_alloc(1)
+        for succ in (10, 20, 30):
+            t.insert_successor(row, 0, succ)
+        t.insert_successor(row, 0, 10)
+        assert row.successors(0) == [10, 30, 20]
+
+    def test_num_succ_bound(self):
+        t = make_table(num_succ=2)
+        row = t.find_or_alloc(1)
+        for succ in (10, 20, 30):
+            t.insert_successor(row, 0, succ)
+        assert row.successors(0) == [30, 20]
+
+    def test_multi_level_rows(self):
+        t = make_table(num_levels=3)
+        row = t.find_or_alloc(1)
+        t.insert_successor(row, 0, 10)
+        t.insert_successor(row, 1, 20)
+        t.insert_successor(row, 2, 30)
+        assert row.successors(0) == [10]
+        assert row.successors(1) == [20]
+        assert row.successors(2) == [30]
+
+
+class TestPageRemap:
+    def test_rows_relocate(self):
+        t = make_table(num_rows=64, assoc=2)
+        # Lines 0..3 belong to page 0 (4 lines per page here).
+        row = t.find_or_alloc(2)
+        t.insert_successor(row, 0, 3)
+        moved = t.remap_page(old_page=0, new_page=5, page_lines=4)
+        assert moved == 1
+        assert t.find(2) is None
+        relocated = t.find(5 * 4 + 2)
+        assert relocated is not None
+        assert relocated.successors(0) == [5 * 4 + 3]
+
+    def test_successors_in_other_rows_rewritten(self):
+        t = make_table(num_rows=64, assoc=2)
+        row = t.find_or_alloc(100)
+        t.insert_successor(row, 0, 1)   # points into page 0
+        t.remap_page(old_page=0, new_page=7, page_lines=4)
+        assert t.find(100).successors(0) == [7 * 4 + 1]
+
+    def test_replacement_fraction(self):
+        t = make_table(num_rows=4, assoc=2)
+        for tag in (0, 2, 4, 6):
+            t.find_or_alloc(tag)
+        assert t.replacement_fraction() == pytest.approx(0.5)
+
+
+class TestCostReporting:
+    def test_find_charges_search(self):
+        calls = []
+
+        class Sink(NullCostSink):
+            def charge_search(self, ways, addr):
+                calls.append(("search", ways))
+
+            def charge_row_access(self, addr):
+                calls.append(("row", addr))
+
+        t = make_table()
+        t.find_or_alloc(1, Sink())
+        kinds = [c[0] for c in calls]
+        assert "search" in kinds
+        assert "row" in kinds

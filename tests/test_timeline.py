@@ -1,0 +1,70 @@
+"""Tests for the interval/phase analysis."""
+
+import pytest
+
+from repro.analysis.timeline import Interval, Timeline, measure_timeline
+from repro.workloads.trace import MemRef, Trace
+
+
+def two_phase_trace() -> Trace:
+    """Phase A: tiny working set (hits).  Phase B: streaming misses."""
+    refs = [MemRef((i % 8) * 64, False, 4, False) for i in range(4000)]
+    refs += [MemRef((1000 + i) * 64, False, 4, False) for i in range(4000)]
+    return Trace(refs, name="phases")
+
+
+class TestInterval:
+    def test_miss_rate(self):
+        iv = Interval(index=0, refs=100, l2_misses=25)
+        assert iv.miss_rate == pytest.approx(0.25)
+
+    def test_coverage(self):
+        iv = Interval(index=0, refs=100, l2_misses=30, prefetch_hits=50,
+                      delayed_hits=20)
+        assert iv.coverage == pytest.approx(0.7)
+
+    def test_empty_interval(self):
+        iv = Interval(index=0)
+        assert iv.miss_rate == 0.0
+        assert iv.coverage == 0.0
+
+
+class TestMeasureTimeline:
+    def test_phase_structure_visible(self):
+        timeline = measure_timeline(two_phase_trace(), "nopref",
+                                    intervals=8)
+        rates = [iv.miss_rate for iv in timeline.intervals]
+        # First half nearly no misses; second half misses heavily.
+        assert max(rates[:3]) < 0.05
+        assert min(rates[5:]) > 0.2
+
+    def test_interval_refs_sum_to_trace(self):
+        trace = two_phase_trace()
+        timeline = measure_timeline(trace, "nopref", intervals=7)
+        assert sum(iv.refs for iv in timeline.intervals) == len(trace)
+
+    def test_hottest_interval(self):
+        timeline = measure_timeline(two_phase_trace(), "nopref",
+                                    intervals=8)
+        assert timeline.hottest_interval().index >= 4
+
+    def test_coverage_trend_with_prefetching(self):
+        """Coverage ramps up as the table warms (repeated chase)."""
+        import random
+        rng = random.Random(4)
+        order = list(range(12000))
+        rng.shuffle(order)
+        refs = [MemRef(l * 64, False, 4, True)
+                for _ in range(3) for l in order]
+        timeline = measure_timeline(Trace(refs, name="chase"), "repl",
+                                    intervals=6)
+        trend = timeline.coverage_trend()
+        # Later intervals (iterations 2-3) covered; the first is cold.
+        assert trend[0] < 0.2
+        assert max(trend[2:]) > 0.4
+
+    def test_named_workload(self):
+        timeline = measure_timeline("tree", "nopref", intervals=4,
+                                    scale=0.05)
+        assert timeline.workload == "tree"
+        assert len(timeline.intervals) == 4

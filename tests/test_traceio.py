@@ -1,0 +1,77 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import MemRef, Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def sample_trace() -> Trace:
+    refs = [
+        MemRef(0x1000_0000, False, 3, False),
+        MemRef(0x1000_0040, True, 0, False),
+        MemRef(0x2000_0000, False, 12, True),
+        MemRef(2**40, False, 1, True),   # large addresses survive
+    ]
+    return Trace(refs, name="sample")
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        path = tmp_path / "t.trc.npz"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.refs == original.refs
+        assert loaded.name == "sample"
+
+    def test_workload_trace_round_trip(self, tmp_path):
+        from repro.workloads import get_trace
+        trace = get_trace("tree", scale=0.05)
+        path = tmp_path / "tree.trc.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.refs[:100] == trace.refs[:100]
+        assert loaded.refs[-1] == trace.refs[-1]
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trc.npz"
+        save_trace(Trace([], name="empty"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+
+
+class TestValidation:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, header=np.frombuffer(b'{"magic": "nope"}',
+                                            dtype=np.uint8),
+                 addrs=np.zeros(1), flags=np.zeros(1), comps=np.zeros(1))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        import json
+        path = tmp_path / "future.npz"
+        header = json.dumps({"magic": "repro-trace", "version": 99,
+                             "name": "x", "refs": 0})
+        np.savez(path, header=np.frombuffer(header.encode(), dtype=np.uint8),
+                 addrs=np.zeros(0, dtype=np.uint64),
+                 flags=np.zeros(0, dtype=np.uint8),
+                 comps=np.zeros(0, dtype=np.uint32))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_rejects_corrupt_counts(self, tmp_path):
+        import json
+        path = tmp_path / "corrupt.npz"
+        header = json.dumps({"magic": "repro-trace", "version": 1,
+                             "name": "x", "refs": 5})
+        np.savez(path, header=np.frombuffer(header.encode(), dtype=np.uint8),
+                 addrs=np.zeros(2, dtype=np.uint64),
+                 flags=np.zeros(2, dtype=np.uint8),
+                 comps=np.zeros(2, dtype=np.uint32))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_trace(path)

@@ -1,0 +1,163 @@
+"""Tests for the ULMT loop and its cost model."""
+
+import pytest
+
+from repro.core.cost_model import CostConstants, UlmtCostModel
+from repro.core.customization import build_algorithm
+from repro.core.ulmt import Ulmt
+from repro.memsys.controller import MemoryController
+from repro.params import QueueParams
+
+
+def make_ulmt(algorithm="repl", verbose=False,
+              queue_depth=16) -> Ulmt:
+    ctrl = MemoryController()
+    cm = UlmtCostModel(ctrl)
+    return Ulmt(build_algorithm(algorithm), cm,
+                queue_params=QueueParams(queue_depth=queue_depth),
+                verbose=verbose)
+
+
+class TestObservationFlow:
+    def test_first_miss_generates_no_prefetches(self):
+        u = make_ulmt()
+        assert u.observe_miss(100, now=0) == []
+
+    def test_repeating_sequence_generates_prefetches(self):
+        u = make_ulmt()
+        seq = [100, 200, 300, 400]
+        t = 0
+        for miss in seq:
+            u.observe_miss(miss, t)
+            t += 1000
+        issued = u.observe_miss(100, t)
+        addrs = [p.line_addr for p in issued]
+        assert addrs == [200, 300, 400]
+
+    def test_prefetch_issue_time_after_response(self):
+        u = make_ulmt()
+        seq = [100 * k for k in range(1, 40)]  # long enough to roll the
+        t = 0                                  # 32-entry Filter window over
+        for miss in seq:
+            u.observe_miss(miss, t)
+            t += 1000
+        issued = u.observe_miss(seq[0], t)
+        assert issued and all(p.issue_time > t for p in issued)
+
+    def test_busy_ulmt_queues_misses(self):
+        u = make_ulmt()
+        u.observe_miss(100, 0)
+        assert u.free_at > 0
+        # A miss arriving while the thread is busy waits in queue 2.
+        u.observe_miss(200, 1)
+        assert len(u.obs_queue) == 1
+
+    def test_queue_overflow_drops(self):
+        u = make_ulmt(queue_depth=2)
+        u.observe_miss(100, 0)   # processing
+        for addr in (200, 300, 400, 500):
+            u.observe_miss(addr, 1)
+        assert u.stats.misses_dropped > 0
+        assert len(u.obs_queue) == 2
+
+    def test_drain_processes_backlog(self):
+        u = make_ulmt()
+        u.observe_miss(100, 0)
+        u.observe_miss(200, 1)
+        u.observe_miss(300, 2)
+        u.drain(up_to=10_000_000)
+        assert u.stats.misses_processed == 3
+        assert len(u.obs_queue) == 0
+
+    def test_drain_all(self):
+        u = make_ulmt()
+        u.observe_miss(100, 0)
+        u.observe_miss(200, 1)
+        u.drain_all()
+        assert len(u.obs_queue) == 0
+
+
+class TestVerboseMode:
+    def test_non_verbose_ignores_processor_prefetches(self):
+        u = make_ulmt(verbose=False)
+        u.observe_miss(100, 0, is_processor_prefetch=True)
+        assert u.stats.misses_observed == 0
+
+    def test_verbose_sees_processor_prefetches(self):
+        u = make_ulmt(verbose=True)
+        u.observe_miss(100, 0, is_processor_prefetch=True)
+        assert u.stats.misses_observed == 1
+
+
+class TestFilterIntegration:
+    def test_repeated_prefetches_filtered(self):
+        u = make_ulmt()
+        t = 0
+        for _ in range(3):
+            for miss in (100, 200, 300):
+                u.observe_miss(miss, t)
+                t += 1000
+        # The same successors keep being generated; the Filter drops the
+        # repeats that fall within its 32-entry window.
+        assert u.stats.prefetches_filtered > 0
+
+
+class TestCancelObservation:
+    def test_cross_match_removes_queued_miss(self):
+        u = make_ulmt()
+        u.observe_miss(100, 0)
+        u.observe_miss(200, 1)   # queued
+        assert u.cancel_observation(200)
+        u.drain_all()
+        assert u.stats.misses_processed == 1
+
+
+class TestCostModel:
+    def test_response_within_occupancy(self):
+        ctrl = MemoryController()
+        cm = UlmtCostModel(ctrl)
+        u = Ulmt(build_algorithm("repl"), cm)
+        for t, miss in enumerate([100, 200, 300, 100, 200, 300]):
+            u.observe_miss(miss, t * 2000)
+        assert cm.avg_response <= cm.avg_occupancy
+        assert cm.avg_response > 0
+
+    def test_occupancy_accumulates_learning(self):
+        ctrl = MemoryController()
+        cm = UlmtCostModel(ctrl)
+        cm.begin(0)
+        cm.charge_search(2, 0x8000_0000)
+        cm.mark_response()
+        cm.charge_row_access(0x8000_0040)
+        obs = cm.end()
+        assert obs.occupancy > obs.response
+
+    def test_second_mark_response_ignored(self):
+        cm = UlmtCostModel(MemoryController())
+        cm.begin(0)
+        cm.charge_instructions(10)
+        cm.mark_response()
+        first = cm._response
+        cm.charge_instructions(100)
+        cm.mark_response()
+        assert cm._response == first
+
+    def test_table_cache_miss_stalls(self):
+        cm = UlmtCostModel(MemoryController())
+        cm.begin(0)
+        cm.charge_row_access(0x8000_0000)   # cold: memory round trip
+        obs1 = cm.end()
+        cm.begin(10_000)
+        cm.charge_row_access(0x8000_0000)   # now cached
+        obs2 = cm.end()
+        assert obs1.mem_stall > 0
+        assert obs2.mem_stall == 0
+
+    def test_ipc_definition(self):
+        cm = UlmtCostModel(MemoryController(),
+                           CostConstants(issue_ipc=1.0, cache_hit_cycles=0))
+        cm.begin(0)
+        cm.charge_instructions(50)
+        cm.end()
+        # 50 instructions at issue_ipc=1 -> 50 memproc cycles, no stalls.
+        assert cm.ipc == pytest.approx(1.0)

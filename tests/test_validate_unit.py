@@ -1,0 +1,89 @@
+"""Unit tests for the claim-validation logic (monkeypatched data, no sims)."""
+
+import pytest
+
+from repro.experiments import validate
+
+
+def fake_fig7(avg=None, mcf_conven=1.0, tree_conven=1.0, cg_conven=1.6):
+    avg = avg or {"conven4": 1.15, "base": 1.1, "chain": 1.2, "repl": 1.35,
+                  "conven4+repl": 1.45, "custom": 1.5}
+
+    class Bar:
+        def __init__(self, config, speedup):
+            self.config = config
+            self.speedup = speedup
+
+    apps = ["cg", "mcf", "tree", "sparse", "parser", "gap", "mst",
+            "equake", "ft"]
+    speeds = {"mcf": {"conven4": mcf_conven},
+              "tree": {"conven4": tree_conven},
+              "cg": {"conven4": cg_conven}}
+    bars = {}
+    for app in apps:
+        per = []
+        for config in ("conven4", "base", "chain", "repl", "conven4+repl",
+                       "custom"):
+            default = {"sparse": 1.05, "parser": 1.04}.get(app, 1.3)
+            per.append(Bar(config, speeds.get(app, {}).get(config, default)))
+        bars[app] = per
+    return {"avg_speedups": avg, "bars": bars}
+
+
+class TestFig7Claims:
+    def test_all_pass_with_paper_like_data(self, monkeypatch):
+        monkeypatch.setattr(validate.fig7, "run",
+                            lambda scale=None: fake_fig7())
+        claims = validate._fig7_claims(1.0)
+        assert all(c.passed for c in claims), \
+            [c.statement for c in claims if not c.passed]
+
+    def test_ordering_violation_detected(self, monkeypatch):
+        bad = fake_fig7(avg={"conven4": 1.1, "base": 1.5, "chain": 1.2,
+                             "repl": 1.1, "conven4+repl": 1.45,
+                             "custom": 1.5})
+        monkeypatch.setattr(validate.fig7, "run", lambda scale=None: bad)
+        claims = validate._fig7_claims(1.0)
+        ordering = next(c for c in claims if "outperforms" in c.statement)
+        assert not ordering.passed
+
+    def test_conven_on_irregular_detected(self, monkeypatch):
+        bad = fake_fig7(mcf_conven=1.4)
+        monkeypatch.setattr(validate.fig7, "run", lambda scale=None: bad)
+        claims = validate._fig7_claims(1.0)
+        irregular = next(c for c in claims if "ineffective" in c.statement)
+        assert not irregular.passed
+
+
+class TestFig10Claims:
+    class Bar:
+        def __init__(self, config, response, occupancy):
+            self.config = config
+            self.response = response
+            self.occupancy = occupancy
+
+    def patch(self, monkeypatch, bars):
+        monkeypatch.setattr(validate.fig10, "run",
+                            lambda scale=None: bars)
+
+    def test_budget_violation_detected(self, monkeypatch):
+        bars = [self.Bar("base", 80, 95), self.Bar("chain", 140, 250),
+                self.Bar("repl", 70, 95), self.Bar("replMC", 150, 180)]
+        self.patch(monkeypatch, bars)
+        claims = validate._fig10_claims(1.0)
+        budget = next(c for c in claims if "200 cycles" in c.statement)
+        assert not budget.passed
+
+    def test_healthy_data_passes(self, monkeypatch):
+        bars = [self.Bar("base", 80, 95), self.Bar("chain", 140, 150),
+                self.Bar("repl", 70, 95), self.Bar("replMC", 150, 180)]
+        self.patch(monkeypatch, bars)
+        claims = validate._fig10_claims(1.0)
+        assert all(c.passed for c in claims)
+
+
+class TestStaticClaims:
+    def test_static_claims_pass(self):
+        claims = validate._static_claims()
+        assert all(c.passed for c in claims)
+        assert len(claims) == 2

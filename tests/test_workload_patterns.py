@@ -1,0 +1,184 @@
+"""Deep per-workload tests: each application's miss-pattern claims.
+
+These pin down the properties the Figure 5/6/7 reproductions depend on —
+which access streams exist, what repeats, and what is scattered — so a
+refactor of a workload cannot silently change its character.
+"""
+
+import pytest
+
+from repro.workloads import cg, equake, ft, gap, mcf, mst, parser, sparse, tree
+from repro.workloads.trace import Trace
+
+SMALL = 0.05
+
+
+def lines_of(trace: Trace) -> list[int]:
+    return trace.line_addresses(64)
+
+
+def repeat_fraction(lines: list[int]) -> float:
+    """Fraction of line touches that are revisits."""
+    return 1.0 - len(set(lines)) / len(lines)
+
+
+class TestCg:
+    def test_no_pointer_chasing(self):
+        trace = cg.generate(scale=SMALL)
+        assert trace.num_dependent == 0
+
+    def test_has_interleaved_unit_stride_streams(self):
+        """The SpMV inner loop emits values/colidx/x triplets, so the
+        values stream advances by one small step every three references —
+        the interleaved streams Conven4 must disentangle."""
+        trace = cg.generate(scale=SMALL)
+        refs = trace.refs
+        stride3 = [refs[i + 3].addr - refs[i].addr
+                   for i in range(len(refs) - 3)]
+        small_positive = sum(1 for d in stride3 if 0 < d <= 64)
+        assert small_positive / len(stride3) > 0.3
+
+    def test_footprint_exceeds_l2_at_any_scale(self):
+        trace = cg.generate(scale=0.01)
+        assert trace.footprint_lines() * 64 > 512 * 1024
+
+    def test_iterations_repeat_spmv(self):
+        trace = cg.generate(scale=SMALL)
+        lines = lines_of(trace)
+        assert repeat_fraction(lines) > 0.4
+
+
+class TestMcf:
+    def test_pointer_chase_dominates(self):
+        trace = mcf.generate(scale=SMALL)
+        assert trace.num_dependent / len(trace) > 0.6
+
+    def test_thread_order_mostly_repeats(self):
+        """Consecutive iterations visit nearly the same node sequence."""
+        trace = mcf.generate(scale=SMALL)
+        lines = lines_of(trace)
+        half = len(lines) // 2
+        first, second = lines[:half], lines[half:2 * half]
+        # The exchange fraction drifts a few percent of positions per
+        # iteration; most positions still line up.
+        matches = sum(1 for a, b in zip(first, second) if a == b)
+        assert matches / half > 0.5
+
+    def test_node_addresses_scattered(self):
+        """No sequential structure: consecutive chase targets are far apart."""
+        trace = mcf.generate(scale=SMALL)
+        deps = [r for r in trace if r.dependent][:2000]
+        adjacent = sum(1 for a, b in zip(deps, deps[1:])
+                       if abs(b.addr - a.addr) <= 64)
+        assert adjacent / len(deps) < 0.2
+
+
+class TestMst:
+    def test_phase_structure_repeats_vertex_order(self):
+        trace = mst.generate(scale=SMALL)
+        assert repeat_fraction(lines_of(trace)) > 0.8
+
+    def test_chain_walks_are_dependent(self):
+        trace = mst.generate(scale=SMALL)
+        assert trace.num_dependent / len(trace) > 0.3
+
+    def test_footprint_exceeds_l2(self):
+        """Table 2: MST needs one of the biggest correlation tables; its
+        touched set must exceed the 512 KB L2 even at the scale floor."""
+        trace = mst.generate(scale=SMALL)
+        assert trace.footprint_lines() * 64 > 512 * 1024
+
+
+class TestTree:
+    def test_walks_are_pointer_chases(self):
+        trace = tree.generate(scale=SMALL)
+        assert trace.num_dependent / len(trace) > 0.5
+
+    def test_cell_arena_reused_across_steps(self):
+        """The second step's tree overlaps the first step's addresses —
+        without arena reuse the correlation table would never warm up."""
+        trace = tree.generate(scale=SMALL)
+        lines = lines_of(trace)
+        half = len(lines) // 2
+        first, second = set(lines[:half]), set(lines[half:])
+        overlap = len(first & second) / len(second)
+        assert overlap > 0.5
+
+    def test_footprint_just_beyond_l2(self):
+        """Tree's working set barely exceeds the L2 (the conflict story)."""
+        trace = tree.generate(scale=1.0)
+        footprint = trace.footprint_lines() * 64
+        assert 512 * 1024 < footprint < 2 * 512 * 1024
+
+
+class TestParser:
+    def test_every_lookup_is_a_chase(self):
+        trace = parser.generate(scale=SMALL)
+        assert trace.num_dependent / len(trace) > 0.8
+
+    def test_word_repetition_produces_revisits(self):
+        trace = parser.generate(scale=SMALL)
+        assert repeat_fraction(lines_of(trace)) > 0.5
+
+    def test_dictionary_exceeds_l2(self):
+        trace = parser.generate(scale=SMALL)
+        assert trace.footprint_lines() * 64 > 512 * 1024
+
+
+class TestGap:
+    def test_gather_pattern_repeats_across_products(self):
+        """The permutations are fixed: the same gather line sequence recurs."""
+        trace = gap.generate(scale=SMALL)
+        assert repeat_fraction(lines_of(trace)) > 0.4
+
+    def test_mixed_streams_and_gathers(self):
+        trace = gap.generate(scale=SMALL)
+        frac_dep = trace.num_dependent / len(trace)
+        assert 0.1 < frac_dep < 0.6
+
+
+class TestFt:
+    def test_no_dependences(self):
+        trace = ft.generate(scale=SMALL)
+        assert trace.num_dependent == 0
+
+    def test_strided_phases_have_large_deltas(self):
+        """The y/z butterflies jump by >= 1 KB: invisible to a +-1 stream
+        detector but perfectly repeating for pair-based prefetching."""
+        trace = ft.generate(scale=SMALL)
+        deltas = [abs(b.addr - a.addr) for a, b in zip(trace, trace[1:])]
+        large = sum(1 for d in deltas if d >= 1024)
+        assert large / len(deltas) > 0.2
+
+    def test_iterations_identical(self):
+        trace = ft.generate(scale=SMALL)
+        lines = lines_of(trace)
+        half = len(lines) // 2
+        assert lines[:half] == lines[half:2 * half]
+
+
+class TestEquake:
+    def test_mesh_gather_repeats_per_timestep(self):
+        trace = equake.generate(scale=SMALL)
+        assert repeat_fraction(lines_of(trace)) > 0.5
+
+    def test_mostly_local_neighbours(self):
+        """80% of mesh edges are near-diagonal: the displacement gather has
+        spatial locality, the rest is long-range."""
+        trace = equake.generate(scale=SMALL)
+        assert trace.num_dependent > 0
+
+
+class TestSparse:
+    def test_vectors_conflict_aligned(self):
+        """The Krylov basis vectors share low-order address bits, mapping
+        onto the same L2 sets (the conflict story of Figure 9)."""
+        trace = sparse.generate(scale=SMALL)
+        # Find the per-vector base addresses by their alignment.
+        aligned = {r.addr for r in trace
+                   if r.addr % sparse.CONFLICT_ALIGN == 0}
+        assert len(aligned) >= sparse.RESTART
+
+    def test_spmv_repeats_within_sweep(self):
+        trace = sparse.generate(scale=SMALL)
+        assert repeat_fraction(lines_of(trace)) > 0.4

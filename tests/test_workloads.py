@@ -1,0 +1,137 @@
+"""Tests for the nine workload trace generators."""
+
+import pytest
+
+from repro.workloads import APP_ORDER, get_trace, list_workloads, workload_info
+from repro.workloads.heap import Heap, array_index_addr, strided_addrs
+from repro.workloads.trace import MemRef, Trace, TraceBuilder
+
+SMALL = 0.05
+
+
+class TestTraceBuilder:
+    def test_compute_accumulates_until_next_ref(self):
+        tb = TraceBuilder()
+        tb.compute(3)
+        tb.compute(4)
+        tb.load(100)
+        tb.store(200)
+        trace = tb.build("t")
+        assert trace[0] == MemRef(100, False, 7, False)
+        assert trace[1] == MemRef(200, True, 0, False)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().compute(-1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().load(-5)
+
+    def test_trace_stats(self):
+        tb = TraceBuilder()
+        tb.load(0)
+        tb.store(64, dependent=True)
+        tb.compute(10)
+        tb.load(128, dependent=True)
+        t = tb.build()
+        assert t.num_loads == 2
+        assert t.num_stores == 1
+        assert t.num_dependent == 2
+        assert t.total_comp_cycles == 10
+        assert t.footprint_lines(64) == 3
+        assert t.line_addresses(64) == [0, 1, 2]
+
+
+class TestHeap:
+    def test_alignment(self):
+        h = Heap()
+        addr = h.alloc(10, align=64)
+        assert addr % 64 == 0
+
+    def test_bump_allocation_disjoint(self):
+        h = Heap()
+        a = h.alloc(100)
+        b = h.alloc(100)
+        assert b >= a + 100
+
+    def test_shuffled_nodes_are_permutation(self):
+        import random
+        h = Heap()
+        addrs = h.alloc_nodes(50, 64, random.Random(1))
+        assert len(set(addrs)) == 50
+
+    def test_validation(self):
+        h = Heap()
+        with pytest.raises(ValueError):
+            h.alloc(0)
+        with pytest.raises(ValueError):
+            h.alloc(8, align=3)
+
+    def test_helpers(self):
+        assert array_index_addr(1000, 3, 8) == 1024
+        assert list(strided_addrs(0, 3, 64)) == [0, 64, 128]
+
+
+class TestRegistry:
+    def test_nine_applications(self):
+        assert len(list_workloads()) == 9
+        assert tuple(list_workloads()) == APP_ORDER
+
+    def test_metadata_present(self):
+        for name in list_workloads():
+            info = workload_info(name)
+            assert info.suite and info.problem and info.input_desc
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_info("doom")
+
+    def test_trace_caching(self):
+        t1 = get_trace("tree", scale=SMALL)
+        t2 = get_trace("tree", scale=SMALL)
+        assert t1 is t2
+
+    def test_determinism(self):
+        t1 = get_trace("mcf", scale=SMALL, seed=3, cache=False)
+        t2 = get_trace("mcf", scale=SMALL, seed=3, cache=False)
+        assert t1.refs == t2.refs
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+class TestEveryWorkload:
+    def test_generates_nonempty_trace(self, app):
+        trace = get_trace(app, scale=SMALL)
+        assert len(trace) > 500
+        assert trace.name == app
+
+    def test_addresses_positive_and_varied(self, app):
+        trace = get_trace(app, scale=SMALL)
+        assert all(r.addr > 0 for r in trace)
+        assert trace.footprint_lines() > 50
+
+    def test_has_compute_cycles(self, app):
+        trace = get_trace(app, scale=SMALL)
+        assert trace.total_comp_cycles > 0
+
+
+class TestPatternCharacter:
+    """Miss-pattern character claims the paper's Figure 5 depends on."""
+
+    def test_pointer_workloads_have_dependent_refs(self):
+        for app in ("mcf", "mst", "tree", "parser"):
+            trace = get_trace(app, scale=SMALL)
+            assert trace.num_dependent / len(trace) > 0.2, app
+
+    def test_cg_is_mostly_independent(self):
+        trace = get_trace("cg", scale=SMALL)
+        assert trace.num_dependent == 0
+
+    def test_repeating_structure_in_mcf(self):
+        """Mcf walks the same thread order each iteration: the same line
+        must appear in multiple well-separated trace positions."""
+        trace = get_trace("mcf", scale=SMALL)
+        lines = trace.line_addresses()
+        first_line = lines[5]
+        occurrences = [i for i, l in enumerate(lines) if l == first_line]
+        assert len(occurrences) >= 2

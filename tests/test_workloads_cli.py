@@ -1,0 +1,30 @@
+"""Tests for the workload/trace CLI."""
+
+import pytest
+
+from repro.workloads.__main__ import main as wl_main
+
+
+class TestWorkloadsCli:
+    def test_stats(self, capsys):
+        assert wl_main(["stats", "tree", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "references" in out
+        assert "footprint" in out
+        assert "Barnes-Hut" in out
+
+    def test_save_and_info_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "tree.trc.npz")
+        assert wl_main(["save", "tree", path, "--scale", "0.05"]) == 0
+        assert wl_main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "saved" in out
+        assert "tree" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            wl_main(["stats", "quake3"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            wl_main([])
