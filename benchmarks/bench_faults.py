@@ -1,0 +1,61 @@
+"""Benchmark of graceful degradation: speedup vs. uniform fault rate.
+
+Sweeps :meth:`FaultPlan.uniform` intensities over the three correlation
+algorithms and checks that speedup over NoPref *degrades smoothly*: no
+crash, no cliff below the no-prefetching baseline, and the fault-free
+column matches a clean run bit for bit.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.faults import FaultPlan
+from repro.sim.config import preset
+from repro.sim.driver import run_simulation
+
+APP = "mcf"
+SCALE = 0.25
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+ALGORITHMS = ("base", "chain", "repl")
+
+
+def _sweep():
+    baseline = run_simulation(APP, "nopref", scale=SCALE)
+    table = {}
+    for name in ALGORITHMS:
+        row = []
+        for rate in RATES:
+            config = replace(preset(name),
+                             fault_plan=FaultPlan.uniform(rate, seed=0))
+            result = run_simulation(APP, config, scale=SCALE)
+            row.append(baseline.execution_time / result.execution_time)
+        table[name] = row
+    clean = {name: run_simulation(APP, name, scale=SCALE)
+             for name in ALGORITHMS}
+    return baseline, table, clean
+
+
+def bench_fault_degradation(benchmark, fresh_caches):
+    baseline, table, clean = run_once(benchmark, _sweep)
+
+    print(f"\nSpeedup over NoPref vs uniform fault rate — {APP} @ {SCALE}:")
+    print("  rate    " + "  ".join(f"{r:>6g}" for r in RATES))
+    for name, row in table.items():
+        print(f"  {name:6s}  " + "  ".join(f"{s:6.3f}" for s in row))
+
+    for name, row in table.items():
+        # Rate 0 must be bit-identical to a run with no fault plan at all.
+        clean_speedup = (baseline.execution_time
+                         / clean[name].execution_time)
+        assert row[0] == clean_speedup
+
+        # Graceful degradation: every chaotic point stays a win-or-wash
+        # (never a cliff below the NoPref baseline)...
+        assert all(s > 0.9 for s in row), (name, row)
+        # ...faults never *improve* the prefetcher...
+        assert all(s <= row[0] + 0.02 for s in row), (name, row)
+        # ...and the heaviest chaos costs real performance, trending the
+        # speedup toward 1.0 rather than collapsing it.
+        assert row[-1] < row[0]
+        assert abs(row[-1] - 1.0) < 0.1, (name, row)

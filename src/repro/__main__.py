@@ -6,16 +6,37 @@ Subcommands::
     python -m repro compare <app> [--scale S]         all configs for an app
     python -m repro list                              workloads + configs
     python -m repro experiments [--scale S]           regenerate everything
+    python -m repro chaos <app> [--config C]          fault-injection sweep
+
+``run`` accepts fault-injection options (see ``docs/ROBUSTNESS.md``)::
+
+    python -m repro run mcf repl --faults "obs_drop=0.05,push_loss=0.1" \
+        --fault-seed 7 --invariants
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
-from repro.sim.config import PRESETS
+from repro.faults import FaultPlan
+from repro.sim.config import PRESETS, custom_config, preset
 from repro.sim.driver import run_simulation
 from repro.workloads.registry import list_workloads
+
+
+def _resolve_config(app: str, config_name: str, faults: str | None,
+                    fault_seed: int, invariants: bool):
+    """A preset name plus the fault-injection flags -> SystemConfig."""
+    config = (custom_config(app) if config_name == "custom"
+              else preset(config_name))
+    if faults is not None:
+        config = replace(config,
+                         fault_plan=FaultPlan.parse(faults, seed=fault_seed))
+    if invariants:
+        config = replace(config, invariants=True)
+    return config
 
 
 def _cmd_list(_args) -> int:
@@ -25,7 +46,9 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_simulation(args.app, args.config, scale=args.scale)
+    config = _resolve_config(args.app, args.config, args.faults,
+                             args.fault_seed, args.invariants)
+    result = run_simulation(args.app, config, scale=args.scale)
     bd = result.processor.breakdown()
     print(f"{args.app} / {result.config_name} @ scale {args.scale}")
     print(f"  execution time : {result.execution_time:,} cycles")
@@ -39,6 +62,41 @@ def _cmd_run(args) -> int:
         t = result.ulmt_timing
         print(f"  ULMT           : response {t.avg_response:.0f}, "
               f"occupancy {t.avg_occupancy:.0f} cycles, IPC {t.ipc:.2f}")
+    if config.fault_plan is not None:
+        rb = result.robustness
+        print(f"  faults injected: {result.faults.describe()}")
+        print(f"  degradation    : filter drops {rb.filter_dropped:,}, "
+              f"q2 overflow {rb.queue2_overflow_drops:,}, "
+              f"q3 overflow {rb.queue3_overflow_drops:,}, "
+              f"warm restarts {rb.ulmt_warm_restarts}, "
+              f"learning shed {rb.degraded_observations:,} "
+              f"({rb.watchdog_activations} watchdog activations)")
+    if result.robustness.invariant_audits:
+        print(f"  invariants     : {result.robustness.invariant_audits:,} "
+              f"audits, all held")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Sweep fault intensity and print speedup degradation per algorithm."""
+    rates = [float(r) for r in args.rates.split(",")]
+    configs = args.configs.split(",")
+    baseline = run_simulation(args.app, "nopref", scale=args.scale)
+    header = "  ".join(f"{r:>7g}" for r in rates)
+    print(f"chaos sweep — {args.app} @ scale {args.scale}, seed {args.fault_seed}")
+    print(f"speedup over NoPref by uniform fault rate "
+          f"(see FaultPlan.uniform):\n")
+    print(f"{'config':14s}  {header}")
+    for name in configs:
+        row = []
+        for rate in rates:
+            config = _resolve_config(args.app, name, None,
+                                     args.fault_seed, args.invariants)
+            config = replace(config, fault_plan=FaultPlan.uniform(
+                rate, seed=args.fault_seed))
+            result = run_simulation(args.app, config, scale=args.scale)
+            row.append(baseline.execution_time / result.execution_time)
+        print(f"{name:14s}  " + "  ".join(f"{s:7.3f}" for s in row))
     return 0
 
 
@@ -59,8 +117,7 @@ def _cmd_compare(args) -> int:
 
 def _cmd_experiments(args) -> int:
     from repro.experiments import runall
-    runall.main(["--scale", str(args.scale)])
-    return 0
+    return runall.main(["--scale", str(args.scale)])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,6 +130,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("app")
     run_p.add_argument("config", nargs="?", default="repl")
     run_p.add_argument("--scale", type=float, default=0.4)
+    run_p.add_argument("--faults", metavar="SPEC",
+                       help='fault plan, e.g. "obs_drop=0.05,push_loss=0.1"')
+    run_p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault schedule (default 0)")
+    run_p.add_argument("--invariants", action="store_true",
+                       help="audit bookkeeping invariants after every event")
 
     cmp_p = sub.add_parser("compare", help="compare configs on one app")
     cmp_p.add_argument("app")
@@ -81,9 +144,21 @@ def main(argv: list[str] | None = None) -> int:
     exp_p = sub.add_parser("experiments", help="regenerate all figures")
     exp_p.add_argument("--scale", type=float, default=1.0)
 
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection sweep (speedup vs fault rate)")
+    chaos_p.add_argument("app")
+    chaos_p.add_argument("--configs", default="base,chain,repl",
+                         help="comma-separated configs (default base,chain,repl)")
+    chaos_p.add_argument("--rates", default="0,0.02,0.05,0.1,0.2",
+                         help="comma-separated uniform fault rates")
+    chaos_p.add_argument("--scale", type=float, default=0.3)
+    chaos_p.add_argument("--fault-seed", type=int, default=0)
+    chaos_p.add_argument("--invariants", action="store_true")
+
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "compare": _cmd_compare, "experiments": _cmd_experiments}
+                "compare": _cmd_compare, "experiments": _cmd_experiments,
+                "chaos": _cmd_chaos}
     return handlers[args.command](args)
 
 

@@ -81,6 +81,13 @@ class UlmtAlgorithm(ABC):
     def reset(self) -> None:
         """Forget transient (non-table) state, e.g. at a context switch."""
 
+    def hard_reset(self) -> None:
+        """Discard *all* learned state, table included — the warm-restart
+        path after an ULMT crash.  The table is ordinary software state in
+        main memory, so a crashed thread restarts with an empty one and
+        rebuilds it from the live miss stream."""
+        self.reset()
+
 
 #: Instruction cost of scanning one successor entry of a *conventional*
 #: table row during the prefetching step.  The conventional organisation
@@ -148,6 +155,13 @@ class BasePrefetcher(UlmtAlgorithm):
         self._last_row = None
         self._last_miss = None
 
+    def hard_reset(self) -> None:
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=1,
+            row_bytes=ROW_BYTES["base"], base_addr=self.table.base_addr)
+        self.reset()
+
 
 class ChainPrefetcher(UlmtAlgorithm):
     """Multi-level prefetching over the conventional table (Figure 4-(b))."""
@@ -205,6 +219,13 @@ class ChainPrefetcher(UlmtAlgorithm):
         self._last_row = None
         self._last_miss = None
 
+    def hard_reset(self) -> None:
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=1,
+            row_bytes=ROW_BYTES["chain"], base_addr=self.table.base_addr)
+        self.reset()
+
 
 class ReplicatedPrefetcher(UlmtAlgorithm):
     """The paper's new replicated-table algorithm (Figure 4-(c))."""
@@ -260,6 +281,13 @@ class ReplicatedPrefetcher(UlmtAlgorithm):
     def reset(self) -> None:
         self._pointers.clear()
         self._last_miss = None
+
+    def hard_reset(self) -> None:
+        self.table = CorrelationTable(
+            num_rows=self.params.num_rows, assoc=self.params.assoc,
+            num_succ=self.params.num_succ, num_levels=self.params.num_levels,
+            row_bytes=ROW_BYTES["repl"], base_addr=self.table.base_addr)
+        self.reset()
 
 
 #: Table 1 of the paper, generated from the algorithm classes themselves.

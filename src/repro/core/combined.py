@@ -51,3 +51,7 @@ class CombinedUlmtPrefetcher(UlmtAlgorithm):
     def reset(self) -> None:
         for component in self.components:
             component.reset()
+
+    def hard_reset(self) -> None:
+        for component in self.components:
+            component.hard_reset()

@@ -13,6 +13,8 @@ from __future__ import annotations
 from repro.core.algorithms import UlmtAlgorithm
 from repro.core.cost_model import CostConstants, UlmtCostModel
 from repro.core.ulmt import Ulmt
+from repro.faults.plan import FaultInjector
+from repro.faults.watchdog import UlmtWatchdog
 from repro.memsys.controller import MemoryController
 from repro.params import MemProcessorParams, MemProcLocation, QueueParams
 
@@ -24,12 +26,15 @@ class MemoryProcessor:
                  verbose: bool = False,
                  core_params: MemProcessorParams | None = None,
                  cost_constants: CostConstants | None = None,
-                 queue_params: QueueParams | None = None) -> None:
+                 queue_params: QueueParams | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 watchdog: UlmtWatchdog | None = None) -> None:
         self.controller = controller
         self.core_params = core_params or MemProcessorParams()
         self.cost_model = UlmtCostModel(controller, cost_constants)
         self.ulmt = Ulmt(algorithm, self.cost_model,
-                         queue_params=queue_params, verbose=verbose)
+                         queue_params=queue_params, verbose=verbose,
+                         fault_injector=fault_injector, watchdog=watchdog)
 
     @property
     def location(self) -> MemProcLocation:
@@ -38,6 +43,10 @@ class MemoryProcessor:
     @property
     def algorithm(self) -> UlmtAlgorithm:
         return self.ulmt.algorithm
+
+    @property
+    def watchdog(self) -> UlmtWatchdog | None:
+        return self.ulmt.watchdog
 
     def observe_miss(self, line_addr: int, now: int,
                      is_processor_prefetch: bool = False):

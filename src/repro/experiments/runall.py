@@ -2,17 +2,27 @@
 
 Usage::
 
-    python -m repro.experiments.runall [--scale 1.0]
+    python -m repro.experiments.runall [--scale 1.0] [--timeout 900]
 
 Simulation results are shared across figures through the common result
 cache, so the full matrix (9 applications x ~9 configurations) is only run
 once.
+
+Each experiment runs isolated: a failure (or a blown per-experiment time
+budget) is recorded and the matrix continues, with a summary of everything
+that failed printed at the end.  The exit status is the number of failed
+sections, so a partially broken tree still regenerates what it can.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
+import threading
 import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 from repro.experiments import (
     fig5,
@@ -46,21 +56,94 @@ SECTIONS = (
 )
 
 
-def main(argv: list[str] | None = None) -> None:
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its per-section time budget."""
+
+
+@dataclass
+class SectionFailure:
+    """One experiment that did not complete."""
+
+    name: str
+    error: str
+    elapsed: float
+
+
+@contextmanager
+def _time_budget(seconds: int):
+    """Raise :class:`ExperimentTimeout` if the block runs too long.
+
+    Uses ``SIGALRM``, so the budget is only enforced on platforms that have
+    it and when running on the main thread; elsewhere the block runs
+    unbounded (isolation via try/except still applies).
+    """
+    usable = (seconds > 0 and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ExperimentTimeout(f"exceeded the {seconds}s section budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
+    """Run every section, isolating failures; returns what failed."""
+    failures: list[SectionFailure] = []
+    for name, runner, _expensive in sections:
+        print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n")
+        section_start = time.time()
+        try:
+            with _time_budget(timeout):
+                runner()
+        except KeyboardInterrupt:
+            raise
+        except ExperimentTimeout as exc:
+            elapsed = time.time() - section_start
+            failures.append(SectionFailure(name, str(exc), elapsed))
+            print(f"\n[{name} TIMED OUT after {elapsed:.1f}s — continuing]")
+        except Exception as exc:
+            elapsed = time.time() - section_start
+            failures.append(SectionFailure(
+                name, f"{type(exc).__name__}: {exc}", elapsed))
+            traceback.print_exc()
+            print(f"\n[{name} FAILED after {elapsed:.1f}s — continuing]")
+        else:
+            print(f"\n[{name} done in {time.time() - section_start:.1f}s]")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
                         help="workload scale factor (default 1.0)")
+    parser.add_argument("--timeout", type=int, default=1800,
+                        help="per-experiment time budget in seconds "
+                             "(0 disables; default 1800)")
     args = parser.parse_args(argv)
     common.DEFAULT_SCALE = args.scale  # noqa: simple module-level knob
 
     start = time.time()
-    for name, runner, _expensive in SECTIONS:
-        print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n")
-        section_start = time.time()
-        runner()
-        print(f"\n[{name} done in {time.time() - section_start:.1f}s]")
-    print(f"\nAll experiments regenerated in {time.time() - start:.1f}s")
+    failures = run_sections(timeout=args.timeout)
+    total = time.time() - start
+    if failures:
+        print(f"\n{len(failures)}/{len(SECTIONS)} experiments FAILED "
+              f"in {total:.1f}s:")
+        for failure in failures:
+            print(f"  {failure.name:10s} after {failure.elapsed:7.1f}s: "
+                  f"{failure.error}")
+    else:
+        print(f"\nAll experiments regenerated in {total:.1f}s")
+    return len(failures)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Fault injection and graceful degradation for the ULMT memory system.
+
+Three collaborating pieces:
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan` (what can go wrong, as
+  seeded per-event probabilities) and the :class:`FaultInjector` that draws
+  the deterministic fault schedule and counts what fired;
+* :mod:`repro.faults.watchdog` — the :class:`UlmtWatchdog` that detects
+  queue-2 backlog growth and sheds the learning step (prefetch-only mode)
+  until the ULMT catches up;
+* :mod:`repro.faults.invariants` — the :class:`InvariantChecker` auditing
+  the simulator's cross-structure bookkeeping after every event.
+
+See ``docs/ROBUSTNESS.md`` for the fault taxonomy and how to run a chaos
+sweep.
+"""
+
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    invariants_enabled_in_env,
+)
+from repro.faults.plan import ZERO_PLAN, FaultInjector, FaultPlan, FaultStats
+from repro.faults.watchdog import UlmtWatchdog
+
+__all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "ZERO_PLAN",
+    "UlmtWatchdog",
+    "InvariantChecker",
+    "InvariantViolation",
+    "invariants_enabled_in_env",
+]

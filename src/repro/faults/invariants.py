@@ -1,0 +1,79 @@
+"""Runtime invariant audits over the simulator's bookkeeping.
+
+The system keeps redundant state on purpose — MSHR entries mirror pending
+writes, the arrival heap mirrors the in-flight push map, queue lengths are
+bounded by construction.  Fault injection pokes at exactly these structures,
+so the :class:`InvariantChecker` re-derives every cross-structure invariant
+after each external event and raises :class:`InvariantViolation` the moment
+one breaks, pointing at the corrupted structure instead of letting the error
+surface thousands of events later as a wrong statistic.
+
+Enabled per :class:`~repro.sim.config.SystemConfig` (``invariants=True``) or
+globally with ``REPRO_INVARIANTS=1`` in the environment (how CI runs the
+suite); when disabled the system holds no checker at all, so the cost is one
+``is None`` test per access.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class InvariantViolation(AssertionError):
+    """A cross-structure bookkeeping invariant does not hold."""
+
+
+def invariants_enabled_in_env() -> bool:
+    """True when ``REPRO_INVARIANTS`` requests audits for every system."""
+    return os.environ.get("REPRO_INVARIANTS", "").lower() not in (
+        "", "0", "false", "no")
+
+
+class InvariantChecker:
+    """Audits one :class:`~repro.sim.system.System` after every event."""
+
+    def __init__(self) -> None:
+        self.audits = 0
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(f"after {self.audits} audits: {message}")
+
+    def audit(self, system) -> None:
+        """Validate every cross-structure invariant of ``system``."""
+        self.audits += 1
+        for problem in self.collect(system):
+            self._fail(problem)
+
+    def collect(self, system) -> list[str]:
+        """Gather every violation without raising (tests and tooling)."""
+        problems = list(system.l2.audit())
+        problems.extend(self._audit_push_tracking(system))
+        problems.extend(system.prefetch_queue.audit())
+        if system.memproc is not None:
+            ulmt = system.memproc.ulmt
+            problems.extend(ulmt.obs_queue.audit())
+            if ulmt.free_at < 0:
+                problems.append(f"ULMT free_at went negative: {ulmt.free_at}")
+            if len(ulmt.filter) > ulmt.filter.entries:
+                problems.append(f"Filter over capacity: {len(ulmt.filter)} "
+                                f"> {ulmt.filter.entries}")
+        return problems
+
+    # -- cross-structure audits ---------------------------------------------------
+
+    def _audit_push_tracking(self, system) -> list[str]:
+        problems: list[str] = []
+        inflight = set(system._inflight)
+        merged = set(system._merged)
+        overlap = inflight & merged
+        if overlap:
+            problems.append(f"lines both in flight and demand-merged: "
+                            f"{sorted(overlap)[:4]}")
+        heap_lines = {line for _, line, _ in system._arrivals}
+        tracked = inflight | merged
+        if heap_lines != tracked:
+            problems.append(
+                f"arrival heap and push tracking disagree: "
+                f"heap-only={sorted(heap_lines - tracked)[:4]}, "
+                f"tracked-only={sorted(tracked - heap_lines)[:4]}")
+        return problems

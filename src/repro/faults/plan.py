@@ -1,0 +1,282 @@
+"""Fault plans and the seeded fault injector.
+
+A :class:`FaultPlan` describes *what can go wrong* at every boundary of the
+paper's Figure-3 pipeline, as independent per-event probabilities:
+
+* queue 2 (observation) — an observed miss silently dropped before the
+  ULMT sees it, or duplicated (the push logic deposited it twice);
+* queue 3 (prefetch requests) — a push rejected as if the queue had
+  overflowed;
+* the push path — a prefetched line lost in transit to the L2 (retried a
+  bounded number of times by the :class:`~repro.sim.system.System`), or
+  delayed by a fixed number of cycles (a late push racing the demand miss);
+* the memory processor — a transient stall (the core is preempted or
+  servicing something else), or a full ULMT crash followed by a warm
+  restart in which the correlation table is rebuilt from the live miss
+  stream;
+* the correlation table itself — a flipped bit in a successor entry
+  (the table is plain software state in main memory, so it is exposed to
+  whatever corrupts that memory).
+
+A :class:`FaultInjector` owns one seeded RNG shared by every fault site, so
+a (plan, trace, config) triple replays the exact same fault schedule.  An
+all-zero plan never draws from the RNG and never perturbs the simulation:
+the zero-fault path stays bit-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field, fields
+
+from repro.core.table import CorrelationTable
+
+#: Bit width of a correlation-table successor entry (line addresses on the
+#: paper's 32-bit machine) — the range a fault may flip a bit in.
+_SUCC_BITS = 32
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-event fault probabilities plus their magnitude parameters.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently at each
+    opportunity (one observation, one push, one learning step...).  The
+    ``*_cycles`` / ``*_limit`` fields shape what happens when a fault fires.
+    """
+
+    #: RNG seed for the fault schedule.
+    seed: int = 0
+    #: P(an observed miss is dropped before reaching queue 2).
+    obs_drop: float = 0.0
+    #: P(an observed miss is deposited into queue 2 twice).
+    obs_dup: float = 0.0
+    #: P(a queue-3 push is rejected as if the queue had overflowed).
+    q3_reject: float = 0.0
+    #: P(a pushed line is lost in transit to the L2).
+    push_loss: float = 0.0
+    #: P(a pushed line arrives late) / how late it arrives.
+    push_delay: float = 0.0
+    push_delay_cycles: int = 400
+    #: P(transient memory-processor stall per observation) / its length.
+    stall: float = 0.0
+    stall_cycles: int = 2000
+    #: P(full ULMT crash per observation) / warm-restart downtime.
+    crash: float = 0.0
+    crash_restart_cycles: int = 20000
+    #: P(one bit of a correlation-table successor flips per learning step).
+    bitflip: float = 0.0
+    #: Bounded-retry push semantics: how many times the System re-queues a
+    #: lost push, and how long it backs off before the retry.
+    push_retry_limit: int = 2
+    push_retry_backoff: int = 200
+
+    _RATE_FIELDS = ("obs_drop", "obs_dup", "q3_reject", "push_loss",
+                    "push_delay", "stall", "crash", "bitflip")
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {name}={rate} outside [0, 1]")
+        for name in ("push_delay_cycles", "stall_cycles",
+                     "crash_restart_cycles", "push_retry_limit",
+                     "push_retry_backoff"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault can ever fire (the bit-identical path)."""
+        return all(getattr(self, name) == 0.0 for name in self._RATE_FIELDS)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``"obs_drop=0.01,push_loss=0.05"``.
+
+        Keys are the dataclass field names; values are parsed as float for
+        rates and int for magnitudes.
+        """
+        valid = {f.name: f.type for f in fields(cls)}
+        kwargs: dict[str, float | int] = {"seed": seed}
+        spec = spec.strip()
+        if spec:
+            for item in spec.split(","):
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                if not sep or key not in valid:
+                    raise ValueError(
+                        f"bad fault spec item {item!r}; valid keys: "
+                        f"{', '.join(sorted(valid))}")
+                kwargs[key] = (float(value) if key in cls._RATE_FIELDS
+                               else int(value))
+        return cls(**kwargs)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A chaos-sweep plan stressing every boundary at intensity ``rate``.
+
+        Per-event rates scale with how often the event recurs: frequent
+        boundary events (drops, losses, rejects, delays) fire at ``rate``,
+        duplications at half that, stalls and bit flips at a tenth, and full
+        crashes at a hundredth (a crash costs ~20k cycles of downtime, so
+        higher rates would just measure the restart penalty).
+        """
+        return cls(seed=seed, obs_drop=rate, obs_dup=rate / 2,
+                   q3_reject=rate, push_loss=rate, push_delay=rate,
+                   stall=rate / 10, crash=rate / 100, bitflip=rate / 10)
+
+    def describe(self) -> str:
+        """Non-zero fields, for logs: ``"obs_drop=0.01 push_loss=0.05"``."""
+        parts = [f"{name}={getattr(self, name):g}"
+                 for name in self._RATE_FIELDS if getattr(self, name) > 0]
+        return " ".join(parts) if parts else "none"
+
+
+#: The no-fault plan used when a system is built without one.
+ZERO_PLAN = FaultPlan()
+
+
+@dataclass
+class FaultStats:
+    """How many faults of each kind actually fired during a run."""
+
+    observations_dropped: int = 0
+    observations_duplicated: int = 0
+    queue3_rejects: int = 0
+    push_loss_events: int = 0
+    pushes_retried: int = 0
+    pushes_abandoned: int = 0
+    pushes_delayed: int = 0
+    delay_cycles_injected: int = 0
+    stalls_injected: int = 0
+    stall_cycles_injected: int = 0
+    crashes_injected: int = 0
+    bitflips_injected: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        """Total independent fault events injected."""
+        return (self.observations_dropped + self.observations_duplicated
+                + self.queue3_rejects + self.push_loss_events
+                + self.pushes_delayed + self.stalls_injected
+                + self.crashes_injected + self.bitflips_injected)
+
+    def describe(self) -> str:
+        parts = [f"{f.name}={getattr(self, f.name)}"
+                 for f in dataclasses.fields(self) if getattr(self, f.name)]
+        return " ".join(parts) if parts else "none"
+
+
+class FaultInjector:
+    """Draws the fault schedule for one simulated run.
+
+    Every fault site asks a dedicated method; a method returns the "no
+    fault" answer without touching the RNG when its rate is zero, which is
+    what keeps the all-zero plan bit-identical (and nearly free).
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or ZERO_PLAN
+        self.active = not self.plan.is_zero
+        self._rng = random.Random(self.plan.seed)
+        self.stats = FaultStats()
+
+    def _fires(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    # -- queue-2 boundary ---------------------------------------------------------
+
+    def drop_observation(self) -> bool:
+        if self._fires(self.plan.obs_drop):
+            self.stats.observations_dropped += 1
+            return True
+        return False
+
+    def duplicate_observation(self) -> bool:
+        if self._fires(self.plan.obs_dup):
+            self.stats.observations_duplicated += 1
+            return True
+        return False
+
+    # -- queue-3 / push boundary --------------------------------------------------
+
+    def reject_queue3(self) -> bool:
+        if self._fires(self.plan.q3_reject):
+            self.stats.queue3_rejects += 1
+            return True
+        return False
+
+    def lose_push(self) -> bool:
+        """A push vanishes in transit (disposition counted by the System)."""
+        if self._fires(self.plan.push_loss):
+            self.stats.push_loss_events += 1
+            return True
+        return False
+
+    def push_delay(self) -> int:
+        """Extra cycles a pushed line spends in transit (usually 0)."""
+        if self._fires(self.plan.push_delay):
+            self.stats.pushes_delayed += 1
+            self.stats.delay_cycles_injected += self.plan.push_delay_cycles
+            return self.plan.push_delay_cycles
+        return 0
+
+    # -- memory-processor faults --------------------------------------------------
+
+    def stall_cycles(self) -> int:
+        """Transient stall charged to the ULMT before this observation."""
+        if self._fires(self.plan.stall):
+            self.stats.stalls_injected += 1
+            self.stats.stall_cycles_injected += self.plan.stall_cycles
+            return self.plan.stall_cycles
+        return 0
+
+    def crash_ulmt(self) -> bool:
+        if self._fires(self.plan.crash):
+            self.stats.crashes_injected += 1
+            return True
+        return False
+
+    # -- correlation-table corruption ---------------------------------------------
+
+    def corrupt_table(self, algorithm) -> bool:
+        """Flip one random successor bit in the algorithm's table(s)."""
+        if not self._fires(self.plan.bitflip):
+            return False
+        tables = _tables_of(algorithm)
+        flipped = False
+        if tables:
+            flipped = _flip_random_successor(self._rng.choice(tables),
+                                             self._rng)
+        if flipped:
+            self.stats.bitflips_injected += 1
+        return flipped
+
+
+def _tables_of(algorithm) -> list[CorrelationTable]:
+    """Correlation tables reachable from an algorithm (composites recurse)."""
+    components = getattr(algorithm, "components", None)
+    if components is not None:
+        tables: list[CorrelationTable] = []
+        for component in components:
+            tables.extend(_tables_of(component))
+        return tables
+    table = getattr(algorithm, "table", None)
+    return [table] if isinstance(table, CorrelationTable) else []
+
+
+def _flip_random_successor(table: CorrelationTable,
+                           rng: random.Random) -> bool:
+    """XOR one random bit of one random successor entry; False if empty."""
+    rows = [row for cset in table._sets for row in cset.values()
+            if any(row.levels)]
+    if not rows:
+        return False
+    row = rng.choice(rows)
+    levels = [lvl for lvl in row.levels if lvl]
+    succs = rng.choice(levels)
+    idx = rng.randrange(len(succs))
+    succs[idx] ^= 1 << rng.randrange(_SUCC_BITS)
+    return True

@@ -1,0 +1,59 @@
+"""The ULMT backlog watchdog and its degraded (prefetch-only) mode.
+
+Figure 2 of the paper bounds the ULMT's usefulness by its occupancy: when
+observations arrive faster than the thread retires them, queue 2 fills and
+misses are dropped unobserved — the prefetcher silently goes blind.  The
+watchdog turns that cliff into a slope: when the backlog crosses a high-water
+mark it *sheds the learning step* (the occupancy-heavy half of the loop,
+Table 1's ``NumLevels`` row updates for Replicated), so the thread answers
+with prefetches only and drains its queue faster; once the backlog falls to
+the low-water mark, learning resumes.
+
+The watchdog is pure bookkeeping over the queue-2 length, so it costs a
+comparison per observation.  It is only wired in when fault injection is
+active (or explicitly requested), keeping the fault-free path untouched.
+"""
+
+from __future__ import annotations
+
+
+class UlmtWatchdog:
+    """Hysteresis controller over the queue-2 backlog."""
+
+    def __init__(self, queue_depth: int, high_frac: float = 0.75,
+                 low_frac: float = 0.25) -> None:
+        if queue_depth <= 0:
+            raise ValueError(f"queue depth must be positive: {queue_depth}")
+        if not 0.0 <= low_frac < high_frac <= 1.0:
+            raise ValueError(
+                f"need 0 <= low_frac < high_frac <= 1, got "
+                f"low={low_frac}, high={high_frac}")
+        self.queue_depth = queue_depth
+        self.high_mark = max(1, int(queue_depth * high_frac))
+        self.low_mark = int(queue_depth * low_frac)
+        self.degraded = False
+        self.activations = 0
+        self.recoveries = 0
+        self.degraded_observations = 0
+
+    def update(self, backlog: int) -> bool:
+        """Feed the current queue-2 length; returns the (new) mode."""
+        if not self.degraded and backlog >= self.high_mark:
+            self.degraded = True
+            self.activations += 1
+        elif self.degraded and backlog <= self.low_mark:
+            self.degraded = False
+            self.recoveries += 1
+        return self.degraded
+
+    def shed_learning(self) -> bool:
+        """Asked once per processed observation: skip the learning step?"""
+        if self.degraded:
+            self.degraded_observations += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "degraded" if self.degraded else "normal"
+        return (f"UlmtWatchdog({mode}, marks={self.low_mark}/"
+                f"{self.high_mark}, activations={self.activations})")

@@ -237,6 +237,40 @@ class L2Cache:
         self.stats.writebacks += len(drained)
         return drained
 
+    # -- invariant audit ----------------------------------------------------------
+
+    def audit(self) -> list[str]:
+        """Self-check of the L2's redundant bookkeeping.
+
+        Called by :class:`repro.faults.invariants.InvariantChecker` after
+        every external event; returns a list of violation descriptions
+        (empty when everything holds).
+        """
+        problems: list[str] = []
+        if len(self.mshrs) > self.mshrs.capacity:
+            problems.append(f"MSHR file over capacity: {len(self.mshrs)} > "
+                            f"{self.mshrs.capacity}")
+        mshr_lines = {e.line_addr for e in self.mshrs.outstanding()}
+        stale = set(self._pending_is_write) - mshr_lines
+        if stale:
+            problems.append(f"pending-write flags without MSHR entries: "
+                            f"{sorted(stale)[:4]}")
+        for entry in self.mshrs.outstanding():
+            if entry.completion_time < entry.issue_time:
+                problems.append(f"MSHR for line {entry.line_addr:#x} "
+                                f"completes before it issues")
+        if len(self.writeback_queue) > self.writeback_queue.depth:
+            problems.append(
+                f"write-back queue over depth: {len(self.writeback_queue)} "
+                f"> {self.writeback_queue.depth}")
+        for name in ("prefetch_hits", "delayed_hits", "nonpref_misses",
+                     "accepted_prefetches", "redundant_prefetches",
+                     "dropped_mshr_full", "dropped_set_pending",
+                     "dropped_writeback_match"):
+            if getattr(self.stats, name) < 0:
+                problems.append(f"negative L2 counter {name}")
+        return problems
+
     # -- internals --------------------------------------------------------------
 
     def _fill(self, line_addr: int, dirty: bool, prefetched: bool,

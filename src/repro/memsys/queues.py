@@ -76,6 +76,23 @@ class ObservationQueue:
                 return True
         return False
 
+    def clear(self) -> int:
+        """Discard every queued observation (ULMT warm restart); returns
+        how many were lost."""
+        lost = len(self._fifo)
+        self._fifo.clear()
+        return lost
+
+    def audit(self) -> list[str]:
+        """Self-check for the invariant checker; returns violations."""
+        problems = []
+        if len(self._fifo) > self.depth:
+            problems.append(f"queue 2 over depth: {len(self._fifo)} > "
+                            f"{self.depth}")
+        if self.dropped_overflow < 0 or self.dropped_matched < 0:
+            problems.append("negative queue-2 drop counter")
+        return problems
+
 
 @dataclass(frozen=True)
 class PrefetchRequest:
@@ -83,6 +100,9 @@ class PrefetchRequest:
 
     line_addr: int
     issue_time: int
+    #: Bounded-retry push semantics: how many times this request has been
+    #: re-queued after its push was lost in transit (fault injection).
+    retries: int = 0
 
 
 class PrefetchQueue:
@@ -129,6 +149,16 @@ class PrefetchQueue:
                 self.cancelled_by_demand += 1
                 return True
         return False
+
+    def audit(self) -> list[str]:
+        """Self-check for the invariant checker; returns violations."""
+        problems = []
+        if len(self._fifo) > self.depth:
+            problems.append(f"queue 3 over depth: {len(self._fifo)} > "
+                            f"{self.depth}")
+        if self.dropped_overflow < 0 or self.cancelled_by_demand < 0:
+            problems.append("negative queue-3 drop counter")
+        return problems
 
 
 class WritebackQueue:

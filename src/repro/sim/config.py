@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.customization import customization_for
+from repro.faults.plan import FaultPlan
 from repro.params import CONVEN4_PARAMS, MemProcLocation, SequentialParams
 
 
@@ -40,9 +41,24 @@ class SystemConfig:
     #: Enable the DASP-style hardwired pull prefetcher in the North Bridge
     #: (the related-work baseline of Sections 2.1 and 6).
     dasp: bool = False
+    #: Fault-injection plan (None or all-zero keeps the run bit-identical
+    #: to a fault-free simulation); see :mod:`repro.faults`.
+    fault_plan: Optional[FaultPlan] = None
+    #: Run the cross-structure invariant audit after every event (also
+    #: switched on globally by ``REPRO_INVARIANTS=1``).
+    invariants: bool = False
+    #: ULMT backlog watchdog (graceful degradation): None = auto, i.e.
+    #: enabled exactly when fault injection is active.
+    watchdog: Optional[bool] = None
 
     def with_num_rows(self, num_rows: int) -> "SystemConfig":
         return replace(self, num_rows=num_rows)
+
+    def with_faults(self, fault_plan: FaultPlan,
+                    invariants: bool = False) -> "SystemConfig":
+        """This configuration under a fault plan (chaos sweeps)."""
+        return replace(self, fault_plan=fault_plan,
+                       invariants=invariants or self.invariants)
 
 
 PRESETS: dict[str, SystemConfig] = {

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cpu.processor import ProcessorStats
+from repro.faults.plan import FaultStats
 from repro.memsys.bus import BusStats
 from repro.memsys.l2 import L2Stats
 from repro.core.ulmt import UlmtStats
@@ -48,6 +49,42 @@ class UlmtTimingStats:
 
 
 @dataclass
+class RobustnessStats:
+    """Degradation made observable: every place the pipeline sheds work.
+
+    These counters always existed inside the Filter, the queues, and the
+    ULMT, but were only reachable with a debugger; surfacing them in the
+    result is what lets a chaos sweep (or an operator) see *how* the system
+    degraded rather than just that it got slower.
+    """
+
+    #: Filter module: prefetches admitted / suppressed as recently issued.
+    filter_passed: int = 0
+    filter_dropped: int = 0
+    #: Queue 2 (observations): overflow drops and queue-2/3 cross-matches.
+    queue2_overflow_drops: int = 0
+    queue2_crossmatch_drops: int = 0
+    #: Queue 3 (prefetch requests): overflow drops and demand-miss cancels.
+    queue3_overflow_drops: int = 0
+    queue3_demand_cancels: int = 0
+    #: ULMT resilience: crashes survived and learning steps shed by the
+    #: backlog watchdog (prefetch-only mode).
+    ulmt_warm_restarts: int = 0
+    watchdog_activations: int = 0
+    watchdog_recoveries: int = 0
+    degraded_observations: int = 0
+    #: Invariant audits executed (0 unless enabled; a passed run means
+    #: every audit held).
+    invariant_audits: int = 0
+
+    @property
+    def total_sheds(self) -> int:
+        """Work items the pipeline dropped instead of falling over."""
+        return (self.filter_dropped + self.queue2_overflow_drops
+                + self.queue3_overflow_drops + self.degraded_observations)
+
+
+@dataclass
 class SimResult:
     """Everything one simulation run produced."""
 
@@ -61,6 +98,10 @@ class SimResult:
     miss_distance_counts: tuple[int, int, int, int] = (0, 0, 0, 0)
     demand_misses_to_memory: int = 0
     prefetches_issued_to_memory: int = 0
+    #: Fault events injected (all zero when no plan / an all-zero plan).
+    faults: FaultStats = field(default_factory=FaultStats)
+    #: Degradation counters (always populated).
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
     # -- Figure 7 -----------------------------------------------------------------
 

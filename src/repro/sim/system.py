@@ -23,6 +23,9 @@ from typing import Optional
 
 from repro.core.ulmt import UlmtPrefetch
 from repro.cpu.memproc import MemoryProcessor
+from repro.faults.invariants import InvariantChecker, invariants_enabled_in_env
+from repro.faults.plan import FaultInjector
+from repro.faults.watchdog import UlmtWatchdog
 from repro.cpu.processor import (
     LEVEL_L2,
     LEVEL_MEM,
@@ -43,7 +46,12 @@ from repro.params import (
     QueueParams,
 )
 from repro.sim.config import SystemConfig
-from repro.sim.stats import SimResult, UlmtTimingStats, distance_bin
+from repro.sim.stats import (
+    RobustnessStats,
+    SimResult,
+    UlmtTimingStats,
+    distance_bin,
+)
 from repro.workloads.trace import Trace
 
 
@@ -59,13 +67,22 @@ class System:
         queue_params = QueueParams(
             queue_depth=config.queue_depth or QUEUES.queue_depth,
             filter_entries=config.filter_entries or QUEUES.filter_entries)
+        #: Fault injection: inactive (and never consulted beyond a flag
+        #: test) unless the config carries a non-zero plan.
+        self.fault_injector = FaultInjector(config.fault_plan)
+        use_watchdog = (config.watchdog if config.watchdog is not None
+                        else self.fault_injector.active)
         self.memproc: Optional[MemoryProcessor] = None
         if config.ulmt_algorithm is not None:
             algorithm = build_algorithm(config.ulmt_algorithm,
                                         num_rows=config.num_rows)
+            watchdog = (UlmtWatchdog(queue_params.queue_depth)
+                        if use_watchdog else None)
             self.memproc = MemoryProcessor(self.controller, algorithm,
                                            verbose=config.verbose,
-                                           queue_params=queue_params)
+                                           queue_params=queue_params,
+                                           fault_injector=self.fault_injector,
+                                           watchdog=watchdog)
         stream = (HardwareStreamPrefetcher(config.conven)
                   if config.conven is not None else None)
         proc_params = (MainProcessorParams(rob_refs=config.rob_refs)
@@ -93,11 +110,23 @@ class System:
         #: the Figure 5 predictability analysis.
         self.miss_observer = None
 
+        #: Cross-structure bookkeeping audit (tests/CI); None = no-op path.
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker()
+            if config.invariants or invariants_enabled_in_env() else None)
+
     # -- MemoryInterface -----------------------------------------------------------
 
     def access(self, l2_line: int, is_write: bool, now: int,
                is_prefetch: bool) -> AccessResult:
         """Service one L1 miss (demand or Conven4 prefetch)."""
+        result = self._access(l2_line, is_write, now, is_prefetch)
+        if self.invariants is not None:
+            self.invariants.audit(self)
+        return result
+
+    def _access(self, l2_line: int, is_write: bool, now: int,
+                is_prefetch: bool) -> AccessResult:
         self._advance(now)
 
         outcome = self.l2.demand_lookup(l2_line, is_write, now)
@@ -158,13 +187,18 @@ class System:
         self._process_arrivals(now)
 
     def _enqueue_prefetches(self, issued: list[UlmtPrefetch]) -> None:
+        inj = self.fault_injector
         for pf in issued:
             if pf.line_addr in self._inflight:
+                continue
+            if inj.active and inj.reject_queue3():
+                # Injected queue-3 overflow pressure: the deposit bounces.
                 continue
             self.prefetch_queue.push(PrefetchRequest(pf.line_addr, pf.issue_time))
 
     def _issue_prefetches(self, now: int) -> None:
         """Move due queue-3 entries into the memory system."""
+        inj = self.fault_injector
         while True:
             head = self.prefetch_queue.pop()
             if head is None:
@@ -176,8 +210,23 @@ class System:
                 return
             if head.line_addr in self._inflight:
                 continue
+            if inj.active and inj.lose_push():
+                # The push vanished in transit.  Bounded-retry semantics:
+                # re-queue it with a backoff until the retry budget is
+                # spent, then give it up for good.
+                if head.retries < inj.plan.push_retry_limit:
+                    inj.stats.pushes_retried += 1
+                    retry_at = head.issue_time + inj.plan.push_retry_backoff
+                    self.prefetch_queue.push(PrefetchRequest(
+                        head.line_addr, retry_at, head.retries + 1))
+                else:
+                    inj.stats.pushes_abandoned += 1
+                continue
             arrival = self.controller.push_prefetch(head.line_addr * 64,
                                                     head.issue_time)
+            if inj.active:
+                # A delayed push arrives late (and may race a demand miss).
+                arrival += inj.push_delay()
             self.prefetches_issued += 1
             self._inflight[head.line_addr] = arrival
             heapq.heappush(self._arrivals, (arrival, head.line_addr, False))
@@ -215,6 +264,8 @@ class System:
         self._process_arrivals(end + 10**9)
         self.l2.retire(end + 10**9)
         self.l2.flush_writebacks()
+        if self.invariants is not None:
+            self.invariants.audit(self)
 
     def _result(self, workload: str, processor_stats: ProcessorStats) -> SimResult:
         ulmt_stats = None
@@ -243,4 +294,26 @@ class System:
             miss_distance_counts=tuple(self._miss_bins),
             demand_misses_to_memory=self.demand_misses_to_memory,
             prefetches_issued_to_memory=self.prefetches_issued,
+            faults=self.fault_injector.stats,
+            robustness=self._robustness_stats(),
         )
+
+    def _robustness_stats(self) -> RobustnessStats:
+        stats = RobustnessStats(
+            queue3_overflow_drops=self.prefetch_queue.dropped_overflow,
+            queue3_demand_cancels=self.prefetch_queue.cancelled_by_demand,
+            invariant_audits=(self.invariants.audits
+                              if self.invariants is not None else 0),
+        )
+        if self.memproc is not None:
+            ulmt = self.memproc.ulmt
+            stats.filter_passed = ulmt.filter.passed
+            stats.filter_dropped = ulmt.filter.dropped
+            stats.queue2_overflow_drops = ulmt.obs_queue.dropped_overflow
+            stats.queue2_crossmatch_drops = ulmt.obs_queue.dropped_matched
+            stats.ulmt_warm_restarts = ulmt.stats.warm_restarts
+            stats.degraded_observations = ulmt.stats.learning_steps_shed
+            if ulmt.watchdog is not None:
+                stats.watchdog_activations = ulmt.watchdog.activations
+                stats.watchdog_recoveries = ulmt.watchdog.recoveries
+        return stats

@@ -16,6 +16,7 @@ so future extensions stay readable.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -24,6 +25,16 @@ from repro.workloads.trace import MemRef, Trace
 
 MAGIC = "repro-trace"
 VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """``load_trace`` was given a file that is not a valid trace.
+
+    Subclasses :class:`ValueError` so pre-existing callers catching that
+    keep working; the message always names the offending file and what is
+    wrong with it (wrong magic, unsupported version, truncation, missing
+    arrays, or inconsistent reference counts).
+    """
 
 _WRITE_BIT = 0x1
 _DEP_BIT = 0x2
@@ -49,20 +60,60 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` (a :class:`ValueError`) with a
+    descriptive message on anything that is not a well-formed trace:
+    truncated or non-zip bytes, a missing or undecodable header, wrong
+    magic, an unsupported version, missing arrays, or array lengths that
+    disagree with the header's reference count.  A missing file still
+    raises :class:`FileNotFoundError`.
+    """
     path = Path(path)
-    with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode())
-        if header.get("magic") != MAGIC:
-            raise ValueError(f"{path} is not a repro trace file")
+    try:
+        archive = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise TraceFormatError(
+            f"{path} is truncated or not a repro trace archive: {exc}"
+        ) from exc
+    with archive as data:
+        missing = [k for k in ("header", "addrs", "flags", "comps")
+                   if k not in data.files]
+        if missing:
+            raise TraceFormatError(
+                f"{path} is not a repro trace file: missing "
+                f"{', '.join(missing)} (has: {', '.join(data.files) or 'nothing'})")
+        try:
+            header = json.loads(bytes(data["header"]).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"{path} has a corrupt trace header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("magic") != MAGIC:
+            raise TraceFormatError(f"{path} is not a repro trace file "
+                                   f"(bad magic {header!r:.60})")
         if header.get("version") != VERSION:
-            raise ValueError(
-                f"unsupported trace version {header.get('version')} in {path}")
-        addrs = data["addrs"]
-        flags = data["flags"]
-        comps = data["comps"]
-    if not (len(addrs) == len(flags) == len(comps) == header["refs"]):
-        raise ValueError(f"corrupt trace file: {path}")
+            raise TraceFormatError(
+                f"unsupported trace version {header.get('version')!r} in "
+                f"{path} (this build reads version {VERSION})")
+        refs_declared = header.get("refs")
+        if not isinstance(refs_declared, int) or refs_declared < 0:
+            raise TraceFormatError(
+                f"{path} has a corrupt reference count: {refs_declared!r}")
+        try:
+            addrs = data["addrs"]
+            flags = data["flags"]
+            comps = data["comps"]
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise TraceFormatError(
+                f"{path} is truncated: cannot read trace arrays: {exc}"
+            ) from exc
+    if not (len(addrs) == len(flags) == len(comps) == refs_declared):
+        raise TraceFormatError(
+            f"corrupt trace file: {path} declares {refs_declared} refs but "
+            f"holds {len(addrs)} addrs / {len(flags)} flags / "
+            f"{len(comps)} comps (truncated write?)")
     refs = [MemRef(int(a), bool(f & _WRITE_BIT), int(c), bool(f & _DEP_BIT))
             for a, f, c in zip(addrs, flags, comps)]
     return Trace(refs, name=header.get("name", ""))

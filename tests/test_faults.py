@@ -1,0 +1,475 @@
+"""Chaos suite: fault injection, graceful degradation, invariant audits.
+
+Covers the acceptance properties of the fault subsystem:
+
+* an all-zero :class:`FaultPlan` leaves every result bit-identical to a run
+  with no plan at all;
+* a seeded plan replays the exact same fault schedule;
+* each fault kind (observation drop/duplicate, queue-3 rejects, lost and
+  delayed pushes with bounded retries, transient stalls, full crashes with
+  warm restart, table bit flips) degrades the run instead of breaking it;
+* the four L2 push-drop rules and the MSHR-steal path behave under
+  fault-shaped event sequences;
+* the invariant checker passes on healthy systems and trips on corrupted
+  bookkeeping;
+* the satellite hardening: traceio validation and runall isolation.
+"""
+
+import json
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    InvariantViolation,
+    UlmtWatchdog,
+    ZERO_PLAN,
+)
+from repro.memsys.l2 import L2Cache
+from repro.params import MAIN_L2, CacheParams
+from repro.sim.config import preset
+from repro.sim.driver import run_simulation
+from repro.sim.system import System
+from repro.workloads.registry import get_trace
+
+SCALE = 0.08
+APP = "mcf"
+
+
+def chaos_config(base: str = "repl", *, queue_depth: int | None = None,
+                 **plan_kwargs):
+    """A preset with a fault plan and the invariant audit switched on."""
+    config = replace(preset(base), fault_plan=FaultPlan(**plan_kwargs),
+                     invariants=True)
+    if queue_depth is not None:
+        config = replace(config, queue_depth=queue_depth)
+    return config
+
+
+class TestFaultPlan:
+    def test_parse_spec(self):
+        plan = FaultPlan.parse("obs_drop=0.05,push_loss=0.1,stall_cycles=99",
+                               seed=7)
+        assert plan.obs_drop == 0.05
+        assert plan.push_loss == 0.1
+        assert plan.stall_cycles == 99
+        assert plan.seed == 7
+        assert not plan.is_zero
+
+    def test_parse_empty_spec_is_zero(self):
+        assert FaultPlan.parse("").is_zero
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="valid keys"):
+            FaultPlan.parse("not_a_fault=0.5")
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan(obs_drop=1.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(stall_cycles=-1)
+
+    def test_uniform_scales_rare_faults_down(self):
+        plan = FaultPlan.uniform(0.1, seed=3)
+        assert plan.obs_drop == 0.1
+        assert plan.crash == pytest.approx(0.001)
+        assert plan.bitflip == pytest.approx(0.01)
+        assert not plan.is_zero
+
+    def test_describe(self):
+        assert ZERO_PLAN.describe() == "none"
+        assert "push_loss=0.2" in FaultPlan(push_loss=0.2).describe()
+
+    def test_zero_injector_inactive_and_draw_free(self):
+        injector = FaultInjector(ZERO_PLAN)
+        assert not injector.active
+        before = injector._rng.getstate()
+        assert not injector.drop_observation()
+        assert injector.stall_cycles() == 0
+        assert injector._rng.getstate() == before
+
+
+class TestZeroFaultIdentity:
+    def test_all_zero_plan_is_bit_identical(self):
+        clean = run_simulation(APP, "repl", scale=SCALE)
+        zeroed = run_simulation(
+            APP, replace(preset("repl"), fault_plan=FaultPlan()), scale=SCALE)
+        assert clean == zeroed
+        assert zeroed.faults.total_faults == 0
+
+    def test_all_zero_plan_nopref_identical(self):
+        clean = run_simulation("tree", "nopref", scale=0.05)
+        zeroed = run_simulation(
+            "tree", replace(preset("nopref"), fault_plan=FaultPlan()),
+            scale=0.05)
+        assert clean == zeroed
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        config = chaos_config(obs_drop=0.1, push_loss=0.1, push_delay=0.1,
+                              stall=0.02, seed=11)
+        first = run_simulation(APP, config, scale=SCALE)
+        second = run_simulation(APP, config, scale=SCALE)
+        assert first == second
+        assert first.faults.total_faults > 0
+
+
+class TestGracefulDegradation:
+    def test_chaos_degrades_without_collapse(self):
+        baseline = run_simulation(APP, "nopref", scale=SCALE)
+        clean = run_simulation(APP, "repl", scale=SCALE)
+        chaotic = run_simulation(
+            APP, replace(preset("repl"),
+                         fault_plan=FaultPlan.uniform(0.1, seed=5),
+                         invariants=True),
+            scale=SCALE)
+        assert chaotic.faults.total_faults > 0
+        assert chaotic.robustness.invariant_audits > 0
+        speedup = baseline.execution_time / chaotic.execution_time
+        clean_speedup = baseline.execution_time / clean.execution_time
+        # Faults cost performance but never push below ~the no-prefetch
+        # baseline: a broken prefetcher degenerates, it does not sabotage.
+        assert 0.9 < speedup <= clean_speedup + 0.02
+
+    def test_crash_warm_restart_recovers(self):
+        result = run_simulation(
+            APP, chaos_config(crash=0.005, crash_restart_cycles=5000),
+            scale=SCALE)
+        assert result.faults.crashes_injected > 0
+        assert result.robustness.ulmt_warm_restarts == \
+            result.faults.crashes_injected
+        # The thread keeps processing the live miss stream after restarts.
+        assert result.ulmt.misses_processed > 0
+
+    def test_rare_crashes_still_learn(self):
+        result = run_simulation(
+            APP, chaos_config(crash=0.0002, crash_restart_cycles=5000),
+            scale=SCALE)
+        assert result.robustness.ulmt_warm_restarts > 0
+        # Between crashes the rebuilt table learns enough to prefetch again.
+        assert result.ulmt.prefetches_generated > 0
+
+    def test_stall_pressure_triggers_watchdog(self):
+        result = run_simulation(
+            APP, chaos_config(queue_depth=4, stall=0.2, stall_cycles=5000),
+            scale=SCALE)
+        assert result.faults.stalls_injected > 0
+        assert result.robustness.watchdog_activations >= 1
+        assert result.robustness.degraded_observations >= 1
+        # Overflow drops are now observable in the result itself.
+        assert result.robustness.queue2_overflow_drops > 0
+        assert result.ulmt.learning_steps_shed == \
+            result.robustness.degraded_observations
+
+    def test_bounded_retry_then_abandon(self):
+        result = run_simulation(APP, chaos_config(push_loss=1.0),
+                                scale=SCALE)
+        plan = FaultPlan(push_loss=1.0)
+        assert result.faults.pushes_retried > 0
+        assert result.faults.pushes_abandoned > 0
+        # Every push is lost, so nothing ever reaches the L2...
+        assert result.l2.total_prefetches_arrived == 0
+        # ...and each address burns its full retry budget before giving up.
+        assert result.faults.push_loss_events == (
+            result.faults.pushes_retried + result.faults.pushes_abandoned)
+        assert result.faults.pushes_retried == pytest.approx(
+            result.faults.pushes_abandoned * plan.push_retry_limit, rel=0.3)
+
+    def test_delayed_pushes_race_demand_misses(self):
+        result = run_simulation(
+            APP, chaos_config(push_delay=1.0, push_delay_cycles=2000),
+            scale=SCALE)
+        assert result.faults.pushes_delayed > 0
+        # Late pushes turn eliminated misses into delayed hits at worst.
+        assert result.l2.delayed_hits > 0
+
+    def test_bitflips_corrupt_but_never_crash(self):
+        result = run_simulation(APP, chaos_config(bitflip=0.2), scale=SCALE)
+        assert result.faults.bitflips_injected > 0
+        assert result.robustness.invariant_audits > 0
+        assert result.execution_time > 0
+
+    def test_duplicate_observations_counted(self):
+        result = run_simulation(APP, chaos_config(obs_dup=0.5), scale=SCALE)
+        assert result.faults.observations_duplicated > 0
+        assert result.ulmt.misses_processed > result.ulmt.misses_observed * 0.5
+
+    def test_queue3_rejects_counted(self):
+        result = run_simulation(APP, chaos_config(q3_reject=0.5), scale=SCALE)
+        assert result.faults.queue3_rejects > 0
+
+
+class TestWatchdog:
+    def test_hysteresis(self):
+        wd = UlmtWatchdog(queue_depth=16)
+        assert wd.high_mark == 12 and wd.low_mark == 4
+        assert not wd.update(11)
+        assert wd.update(12)
+        assert wd.activations == 1
+        assert wd.update(5)          # still degraded above the low mark
+        assert not wd.update(4)
+        assert wd.recoveries == 1
+        assert wd.shed_learning() is False
+
+    def test_shed_counts_only_while_degraded(self):
+        wd = UlmtWatchdog(queue_depth=4)
+        wd.update(4)
+        assert wd.shed_learning()
+        assert wd.degraded_observations == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UlmtWatchdog(queue_depth=0)
+        with pytest.raises(ValueError):
+            UlmtWatchdog(queue_depth=8, high_frac=0.2, low_frac=0.5)
+
+
+class TestInvariantChecker:
+    def test_clean_system_passes(self):
+        system = System(replace(preset("repl"), invariants=True))
+        result = system.run(get_trace("tree", scale=0.05))
+        assert system.invariants.audits > 0
+        assert result.robustness.invariant_audits == system.invariants.audits
+
+    def test_detects_corrupted_push_tracking(self):
+        system = System(preset("repl"))
+        checker = InvariantChecker()
+        checker.audit(system)        # healthy
+        system._inflight[0x123] = 10**6  # no matching arrival-heap entry
+        with pytest.raises(InvariantViolation, match="arrival heap"):
+            checker.audit(system)
+
+    def test_detects_stale_pending_write(self):
+        system = System(preset("nopref"))
+        system.l2._pending_is_write[0x99] = True
+        with pytest.raises(InvariantViolation, match="pending-write"):
+            InvariantChecker().audit(system)
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INVARIANTS", "1")
+        assert System(preset("nopref")).invariants is not None
+        monkeypatch.setenv("REPRO_INVARIANTS", "0")
+        assert System(preset("nopref")).invariants is None
+
+
+def _small_l2(mshr_capacity: int = 8) -> L2Cache:
+    # 4 KB, 2-way, 64 B lines -> 32 sets: small enough to force conflicts.
+    params = CacheParams(size_bytes=4096, assoc=2, line_bytes=64,
+                         hit_cycles=19)
+    return L2Cache(params, mshr_capacity=mshr_capacity)
+
+
+class TestL2PushDropRulesUnderFaults:
+    """Section 2.1 drop rules exercised with fault-shaped event sequences."""
+
+    def test_duplicate_push_dropped_redundant(self):
+        l2 = _small_l2()
+        assert l2.accept_prefetch(0x40, now=100) == "filled"
+        # A duplicated push for the same line arrives later: drop rule 1.
+        assert l2.accept_prefetch(0x40, now=200) == "redundant"
+        assert l2.stats.redundant_prefetches == 1
+
+    def test_push_matching_writeback_queue_dropped(self):
+        l2 = _small_l2()
+        l2.writeback_queue.push(0x7)
+        assert l2.accept_prefetch(0x7, now=10) == "writeback_match"
+        assert l2.stats.dropped_writeback_match == 1
+
+    def test_push_with_all_mshrs_busy_dropped(self):
+        l2 = _small_l2(mshr_capacity=2)
+        l2.register_demand_miss(0x1, False, now=0, completion_time=10**6)
+        l2.register_demand_miss(0x2, False, now=0, completion_time=10**6)
+        assert l2.accept_prefetch(0x3, now=1) == "mshr_full"
+        assert l2.stats.dropped_mshr_full == 1
+
+    def test_push_into_fully_pending_set_dropped(self):
+        l2 = _small_l2(mshr_capacity=8)
+        num_sets = l2.cache.num_sets
+        # Both ways of set 5 have transactions pending.
+        l2.register_demand_miss(5, False, now=0, completion_time=10**6)
+        l2.register_demand_miss(5 + num_sets, False, now=0,
+                                completion_time=10**6)
+        outcome = l2.accept_prefetch(5 + 2 * num_sets, now=1)
+        assert outcome == "set_pending"
+        assert l2.stats.dropped_set_pending == 1
+
+    def test_late_push_races_demand_miss_and_steals_mshr(self):
+        l2 = _small_l2()
+        l2.register_demand_miss(0x9, True, now=0, completion_time=500)
+        # The delayed push arrives while the demand request is in flight:
+        # it steals the MSHR and acts as the reply.
+        assert l2.accept_prefetch(0x9, now=100) == "steal"
+        assert l2.mshrs.lookup(0x9) is None
+        assert l2.cache.contains(0x9)
+
+    def test_lost_push_leaves_pending_prefetch_to_merge(self):
+        l2 = _small_l2()
+        # A push was issued (MSHR tracked from issue) but its line is slow;
+        # the demand miss arriving meanwhile merges instead of refetching.
+        assert l2.register_prefetch_inflight(0x11, now=0, completion_time=300)
+        outcome = l2.demand_lookup(0x11, False, now=50)
+        assert outcome.kind.value == "pending"
+        assert outcome.pending_is_prefetch
+        assert l2.stats.delayed_hits == 1
+
+    def test_invariants_hold_through_drop_rules(self):
+        config = chaos_config(push_delay=0.5, push_delay_cycles=3000,
+                              obs_dup=0.3, seed=9)
+        result = run_simulation(APP, config, scale=SCALE)
+        # Drop rules fired (redundant fills from duplicated work) while
+        # every audit held.
+        assert result.l2.total_prefetches_arrived > 0
+        assert result.robustness.invariant_audits > 0
+
+
+class TestTraceFormatErrors:
+    def _write_npz(self, path, header: dict, n: int = 0, **overrides):
+        arrays = {
+            "header": np.frombuffer(json.dumps(header).encode(),
+                                    dtype=np.uint8),
+            "addrs": np.zeros(n, dtype=np.uint64),
+            "flags": np.zeros(n, dtype=np.uint8),
+            "comps": np.zeros(n, dtype=np.uint32),
+        }
+        arrays.update(overrides)
+        arrays = {k: v for k, v in arrays.items() if v is not None}
+        np.savez(path, **arrays)
+
+    def test_truncated_file(self, tmp_path):
+        from repro.workloads.trace import MemRef, Trace
+        from repro.workloads.traceio import (TraceFormatError, load_trace,
+                                             save_trace)
+        path = tmp_path / "t.trc.npz"
+        save_trace(Trace([MemRef(64 * i, False, 1, False)
+                          for i in range(100)], name="t"), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 3])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        from repro.workloads.traceio import TraceFormatError, load_trace
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this was never a zip archive")
+        with pytest.raises(TraceFormatError, match="truncated or not"):
+            load_trace(path)
+
+    def test_missing_arrays(self, tmp_path):
+        from repro.workloads.traceio import TraceFormatError, load_trace
+        path = tmp_path / "missing.npz"
+        self._write_npz(path, {"magic": "repro-trace", "version": 1,
+                               "refs": 0}, comps=None)
+        with pytest.raises(TraceFormatError, match="missing comps"):
+            load_trace(path)
+
+    def test_undecodable_header(self, tmp_path):
+        from repro.workloads.traceio import TraceFormatError, load_trace
+        path = tmp_path / "badheader.npz"
+        np.savez(path, header=np.frombuffer(b"{not json", dtype=np.uint8),
+                 addrs=np.zeros(0, dtype=np.uint64),
+                 flags=np.zeros(0, dtype=np.uint8),
+                 comps=np.zeros(0, dtype=np.uint32))
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_bad_ref_count(self, tmp_path):
+        from repro.workloads.traceio import TraceFormatError, load_trace
+        path = tmp_path / "badrefs.npz"
+        self._write_npz(path, {"magic": "repro-trace", "version": 1,
+                               "refs": -5})
+        with pytest.raises(TraceFormatError, match="reference count"):
+            load_trace(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        from repro.workloads.traceio import load_trace
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
+
+
+class TestRunallIsolation:
+    def test_failures_do_not_abort_the_matrix(self, capsys):
+        from repro.experiments.runall import run_sections
+        ran = []
+        sections = (
+            ("First", lambda: ran.append("first"), False),
+            ("Broken", lambda: 1 / 0, False),
+            ("Last", lambda: ran.append("last"), False),
+        )
+        failures = run_sections(sections, timeout=0)
+        assert ran == ["first", "last"]
+        assert len(failures) == 1
+        assert failures[0].name == "Broken"
+        assert "ZeroDivisionError" in failures[0].error
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_timeout_budget_enforced(self):
+        from repro.experiments.runall import run_sections
+        sections = (("Slow", lambda: time.sleep(3), True),)
+        start = time.time()
+        failures = run_sections(sections, timeout=1)
+        assert time.time() - start < 2.5
+        assert len(failures) == 1
+        assert "budget" in failures[0].error
+
+    def test_exit_status_counts_failures(self, capsys):
+        from repro.experiments.runall import SectionFailure, run_sections
+        sections = (("A", lambda: None, False),
+                    ("B", lambda: 1 / 0, False),
+                    ("C", lambda: 1 / 0, False))
+        failures = run_sections(sections, timeout=0)
+        assert len(failures) == 2
+        assert all(isinstance(f, SectionFailure) for f in failures)
+
+
+class TestCliFaults:
+    def test_run_with_fault_flags(self, capsys):
+        from repro.__main__ import main
+        code = main(["run", "tree", "repl", "--scale", "0.05",
+                     "--faults", "push_loss=0.5,obs_drop=0.1",
+                     "--fault-seed", "3", "--invariants"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected" in out
+        assert "invariants" in out
+
+    def test_run_rejects_bad_fault_spec(self):
+        from repro.__main__ import main
+        with pytest.raises(ValueError, match="valid keys"):
+            main(["run", "tree", "repl", "--scale", "0.05",
+                  "--faults", "bogus=1"])
+
+    def test_chaos_subcommand(self, capsys):
+        from repro.__main__ import main
+        code = main(["chaos", "tree", "--scale", "0.05",
+                     "--rates", "0,0.2", "--configs", "repl"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos sweep" in out
+        assert "repl" in out
+
+
+class TestRobustnessSurfacing:
+    def test_filter_and_queue_drops_in_result(self):
+        system = System(preset("repl"))
+        result = system.run(get_trace(APP, scale=SCALE))
+        ulmt = system.memproc.ulmt
+        assert result.robustness.filter_passed == ulmt.filter.passed
+        assert result.robustness.filter_dropped == ulmt.filter.dropped
+        assert result.robustness.filter_passed > 0
+        assert result.robustness.queue2_overflow_drops == \
+            ulmt.obs_queue.dropped_overflow
+        assert result.robustness.queue3_overflow_drops == \
+            system.prefetch_queue.dropped_overflow
+        assert result.ulmt.prefetches_filtered == \
+            result.robustness.filter_dropped
+
+    def test_nopref_result_has_zeroed_robustness(self):
+        result = run_simulation("tree", "nopref", scale=0.05)
+        assert result.robustness.total_sheds == 0
+        assert result.faults.total_faults == 0
