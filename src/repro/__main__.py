@@ -7,6 +7,7 @@ Subcommands::
     python -m repro list                              workloads + configs
     python -m repro experiments [--scale S]           regenerate everything
     python -m repro chaos <app> [--config C]          fault-injection sweep
+    python -m repro lint [paths...]                   static analysis suite
 
 ``run`` accepts fault-injection options (see ``docs/ROBUSTNESS.md``)::
 
@@ -120,6 +121,11 @@ def _cmd_experiments(args) -> int:
     return runall.main(["--scale", str(args.scale)])
 
 
+def _cmd_lint(rest: list[str]) -> int:
+    from repro.lint import cli
+    return cli.main(rest)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -155,7 +161,16 @@ def main(argv: list[str] | None = None) -> int:
     chaos_p.add_argument("--fault-seed", type=int, default=0)
     chaos_p.add_argument("--invariants", action="store_true")
 
-    args = parser.parse_args(argv)
+    sub.add_parser(
+        "lint", help="static analysis suite (see docs/STATIC_ANALYSIS.md)",
+        add_help=False)
+
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist[:1] == ["lint"]:
+        # Everything after `lint` belongs to repro.lint.cli's own parser
+        # (argparse subparsers cannot forward unknown options cleanly).
+        return _cmd_lint(arglist[1:])
+    args = parser.parse_args(arglist)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "experiments": _cmd_experiments,
                 "chaos": _cmd_chaos}

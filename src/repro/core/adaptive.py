@@ -50,6 +50,9 @@ class ShadowWindow:
     fairly.  This mirrors what the Filter window does for real prefetches.
     """
 
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("add_batch", "clear")
+
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity
         self._fifo: deque[int] = deque()
@@ -79,6 +82,10 @@ class AdaptiveUlmtPrefetcher(UlmtAlgorithm):
     """Chooses among candidate algorithms as the application executes."""
 
     name = "adaptive"
+
+    #: Designated state-mutating methods (lint rule PHASE002): selection
+    #: state only changes inside the epoch-boundary switch logic.
+    _STEP_METHODS = ("_score_and_maybe_switch",)
 
     def __init__(self, candidates: list[UlmtAlgorithm],
                  epoch: int = 512, hysteresis: float = 0.05) -> None:

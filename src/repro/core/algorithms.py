@@ -31,6 +31,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.table import NULL_SINK, CorrelationTable, CostSink, Row
 from repro.params import ROW_BYTES, CorrelationParams
@@ -59,7 +60,8 @@ class UlmtAlgorithm(ABC):
     def prefetch_step(self, miss: int, sink: CostSink = NULL_SINK) -> list[int]:
         """Return the line addresses to prefetch for an observed miss."""
 
-    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+    def prefetch_batches(self, miss: int,
+                         sink: CostSink = NULL_SINK) -> Iterator[list[int]]:
         """Yield prefetch address batches as they become available.
 
         A plain algorithm produces one batch; compositions (see
@@ -119,6 +121,9 @@ class BasePrefetcher(UlmtAlgorithm):
         prefetch_row_accesses="1", learning_row_accesses="1",
         response_time="Low", space_requirement="1")
 
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("learn", "reset", "hard_reset")
+
     def __init__(self, params: CorrelationParams | None = None,
                  base_addr: int = 0x8000_0000) -> None:
         self.params = params or CorrelationParams(num_succ=4, assoc=4, num_levels=1)
@@ -171,6 +176,9 @@ class ChainPrefetcher(UlmtAlgorithm):
         name="Chain", levels_prefetched="NumLevels", true_mru_per_level=False,
         prefetch_row_accesses="NumLevels", learning_row_accesses="1",
         response_time="High", space_requirement="1")
+
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("learn", "reset", "hard_reset")
 
     def __init__(self, params: CorrelationParams | None = None,
                  base_addr: int = 0x8000_0000) -> None:
@@ -235,6 +243,9 @@ class ReplicatedPrefetcher(UlmtAlgorithm):
         name="Replicated", levels_prefetched="NumLevels", true_mru_per_level=True,
         prefetch_row_accesses="1", learning_row_accesses="NumLevels",
         response_time="Low", space_requirement="NumLevels")
+
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("learn", "reset", "hard_reset")
 
     def __init__(self, params: CorrelationParams | None = None,
                  base_addr: int = 0x8000_0000) -> None:

@@ -10,6 +10,8 @@ concatenated (deduplicated), learning runs in the same order.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.core.algorithms import UlmtAlgorithm, _dedup
 from repro.core.table import NULL_SINK, CostSink
 
@@ -29,7 +31,8 @@ class CombinedUlmtPrefetcher(UlmtAlgorithm):
             prefetches.extend(component.prefetch_step(miss, sink))
         return _dedup(prefetches)
 
-    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+    def prefetch_batches(self, miss: int,
+                         sink: CostSink = NULL_SINK) -> Iterator[list[int]]:
         seen: set[int] = set()
         for component in self.components:
             batch = [a for a in component.prefetch_step(miss, sink)

@@ -24,6 +24,7 @@ conflict patterns are tracked as the application moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.algorithms import UlmtAlgorithm
 from repro.core.table import NULL_SINK, CostSink
@@ -45,6 +46,9 @@ class ConflictStats:
 
 class ConflictDetector:
     """Decayed per-set miss counters with a hot-set threshold."""
+
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("observe",)
 
     def __init__(self, num_sets: int = DEFAULT_L2_SETS,
                  decay_period: int = 4096,
@@ -85,6 +89,10 @@ class ConflictDetector:
 class ConflictAwarePrefetcher(UlmtAlgorithm):
     """Wrap an algorithm with conflict detection and prefetch gating."""
 
+    #: Designated state-mutating methods (lint rule PHASE002): gating
+    #: stats are counted where the gate runs, learning feeds the detector.
+    _STEP_METHODS = ("prefetch_step", "prefetch_batches", "learn")
+
     def __init__(self, inner: UlmtAlgorithm,
                  detector: ConflictDetector | None = None) -> None:
         self.inner = inner
@@ -103,7 +111,8 @@ class ConflictAwarePrefetcher(UlmtAlgorithm):
                 passed.append(addr)
         return passed
 
-    def prefetch_batches(self, miss: int, sink: CostSink = NULL_SINK):
+    def prefetch_batches(self, miss: int,
+                         sink: CostSink = NULL_SINK) -> Iterator[list[int]]:
         for batch in self.inner.prefetch_batches(miss, sink):
             passed = []
             for addr in batch:

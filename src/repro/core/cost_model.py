@@ -67,6 +67,12 @@ class UlmtObservation:
 class UlmtCostModel:
     """Implements :class:`repro.core.table.CostSink` with real timing."""
 
+    #: Designated state-mutating methods (lint rule PHASE002): the
+    #: CostSink interface plus the begin/mark/end observation lifecycle.
+    _STEP_METHODS = ("begin", "charge_search", "charge_row_access",
+                     "charge_instructions", "charge_issues",
+                     "mark_response", "end", "_touch")
+
     def __init__(self, controller: MemoryController,
                  constants: CostConstants | None = None) -> None:
         self.controller = controller

@@ -155,6 +155,9 @@ class ProfilingAlgorithm(UlmtAlgorithm):
 
     name = "profiling"
 
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("learn",)
+
     def __init__(self, inner: UlmtAlgorithm | None = None,
                  page_lines: int = 64, l2_sets: int = 2048) -> None:
         self.inner = inner

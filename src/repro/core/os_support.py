@@ -29,7 +29,7 @@ from repro.core.algorithms import UlmtAlgorithm
 from repro.core.cost_model import UlmtCostModel
 from repro.core.customization import build_algorithm, customization_for
 from repro.core.table import CorrelationTable
-from repro.core.ulmt import Ulmt
+from repro.core.ulmt import Ulmt, UlmtPrefetch
 from repro.memsys.controller import MemoryController
 
 #: Lines per 4 KB page with 64 B L2 lines.
@@ -55,6 +55,9 @@ class UlmtRegistry:
     thread together with the application, and VM code forwards page
     re-mappings.
     """
+
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("register", "unregister", "switch_to")
 
     def __init__(self, controller: MemoryController,
                  table_arena_base: int = 0x8000_0000,
@@ -127,7 +130,7 @@ class UlmtRegistry:
         return self._threads[app]
 
     def observe_miss(self, line_addr: int, now: int,
-                     is_processor_prefetch: bool = False):
+                     is_processor_prefetch: bool = False) -> list[UlmtPrefetch]:
         """Route a miss to the *active* application's ULMT."""
         if self._active is None:
             return []

@@ -15,6 +15,9 @@ from collections import deque
 class PrefetchFilter:
     """Fixed-size FIFO of recently issued prefetch line addresses."""
 
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("admit", "reset")
+
     def __init__(self, entries: int = 32) -> None:
         if entries <= 0:
             raise ValueError(f"filter size must be positive: {entries}")

@@ -57,6 +57,10 @@ class StreamDetector:
 
     RECOGNITION_COUNT = 3
 
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("observe", "observe_for_prediction",
+                     "_allocate_stream", "_add_candidate")
+
     #: Candidate-table capacity.  Deliberately small, like the hardware it
     #: models: a genuine stream's second and third misses arrive within a
     #: few observations, while the widely-spaced coincidental +-1 pairs of
@@ -189,6 +193,9 @@ class StreamDetector:
 
 class SequentialUlmtPrefetcher(UlmtAlgorithm):
     """Seq1/Seq4 of Table 4: the stream detector run as a ULMT algorithm."""
+
+    #: Designated state-mutating methods (lint rule PHASE002).
+    _STEP_METHODS = ("prefetch_step", "learn", "reset")
 
     def __init__(self, params: SequentialParams) -> None:
         self.params = params

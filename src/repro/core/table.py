@@ -79,6 +79,12 @@ class Row:
 class CorrelationTable:
     """Set-associative software correlation table."""
 
+    #: Designated state-mutating methods — the only places table state may
+    #: change (statically enforced by `repro lint` rule PHASE002; aliased
+    #: container writes are audited at runtime by the InvariantChecker).
+    _STEP_METHODS = ("find", "find_or_alloc", "insert_successor",
+                     "remap_page")
+
     def __init__(self, num_rows: int, assoc: int, num_succ: int,
                  num_levels: int = 1, row_bytes: int = 28,
                  base_addr: int = 0x8000_0000) -> None:

@@ -22,7 +22,12 @@ from repro.workloads.registry import list_workloads
 #: ``runall --scale`` works as a process-wide knob.
 DEFAULT_SCALE = 1.0
 
-_RESULT_CACHE: dict[tuple[str, str, float], SimResult] = {}
+#: Keyed by (app, preset-name-or-full-config, scale).  Ad-hoc
+#: SystemConfig instances key on the frozen config itself, not its name:
+#: two different configs may share a preset's ``name`` (e.g. a fault-plan
+#: variant of "repl"), and a name-based key would hand one of them the
+#: other's cached result.
+_RESULT_CACHE: dict[tuple[str, str | SystemConfig, float], SimResult] = {}
 
 
 def resolve_scale(scale: float | None) -> float:
@@ -36,23 +41,20 @@ def cached_run(app: str, config: str | SystemConfig,
     ``"custom"``, or a full :class:`SystemConfig`."""
     scale = resolve_scale(scale)
     if isinstance(config, SystemConfig):
-        key = (app, config.name, scale)
-        if key not in _RESULT_CACHE:
-            _RESULT_CACHE[key] = run_simulation(app, config, scale=scale)
-        return _RESULT_CACHE[key]
-    name = config
-    if name == "custom":
-        resolved = custom_config(app)
+        key = (app, config, scale)
+        resolved = config
     else:
-        resolved = preset(name)
-    key = (app, name, scale)
+        resolved = custom_config(app) if config == "custom" else preset(config)
+        key = (app, config, scale)
     if key not in _RESULT_CACHE:
+        # repro-lint: disable=DET006 -- intentional per-process memo of
+        # deterministic (app, config, scale) results shared across figures
         _RESULT_CACHE[key] = run_simulation(app, resolved, scale=scale)
     return _RESULT_CACHE[key]
 
 
 def clear_result_cache() -> None:
-    _RESULT_CACHE.clear()
+    _RESULT_CACHE.clear()  # repro-lint: disable=DET006 -- cache owner
 
 
 def all_apps() -> list[str]:

@@ -18,10 +18,14 @@ paper's Figure-3 pipeline, as independent per-event probabilities:
   (the table is plain software state in main memory, so it is exposed to
   whatever corrupts that memory).
 
-A :class:`FaultInjector` owns one seeded RNG shared by every fault site, so
-a (plan, trace, config) triple replays the exact same fault schedule.  An
-all-zero plan never draws from the RNG and never perturbs the simulation:
-the zero-fault path stays bit-identical to a run with no plan at all.
+A :class:`FaultInjector` owns one seeded RNG *per fault kind*, each derived
+deterministically from the plan's master seed, so a (plan, trace, config)
+triple replays the exact same fault schedule — and, crucially, enabling or
+tuning one fault kind never perturbs the decision stream of any other kind
+(with a single shared RNG, turning on ``obs_drop`` would shift every
+subsequent ``push_loss`` draw).  An all-zero plan never draws from any RNG
+and never perturbs the simulation: the zero-fault path stays bit-identical
+to a run with no plan at all.
 """
 
 from __future__ import annotations
@@ -173,29 +177,40 @@ class FaultInjector:
     """Draws the fault schedule for one simulated run.
 
     Every fault site asks a dedicated method; a method returns the "no
-    fault" answer without touching the RNG when its rate is zero, which is
+    fault" answer without touching its RNG when its rate is zero, which is
     what keeps the all-zero plan bit-identical (and nearly free).
+
+    Each fault kind draws from its own :class:`random.Random`, seeded with
+    ``f"{plan.seed}:{kind}"`` (string seeding is deterministic in CPython:
+    it hashes the bytes with SHA-512, unaffected by ``PYTHONHASHSEED``).
+    Independent streams mean the schedule of one fault kind is a pure
+    function of ``(seed, kind, event index)``: changing the ``obs_drop``
+    rate, or adding a second fault kind to a plan, cannot shift when a
+    ``push_loss`` fires.  ``tests/test_faults.py`` pins this property.
     """
 
     def __init__(self, plan: FaultPlan | None = None) -> None:
         self.plan = plan or ZERO_PLAN
         self.active = not self.plan.is_zero
-        self._rng = random.Random(self.plan.seed)
+        #: One independent RNG stream per fault kind (see class docstring).
+        self._rngs = {kind: random.Random(f"{self.plan.seed}:{kind}")
+                      for kind in FaultPlan._RATE_FIELDS}
         self.stats = FaultStats()
 
-    def _fires(self, rate: float) -> bool:
-        return rate > 0.0 and self._rng.random() < rate
+    def _fires(self, kind: str) -> bool:
+        rate: float = getattr(self.plan, kind)
+        return rate > 0.0 and self._rngs[kind].random() < rate
 
     # -- queue-2 boundary ---------------------------------------------------------
 
     def drop_observation(self) -> bool:
-        if self._fires(self.plan.obs_drop):
+        if self._fires("obs_drop"):
             self.stats.observations_dropped += 1
             return True
         return False
 
     def duplicate_observation(self) -> bool:
-        if self._fires(self.plan.obs_dup):
+        if self._fires("obs_dup"):
             self.stats.observations_duplicated += 1
             return True
         return False
@@ -203,21 +218,21 @@ class FaultInjector:
     # -- queue-3 / push boundary --------------------------------------------------
 
     def reject_queue3(self) -> bool:
-        if self._fires(self.plan.q3_reject):
+        if self._fires("q3_reject"):
             self.stats.queue3_rejects += 1
             return True
         return False
 
     def lose_push(self) -> bool:
         """A push vanishes in transit (disposition counted by the System)."""
-        if self._fires(self.plan.push_loss):
+        if self._fires("push_loss"):
             self.stats.push_loss_events += 1
             return True
         return False
 
     def push_delay(self) -> int:
         """Extra cycles a pushed line spends in transit (usually 0)."""
-        if self._fires(self.plan.push_delay):
+        if self._fires("push_delay"):
             self.stats.pushes_delayed += 1
             self.stats.delay_cycles_injected += self.plan.push_delay_cycles
             return self.plan.push_delay_cycles
@@ -227,14 +242,14 @@ class FaultInjector:
 
     def stall_cycles(self) -> int:
         """Transient stall charged to the ULMT before this observation."""
-        if self._fires(self.plan.stall):
+        if self._fires("stall"):
             self.stats.stalls_injected += 1
             self.stats.stall_cycles_injected += self.plan.stall_cycles
             return self.plan.stall_cycles
         return 0
 
     def crash_ulmt(self) -> bool:
-        if self._fires(self.plan.crash):
+        if self._fires("crash"):
             self.stats.crashes_injected += 1
             return True
         return False
@@ -242,14 +257,18 @@ class FaultInjector:
     # -- correlation-table corruption ---------------------------------------------
 
     def corrupt_table(self, algorithm) -> bool:
-        """Flip one random successor bit in the algorithm's table(s)."""
-        if not self._fires(self.plan.bitflip):
+        """Flip one random successor bit in the algorithm's table(s).
+
+        The flip's location draws from the same ``bitflip`` stream as the
+        fire decision, so table corruption is fully determined by
+        ``(seed, "bitflip")`` alone."""
+        if not self._fires("bitflip"):
             return False
+        rng = self._rngs["bitflip"]
         tables = _tables_of(algorithm)
         flipped = False
         if tables:
-            flipped = _flip_random_successor(self._rng.choice(tables),
-                                             self._rng)
+            flipped = _flip_random_successor(rng.choice(tables), rng)
         if flipped:
             self.stats.bitflips_injected += 1
         return flipped

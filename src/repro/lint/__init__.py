@@ -1,0 +1,43 @@
+"""``repro lint`` — simulator-specific static analysis.
+
+Generic linters cannot know that this codebase's correctness story rests
+on seeded determinism, a cycles-only clock base, and a declared mutation
+surface for ULMT/table state.  This package walks the ASTs of
+``src/repro`` and enforces exactly those invariants; see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and
+:mod:`repro.lint.engine` for the framework.
+
+Public API::
+
+    from repro.lint import run_lint, lint_source, all_rules
+    from repro.lint import Finding, Severity, Baseline
+"""
+
+from repro.lint.baseline import Baseline, fingerprints
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    Severity,
+    all_rules,
+    lint_source,
+    register,
+    run_lint,
+    select_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "fingerprints",
+    "lint_source",
+    "register",
+    "run_lint",
+    "select_rules",
+]

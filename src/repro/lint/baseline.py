@@ -1,0 +1,88 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline lets the lint gate land before every historical finding is
+fixed: known findings are fingerprinted into a committed JSON file and
+stop failing the build, while anything *new* still does.  Fingerprints
+use the rule code, the package-relative path, the stripped source line
+and an occurrence index — not the line number — so unrelated edits above
+a finding do not invalidate the baseline.
+
+Every entry carries a ``why`` field.  ``--write-baseline`` fills it with
+a placeholder that reviewers are expected to replace with an actual
+justification; an empty baseline (the goal state) is the file holding
+``{"findings": []}``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_PLACEHOLDER_WHY = "TODO: justify why this finding is grandfathered"
+
+
+def _key(finding: Finding) -> str:
+    path = finding.relpath or finding.path
+    return "|".join((finding.rule, path, finding.source_line))
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[str]:
+    """Stable fingerprints, disambiguating repeated identical lines."""
+    seen: Counter[str] = Counter()
+    result = []
+    for finding in findings:
+        key = _key(finding)
+        result.append(f"{key}|{seen[key]}")
+        seen[key] += 1
+    return result
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: dict[str, str]  # fingerprint -> justification
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls.empty()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: dict[str, str] = {}
+        for item in data.get("findings", []):
+            entries[item["fingerprint"]] = item.get("why", "")
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": ("Grandfathered `repro lint` findings; see "
+                        "docs/STATIC_ANALYSIS.md.  Replace every "
+                        "placeholder `why` with a real justification."),
+            "findings": [{"fingerprint": fp, "why": why}
+                         for fp, why in sorted(self.entries.items())],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries={fp: _PLACEHOLDER_WHY
+                            for fp in fingerprints(findings)})
+
+    def filter_new(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline, in input order."""
+        fps = fingerprints(findings)
+        return [finding for finding, fp in zip(findings, fps)
+                if fp not in self.entries]

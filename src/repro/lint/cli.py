@@ -1,0 +1,142 @@
+"""Command-line front end: ``python -m repro lint``.
+
+Usage::
+
+    python -m repro lint                     # lint the repro package
+    python -m repro lint path/to/file.py     # lint specific files/dirs
+    python -m repro lint --format json       # machine-readable output
+    python -m repro lint --list-rules        # rule codes + rationales
+    python -m repro lint --write-baseline    # grandfather current findings
+    python -m repro lint --no-baseline       # ignore the committed baseline
+
+Exit status: 0 when no *new* error-severity finding survives suppression
+and baseline filtering; 1 otherwise; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import Finding, Severity, all_rules, run_lint
+
+
+def _package_root() -> Path:
+    """Directory of the installed ``repro`` package sources."""
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def _default_baseline_path(package_root: Path) -> Path:
+    """``lint-baseline.json`` next to the repo's ``src`` directory when
+    running from a checkout, else in the current directory."""
+    repo_root = package_root.parent.parent
+    if (repo_root / "pyproject.toml").exists():
+        return repo_root / DEFAULT_BASELINE_NAME
+    return Path(DEFAULT_BASELINE_NAME)
+
+
+def _display_path(path: Path) -> Path:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return path
+
+
+def _render_text(findings: list[Finding], baselined: int) -> str:
+    lines = [f"{f.location()}: {f.severity.value} {f.rule} "
+             f"[{f.rule_name}] {f.message}" for f in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = (f"{errors} error(s), {warnings} warning(s)"
+               + (f", {baselined} baselined" if baselined else ""))
+    if not findings:
+        summary = "clean: " + summary
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(findings: list[Finding], baselined: int) -> str:
+    return json.dumps({
+        "findings": [f.as_dict() for f in findings],
+        "errors": sum(1 for f in findings
+                      if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in findings
+                        if f.severity is Severity.WARNING),
+        "baselined": baselined,
+    }, indent=2)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}  ({rule.severity.value})")
+        for para in rule.rationale.split("\n"):
+            lines.append(f"    {para}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulator-specific static analysis (see "
+                    "docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: lint-baseline.json "
+                             "at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings and exit 0")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE", help="run only these rules")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="RULE", help="skip these rules")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    package_root = _package_root()
+    paths = ([_display_path(p) for p in args.paths] if args.paths
+             else [_display_path(package_root)])
+    for path in paths:
+        if not path.exists():
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = run_lint(paths, package_root=package_root,
+                            select=args.select, ignore=args.ignore)
+    except (ValueError, SyntaxError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or _default_baseline_path(package_root)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baselined = 0
+    if not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+        new_findings = baseline.filter_new(findings)
+        baselined = len(findings) - len(new_findings)
+        findings = new_findings
+
+    render = _render_json if args.format == "json" else _render_text
+    print(render(findings, baselined))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0

@@ -1,0 +1,323 @@
+"""Core of ``repro lint``: rule registry, module model, and the runner.
+
+The engine is deliberately small.  A :class:`Rule` subclass registers
+itself with :func:`register` and implements either
+
+``check_module(module)``
+    called once per source file with a parsed :class:`ModuleContext`, or
+
+``check_project(project)``
+    called once per run with the whole :class:`ProjectContext` — for
+    cross-module invariants like config-field drift.
+
+Both yield :class:`Finding` objects.  The runner applies inline
+suppressions (``# repro-lint: disable=RULE``), file-level suppressions
+(``# repro-lint: disable-file=RULE``), and the committed baseline (see
+:mod:`repro.lint.baseline`) before anything reaches the report.
+
+Rules are identified by a short code (``DET001``) and a kebab-case name
+(``unseeded-rng``); suppressions accept either spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit status."""
+
+    ERROR = "error"      # fails the run (unless baselined/suppressed)
+    WARNING = "warning"  # reported, never fails the run
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str            # rule code, e.g. "DET001"
+    rule_name: str       # kebab-case name, e.g. "unseeded-rng"
+    severity: Severity
+    path: str            # path as given to the runner
+    line: int            # 1-based
+    col: int             # 0-based
+    message: str
+    #: The stripped source line — stable across unrelated edits, used by
+    #: the baseline fingerprint instead of the line number.
+    source_line: str = ""
+    #: Package-relative path — stable across working directories, used by
+    #: the baseline fingerprint instead of ``path``.
+    relpath: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "name": self.rule_name,
+                "severity": self.severity.value, "path": self.path,
+                "line": self.line, "col": self.col, "message": self.message}
+
+
+#: Packages whose code runs inside the simulated machine.  Determinism
+#: rules only apply here: wall-clock reads in *reporting* code
+#: (``experiments/``, ``analysis/``) measure the harness, not the machine.
+SIM_PACKAGES = ("core", "sim", "memsys", "cpu", "faults", "workloads")
+
+#: Rule list: codes/names separated by commas, no spaces; anything after
+#: the list (e.g. "-- why this is safe") is the justification text.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\-]+)")
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract inline and file-level suppressions from source text.
+
+    Returns ``(per_line, file_wide)`` where ``per_line`` maps a 1-based
+    line number to the set of rule codes/names disabled on that line, and
+    ``file_wide`` is the set disabled for the whole file.  The token
+    ``all`` disables every rule.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    lines = source.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        kind, spec = match.groups()
+        rules = {token.strip() for token in spec.split(",") if token.strip()}
+        if kind == "disable-file":
+            file_wide |= rules
+            continue
+        target = lineno
+        if line.lstrip().startswith("#"):
+            # A comment-only suppression covers the next code line
+            # (consecutive comment/blank lines carry it forward).
+            for j in range(lineno, len(lines)):
+                candidate = lines[j].strip()
+                if candidate and not candidate.startswith("#"):
+                    target = j + 1
+                    break
+        per_line.setdefault(target, set()).update(rules)
+    return per_line, file_wide
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file presented to the rules."""
+
+    path: str                  # path as reported in findings
+    relpath: str               # path relative to the package root (posix)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: True when the module belongs to a simulator package (or is a loose
+    #: file outside the package, which is linted conservatively).
+    in_sim_path: bool = True
+
+    @classmethod
+    def parse(cls, path: Path, package_root: Optional[Path] = None,
+              display_path: Optional[str] = None) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        if package_root is not None:
+            try:
+                rel = path.resolve().relative_to(package_root.resolve())
+                relpath = rel.as_posix()
+                in_sim = rel.parts[:1] in {(p,) for p in SIM_PACKAGES}
+            except ValueError:
+                relpath = path.name
+                in_sim = True          # loose file: lint conservatively
+        else:
+            relpath = path.name
+            in_sim = True
+        return cls(path=display_path or str(path), relpath=relpath,
+                   source=source, tree=tree,
+                   lines=source.splitlines(), in_sim_path=in_sim)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule.code, rule_name=rule.name,
+                       severity=rule.severity, path=self.path,
+                       line=lineno, col=col, message=message,
+                       source_line=self.source_line(lineno),
+                       relpath=self.relpath)
+
+
+@dataclass
+class ProjectContext:
+    """Every module of one lint run, for cross-module rules."""
+
+    modules: list[ModuleContext]
+
+    def find(self, relpath_suffix: str) -> Optional[ModuleContext]:
+        """The module whose package-relative path ends with ``suffix``."""
+        for module in self.modules:
+            if module.relpath.endswith(relpath_suffix):
+                return module
+        return None
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses register with @register."""
+
+    code: str = "XXX000"
+    name: str = "unnamed-rule"
+    severity: Severity = Severity.ERROR
+    #: One-paragraph rationale, surfaced by ``--list-rules`` and the docs.
+    rationale: str = ""
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of a rule to the registry."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    # repro-lint: disable=DET006 -- the rule registry is write-once at
+    # import time; no simulation state flows through it
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in code order (rule modules import on first use)."""
+    from repro.lint import rules as _rules  # noqa: F401  (registers rules)
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def _rule_identifiers(rule: Rule) -> set[str]:
+    return {rule.code, rule.name, "all"}
+
+
+def _suppressed(finding: Finding, rule: Rule,
+                per_line: dict[int, set[str]], file_wide: set[str]) -> bool:
+    identifiers = _rule_identifiers(rule)
+    if identifiers & file_wide:
+        return True
+    return bool(identifiers & per_line.get(finding.line, set()))
+
+
+def select_rules(select: Iterable[str] | None = None,
+                 ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Resolve --select/--ignore (codes or names) into rule instances."""
+    rules = all_rules()
+    known = {ident for rule in rules
+             for ident in (rule.code, rule.name)}
+    for spec in list(select or []) + list(ignore or []):
+        if spec not in known:
+            raise ValueError(f"unknown rule {spec!r}; known: "
+                             f"{', '.join(sorted(known))}")
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules
+                 if r.code in wanted or r.name in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rules = [r for r in rules
+                 if r.code not in unwanted and r.name not in unwanted]
+    return rules
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand the given paths into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while keeping order deterministic.
+    seen: dict[Path, None] = {}
+    for f in files:
+        seen.setdefault(f.resolve(), None)
+    return sorted(seen)
+
+
+def run_lint(paths: Iterable[Path], package_root: Optional[Path] = None,
+             select: Iterable[str] | None = None,
+             ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Lint ``paths`` and return surviving (non-suppressed) findings.
+
+    ``package_root`` is the directory containing the ``repro`` package
+    sources; files under it get package-relative scoping (sim path vs.
+    reporting path), files outside it are linted conservatively.
+    Baseline filtering is the caller's job (see :mod:`repro.lint.cli`).
+    """
+    rules = select_rules(select, ignore)
+    module_rules = [r for r in rules
+                    if type(r).check_module is not Rule.check_module]
+    project_rules = [r for r in rules
+                     if type(r).check_project is not Rule.check_project]
+
+    modules: list[ModuleContext] = []
+    findings: list[Finding] = []
+    for file_path in collect_files(paths):
+        module = ModuleContext.parse(file_path, package_root=package_root)
+        modules.append(module)
+
+    suppressions = {module.path: _parse_suppressions(module.source)
+                    for module in modules}
+
+    for module in modules:
+        per_line, file_wide = suppressions[module.path]
+        for rule in module_rules:
+            for finding in rule.check_module(module):
+                if not _suppressed(finding, rule, per_line, file_wide):
+                    findings.append(finding)
+
+    project = ProjectContext(modules=modules)
+    by_path = {module.path: module for module in modules}
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            per_line, file_wide = suppressions.get(
+                finding.path, ({}, set()))
+            if finding.path in by_path and _suppressed(
+                    finding, rule, per_line, file_wide):
+                continue
+            findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(source: str, filename: str = "<memory>",
+                select: Iterable[str] | None = None,
+                ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Lint a source string (test/fixture helper; sim-path scoping on)."""
+    tree = ast.parse(source, filename=filename)
+    module = ModuleContext(path=filename, relpath=filename, source=source,
+                           tree=tree, lines=source.splitlines(),
+                           in_sim_path=True)
+    per_line, file_wide = _parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in select_rules(select, ignore):
+        if type(rule).check_module is Rule.check_module:
+            continue
+        for finding in rule.check_module(module):
+            if not _suppressed(finding, rule, per_line, file_wide):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

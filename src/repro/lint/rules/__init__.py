@@ -1,0 +1,11 @@
+"""Rule modules; importing this package registers every rule.
+
+Adding a rule: create (or extend) a module here, subclass
+:class:`repro.lint.engine.Rule`, decorate with ``@register``, and import
+the module below.  Codes are grouped by family: DET (determinism), UNIT
+(unit safety), PHASE (sim-phase mutation surface), CFG (config drift).
+"""
+
+from repro.lint.rules import configdrift, determinism, phases, units
+
+__all__ = ["configdrift", "determinism", "phases", "units"]

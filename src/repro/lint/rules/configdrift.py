@@ -1,0 +1,171 @@
+"""Config-drift rules (CFG0xx).
+
+Dead configuration is how reproductions silently diverge from the paper:
+a ``SystemConfig`` field nobody reads means an evaluation knob that
+stopped doing anything, and a CLI flag that maps to no field means a
+user-visible promise the simulator ignores.  These are project-wide
+rules — they correlate ``sim/config.py`` and ``__main__.py`` against
+every module in the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    Severity,
+    register,
+)
+
+#: CLI flags that configure the *harness* (workload/scale selection),
+#: not the simulated system; they legitimately map to no config field.
+_CLI_ONLY_DESTS = frozenset({
+    "app", "config", "configs", "scale", "rates", "command",
+})
+
+#: CLI dest -> the SystemConfig/FaultPlan field it feeds.
+_CLI_ALIASES = {
+    "faults": "fault_plan",   # parsed into SystemConfig.fault_plan
+    "fault_seed": "seed",     # becomes FaultPlan.seed
+}
+
+
+def _dataclass_fields(module: ModuleContext,
+                      class_name: str) -> dict[str, int]:
+    """Annotated field name -> line number of a dataclass definition."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name):
+                    name = stmt.target.id
+                    if not name.startswith("_") and name.isupper() is False:
+                        fields[name] = stmt.lineno
+            return fields
+    return {}
+
+
+def _attribute_reads(module: ModuleContext) -> set[str]:
+    """Every attribute name read (Load context) in a module."""
+    reads: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load):
+            reads.add(node.attr)
+    return reads
+
+
+def _find_module(project: ProjectContext,
+                 suffix: str) -> Optional[ModuleContext]:
+    for module in project.modules:
+        if module.relpath == suffix:
+            return module
+    return project.find("/" + suffix)
+
+
+@register
+class UnreadConfigFieldRule(Rule):
+    """CFG001: every SystemConfig field is read somewhere."""
+
+    code = "CFG001"
+    name = "unread-config-field"
+    severity = Severity.ERROR
+    rationale = (
+        "A SystemConfig field nobody reads is an evaluation knob that "
+        "silently stopped steering the simulation — the config promises a "
+        "system the simulator no longer builds.  Either wire the field "
+        "back up or delete it.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        config_module = _find_module(project, "sim/config.py")
+        if config_module is None:
+            return
+        fields = _dataclass_fields(config_module, "SystemConfig")
+        if not fields:
+            return
+        reads: set[str] = set()
+        for module in project.modules:
+            if module is config_module:
+                continue
+            reads |= _attribute_reads(module)
+        for name, lineno in sorted(fields.items()):
+            if name not in reads:
+                yield Finding(
+                    rule=self.code, rule_name=self.name,
+                    severity=self.severity, path=config_module.path,
+                    line=lineno, col=0,
+                    message=(f"SystemConfig.{name} is never read outside "
+                             f"sim/config.py — dead evaluation knob"),
+                    source_line=config_module.source_line(lineno),
+                    relpath=config_module.relpath)
+
+
+@register
+class UnmappedCliFlagRule(Rule):
+    """CFG002: every CLI flag maps to a config/fault-plan field."""
+
+    code = "CFG002"
+    name = "unmapped-cli-flag"
+    severity = Severity.ERROR
+    rationale = (
+        "A `python -m repro` flag that maps to no SystemConfig or "
+        "FaultPlan field is a user-visible promise the simulator ignores. "
+        "Harness-only selection flags (app, scale, ...) are allowlisted; "
+        "renames must update the alias map in the rule.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        main_module = _find_module(project, "repro/__main__.py")
+        if main_module is None:
+            # The package may be linted from its own directory.
+            main_module = _find_module(project, "__main__.py")
+        config_module = _find_module(project, "sim/config.py")
+        plan_module = _find_module(project, "faults/plan.py")
+        if main_module is None or config_module is None:
+            return
+        known = set(_dataclass_fields(config_module, "SystemConfig"))
+        if plan_module is not None:
+            known |= set(_dataclass_fields(plan_module, "FaultPlan"))
+        for node in ast.walk(main_module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "add_argument"):
+                continue
+            dest = self._dest_of(node)
+            if dest is None:
+                continue
+            if dest in _CLI_ONLY_DESTS:
+                continue
+            mapped = _CLI_ALIASES.get(dest, dest)
+            if mapped not in known:
+                yield Finding(
+                    rule=self.code, rule_name=self.name,
+                    severity=self.severity, path=main_module.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"CLI flag {dest!r} maps to no SystemConfig/"
+                             f"FaultPlan field (aliases: {_CLI_ALIASES}; "
+                             f"harness-only flags: "
+                             f"{sorted(_CLI_ONLY_DESTS)})"),
+                    source_line=main_module.source_line(node.lineno),
+                    relpath=main_module.relpath)
+
+    @staticmethod
+    def _dest_of(call: ast.Call) -> Optional[str]:
+        for kw in call.keywords:
+            if kw.arg == "dest" and isinstance(kw.value, ast.Constant):
+                return str(kw.value.value)
+        for arg in call.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                if name.startswith("--"):
+                    return name[2:].replace("-", "_")
+                if not name.startswith("-"):
+                    return name.replace("-", "_")
+        return None

@@ -1,0 +1,425 @@
+"""Determinism rules (DET0xx).
+
+The reproduction's headline guarantee is bit-exact, seeded determinism:
+the same (trace, config, seed) triple must replay the same simulation,
+and an all-zero fault plan must stay bit-identical to no plan at all
+(``docs/ROBUSTNESS.md``).  These rules statically remove the classic ways
+Python code silently breaks that guarantee:
+
+* drawing from the process-global RNG or an unseeded ``random.Random()``;
+* reading wall-clock time inside simulator packages;
+* letting ``set`` iteration order (stable only per-process) leak into
+  event order or stats;
+* mutable default arguments and module-level mutable state shared across
+  runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    register,
+)
+
+#: ``random.<fn>`` calls that touch the module-global Mersenne Twister.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "seed", "getrandbits", "setstate",
+})
+
+#: Wall-clock reads.  ``time.process_time`` etc. are equally banned: any
+#: host-time value observed by simulator code is nondeterministic.
+_WALL_CLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock_gettime",
+})
+_WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Constructors whose result is mutable — illegal as a default argument.
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "deque", "defaultdict", "Counter",
+    "OrderedDict", "bytearray",
+})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class UnseededRngRule(Rule):
+    """DET001: every RNG must be a ``random.Random(seed)`` instance."""
+
+    code = "DET001"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    rationale = (
+        "Calls on the module-global RNG (random.random(), random.seed(), "
+        "...) share hidden state across the process, so two simulations in "
+        "one run perturb each other; random.Random() without a seed draws "
+        "from the OS.  Construct random.Random(seed) with a seed that "
+        "comes from a config or argument.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in ("random.Random", "Random", "random.SystemRandom",
+                          "SystemRandom"):
+                if dotted.endswith("SystemRandom"):
+                    yield module.finding(
+                        self, node,
+                        "SystemRandom draws from the OS and can never be "
+                        "seeded; use random.Random(seed)")
+                elif not node.args and not node.keywords:
+                    yield module.finding(
+                        self, node,
+                        "random.Random() without a seed is nondeterministic;"
+                        " pass a seed from a config or argument")
+            elif (dotted.startswith("random.")
+                  and dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FNS):
+                yield module.finding(
+                    self, node,
+                    f"{dotted}() uses the process-global RNG (hidden shared "
+                    f"state); draw from a seeded random.Random instance")
+
+
+@register
+class NumpyGlobalRandomRule(Rule):
+    """DET002: no ``numpy.random`` global-state use."""
+
+    code = "DET002"
+    name = "numpy-global-random"
+    severity = Severity.ERROR
+    rationale = (
+        "numpy.random.* module functions and numpy.random.seed() mutate "
+        "NumPy's process-global BitGenerator.  Use a local "
+        "numpy.random.Generator (default_rng(seed)) instead.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            for prefix in ("numpy.random.", "np.random."):
+                if dotted.startswith(prefix):
+                    fn = dotted[len(prefix):]
+                    if fn in ("default_rng", "Generator", "PCG64",
+                              "SeedSequence"):
+                        if fn == "default_rng" and not node.args \
+                                and not node.keywords:
+                            yield module.finding(
+                                self, node,
+                                "default_rng() without a seed is "
+                                "nondeterministic; pass a seed")
+                        break
+                    yield module.finding(
+                        self, node,
+                        f"{dotted}() mutates numpy's global RNG state; use "
+                        f"numpy.random.default_rng(seed)")
+                    break
+
+
+@register
+class WallClockRule(Rule):
+    """DET003: no wall-clock reads in simulator packages."""
+
+    code = "DET003"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    rationale = (
+        "Simulated time is carried by the trace walk; any host-time value "
+        "(time.time(), datetime.now(), perf_counter()) observed by code in "
+        "core/, sim/, memsys/, cpu/, faults/ or workloads/ makes results "
+        "machine- and load-dependent.  Harness-side progress reporting in "
+        "experiments/ and analysis/ is exempt by scope.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_sim_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "time" and len(parts) == 2 \
+                    and parts[1] in _WALL_CLOCK_TIME_FNS:
+                yield module.finding(
+                    self, node,
+                    f"{dotted}() reads the wall clock inside a simulator "
+                    f"package; simulated time must come from the event flow")
+            elif parts[-1] in _WALL_CLOCK_DATETIME_FNS and (
+                    "datetime" in parts or "date" in parts):
+                yield module.finding(
+                    self, node,
+                    f"{dotted}() reads the wall clock inside a simulator "
+                    f"package; simulated time must come from the event flow")
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Per-function tracking of names bound to set-typed values."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return True
+            # set-producing methods on a known set: a.union(b), a - b ...
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "union", "difference", "intersection",
+                    "symmetric_difference", "copy"):
+                return self.is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return (self.is_set_expr(node.left)
+                    or self.is_set_expr(node.right))
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def observe_assign(self, target: ast.AST, value: ast.AST | None) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if value is not None and self.is_set_expr(value):
+            self.set_names.add(target.id)
+        else:
+            self.set_names.discard(target.id)
+
+    def observe_annassign(self, node: ast.AnnAssign) -> None:
+        ann = node.annotation
+        base = ann.value if isinstance(ann, ast.Subscript) else ann
+        name = _dotted(base)
+        if name in ("set", "frozenset", "Set", "FrozenSet",
+                    "typing.Set", "typing.FrozenSet"):
+            if isinstance(node.target, ast.Name):
+                self.set_names.add(node.target.id)
+        elif node.value is not None:
+            self.observe_assign(node.target, node.value)
+
+
+@register
+class SetIterationRule(Rule):
+    """DET004: no iteration over bare sets."""
+
+    code = "DET004"
+    name = "set-iteration"
+    severity = Severity.ERROR
+    rationale = (
+        "Set iteration order depends on insertion history and element "
+        "hashes; for int-keyed sets it is stable per-process but changes "
+        "whenever the insertion pattern does, so set order feeding event "
+        "queues or stats makes results fragile.  Iterate sorted(s) (or "
+        "keep a list/dict, which preserve insertion order).")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_sim_path:
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Module)):
+                continue
+            yield from self._check_scope(module, func)
+
+    def _check_scope(self, module: ModuleContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        tracker = _SetTracker()
+        body = scope.body if hasattr(scope, "body") else []
+        for node in self._walk_scope(body):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    tracker.observe_assign(target, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                tracker.observe_annassign(node)
+            elif isinstance(node, ast.For):
+                if tracker.is_set_expr(node.iter):
+                    yield module.finding(
+                        self, node.iter,
+                        "iterating a set; wrap it in sorted(...) so the "
+                        "order cannot leak into event order or stats")
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if tracker.is_set_expr(comp.iter):
+                        yield module.finding(
+                            self, comp.iter,
+                            "comprehension over a set; wrap it in "
+                            "sorted(...) so the order cannot leak into "
+                            "event order or stats")
+
+    @staticmethod
+    def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested functions
+        (each function gets its own tracker scope)."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop(0)
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes are checked with their own tracker
+            children = list(ast.iter_child_nodes(node))
+            stack = children + stack  # pre-order: keep source order
+
+
+@register
+class MutableDefaultRule(Rule):
+    """DET005: no mutable default arguments."""
+
+    code = "DET005"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    rationale = (
+        "A mutable default ([], {}, set(), deque()) is created once at "
+        "function definition and shared by every call — state from one "
+        "simulation leaks into the next.  Default to None and construct "
+        "inside the function (or use dataclasses.field(default_factory)).")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield module.finding(
+                        self, default,
+                        f"mutable default argument in {node.name}(); it is "
+                        f"shared across calls — default to None and build "
+                        f"it inside the function")
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                return False
+            return dotted.split(".")[-1] in _MUTABLE_FACTORIES
+        return False
+
+
+@register
+class GlobalMutableStateRule(Rule):
+    """DET006: module-level mutable containers must not be mutated from
+    functions (accidental cross-run global state)."""
+
+    code = "DET006"
+    name = "global-mutable-state"
+    severity = Severity.ERROR
+    rationale = (
+        "A module-level list/dict/set mutated from function bodies is "
+        "state that survives from one simulation to the next inside one "
+        "process, breaking run-to-run bit-identity.  Pass state through "
+        "objects instead; genuinely intended caches must carry an inline "
+        "suppression stating why cross-run sharing is safe.")
+
+    _MUTATING_METHODS = frozenset({
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    })
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        globals_: set[str] = set()
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if not self._is_mutable_ctor(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    globals_.add(target.id)
+        if not globals_:
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local = self._local_names(func)
+            for node in ast.walk(func):
+                name = self._mutated_name(node)
+                if name and name in globals_ and name not in local:
+                    yield module.finding(
+                        self, node,
+                        f"function {func.name}() mutates module-level "
+                        f"{name!r}: cross-run global state — pass it "
+                        f"explicitly, or suppress with a justification if "
+                        f"it is an intentional cache")
+
+    @staticmethod
+    def _is_mutable_ctor(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            return (dotted is not None
+                    and dotted.split(".")[-1] in _MUTABLE_FACTORIES)
+        return False
+
+    @staticmethod
+    def _local_names(func: ast.AST) -> set[str]:
+        names = {a.arg for a in getattr(func.args, "args", [])}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name):
+                names.add(node.target.id)
+        return names
+
+    def _mutated_name(self, node: ast.AST) -> str | None:
+        # CACHE[key] = value / del CACHE[key] / CACHE[key] += 1
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (node.targets if isinstance(node, (ast.Assign,
+                                                         ast.Delete))
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name):
+                    return target.value.id
+        # CACHE.append(x), CACHE.update(...) ...
+        if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name):
+            if node.func.attr in self._MUTATING_METHODS:
+                return node.func.value.id
+        return None

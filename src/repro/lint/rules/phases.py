@@ -1,0 +1,163 @@
+"""Sim-phase rules (PHASE0xx): declared mutation surfaces in ``core/``.
+
+The runtime :class:`repro.faults.invariants.InvariantChecker` audits that
+cross-structure bookkeeping *holds* after every event; these rules are
+its static companion: they pin down *where* ULMT and correlation-table
+state is allowed to change.  Every class in ``repro/core/`` that mutates
+its own attributes outside ``__init__`` must declare the designated step
+methods in a class-level ``_STEP_METHODS`` tuple, and only those methods
+may mutate.  The declaration makes the mutation surface reviewable: a
+new method that starts touching state shows up as a lint finding, not as
+a silent extra writer racing the Figure-2 prefetch/learn phases.
+
+Mutation here means a direct attribute write rooted at ``self`` —
+``self.x = ...``, ``self.x += ...``, ``self.stats.hits += 1``,
+``self.table[i] = ...``, ``del self.cache[k]``.  Aliased writes
+(``q = self.queue; q.push(...)``) are out of static reach; the runtime
+checker covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule, Severity, register
+
+#: Methods always allowed to mutate, beyond the declared step methods.
+_IMPLICIT_MUTATORS = frozenset({"__init__", "__post_init__", "__setstate__"})
+
+
+def _self_attr_root(node: ast.expr) -> Optional[str]:
+    """The attribute name ``x`` when ``node`` is a write target rooted at
+    ``self.x`` (through any chain of further attributes/subscripts)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if isinstance(node, ast.Attribute) and isinstance(
+                parent, ast.Name) and parent.id == "self":
+            return node.attr
+        node = parent
+    return None
+
+
+def _mutation_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target] if getattr(node, "value", True) is not None \
+            else []
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _step_methods_decl(cls: ast.ClassDef) -> Optional[set[str]]:
+    """The ``_STEP_METHODS`` declaration of a class, if present."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_STEP_METHODS":
+                names: set[str] = set()
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str):
+                            names.add(elt.value)
+                return names
+    return None
+
+
+def _mutating_methods(cls: ast.ClassDef) -> dict[str, ast.stmt]:
+    """Map of method name -> first self-attribute mutation statement."""
+    result: dict[str, ast.stmt] = {}
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.stmt):
+                continue
+            for target in _mutation_targets(node):
+                if _self_attr_root(target) is not None:
+                    result.setdefault(item.name, node)
+                    break
+            if item.name in result:
+                break
+    return result
+
+
+def _in_core(module: ModuleContext) -> bool:
+    return module.relpath.startswith("core/")
+
+
+@register
+class StepMethodDeclarationRule(Rule):
+    """PHASE001: stateful core classes must declare ``_STEP_METHODS``."""
+
+    code = "PHASE001"
+    name = "undeclared-step-methods"
+    severity = Severity.ERROR
+    rationale = (
+        "A class in core/ that mutates its own attributes outside "
+        "__init__ holds ULMT/table state; declaring the designated step "
+        "methods in _STEP_METHODS makes the mutation surface explicit and "
+        "lets PHASE002 reject new undeclared writers.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_core(module):
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            mutators = {name: node
+                        for name, node in _mutating_methods(cls).items()
+                        if name not in _IMPLICIT_MUTATORS}
+            if mutators and _step_methods_decl(cls) is None:
+                yield module.finding(
+                    self, cls,
+                    f"class {cls.name} mutates its own state in "
+                    f"{sorted(mutators)} but declares no _STEP_METHODS "
+                    f"tuple naming its designated step methods")
+
+
+@register
+class UndeclaredMutationRule(Rule):
+    """PHASE002: state writes only from the declared step methods."""
+
+    code = "PHASE002"
+    name = "undeclared-state-mutation"
+    severity = Severity.ERROR
+    rationale = (
+        "Once a core/ class declares _STEP_METHODS, any other method "
+        "assigning to self-rooted attributes is an undeclared writer — "
+        "the static analogue of mutating ULMT/table state outside the "
+        "Figure-2 prefetch/learning steps.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_core(module):
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            declared = _step_methods_decl(cls)
+            if declared is None:
+                continue
+            allowed = declared | _IMPLICIT_MUTATORS
+            for name, node in sorted(_mutating_methods(cls).items()):
+                if name not in allowed:
+                    yield module.finding(
+                        self, node,
+                        f"{cls.name}.{name}() mutates state but is not in "
+                        f"_STEP_METHODS {tuple(sorted(declared))}")
+            for name in sorted(declared):
+                if not any(isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))
+                           and item.name == name for item in cls.body):
+                    yield module.finding(
+                        self, cls,
+                        f"{cls.name}._STEP_METHODS names {name!r} but no "
+                        f"such method is defined")

@@ -1,0 +1,152 @@
+"""Unit-safety rules (UNIT0xx): cycles vs. nanoseconds.
+
+The paper quotes latencies in nanoseconds (tSystem = 60 ns) while the
+timing model computes exclusively in 1.6 GHz main-processor cycles
+(``repro.params``).  The naming convention is the contract: identifiers
+carrying a unit end in ``_cycles`` or ``_ns`` (``push_delay_cycles``,
+``TSYSTEM_NS``), and crossing between the two requires an explicit
+conversion through :func:`repro.params.ns_to_cycles` /
+:func:`repro.params.cycles_to_ns`.  These rules enforce the contract
+syntactically: additive arithmetic or comparisons that mix the suffixes,
+and assignments binding one unit's expression to the other unit's name,
+are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule, Severity, register
+
+#: Calls that legitimise crossing the unit boundary.
+_CONVERTERS = frozenset({"ns_to_cycles", "cycles_to_ns"})
+
+_CYCLES = "cycles"
+_NS = "ns"
+
+
+def _unit_of_name(name: str) -> Optional[str]:
+    lowered = name.lower()
+    if lowered.endswith("_cycles") or lowered == "cycles":
+        return _CYCLES
+    if lowered.endswith("_ns") or lowered == "ns":
+        return _NS
+    return None
+
+
+def _is_converter_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name in _CONVERTERS
+
+
+def _units_in(node: ast.AST) -> set[str]:
+    """Units mentioned by identifiers inside ``node``, conversions excluded.
+
+    A converter call is a unit boundary: whatever units appear inside its
+    arguments are already being converted, so they do not propagate out.
+    Multiplication/division are ignored too — ``ns * ghz`` *is* the
+    conversion idiom, so only the names directly visible through additive
+    structure count.
+    """
+    units: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if _is_converter_call(current):
+            continue
+        if isinstance(current, ast.Name):
+            unit = _unit_of_name(current.id)
+            if unit:
+                units.add(unit)
+            continue
+        if isinstance(current, ast.Attribute):
+            unit = _unit_of_name(current.attr)
+            if unit:
+                units.add(unit)
+            continue  # do not descend into the object expression
+        stack.extend(ast.iter_child_nodes(current))
+    return units
+
+
+@register
+class UnitMixingRule(Rule):
+    """UNIT001: additive arithmetic / comparison mixing cycles and ns."""
+
+    code = "UNIT001"
+    name = "unit-mixing"
+    severity = Severity.ERROR
+    rationale = (
+        "Adding, subtracting or comparing a *_cycles value against a *_ns "
+        "value is meaningless at two different clock bases (60 ns is 96 "
+        "cycles at 1.6 GHz).  Convert explicitly with ns_to_cycles()/"
+        "cycles_to_ns() from repro.params.  Multiplication and division "
+        "are exempt: scaling by a frequency is how conversion works.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub, ast.Mod)):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                left_units = _units_in(left)
+                right_units = _units_in(right)
+                if (_CYCLES in left_units and _NS in right_units) or (
+                        _NS in left_units and _CYCLES in right_units):
+                    yield module.finding(
+                        self, node,
+                        "arithmetic mixes *_cycles and *_ns identifiers "
+                        "without an explicit ns_to_cycles()/cycles_to_ns() "
+                        "conversion")
+                    break
+
+
+@register
+class UnitAssignmentRule(Rule):
+    """UNIT002: assignment binds one unit's expression to the other's name."""
+
+    code = "UNIT002"
+    name = "unit-assignment"
+    severity = Severity.ERROR
+    rationale = (
+        "Binding an expression whose identifiers are all *_ns to a "
+        "*_cycles name (or vice versa) silently relabels the unit without "
+        "converting the value.  Route the value through ns_to_cycles()/"
+        "cycles_to_ns() so the conversion is visible at the crossing.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            value_units = _units_in(value)
+            if len(value_units) != 1:
+                continue  # no unit info, or already flagged by UNIT001
+            (value_unit,) = value_units
+            for target in targets:
+                name = (target.id if isinstance(target, ast.Name)
+                        else target.attr if isinstance(target, ast.Attribute)
+                        else None)
+                if name is None:
+                    continue
+                target_unit = _unit_of_name(name)
+                if target_unit is not None and target_unit != value_unit:
+                    yield module.finding(
+                        self, node,
+                        f"assigns a *_{value_unit} expression to "
+                        f"{name!r} without an explicit conversion")

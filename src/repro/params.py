@@ -38,6 +38,34 @@ class MemProcLocation(Enum):
 
 
 # ---------------------------------------------------------------------------
+# Unit conversions (cycles <-> nanoseconds)
+# ---------------------------------------------------------------------------
+#
+# All simulator timing is in 1.6 GHz main-processor cycles; the paper quotes
+# some latencies in nanoseconds (tSystem = 60 ns).  These are the *only*
+# sanctioned crossing points between the two unit systems — the lint rule
+# UNIT001 flags arithmetic that mixes ``*_cycles`` and ``*_ns`` quantities
+# without routing through them.
+
+#: Main-processor clock, GHz (cycles per nanosecond).
+MAIN_FREQUENCY_GHZ = 1.6
+
+#: The paper's tSystem in nanoseconds; 60 ns x 1.6 GHz = 96 cycles, the
+#: ``main_fixed`` component of :class:`MemoryParams`.
+TSYSTEM_NS = 60.0
+
+
+def ns_to_cycles(duration_ns: float) -> int:
+    """Convert nanoseconds to (rounded) 1.6 GHz main-processor cycles."""
+    return int(round(duration_ns * MAIN_FREQUENCY_GHZ))
+
+
+def cycles_to_ns(duration_cycles: float) -> float:
+    """Convert 1.6 GHz main-processor cycles to nanoseconds."""
+    return duration_cycles / MAIN_FREQUENCY_GHZ
+
+
+# ---------------------------------------------------------------------------
 # Table 3: processor parameters
 # ---------------------------------------------------------------------------
 
@@ -134,7 +162,7 @@ class MemoryParams:
     bus_request_cycles: int = 4          # address phase on the memory bus
 
     # Fixed pipe delays (everything not modelled as a contended resource).
-    main_fixed: int = 96                 # tSystem = 60 ns, both directions
+    main_fixed: int = 96                 # ns_to_cycles(TSYSTEM_NS), both directions
     memproc_dram_fixed: int = 3
     memproc_dram_transfer: int = 2       # 32 B over the 32 B internal bus
     memproc_nb_fixed: int = 17

@@ -69,9 +69,12 @@ def get_trace(name: str, scale: float = 1.0, seed: int | None = None,
             return _TRACE_CACHE[key]
         trace = info.generate(scale=scale, seed=seed)
     if cache:
+        # repro-lint: disable=DET006 -- intentional memo: traces are
+        # deterministic per (name, scale, seed), so sharing them across
+        # runs in one process cannot leak state between simulations
         _TRACE_CACHE[key] = trace
     return trace
 
 
 def clear_trace_cache() -> None:
-    _TRACE_CACHE.clear()
+    _TRACE_CACHE.clear()  # repro-lint: disable=DET006 -- cache owner

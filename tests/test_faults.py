@@ -88,10 +88,41 @@ class TestFaultPlan:
     def test_zero_injector_inactive_and_draw_free(self):
         injector = FaultInjector(ZERO_PLAN)
         assert not injector.active
-        before = injector._rng.getstate()
+        before = {kind: rng.getstate()
+                  for kind, rng in injector._rngs.items()}
         assert not injector.drop_observation()
         assert injector.stall_cycles() == 0
-        assert injector._rng.getstate() == before
+        for kind, rng in injector._rngs.items():
+            assert rng.getstate() == before[kind]
+
+    def test_fault_kinds_have_independent_streams(self):
+        """Enabling one fault kind must not shift any other kind's schedule.
+
+        The push_loss decision sequence is drawn with push_loss alone, then
+        again with obs_drop also enabled (and exercised); the two sequences
+        must be identical.  With a single shared RNG the interleaved
+        obs_drop draws would shift every subsequent push_loss draw.
+        """
+        def push_loss_schedule(plan: FaultPlan, events: int) -> list[bool]:
+            injector = FaultInjector(plan)
+            out = []
+            for _ in range(events):
+                injector.drop_observation()    # draws only if obs_drop > 0
+                out.append(injector.lose_push())
+            return out
+
+        alone = push_loss_schedule(FaultPlan(seed=11, push_loss=0.3), 200)
+        mixed = push_loss_schedule(
+            FaultPlan(seed=11, push_loss=0.3, obs_drop=0.5), 200)
+        assert alone == mixed
+        assert any(alone)
+
+    def test_streams_derive_from_master_seed(self):
+        a = FaultInjector(FaultPlan(seed=1, stall=0.5))
+        b = FaultInjector(FaultPlan(seed=2, stall=0.5))
+        schedule_a = [a.stall_cycles() for _ in range(100)]
+        schedule_b = [b.stall_cycles() for _ in range(100)]
+        assert schedule_a != schedule_b  # different master seed, new schedule
 
 
 class TestZeroFaultIdentity:

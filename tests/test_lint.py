@@ -1,0 +1,538 @@
+"""Tests for ``repro lint`` (the static-analysis tentpole).
+
+Each rule gets one violating fixture and one passing fixture; the engine
+gets suppression and baseline round-trip coverage; and two subprocess
+tests pin the CI contract — the repo itself lints clean, and a scratch
+file with a seeded-RNG or unit-mixing violation fails the gate.
+"""
+
+import ast
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import Baseline, fingerprints
+from repro.lint.engine import (
+    ModuleContext,
+    ProjectContext,
+    Severity,
+    all_rules,
+    lint_source,
+    select_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+def module_ctx(source: str, relpath: str) -> ModuleContext:
+    """A ModuleContext with an explicit package-relative path (so rules
+    scoped to core/ or to sim packages can be exercised from strings)."""
+    return ModuleContext(path=relpath, relpath=relpath, source=source,
+                         tree=ast.parse(source),
+                         lines=source.splitlines(),
+                         in_sim_path=True)
+
+
+def run_rule(code: str, source: str, relpath: str = "core/fixture.py"):
+    (rule,) = select_rules(select=[code])
+    return list(rule.check_module(module_ctx(source, relpath)))
+
+
+# ---------------------------------------------------------------------------
+# Determinism rules
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismRules:
+    def test_det001_flags_global_rng_and_unseeded_random(self):
+        findings = lint_source(
+            "import random\n"
+            "x = random.random()\n"
+            "r = random.Random()\n",
+            select=["DET001"])
+        assert codes(findings) == ["DET001", "DET001"]
+
+    def test_det001_passes_seeded_random(self):
+        findings = lint_source(
+            "import random\n"
+            "r = random.Random(42)\n"
+            "s = random.Random(f'{seed}:kind')\n"
+            "x = r.random()\n",
+            select=["DET001"])
+        assert findings == []
+
+    def test_det001_flags_systemrandom_even_with_args(self):
+        findings = lint_source("import random\nr = random.SystemRandom()\n",
+                               select=["DET001"])
+        assert codes(findings) == ["DET001"]
+
+    def test_det002_flags_numpy_global_state(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "np.random.seed(1)\n"
+            "x = np.random.rand(4)\n"
+            "g = np.random.default_rng()\n",
+            select=["DET002"])
+        assert codes(findings) == ["DET002", "DET002", "DET002"]
+
+    def test_det002_passes_seeded_generator(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "g = np.random.default_rng(7)\n"
+            "x = g.random(4)\n",
+            select=["DET002"])
+        assert findings == []
+
+    def test_det003_flags_wall_clock_in_sim_path(self):
+        findings = lint_source(
+            "import time\n"
+            "from datetime import datetime\n"
+            "def f():\n"
+            "    t = time.time()\n"
+            "    d = datetime.now()\n",
+            select=["DET003"])
+        assert codes(findings) == ["DET003", "DET003"]
+
+    def test_det003_exempts_reporting_paths(self):
+        source = "import time\nt = time.time()\n"
+        (rule,) = select_rules(select=["DET003"])
+        module = module_ctx(source, "experiments/common.py")
+        module.in_sim_path = False
+        assert list(rule.check_module(module)) == []
+
+    def test_det004_flags_set_iteration(self):
+        findings = lint_source(
+            "def f(items):\n"
+            "    pending = set(items)\n"
+            "    for x in pending:\n"
+            "        print(x)\n",
+            select=["DET004"])
+        assert codes(findings) == ["DET004"]
+
+    def test_det004_passes_sorted_iteration(self):
+        findings = lint_source(
+            "def f(items):\n"
+            "    pending = set(items)\n"
+            "    for x in sorted(pending):\n"
+            "        print(x)\n",
+            select=["DET004"])
+        assert findings == []
+
+    def test_det005_flags_mutable_default(self):
+        findings = lint_source("def f(acc=[]):\n    return acc\n",
+                               select=["DET005"])
+        assert codes(findings) == ["DET005"]
+
+    def test_det005_passes_none_default(self):
+        findings = lint_source(
+            "def f(acc=None):\n"
+            "    acc = [] if acc is None else acc\n"
+            "    return acc\n",
+            select=["DET005"])
+        assert findings == []
+
+    def test_det006_flags_module_cache_mutation(self):
+        findings = lint_source(
+            "_CACHE = {}\n"
+            "def put(k, v):\n"
+            "    _CACHE[k] = v\n",
+            select=["DET006"])
+        assert codes(findings) == ["DET006"]
+
+    def test_det006_passes_explicit_state(self):
+        findings = lint_source(
+            "_FROZEN = {'a': 1}\n"
+            "def get(k):\n"
+            "    return _FROZEN[k]\n"
+            "def local_shadow():\n"
+            "    _CACHE = {}\n"
+            "    _CACHE['x'] = 1\n",
+            select=["DET006"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Unit-safety rules
+# ---------------------------------------------------------------------------
+
+
+class TestUnitRules:
+    def test_unit001_flags_additive_mixing(self):
+        findings = lint_source(
+            "total = push_delay_cycles + tsystem_ns\n",
+            select=["UNIT001"])
+        assert codes(findings) == ["UNIT001"]
+
+    def test_unit001_flags_comparison_mixing(self):
+        findings = lint_source(
+            "if stall_cycles > timeout_ns:\n    pass\n",
+            select=["UNIT001"])
+        assert codes(findings) == ["UNIT001"]
+
+    def test_unit001_passes_explicit_conversion(self):
+        findings = lint_source(
+            "total_cycles = push_delay_cycles + ns_to_cycles(tsystem_ns)\n",
+            select=["UNIT001"])
+        assert findings == []
+
+    def test_unit001_passes_multiplicative_conversion_idiom(self):
+        findings = lint_source("cycles = duration_ns * frequency_ghz\n",
+                               select=["UNIT001"])
+        assert findings == []
+
+    def test_unit002_flags_cross_unit_assignment(self):
+        findings = lint_source("timeout_cycles = tsystem_ns\n",
+                               select=["UNIT002"])
+        assert codes(findings) == ["UNIT002"]
+
+    def test_unit002_passes_converted_assignment(self):
+        findings = lint_source(
+            "timeout_cycles = ns_to_cycles(tsystem_ns)\n"
+            "budget_cycles = stall_cycles + 4\n",
+            select=["UNIT002"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Sim-phase rules (scoped to core/)
+# ---------------------------------------------------------------------------
+
+PHASE_VIOLATION = (
+    "class Table:\n"
+    "    def __init__(self):\n"
+    "        self.hits = 0\n"
+    "    def lookup(self, key):\n"
+    "        self.hits += 1\n"
+    "        return key\n"
+)
+
+PHASE_CLEAN = (
+    "class Table:\n"
+    "    _STEP_METHODS = ('lookup',)\n"
+    "    def __init__(self):\n"
+    "        self.hits = 0\n"
+    "    def lookup(self, key):\n"
+    "        self.hits += 1\n"
+    "        return key\n"
+    "    def peek(self, key):\n"
+    "        return self.hits\n"
+)
+
+
+class TestPhaseRules:
+    def test_phase001_flags_undeclared_stateful_class(self):
+        findings = run_rule("PHASE001", PHASE_VIOLATION)
+        assert codes(findings) == ["PHASE001"]
+
+    def test_phase001_passes_declared_class(self):
+        assert run_rule("PHASE001", PHASE_CLEAN) == []
+
+    def test_phase001_ignores_non_core_modules(self):
+        assert run_rule("PHASE001", PHASE_VIOLATION,
+                        relpath="sim/fixture.py") == []
+
+    def test_phase002_flags_mutation_outside_step_methods(self):
+        source = PHASE_CLEAN + (
+            "    def sneaky(self):\n"
+            "        self.hits = 0\n"
+        )
+        findings = run_rule("PHASE002", source)
+        assert codes(findings) == ["PHASE002"]
+        assert "sneaky" in findings[0].message
+
+    def test_phase002_passes_declared_mutators(self):
+        assert run_rule("PHASE002", PHASE_CLEAN) == []
+
+    def test_phase002_flags_declared_but_missing_method(self):
+        source = (
+            "class Table:\n"
+            "    _STEP_METHODS = ('lookup', 'ghost')\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n"
+            "    def lookup(self, key):\n"
+            "        self.hits += 1\n"
+        )
+        findings = run_rule("PHASE002", source)
+        assert codes(findings) == ["PHASE002"]
+        assert "ghost" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Config-drift rules (project-wide)
+# ---------------------------------------------------------------------------
+
+CONFIG_SOURCE = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class SystemConfig:\n"
+    "    name: str = 'x'\n"
+    "    queue_depth: int = 16\n"
+    "    dead_knob: int = 0\n"
+)
+
+READER_SOURCE = (
+    "def build(config):\n"
+    "    return (config.name, config.queue_depth)\n"
+)
+
+MAIN_SOURCE = (
+    "import argparse\n"
+    "def main():\n"
+    "    p = argparse.ArgumentParser()\n"
+    "    p.add_argument('--queue-depth', type=int)\n"
+    "    p.add_argument('--scale', type=float)\n"
+    "    p.add_argument('--phantom-flag')\n"
+)
+
+
+class TestConfigDriftRules:
+    def project(self, config=CONFIG_SOURCE, reader=READER_SOURCE,
+                main=MAIN_SOURCE):
+        return ProjectContext(modules=[
+            module_ctx(config, "sim/config.py"),
+            module_ctx(reader, "sim/system.py"),
+            module_ctx(main, "__main__.py"),
+        ])
+
+    def test_cfg001_flags_unread_field(self):
+        (rule,) = select_rules(select=["CFG001"])
+        findings = list(rule.check_project(self.project()))
+        assert codes(findings) == ["CFG001"]
+        assert "dead_knob" in findings[0].message
+
+    def test_cfg001_passes_when_all_fields_read(self):
+        (rule,) = select_rules(select=["CFG001"])
+        reader = READER_SOURCE + "def audit(c):\n    return c.dead_knob\n"
+        assert list(rule.check_project(self.project(reader=reader))) == []
+
+    def test_cfg002_flags_unmapped_flag(self):
+        (rule,) = select_rules(select=["CFG002"])
+        findings = list(rule.check_project(self.project()))
+        assert codes(findings) == ["CFG002"]
+        assert "phantom_flag" in findings[0].message
+
+    def test_cfg002_passes_mapped_and_harness_flags(self):
+        (rule,) = select_rules(select=["CFG002"])
+        main = (
+            "import argparse\n"
+            "def main():\n"
+            "    p = argparse.ArgumentParser()\n"
+            "    p.add_argument('--queue-depth', type=int)\n"
+            "    p.add_argument('--scale', type=float)\n"
+        )
+        assert list(rule.check_project(self.project(main=main))) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions and baseline
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        findings = lint_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=DET001 -- fixture\n",
+            select=["DET001"])
+        assert findings == []
+
+    def test_comment_above_suppression_covers_next_code_line(self):
+        findings = lint_source(
+            "import random\n"
+            "# repro-lint: disable=DET001 -- justified at length,\n"
+            "# across several comment lines\n"
+            "x = random.random()\n",
+            select=["DET001"])
+        assert findings == []
+
+    def test_rule_name_accepted_as_identifier(self):
+        findings = lint_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=unseeded-rng\n",
+            select=["DET001"])
+        assert findings == []
+
+    def test_file_wide_suppression(self):
+        findings = lint_source(
+            "# repro-lint: disable-file=DET001\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n",
+            select=["DET001"])
+        assert findings == []
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        findings = lint_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=DET001\n"
+            "y = random.random()\n",
+            select=["DET001"])
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_unrelated_rule_not_suppressed(self):
+        findings = lint_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=DET003\n",
+            select=["DET001"])
+        assert codes(findings) == ["DET001"]
+
+
+class TestBaseline:
+    def make_findings(self, source):
+        return lint_source(source, select=["DET001"])
+
+    def test_round_trip(self, tmp_path):
+        findings = self.make_findings(
+            "import random\nx = random.random()\n")
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries.keys() == baseline.entries.keys()
+        assert loaded.filter_new(findings) == []
+
+    def test_fingerprints_stable_across_line_shifts(self):
+        before = self.make_findings(
+            "import random\nx = random.random()\n")
+        after = self.make_findings(
+            "import random\n# an unrelated comment pushes the line down\n"
+            "\nx = random.random()\n")
+        assert fingerprints(before) == fingerprints(after)
+
+    def test_new_findings_survive_filter(self):
+        old = self.make_findings("import random\nx = random.random()\n")
+        baseline = Baseline.from_findings(old)
+        new = self.make_findings(
+            "import random\nx = random.random()\ny = random.randint(0, 9)\n")
+        surviving = baseline.filter_new(new)
+        assert [f.line for f in surviving] == [3]
+
+    def test_repeated_identical_lines_disambiguated(self):
+        findings = self.make_findings(
+            "import random\nx = random.random()\nx = random.random()\n")
+        fps = fingerprints(findings)
+        assert len(fps) == len(set(fps)) == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == {}
+
+    def test_committed_baseline_is_empty(self):
+        data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert data["findings"] == []
+
+
+# ---------------------------------------------------------------------------
+# CLI contract (the CI gate)
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd, capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+
+
+class TestCli:
+    def test_repo_lints_clean(self):
+        proc = run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_scratch_rng_violation_fails(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text("import random\nx = random.random()\n")
+        proc = run_cli(str(scratch))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_scratch_unit_violation_fails(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text("t_cycles = delay_cycles + budget_ns\n")
+        proc = run_cli(str(scratch))
+        assert proc.returncode == 1
+        assert "UNIT001" in proc.stdout
+
+    def test_json_output(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text("def f(a=[]):\n    return a\n")
+        proc = run_cli(str(scratch), "--format", "json")
+        data = json.loads(proc.stdout)
+        assert data["errors"] == 1
+        assert data["findings"][0]["rule"] == "DET005"
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule in all_rules():
+            assert rule.code in proc.stdout
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = run_cli("--select", "NOPE999")
+        assert proc.returncode == 2
+
+
+class TestRegistry:
+    def test_expected_rule_families_present(self):
+        present = {rule.code for rule in all_rules()}
+        assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+                "UNIT001", "UNIT002", "PHASE001", "PHASE002",
+                "CFG001", "CFG002"} <= present
+
+    def test_every_rule_has_rationale_and_severity(self):
+        for rule in all_rules():
+            assert rule.rationale, rule.code
+            assert isinstance(rule.severity, Severity)
+
+
+# ---------------------------------------------------------------------------
+# mypy wiring (satellite): config present; run it when installed
+# ---------------------------------------------------------------------------
+
+
+class TestMypyWiring:
+    def test_pyproject_declares_strict_core_and_sim(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.mypy]" in text
+        assert '"repro.core.*"' in text and '"repro.sim.*"' in text
+        assert "disallow_untyped_defs = true" in text
+
+    def test_core_and_sim_defs_fully_annotated(self):
+        """Static stand-in for strict mypy when it is not installed:
+        every def in core/ and sim/ annotates all params and the return."""
+        gaps = []
+        for pkg in ("core", "sim"):
+            for path in sorted((SRC / "repro" / pkg).glob("*.py")):
+                tree = ast.parse(path.read_text())
+                for node in ast.walk(tree):
+                    if not isinstance(node, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                        continue
+                    args = node.args
+                    for a in args.posonlyargs + args.args + args.kwonlyargs:
+                        if a.annotation is None and a.arg not in ("self",
+                                                                  "cls"):
+                            gaps.append(f"{path.name}:{node.name}:{a.arg}")
+                    if node.returns is None:
+                        gaps.append(f"{path.name}:{node.name}:<return>")
+        assert gaps == []
+
+    @pytest.mark.skipif(shutil.which("mypy") is None,
+                        reason="mypy not installed (CI installs it)")
+    def test_mypy_passes(self):
+        proc = subprocess.run(
+            ["mypy", "-p", "repro"], cwd=REPO_ROOT,
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
