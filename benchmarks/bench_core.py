@@ -1,0 +1,121 @@
+"""Core-engine benchmark: serial vs parallel vs warm-cache wall-clock.
+
+Unlike the per-figure ``bench_*`` modules (which time one figure each under
+pytest-benchmark), this is a standalone harness for the parallel engine
+itself.  It runs the same representative task set three ways —
+
+1. **cold serial** — ``jobs=1``, no cache (the pre-engine baseline path);
+2. **cold parallel** — ``jobs=N`` workers, writing the persistent cache;
+3. **warm cache** — a rerun served entirely from disk —
+
+asserts all three produce identical results, and writes the machine-readable
+``BENCH_core.json`` next to this file::
+
+    python benchmarks/bench_core.py                  # full (BENCH_SCALE)
+    python benchmarks/bench_core.py --scale 0.05     # quicker
+    python benchmarks/bench_core.py --jobs 8 --output /tmp/bench.json
+
+The JSON records the three wall-clocks plus the derived ratios
+(``parallel_speedup``, ``warm_fraction``) and enough machine context
+(``cpu_count``) to interpret them: on a single-core host the parallel pass
+cannot beat serial, and the recorded numbers say so honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))          # conftest constants
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import BENCH_APPS, BENCH_SCALE  # noqa: E402
+
+from repro.analysis.prediction import PREDICTORS  # noqa: E402
+from repro.perf.cache import ResultCache  # noqa: E402
+from repro.perf.pool import (fig5_task, run_tasks, sim_task,  # noqa: E402
+                             tablesize_task)
+from repro.workloads.registry import clear_trace_cache  # noqa: E402
+
+#: The configs of the core comparison (Figure 7's main columns).
+CORE_CONFIGS = ("nopref", "base", "repl")
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_core.json"
+
+
+def core_tasks(scale: float) -> list:
+    """The benchmark task set: every figure family over BENCH_APPS."""
+    tasks = [sim_task(app, config, scale)
+             for config in CORE_CONFIGS for app in BENCH_APPS]
+    tasks += [fig5_task(app, scale, PREDICTORS) for app in BENCH_APPS]
+    tasks += [tablesize_task(app, scale) for app in BENCH_APPS]
+    return tasks
+
+
+def timed_pass(label: str, tasks: list, jobs: int,
+               cache: ResultCache | None) -> tuple[float, list]:
+    """One measured execution of the whole task set."""
+    clear_trace_cache()     # each pass regenerates traces (or forks anew)
+    start = time.perf_counter()
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    elapsed = time.perf_counter() - start
+    failed = sum(1 for r in results if r is None)
+    print(f"[bench_core] {label}: {elapsed:.2f}s "
+          f"({len(tasks)} tasks, {failed} failed)", file=sys.stderr)
+    if failed:
+        raise SystemExit(f"{label}: {failed} task(s) failed")
+    return elapsed, results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=float, default=BENCH_SCALE,
+                        help=f"workload scale (default {BENCH_SCALE})")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel pass "
+                             "(default 4)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_core.json")
+    args = parser.parse_args(argv)
+
+    tasks = core_tasks(args.scale)
+    with tempfile.TemporaryDirectory(prefix="bench-core-cache-") as tmp:
+        cache = ResultCache(tmp)
+        serial_s, serial = timed_pass("cold serial (jobs=1, no cache)",
+                                      tasks, jobs=1, cache=None)
+        parallel_s, parallel = timed_pass(
+            f"cold parallel (jobs={args.jobs})", tasks, jobs=args.jobs,
+            cache=cache)
+        warm_s, warm = timed_pass("warm cache", tasks, jobs=args.jobs,
+                                  cache=cache)
+
+    if parallel != serial or warm != serial:
+        raise SystemExit("parity violation: passes produced different "
+                         "results — do not trust these numbers")
+    print("[bench_core] parity: serial == parallel == warm", file=sys.stderr)
+
+    report = {
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "apps": list(BENCH_APPS),
+        "configs": list(CORE_CONFIGS),
+        "tasks": len(tasks),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_fraction": round(warm_s / serial_s, 5),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,25 +79,45 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    """Sweep fault intensity and print speedup degradation per algorithm."""
+    """Sweep fault intensity and print speedup degradation per algorithm.
+
+    The (config, rate) grid plus the NoPref baseline are independent runs,
+    so the sweep fans out through the parallel pool (``--jobs``) and its
+    cells land in the same persistent cache as everything else — results
+    are printed in grid order either way.
+    """
+    from repro.perf.pool import run_tasks, sim_task
+
     rates = [float(r) for r in args.rates.split(",")]
     configs = args.configs.split(",")
-    baseline = run_simulation(args.app, "nopref", scale=args.scale)
-    header = "  ".join(f"{r:>7g}" for r in rates)
-    print(f"chaos sweep — {args.app} @ scale {args.scale}, seed {args.fault_seed}")
-    print(f"speedup over NoPref by uniform fault rate "
-          f"(see FaultPlan.uniform):\n")
-    print(f"{'config':14s}  {header}")
+    cache = _build_cache(args)
+    grid = [sim_task(args.app, "nopref", args.scale)]
     for name in configs:
-        row = []
         for rate in rates:
             config = _resolve_config(args.app, name, None,
                                      args.fault_seed, args.invariants)
             config = replace(config, fault_plan=FaultPlan.uniform(
                 rate, seed=args.fault_seed))
-            result = run_simulation(args.app, config, scale=args.scale)
-            row.append(baseline.execution_time / result.execution_time)
-        print(f"{name:14s}  " + "  ".join(f"{s:7.3f}" for s in row))
+            grid.append(sim_task(args.app, config, args.scale))
+    results = run_tasks(grid, jobs=args.jobs, cache=cache)
+    if cache is not None:
+        print(f"[cache] {cache.stats.describe()} in {cache.directory}",
+              file=sys.stderr)
+    if any(r is None for r in results):
+        print("chaos sweep: one or more cells failed (see stderr)",
+              file=sys.stderr)
+        return 1
+    baseline, cells = results[0], results[1:]
+    header = "  ".join(f"{r:>7g}" for r in rates)
+    print(f"chaos sweep — {args.app} @ scale {args.scale}, seed {args.fault_seed}")
+    print(f"speedup over NoPref by uniform fault rate "
+          f"(see FaultPlan.uniform):\n")
+    print(f"{'config':14s}  {header}")
+    for i, name in enumerate(configs):
+        row = cells[i * len(rates):(i + 1) * len(rates)]
+        print(f"{name:14s}  " + "  ".join(
+            f"{baseline.execution_time / r.execution_time:7.3f}"
+            for r in row))
     return 0
 
 
@@ -116,9 +136,36 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _build_cache(args):
+    """The persistent cache implied by --cache-dir / --no-cache."""
+    from repro.perf.cache import ResultCache, default_cache_dir
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _add_perf_options(parser) -> None:
+    """--jobs / --cache-dir / --no-cache, shared by matrix-shaped commands."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory (default "
+                             ".repro-cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments import runall
-    return runall.main(["--scale", str(args.scale)])
+    forwarded = ["--scale", str(args.scale), "--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        forwarded += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.profile:
+        forwarded.append("--profile")
+    return runall.main(forwarded)
 
 
 def _cmd_lint(rest: list[str]) -> int:
@@ -149,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
 
     exp_p = sub.add_parser("experiments", help="regenerate all figures")
     exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--profile", action="store_true",
+                       help="report time per subsystem (to stderr)")
+    _add_perf_options(exp_p)
 
     chaos_p = sub.add_parser(
         "chaos", help="fault-injection sweep (speedup vs fault rate)")
@@ -160,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     chaos_p.add_argument("--scale", type=float, default=0.3)
     chaos_p.add_argument("--fault-seed", type=int, default=0)
     chaos_p.add_argument("--invariants", action="store_true")
+    _add_perf_options(chaos_p)
 
     sub.add_parser(
         "lint", help="static analysis suite (see docs/STATIC_ANALYSIS.md)",

@@ -30,15 +30,24 @@ class MissDistanceResult:
         return MISS_DISTANCE_LABELS[idx]
 
 
-def measure_miss_distances(app: str, scale: float = 1.0) -> MissDistanceResult:
-    """Run NoPref and histogram the inter-miss distances at memory."""
-    system = System(preset("nopref"))
-    result = system.run(get_trace(app, scale=scale))
+def result_to_distances(app: str, result) -> MissDistanceResult:
+    """Histogram view of any NoPref :class:`~repro.sim.stats.SimResult`.
+
+    Factored out of :func:`measure_miss_distances` so Figure 6 can reuse
+    the shared (cached) NoPref run instead of re-simulating it.
+    """
     return MissDistanceResult(
         app=app,
         fractions=result.miss_distance_fractions(),
         total_misses=sum(result.miss_distance_counts),
     )
+
+
+def measure_miss_distances(app: str, scale: float = 1.0) -> MissDistanceResult:
+    """Run NoPref and histogram the inter-miss distances at memory."""
+    system = System(preset("nopref"))
+    result = system.run(get_trace(app, scale=scale))
+    return result_to_distances(app, result)
 
 
 def average_fractions(results: list[MissDistanceResult]) -> tuple[float, ...]:

@@ -193,11 +193,12 @@ class UlmtCostModel:
         return self._busy_main() + self._stall
 
     def _touch(self, byte_addr: int) -> None:
-        line = self.cache.line_addr(byte_addr)
-        if self.cache.access(line):
+        cache = self.cache  # hottest ULMT call site: hoist the lookups
+        line = byte_addr // cache.params.line_bytes
+        if cache.access(line):
             self._instr += self.constants.cache_hit_cycles
             return
         now = self._start + self._elapsed()
         completion = self.controller.memproc_fetch(byte_addr, now)
         self._stall += max(0, completion - now)
-        self.cache.fill(line)
+        cache.fill(line)

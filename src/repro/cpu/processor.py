@@ -79,6 +79,15 @@ class ProcessorStats:
                 "uptol2": self.uptol2_stall / total,
                 "beyondl2": self.beyondl2_stall / total}
 
+    def to_dict(self) -> dict:
+        from repro.sim.serialize import flat_to_dict
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcessorStats":
+        from repro.sim.serialize import flat_from_dict
+        return flat_from_dict(cls, data)
+
 
 class _InflightFill:
     """An L1 line travelling toward the cache (demand fill or prefetch)."""
@@ -108,8 +117,11 @@ class MainProcessor:
         # limited both by pending-load capacity and by ROB run-ahead.
         self._load_window: list[tuple[int, str, int]] = []
         self._store_window: list[tuple[int, str, int]] = []
-        # L1 lines still in flight (demand fill or stream prefetch).
+        # L1 lines still in flight (demand fill or stream prefetch), plus
+        # the earliest arrival among them: the every-access "anything
+        # landed?" poll is then one comparison instead of a dict scan.
         self._l1_inflight: dict[int, _InflightFill] = {}
+        self._min_arrival: float = float("inf")
         # Completion/level of the most recent load, for dependent references.
         self._prev_load: tuple[int, str] = (0, LEVEL_L1)
 
@@ -123,13 +135,16 @@ class MainProcessor:
         return self.stats
 
     def step(self, ref: MemRef) -> None:
-        self.stats.refs += 1
-        self.now += ref.comp_cycles
-        self.stats.busy_cycles += ref.comp_cycles
+        stats = self.stats
+        comp = ref.comp_cycles
+        stats.refs += 1
+        self.now += comp
+        stats.busy_cycles += comp
 
         if ref.dependent:
             self._wait_for_previous_load()
-        self._enforce_rob_limit()
+        if self._load_window:
+            self._enforce_rob_limit()
 
         l1_line = self.l1.line_addr(ref.addr)
         completion, level = self._access_l1(l1_line, ref.is_write)
@@ -165,6 +180,8 @@ class MainProcessor:
                                     self.now, is_prefetch=False)
         self._l1_inflight[l1_line] = _InflightFill(result.completion_time,
                                                    result.level)
+        if result.completion_time < self._min_arrival:
+            self._min_arrival = result.completion_time
         if self.stream_prefetcher is not None:
             self._issue_stream_prefetches(l1_line)
         return result.completion_time, result.level
@@ -188,15 +205,20 @@ class MainProcessor:
                                         is_prefetch=True)
             self._l1_inflight[pf_line] = _InflightFill(
                 result.completion_time, result.level, is_prefetch=True)
+            if result.completion_time < self._min_arrival:
+                self._min_arrival = result.completion_time
 
     def _land_arrived_fills(self) -> None:
-        if not self._l1_inflight:
+        if self.now < self._min_arrival:
             return
-        arrived = [line for line, f in self._l1_inflight.items()
+        inflight = self._l1_inflight
+        arrived = [line for line, f in inflight.items()
                    if f.arrival <= self.now]
         for line in arrived:
-            del self._l1_inflight[line]
+            del inflight[line]
             self.l1.fill(line)
+        self._min_arrival = min(
+            (f.arrival for f in inflight.values()), default=float("inf"))
 
     @staticmethod
     def _l2_line(l1_line: int) -> int:

@@ -4,23 +4,31 @@ Every experiment module exposes ``run(scale=...)`` returning plain data and
 ``main()`` printing the paper-style rows; ``python -m repro.experiments.figN``
 regenerates figure N.  Results of expensive (workload, config) simulations
 are cached per process so that figures sharing runs (7, 8, 9, 10, 11) do
-not recompute them.
+not recompute them, and — when a persistent cache is installed via
+:func:`set_disk_cache` — across processes and invocations too.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
 
-from repro.sim.config import SystemConfig, custom_config, preset
-from repro.sim.driver import run_simulation
+from repro.perf import pool as _pool
+from repro.perf.cache import ResultCache
+from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
 from repro.workloads.registry import list_workloads
 
 #: Default evaluation scale.  1.0 reproduces the shapes; smaller values are
 #: used by the test suite and the pytest-benchmark harness.  Experiments
-#: resolve their ``scale=None`` arguments against this at call time, so
-#: ``runall --scale`` works as a process-wide knob.
+#: resolve their ``scale=None`` arguments against this at call time;
+#: :func:`use_scale` overrides it for a scoped block (``runall --scale``)
+#: without mutating module state from the outside.
 DEFAULT_SCALE = 1.0
+
+#: Scoped overrides of :data:`DEFAULT_SCALE` (innermost last).  Only ever
+#: mutated by :func:`use_scale`, which restores it on exit.
+_SCALE_OVERRIDES: list[float] = []
 
 #: Keyed by (app, preset-name-or-full-config, scale).  Ad-hoc
 #: SystemConfig instances key on the frozen config itself, not its name:
@@ -29,10 +37,70 @@ DEFAULT_SCALE = 1.0
 #: other's cached result.
 _RESULT_CACHE: dict[tuple[str, str | SystemConfig, float], SimResult] = {}
 
+#: Per-process memo of the expensive analyses (Figure 5 rows, Table 2
+#: sizings), keyed by every input that shapes them.
+_ANALYSIS_CACHE: dict[tuple, object] = {}
+
+#: Holder for the optional persistent cache (empty or one element, managed
+#: by :func:`set_disk_cache`).
+_DISK_CACHE: list[ResultCache] = []
+
 
 def resolve_scale(scale: float | None) -> float:
     """Turn an experiment's ``scale=None`` into the current default."""
-    return DEFAULT_SCALE if scale is None else scale
+    if scale is not None:
+        return scale
+    if _SCALE_OVERRIDES:
+        return _SCALE_OVERRIDES[-1]
+    return DEFAULT_SCALE
+
+
+@contextmanager
+def use_scale(scale: float | None) -> Iterator[float]:
+    """Scoped override of the default scale (``runall --scale``).
+
+    Nested overrides stack; the previous default is restored on exit even
+    on error, so no caller can leak a changed scale into later code —
+    unlike the old ``common.DEFAULT_SCALE = s`` mutation this replaces.
+    """
+    if scale is None:
+        yield resolve_scale(None)
+        return
+    _SCALE_OVERRIDES.append(float(scale))  # repro-lint: disable=DET006 -- scoped override stack, popped in finally
+    try:
+        yield float(scale)
+    finally:
+        _SCALE_OVERRIDES.pop()  # repro-lint: disable=DET006 -- restores the stack pushed above
+
+
+def set_disk_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
+    """Install (or with ``None`` remove) the persistent result cache.
+
+    Returns the previously installed cache, so callers can restore it.
+    """
+    previous = _DISK_CACHE[0] if _DISK_CACHE else None
+    _DISK_CACHE.clear()  # repro-lint: disable=PAR001,DET006 -- cache holder owner
+    if cache is not None:
+        _DISK_CACHE.append(cache)  # repro-lint: disable=PAR001,DET006 -- cache holder owner
+    return previous
+
+
+def get_disk_cache() -> Optional[ResultCache]:
+    return _DISK_CACHE[0] if _DISK_CACHE else None
+
+
+def _through_disk(task: "_pool.MatrixTask", compute) -> object:
+    """Fetch ``task`` from the persistent cache, else compute and store."""
+    disk = get_disk_cache()
+    if disk is not None:
+        hit = _pool._from_cache(task, disk)
+        if hit is not None:
+            return hit
+    value = compute()
+    if disk is not None:
+        disk.put(task.kind, _pool.task_cache_key(task),
+                 _pool.encode_payload(task, value))
+    return value
 
 
 def cached_run(app: str, config: str | SystemConfig,
@@ -40,21 +108,77 @@ def cached_run(app: str, config: str | SystemConfig,
     """Run (or fetch) one simulation; ``config`` may be a preset name,
     ``"custom"``, or a full :class:`SystemConfig`."""
     scale = resolve_scale(scale)
-    if isinstance(config, SystemConfig):
-        key = (app, config, scale)
-        resolved = config
-    else:
-        resolved = custom_config(app) if config == "custom" else preset(config)
-        key = (app, config, scale)
+    key = (app, config, scale)
     if key not in _RESULT_CACHE:
+        task = _pool.sim_task(app, config, scale)
+        result = _through_disk(task, lambda: _pool.execute_task(task))
         # repro-lint: disable=DET006 -- intentional per-process memo of
         # deterministic (app, config, scale) results shared across figures
-        _RESULT_CACHE[key] = run_simulation(app, resolved, scale=scale)
+        _RESULT_CACHE[key] = result
     return _RESULT_CACHE[key]
+
+
+def cached_figure5_row(app: str, scale: float | None = None,
+                       predictors: tuple[str, ...] | None = None,
+                       max_level: int = 3):
+    """Figure 5 predictability row, memoised in-process and on disk."""
+    from repro.analysis.prediction import PREDICTORS
+    predictors = tuple(predictors if predictors is not None else PREDICTORS)
+    scale = resolve_scale(scale)
+    key = ("fig5", app, scale, predictors, max_level)
+    if key not in _ANALYSIS_CACHE:
+        task = _pool.fig5_task(app, scale, predictors, max_level)
+        row = _through_disk(task, lambda: _pool.execute_task(task))
+        # repro-lint: disable=DET006 -- intentional memo keyed by every
+        # input that shapes the row; values never mutated after store
+        _ANALYSIS_CACHE[key] = row
+    return _ANALYSIS_CACHE[key]
+
+
+def cached_table_sizing(app: str, scale: float | None = None):
+    """Table 2 sizing for one application, memoised in-process and on disk."""
+    scale = resolve_scale(scale)
+    key = ("tablesize", app, scale)
+    if key not in _ANALYSIS_CACHE:
+        task = _pool.tablesize_task(app, scale)
+        sizing = _through_disk(task, lambda: _pool.execute_task(task))
+        # repro-lint: disable=DET006 -- intentional memo (see above)
+        _ANALYSIS_CACHE[key] = sizing
+    return _ANALYSIS_CACHE[key]
+
+
+def install_prewarmed(tasks: "list[_pool.MatrixTask]",
+                      results: list) -> int:
+    """Seed the in-process memos with pool-computed results.
+
+    Pairs each task with its result (as returned by
+    :func:`repro.perf.pool.run_tasks`); ``None`` slots (failed tasks) are
+    skipped and recomputed lazily by the serial path.  Returns how many
+    results were installed.
+    """
+    installed = 0
+    for task, result in zip(tasks, results):
+        if result is None:
+            continue
+        if task.kind == _pool.KIND_SIM:
+            key = (task.app, task.config, task.scale)
+            _RESULT_CACHE[key] = result  # repro-lint: disable=DET006 -- cache owner
+        elif task.kind == _pool.KIND_FIG5:
+            predictors, max_level = task.params
+            akey = ("fig5", task.app, task.scale, tuple(predictors), max_level)
+            _ANALYSIS_CACHE[akey] = result  # repro-lint: disable=DET006 -- cache owner
+        elif task.kind == _pool.KIND_TABLESIZE:
+            akey = ("tablesize", task.app, task.scale)
+            _ANALYSIS_CACHE[akey] = result  # repro-lint: disable=DET006 -- cache owner
+        else:
+            continue
+        installed += 1
+    return installed
 
 
 def clear_result_cache() -> None:
     _RESULT_CACHE.clear()  # repro-lint: disable=DET006 -- cache owner
+    _ANALYSIS_CACHE.clear()  # repro-lint: disable=DET006 -- cache owner
 
 
 def all_apps() -> list[str]:

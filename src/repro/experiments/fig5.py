@@ -8,8 +8,14 @@ sequential predictors while CG is almost fully sequential.
 
 from __future__ import annotations
 
-from repro.analysis.prediction import PREDICTORS, figure5_row
-from repro.experiments.common import all_apps, format_table, pct, resolve_scale
+from repro.analysis.prediction import PREDICTORS
+from repro.experiments.common import (
+    all_apps,
+    cached_figure5_row,
+    format_table,
+    pct,
+    resolve_scale,
+)
 
 #: Paper's average values for quick comparison (level -> predictor -> frac).
 PAPER_AVERAGES = {
@@ -24,7 +30,7 @@ def run(scale: float | None = None, apps: list[str] | None = None,
     """Returns {app: {predictor: PredictionResult}} plus an average row."""
     scale = resolve_scale(scale)
     apps = apps or all_apps()
-    data = {app: figure5_row(app, scale, predictors) for app in apps}
+    data = {app: cached_figure5_row(app, scale, predictors) for app in apps}
     averages = {}
     for p in predictors:
         level_avgs = tuple(

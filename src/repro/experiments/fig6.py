@@ -11,9 +11,15 @@ from __future__ import annotations
 from repro.analysis.missdist import (
     MissDistanceResult,
     average_fractions,
-    measure_miss_distances,
+    result_to_distances,
 )
-from repro.experiments.common import all_apps, format_table, pct, resolve_scale
+from repro.experiments.common import (
+    all_apps,
+    cached_run,
+    format_table,
+    pct,
+    resolve_scale,
+)
 from repro.sim.stats import MISS_DISTANCE_LABELS
 
 PAPER_DOMINANT_BIN = "[200,280)"
@@ -22,8 +28,10 @@ PAPER_DOMINANT_FRACTION = 0.60
 
 def run(scale: float | None = None,
         apps: list[str] | None = None) -> dict:
+    # The histogram comes from the same NoPref run Figures 7/8/11 use as
+    # their baseline, so this section is free when that run is cached.
     scale = resolve_scale(scale)
-    results = [measure_miss_distances(app, scale)
+    results = [result_to_distances(app, cached_run(app, "nopref", scale))
                for app in (apps or all_apps())]
     return {"apps": results, "average": average_fractions(results)}
 

@@ -3,10 +3,15 @@
 Usage::
 
     python -m repro.experiments.runall [--scale 1.0] [--timeout 900]
+        [--jobs N] [--cache-dir DIR | --no-cache] [--profile]
 
 Simulation results are shared across figures through the common result
 cache, so the full matrix (9 applications x ~9 configurations) is only run
-once.
+once.  With ``--jobs N`` the matrix is prewarmed across N worker processes
+before any section prints; with the persistent cache (on by default, see
+``docs/PERFORMANCE.md``) a rerun at the same scale replays from disk.
+Either way the section output is identical to a serial uncached run —
+progress and diagnostics go to stderr, results to stdout.
 
 Each experiment runs isolated: a failure (or a blown per-experiment time
 budget) is recorded and the matrix continues, with a summary of everything
@@ -18,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -117,22 +123,100 @@ def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
             traceback.print_exc()
             print(f"\n[{name} FAILED after {elapsed:.1f}s — continuing]")
         else:
-            print(f"\n[{name} done in {time.time() - section_start:.1f}s]")
+            # stderr: keeps stdout byte-identical across serial, parallel
+            # and warm-cache runs (only the figures land on stdout).
+            print(f"[{name} done in {time.time() - section_start:.1f}s]",
+                  file=sys.stderr)
     return failures
+
+
+def enumerate_tasks(scale: float) -> list:
+    """Every independent cell the full regeneration needs.
+
+    The union of the simulation configs of Figures 7-11 (plus the Table 5
+    customisations), one Figure 5 predictability row per application, and
+    one Table 2 sizing per application.  Figure 6 reuses the ``nopref``
+    runs.  Order is deterministic (first-seen config order x app order).
+    """
+    from repro.analysis.prediction import PREDICTORS
+    from repro.perf.pool import fig5_task, sim_task, tablesize_task
+
+    config_names: list[str] = []
+    for module_configs in (fig7.CONFIGS, ("custom",), fig8.CONFIGS,
+                           fig9.CONFIGS, fig10.CONFIGS, fig11.CONFIGS):
+        for name in module_configs:
+            if name not in config_names:
+                config_names.append(name)
+
+    apps = common.all_apps()
+    tasks = [sim_task(app, name, scale)
+             for name in config_names for app in apps]
+    tasks += [fig5_task(app, scale, PREDICTORS) for app in apps]
+    tasks += [tablesize_task(app, scale) for app in apps]
+    return tasks
+
+
+def _build_cache(args):
+    """The persistent cache implied by --cache-dir / --no-cache."""
+    from repro.perf.cache import ResultCache, default_cache_dir
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
+    parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--timeout", type=int, default=1800,
                         help="per-experiment time budget in seconds "
                              "(0 disables; default 1800)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation matrix "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory (default "
+                             ".repro-cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the run and report time per "
+                             "subsystem (to stderr)")
     args = parser.parse_args(argv)
-    common.DEFAULT_SCALE = args.scale  # noqa: simple module-level knob
 
+    cache = _build_cache(args)
+    previous_cache = common.set_disk_cache(cache)
     start = time.time()
-    failures = run_sections(timeout=args.timeout)
+    try:
+        with common.use_scale(args.scale) as scale:
+            if args.jobs > 1:
+                from repro.perf.pool import prewarm
+
+                tasks = enumerate_tasks(scale)
+                print(f"[prewarm] {len(tasks)} matrix cells across "
+                      f"{args.jobs} workers", file=sys.stderr)
+                warm_start = time.time()
+                results = prewarm(tasks, jobs=args.jobs, cache=cache,
+                                  verbose=True)
+                common.install_prewarmed(tasks, results)
+                print(f"[prewarm] done in {time.time() - warm_start:.1f}s",
+                      file=sys.stderr)
+
+            if args.profile:
+                from repro.perf.profile import profile_subsystems, render_profile
+
+                failures, stats = profile_subsystems(
+                    lambda: run_sections(timeout=args.timeout))
+                print(render_profile(stats), file=sys.stderr)
+            else:
+                failures = run_sections(timeout=args.timeout)
+    finally:
+        common.set_disk_cache(previous_cache)
+    if cache is not None:
+        print(f"[cache] {cache.stats.describe()} in {cache.directory}",
+              file=sys.stderr)
+
     total = time.time() - start
     if failures:
         print(f"\n{len(failures)}/{len(SECTIONS)} experiments FAILED "
@@ -141,7 +225,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {failure.name:10s} after {failure.elapsed:7.1f}s: "
                   f"{failure.error}")
     else:
-        print(f"\nAll experiments regenerated in {total:.1f}s")
+        print(f"All experiments regenerated in {total:.1f}s",
+              file=sys.stderr)
     return len(failures)
 
 

@@ -10,15 +10,21 @@ the paper's.
 
 from __future__ import annotations
 
-from repro.analysis.tablesize import TableSizing, size_application_table
-from repro.experiments.common import all_apps, fmt, format_table, resolve_scale
+from repro.analysis.tablesize import TableSizing
+from repro.experiments.common import (
+    all_apps,
+    cached_table_sizing,
+    fmt,
+    format_table,
+    resolve_scale,
+)
 from repro.workloads.registry import workload_info
 
 
 def run(scale: float | None = None,
         apps: list[str] | None = None) -> list[TableSizing]:
     scale = resolve_scale(scale)
-    return [size_application_table(app, scale) for app in (apps or all_apps())]
+    return [cached_table_sizing(app, scale) for app in (apps or all_apps())]
 
 
 def main() -> None:

@@ -172,6 +172,15 @@ class FaultStats:
                  for f in dataclasses.fields(self) if getattr(self, f.name)]
         return " ".join(parts) if parts else "none"
 
+    def to_dict(self) -> dict:
+        from repro.sim.serialize import flat_to_dict
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultStats":
+        from repro.sim.serialize import flat_from_dict
+        return flat_from_dict(cls, data)
+
 
 class FaultInjector:
     """Draws the fault schedule for one simulated run.

@@ -3,9 +3,11 @@
 Adding a rule: create (or extend) a module here, subclass
 :class:`repro.lint.engine.Rule`, decorate with ``@register``, and import
 the module below.  Codes are grouped by family: DET (determinism), UNIT
-(unit safety), PHASE (sim-phase mutation surface), CFG (config drift).
+(unit safety), PHASE (sim-phase mutation surface), CFG (config drift),
+PAR (parallel-engine / result-cache safety).
 """
 
-from repro.lint.rules import configdrift, determinism, phases, units
+from repro.lint.rules import (configdrift, determinism, parallel, phases,
+                              units)
 
-__all__ = ["configdrift", "determinism", "phases", "units"]
+__all__ = ["configdrift", "determinism", "parallel", "phases", "units"]

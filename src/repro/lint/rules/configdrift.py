@@ -26,6 +26,9 @@ from repro.lint.engine import (
 #: not the simulated system; they legitimately map to no config field.
 _CLI_ONLY_DESTS = frozenset({
     "app", "config", "configs", "scale", "rates", "command",
+    # Parallel-engine / result-cache harness controls (repro.perf): they
+    # steer scheduling and caching, never the simulated machine.
+    "jobs", "cache_dir", "no_cache", "profile",
 })
 
 #: CLI dest -> the SystemConfig/FaultPlan field it feeds.

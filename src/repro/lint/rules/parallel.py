@@ -1,0 +1,190 @@
+"""PAR rules: state that must not leak across pool-worker boundaries.
+
+The parallel engine (:mod:`repro.perf.pool`) executes matrix cells in
+forked worker processes and replays cached results keyed **only** by the
+task's content hash (workload, seed, scale, frozen config, format
+version).  Any module-level state a run depends on but which is not part
+of that key is therefore a correctness hazard twice over:
+
+* a worker process never sees mutations the parent made after the pool
+  started (fork-time snapshot), so serial and parallel runs diverge;
+* a cache hit replays a result computed under whatever the state was at
+  store time, so runs with different settings silently share entries.
+
+The canonical specimen was ``common.DEFAULT_SCALE = args.scale`` in
+``runall.main`` — a cross-module scalar rebind, invisible to workers and
+absent from the cache key.  It is now a :func:`repro.experiments.common.
+use_scale` override that travels *inside* each task.  PAR001 keeps the
+class extinct.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (Finding, ModuleContext, Rule, Severity,
+                               register)
+
+
+def _imported_names(tree: ast.Module) -> set[str]:
+    """Names bound in module scope by import statements.
+
+    ``import a.b`` binds ``a``; ``import a.b as m`` binds ``m``;
+    ``from pkg import x as y`` binds ``y``.  Anything assigned through an
+    attribute of such a name is another module's (or imported object's)
+    state.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _rebound_locals(func: ast.AST) -> set[str]:
+    """Names (re)bound inside ``func`` — these shadow imported names."""
+    names = {a.arg for a in getattr(func.args, "args", [])}
+    names.update(a.arg for a in getattr(func.args, "kwonlyargs", []))
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) and isinstance(
+                node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)) and isinstance(
+                node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.withitem) and isinstance(
+                node.optional_vars, ast.Name):
+            names.add(node.optional_vars.id)
+    return names
+
+
+@register
+class WorkerVisibleModuleStateRule(Rule):
+    """PAR001: no mutable module-level state outside the cache key."""
+
+    code = "PAR001"
+    name = "worker-visible-module-state"
+    severity = Severity.ERROR
+    rationale = (
+        "Rebinding another module's attribute (``common.DEFAULT_SCALE = "
+        "x``) or a module global (``global FOO; FOO = x``) creates state "
+        "that pool workers never see and the result cache never keys on: "
+        "serial and parallel runs diverge, and cache hits replay results "
+        "computed under different settings.  Thread settings through task "
+        "parameters (they hash into the cache key) or a context-manager "
+        "override; an intentional process-local holder needs an inline "
+        "suppression saying why it cannot reach a worker or a cache key.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        imported = _imported_names(module.tree)
+        yield from self._check_scope(module, module.tree, imported,
+                                     shadowed=set(), where="module level")
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_globals(module, func)
+            yield from self._check_scope(module, func, imported,
+                                         shadowed=_rebound_locals(func),
+                                         where=f"{func.name}()")
+
+    # -- module-attribute rebinding ---------------------------------------------
+
+    def _check_scope(self, module: ModuleContext, scope: ast.AST,
+                     imported: set[str], shadowed: set[str],
+                     where: str) -> Iterator[Finding]:
+        body = scope.body if isinstance(
+            scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)) else []
+        for node in self._statements(body):
+            for target in self._assign_targets(node):
+                dotted = self._module_attr(target, imported, shadowed)
+                if dotted is not None:
+                    yield module.finding(
+                        self, node,
+                        f"{where} rebinds {dotted!r} on an imported "
+                        f"module/object: the setting never reaches pool "
+                        f"workers and is not part of the result-cache key "
+                        f"— pass it through task parameters or a "
+                        f"context-manager override")
+
+    def _statements(self, body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        """All statements in ``body``, descending into compound statements
+        but not into nested function/class scopes (they are visited as
+        their own scope, or belong to an object being built)."""
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    yield from self._statements([child])
+                elif isinstance(child, (ast.ExceptHandler,)):
+                    yield from self._statements(child.body)
+                elif hasattr(child, "body") and isinstance(
+                        getattr(child, "body"), list):
+                    yield from self._statements(child.body)
+
+    @staticmethod
+    def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        return []
+
+    @staticmethod
+    def _module_attr(target: ast.expr, imported: set[str],
+                     shadowed: set[str]) -> str | None:
+        """``pkg.mod.ATTR`` when ``target`` assigns an attribute whose
+        base name was bound by an import (and not shadowed locally)."""
+        if not isinstance(target, ast.Attribute):
+            return None
+        parts: list[str] = [target.attr]
+        node: ast.expr = target.value
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        if node.id not in imported or node.id in shadowed:
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    # -- ``global`` rebinding -----------------------------------------------------
+
+    def _check_globals(self, module: ModuleContext,
+                       func: ast.AST) -> Iterator[Finding]:
+        declared: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        if not declared:
+            return
+        for node in ast.walk(func):
+            name: str | None = None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        name = target.id
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node.target, ast.Name) and \
+                        node.target.id in declared:
+                    name = node.target.id
+            if name is not None:
+                yield module.finding(
+                    self, node,
+                    f"{func.name}() rebinds module global {name!r}: "
+                    f"worker processes fork with the old value and the "
+                    f"result cache does not key on it — thread the value "
+                    f"through task parameters instead")

@@ -40,6 +40,15 @@ class BusStats:
             return 0.0
         return self.prefetch_cycles / total_cycles
 
+    def to_dict(self) -> dict:
+        from repro.sim.serialize import flat_to_dict
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BusStats":
+        from repro.sim.serialize import flat_from_dict
+        return flat_from_dict(cls, data)
+
 
 _KINDS = ("demand", "writeback", "prefetch")
 

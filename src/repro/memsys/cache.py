@@ -22,7 +22,7 @@ from typing import Iterator, Optional
 from repro.params import CacheParams
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """State of one resident cache line."""
 
@@ -32,7 +32,7 @@ class Line:
     referenced: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eviction:
     """Information about a line evicted to make room for a fill."""
 

@@ -37,7 +37,7 @@ class DemandKind(Enum):
     MISS_MSHR_FULL = "mshr_full"  # miss but no MSHR free: retry after retire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DemandOutcome:
     kind: DemandKind
     #: For HIT: True when this is the first demand touch of a prefetched
@@ -50,6 +50,15 @@ class DemandOutcome:
     pending_is_prefetch: bool = False
     #: For MISS_MSHR_FULL: earliest time an MSHR frees up.
     earliest_free: int = 0
+
+
+#: The three field-free outcomes, pre-built: demand lookups run once per L1
+#: miss, and the overwhelming majority resolve to one of these, so the hot
+#: path reuses singletons instead of allocating a fresh frozen dataclass.
+_OUTCOME_HIT = DemandOutcome(DemandKind.HIT)
+_OUTCOME_HIT_FIRST_TOUCH = DemandOutcome(DemandKind.HIT,
+                                         prefetch_first_touch=True)
+_OUTCOME_MISS = DemandOutcome(DemandKind.MISS)
 
 
 @dataclass
@@ -92,6 +101,15 @@ class L2Stats:
             return 0.0
         return (self.prefetch_hits + self.delayed_hits) / denom
 
+    def to_dict(self) -> dict:
+        from repro.sim.serialize import flat_to_dict
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "L2Stats":
+        from repro.sim.serialize import flat_from_dict
+        return flat_from_dict(cls, data)
+
 
 class L2Cache:
     """Functional L2 with MSHRs, a write-back queue, and push support."""
@@ -110,16 +128,17 @@ class L2Cache:
     def demand_lookup(self, line_addr: int, is_write: bool, now: int) -> DemandOutcome:
         """Look up a demand access (an L1 miss reaching the L2)."""
         self.retire(now)
-        self.stats.demand_accesses += 1
+        stats = self.stats
+        stats.demand_accesses += 1
 
         line = self.cache.peek(line_addr)
         if line is not None:
             first_touch = line.prefetched and not line.referenced
             if first_touch:
-                self.stats.prefetch_hits += 1
-            self.stats.demand_hits += 1
+                stats.prefetch_hits += 1
+            stats.demand_hits += 1
             self.cache.access(line_addr, is_write)
-            return DemandOutcome(DemandKind.HIT, prefetch_first_touch=first_touch)
+            return _OUTCOME_HIT_FIRST_TOUCH if first_touch else _OUTCOME_HIT
 
         entry = self.mshrs.lookup(line_addr)
         if entry is not None:
@@ -141,7 +160,7 @@ class L2Cache:
             earliest = min(e.completion_time for e in self.mshrs.outstanding())
             return DemandOutcome(DemandKind.MISS_MSHR_FULL, earliest_free=earliest)
 
-        return DemandOutcome(DemandKind.MISS)
+        return _OUTCOME_MISS
 
     def register_demand_miss(self, line_addr: int, is_write: bool,
                              now: int, completion_time: int) -> None:
@@ -222,6 +241,8 @@ class L2Cache:
 
     def retire(self, now: int) -> list[int]:
         """Complete finished transactions; returns write-backs to drain."""
+        if not self.mshrs.any_due(now):  # hot path: usually nothing to do
+            return []
         writebacks: list[int] = []
         for entry in self.mshrs.retire_completed(now):
             dirty = self._pending_is_write.pop(entry.line_addr, False)

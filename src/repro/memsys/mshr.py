@@ -12,8 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+#: Sentinel completion time meaning "no outstanding transaction".
+_NEVER = float("inf")
 
-@dataclass
+
+@dataclass(slots=True)
 class MshrEntry:
     """One outstanding transaction."""
 
@@ -24,13 +27,23 @@ class MshrEntry:
 
 
 class MshrFile:
-    """A fixed-capacity pool of MSHR entries keyed by line address."""
+    """A fixed-capacity pool of MSHR entries keyed by line address.
+
+    Tracks the minimum outstanding completion time so the (very hot)
+    "anything finished yet?" poll is a single comparison instead of a scan.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"MSHR capacity must be positive: {capacity}")
         self.capacity = capacity
         self._entries: dict[int, MshrEntry] = {}
+        self._min_completion: float = _NEVER
+
+    def _recompute_min(self) -> None:
+        self._min_completion = min(
+            (e.completion_time for e in self._entries.values()),
+            default=_NEVER)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,6 +68,8 @@ class MshrFile:
             return None
         entry = MshrEntry(line_addr, is_prefetch, issue_time, completion_time)
         self._entries[line_addr] = entry
+        if completion_time < self._min_completion:
+            self._min_completion = completion_time
         return entry
 
     def free(self, line_addr: int) -> MshrEntry:
@@ -62,13 +77,22 @@ class MshrFile:
         entry = self._entries.pop(line_addr, None)
         if entry is None:
             raise KeyError(f"no MSHR for line {line_addr:#x}")
+        if entry.completion_time <= self._min_completion:
+            self._recompute_min()
         return entry
+
+    def any_due(self, now: int) -> bool:
+        """True when at least one transaction has completed by ``now``."""
+        return now >= self._min_completion
 
     def retire_completed(self, now: int) -> list[MshrEntry]:
         """Free and return all entries whose transaction has completed."""
+        if now < self._min_completion:
+            return []
         done = [e for e in self._entries.values() if e.completion_time <= now]
         for entry in done:
             del self._entries[entry.line_addr]
+        self._recompute_min()
         return done
 
     def outstanding(self) -> list[MshrEntry]:

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObservedMiss:
     """An entry of queue 2: one L2 miss (or, in Verbose mode, one
     processor-side prefetch request) observed by the memory processor."""
@@ -94,7 +94,7 @@ class ObservationQueue:
         return problems
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """An entry of queue 3: one line the ULMT wants pushed to the L2."""
 

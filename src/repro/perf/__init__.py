@@ -1,0 +1,52 @@
+"""Performance infrastructure: parallel fan-out, persistent result cache,
+and the profiling hook.
+
+The evaluation matrix (9 applications x ~9 configurations) is
+embarrassingly parallel — every (workload, config, scale) cell is an
+independent, deterministic simulation — and its results are immutable once
+computed.  This package exploits both properties:
+
+* :mod:`repro.perf.cache` — a persistent on-disk result cache keyed by a
+  stable content hash of everything that shapes a result (workload, seed,
+  scale, the full frozen config, and a format version);
+* :mod:`repro.perf.pool` — a ``ProcessPoolExecutor`` fan-out layer that
+  schedules matrix cells across cores with deterministic, serial-order
+  result collection;
+* :mod:`repro.perf.profile` — the ``--profile`` hook reporting where the
+  harness itself spends wall-clock time, aggregated by simulator subsystem.
+
+See ``docs/PERFORMANCE.md`` for the architecture and invalidation rules.
+"""
+
+from repro.perf.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    default_cache_dir,
+    fingerprint,
+    sim_cache_key,
+)
+from repro.perf.pool import (
+    MatrixTask,
+    fig5_task,
+    prewarm,
+    run_tasks,
+    sim_task,
+    tablesize_task,
+)
+from repro.perf.profile import profile_subsystems, render_profile
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "MatrixTask",
+    "ResultCache",
+    "default_cache_dir",
+    "fig5_task",
+    "fingerprint",
+    "prewarm",
+    "profile_subsystems",
+    "render_profile",
+    "run_tasks",
+    "sim_cache_key",
+    "sim_task",
+    "tablesize_task",
+]

@@ -1,0 +1,177 @@
+"""Persistent on-disk result cache.
+
+Every cache entry is one JSON file named by a SHA-256 content hash of its
+*key*: a canonical rendering (see :func:`repro.sim.serialize.canonical`) of
+everything that shapes the cached value —
+
+* the entry kind (``"sim"``, ``"fig5"``, ``"tablesize"``, ...),
+* the workload name and trace seed,
+* the workload scale,
+* the full frozen :class:`~repro.sim.config.SystemConfig` (for ``sim``
+  entries) or the analysis parameters (for analysis entries), and
+* :data:`CACHE_FORMAT_VERSION`.
+
+Any config or parameter change therefore lands on a different file: there
+is no in-place invalidation to get wrong, and stale entries are simply
+never read again.  Bump :data:`CACHE_FORMAT_VERSION` whenever the
+simulator's behaviour (not just the serialisation schema) changes in a way
+that makes old results wrong — e.g. a timing-model fix.
+
+Robustness rules:
+
+* files are written atomically (temp file + ``os.replace``), so a killed
+  run never leaves a half-written entry and concurrent pool workers cannot
+  observe torn writes;
+* a corrupted / unreadable / wrong-format file is treated as a miss, the
+  offending file is removed best-effort, and the value is recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sim.config import SystemConfig
+from repro.sim.serialize import canonical
+
+#: Bump when cached payloads become incompatible or simulator behaviour
+#: changes in a way that invalidates previously computed results.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Directory name used when no explicit ``--cache-dir`` is given.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory to use when none is configured explicitly."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(DEFAULT_CACHE_DIRNAME)
+
+
+def fingerprint(kind: str, key: dict[str, Any]) -> str:
+    """Stable content hash for a cache key.
+
+    ``key`` must be a JSON-able dict (run it through
+    :func:`~repro.sim.serialize.canonical` first for dataclasses); the kind
+    and format version are folded in so that different entry kinds and
+    incompatible cache generations can never collide.
+    """
+    material = {"kind": kind, "format": CACHE_FORMAT_VERSION, "key": key}
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sim_cache_key(app: str, config: SystemConfig, scale: float,
+                  seed: Optional[int] = None) -> dict[str, Any]:
+    """The cache key of one simulation cell.
+
+    ``seed`` is the workload trace seed (None = the registry default); the
+    simulator itself is deterministic given (trace, config), so these four
+    values plus the format version identify a result completely.
+    """
+    return {"app": app, "seed": seed, "scale": scale,
+            "config": canonical(config)}
+
+
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    __slots__ = ("hits", "misses", "stores", "corrupt")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def describe(self) -> str:
+        return (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.stores} store(s)"
+                + (f", {self.corrupt} corrupt entr(ies) dropped"
+                   if self.corrupt else ""))
+
+
+class ResultCache:
+    """A directory of content-addressed JSON result files."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+
+    # -- raw payload interface ---------------------------------------------------
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.directory / f"{kind}-{digest}.json"
+
+    def get(self, kind: str, key: dict[str, Any]) -> Optional[Any]:
+        """Fetch the payload stored for ``key``, or None on (any) miss."""
+        path = self._path(kind, fingerprint(kind, key))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if (entry.get("format") != CACHE_FORMAT_VERSION
+                    or entry.get("kind") != kind):
+                raise ValueError("cache entry format mismatch")
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted or incompatible entry: drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, kind: str, key: dict[str, Any], payload: Any) -> None:
+        """Store ``payload`` for ``key`` atomically (last writer wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(kind, fingerprint(kind, key))
+        entry = {"format": CACHE_FORMAT_VERSION, "kind": kind,
+                 "key": key, "payload": payload}
+        blob = json.dumps(entry, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many files were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,266 @@
+"""Parallel fan-out over the evaluation matrix.
+
+Every cell of the matrix — one ``(workload, config, scale)`` simulation, one
+Figure 5 predictability row, one Table 2 sizing run — is an independent,
+deterministic computation, so the fan-out is embarrassingly parallel: a
+``ProcessPoolExecutor`` runs cells across cores and the parent collects the
+results *in task order*, making the assembled output identical to a serial
+run no matter how the workers interleave.
+
+Determinism notes:
+
+* each worker recomputes its own traces from the per-workload seeded RNGs
+  (the simulator never consults global randomness — enforced by lint rule
+  DET001), and the global RNG is additionally re-seeded per task from the
+  task's content hash as a belt-and-braces guard;
+* results cross the process boundary by pickling the actual stats objects;
+  the persistent cache (written by the parent only) uses the exact
+  ``to_dict``/``from_dict`` round trip, so serial, parallel, and warm-cache
+  runs all print byte-identical figures.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.analysis.prediction import PredictionResult, figure5_row
+from repro.analysis.tablesize import TableSizing, size_application_table
+from repro.perf.cache import ResultCache, fingerprint, sim_cache_key
+from repro.sim.config import SystemConfig, custom_config, preset
+from repro.sim.driver import run_simulation
+from repro.sim.serialize import canonical
+from repro.sim.stats import SimResult
+
+#: Task kinds the pool understands.
+KIND_SIM = "sim"
+KIND_FIG5 = "fig5"
+KIND_TABLESIZE = "tablesize"
+
+
+@dataclass(frozen=True)
+class MatrixTask:
+    """One independent cell of the evaluation matrix."""
+
+    kind: str
+    app: str
+    scale: float
+    #: ``sim`` tasks: a preset name, ``"custom"``, or a full config.
+    config: "str | SystemConfig | None" = None
+    #: ``fig5`` tasks: (predictors tuple, max_level).
+    params: tuple = field(default=())
+    #: Workload trace seed (None = registry default).
+    seed: Optional[int] = None
+
+    def label(self) -> str:
+        if self.kind == KIND_SIM:
+            name = (self.config.name if isinstance(self.config, SystemConfig)
+                    else self.config)
+            return f"{self.app}/{name}"
+        return f"{self.kind}:{self.app}"
+
+
+def sim_task(app: str, config: "str | SystemConfig", scale: float,
+             seed: Optional[int] = None) -> MatrixTask:
+    return MatrixTask(kind=KIND_SIM, app=app, scale=scale, config=config,
+                      seed=seed)
+
+
+def fig5_task(app: str, scale: float, predictors: tuple,
+              max_level: int = 3) -> MatrixTask:
+    return MatrixTask(kind=KIND_FIG5, app=app, scale=scale,
+                      params=(tuple(predictors), max_level))
+
+
+def tablesize_task(app: str, scale: float) -> MatrixTask:
+    return MatrixTask(kind=KIND_TABLESIZE, app=app, scale=scale)
+
+
+def resolve_task_config(task: MatrixTask) -> SystemConfig:
+    """The full frozen config a ``sim`` task runs under."""
+    config = task.config
+    if isinstance(config, SystemConfig):
+        return config
+    if config == "custom":
+        return custom_config(task.app)
+    return preset(str(config))
+
+
+def task_cache_key(task: MatrixTask) -> dict[str, Any]:
+    """The persistent-cache key material of one task."""
+    if task.kind == KIND_SIM:
+        return sim_cache_key(task.app, resolve_task_config(task),
+                             task.scale, task.seed)
+    if task.kind == KIND_FIG5:
+        predictors, max_level = task.params
+        return {"app": task.app, "scale": task.scale, "seed": task.seed,
+                "predictors": canonical(list(predictors)),
+                "max_level": max_level}
+    if task.kind == KIND_TABLESIZE:
+        return {"app": task.app, "scale": task.scale, "seed": task.seed}
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+# -- payload codecs (disk round trip) ---------------------------------------------
+
+
+def encode_payload(task: MatrixTask, result: Any) -> Any:
+    if task.kind == KIND_SIM:
+        return result.to_dict()
+    if task.kind == KIND_FIG5:
+        # A list, not a dict: the cache file is written with sorted keys,
+        # and the row's predictor order (= Figure 5's column order) must
+        # survive the round trip.
+        return [{"predictor": pred, "levels": list(pr.levels),
+                 "misses": pr.misses} for pred, pr in result.items()]
+    if task.kind == KIND_TABLESIZE:
+        return {"app": result.app, "num_rows": result.num_rows,
+                "misses": result.misses}
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def decode_payload(task: MatrixTask, payload: Any) -> Any:
+    """Inverse of :func:`encode_payload`.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed payloads;
+    callers treat those as cache misses.
+    """
+    if task.kind == KIND_SIM:
+        return SimResult.from_dict(payload)
+    if task.kind == KIND_FIG5:
+        return {entry["predictor"]: PredictionResult(
+                    predictor=entry["predictor"],
+                    levels=tuple(entry["levels"]),
+                    misses=entry["misses"])
+                for entry in payload}
+    if task.kind == KIND_TABLESIZE:
+        return TableSizing(app=payload["app"], num_rows=payload["num_rows"],
+                           misses=payload["misses"])
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+# -- execution -------------------------------------------------------------------
+
+
+def execute_task(task: MatrixTask) -> Any:
+    """Run one task to completion (also the serial in-process path)."""
+    if task.kind == KIND_SIM:
+        return run_simulation(task.app, resolve_task_config(task),
+                              scale=task.scale)
+    if task.kind == KIND_FIG5:
+        predictors, max_level = task.params
+        return figure5_row(task.app, task.scale, predictors, max_level)
+    if task.kind == KIND_TABLESIZE:
+        return size_application_table(task.app, task.scale)
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def _worker_execute(task: MatrixTask) -> Any:
+    """Pool-worker entry point.
+
+    Belt-and-braces determinism: nothing in the simulator may consult the
+    global RNG (lint rule DET001), but if a future workload slips one in,
+    re-seeding the worker per task keeps its schedule a pure function of
+    the task rather than of worker scheduling order.  The parent process's
+    RNG state is never touched.
+    """
+    # repro-lint: disable=DET001 -- deliberate: re-seeds the *worker's*
+    # global RNG from the task's content hash so any stray global draw is
+    # still a pure function of the task; the parent RNG is never touched
+    random.seed(fingerprint(task.kind, task_cache_key(task)))
+    return execute_task(task)
+
+
+def _from_cache(task: MatrixTask, cache: Optional[ResultCache]) -> Any:
+    if cache is None:
+        return None
+    payload = cache.get(task.kind, task_cache_key(task))
+    if payload is None:
+        return None
+    try:
+        return decode_payload(task, payload)
+    except (KeyError, TypeError, ValueError):
+        cache.stats.corrupt += 1
+        return None
+
+
+def run_tasks(tasks: list[MatrixTask], jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[int, int, MatrixTask], None]] = None,
+              ) -> list[Any]:
+    """Run every task, returning results in task order.
+
+    Cached results are loaded in the parent without touching the pool; the
+    remainder fans out across ``jobs`` worker processes (serially in-process
+    for ``jobs <= 1``).  A task that fails returns ``None`` in its slot — the
+    caller's serial path recomputes (and re-raises) inside its own isolation.
+    Only the parent writes the persistent cache, so workers never contend.
+    """
+    results: list[Any] = [None] * len(tasks)
+    pending: list[int] = []
+    done = 0
+    for i, task in enumerate(tasks):
+        hit = _from_cache(task, cache)
+        if hit is not None:
+            results[i] = hit
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks), task)
+        else:
+            pending.append(i)
+
+    def _finish(i: int, value: Any) -> None:
+        nonlocal done
+        results[i] = value
+        done += 1
+        if cache is not None and value is not None:
+            cache.put(tasks[i].kind, task_cache_key(tasks[i]),
+                      encode_payload(tasks[i], value))
+        if progress is not None:
+            progress(done, len(tasks), tasks[i])
+
+    if jobs <= 1 or len(pending) <= 1:
+        for i in pending:
+            try:
+                value = execute_task(tasks[i])
+            except Exception as exc:  # recomputed (and surfaced) serially
+                print(f"[pool] {tasks[i].label()} failed: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                value = None
+            _finish(i, value)
+        return results
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(_worker_execute, tasks[i]): i for i in pending}
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                i = futures[future]
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    print(f"[pool] {tasks[i].label()} failed: "
+                          f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                    value = None
+                _finish(i, value)
+    return results
+
+
+def prewarm(tasks: list[MatrixTask], jobs: int = 1,
+            cache: Optional[ResultCache] = None,
+            verbose: bool = False) -> list[Any]:
+    """Compute (or load) every task and return results in task order.
+
+    Progress goes to *stderr* so stdout stays byte-comparable between
+    serial and parallel runs.
+    """
+    progress = None
+    if verbose:
+        def progress(done: int, total: int, task: MatrixTask) -> None:
+            print(f"[prewarm] {done}/{total} {task.label()}",
+                  file=sys.stderr, flush=True)
+    return run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)

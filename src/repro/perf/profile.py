@@ -1,0 +1,89 @@
+"""``--profile`` support: where does the harness spend its time?
+
+Wraps a callable in :mod:`cProfile` and aggregates the flat profile by
+simulator subsystem (the package directly under ``repro/``), so the report
+answers "is the time in the processor model, the memory system, or the
+ULMT?" rather than listing hundreds of frames.  The top individual
+functions are listed too, as the starting point for the next optimisation
+pass.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable
+
+#: Aggregation order for the per-subsystem table.
+_SUBSYSTEMS = ("cpu", "memsys", "core", "sim", "workloads", "faults",
+               "analysis", "experiments", "perf")
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled frame's filename to a report bucket."""
+    path = filename.replace("\\", "/")
+    marker = "/repro/"
+    pos = path.rfind(marker)
+    if pos < 0:
+        if path.startswith("repro/"):
+            pos = -len(marker) + 1  # handle relative paths
+            path = "/" + path
+        else:
+            return "stdlib/other"
+    rest = path[pos + len(marker):]
+    head = rest.split("/", 1)[0]
+    if head.endswith(".py"):
+        return "repro (top level)"
+    if head in _SUBSYSTEMS or not head.startswith("_"):
+        return f"repro.{head}"
+    return "repro (top level)"
+
+
+def profile_subsystems(fn: Callable[[], Any]) -> tuple[Any, pstats.Stats]:
+    """Run ``fn`` under cProfile; returns ``(fn's result, raw stats)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def render_profile(stats: pstats.Stats, top: int = 12) -> str:
+    """Human-readable report: per-subsystem totals + hottest functions.
+
+    Times are cProfile ``tottime`` (self time), which sums to total
+    wall-clock across all frames and attributes every second to exactly
+    one bucket.
+    """
+    buckets: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    rows = []
+    for (filename, lineno, funcname), entry in stats.stats.items():  # type: ignore[attr-defined]
+        cc, nc, tottime, cumtime, _callers = entry
+        bucket = _subsystem_of(filename)
+        buckets[bucket] = buckets.get(bucket, 0.0) + tottime
+        calls[bucket] = calls.get(bucket, 0) + nc
+        rows.append((tottime, nc, filename, lineno, funcname))
+
+    total = sum(buckets.values()) or 1e-12
+    lines = ["== profile: time by subsystem ==",
+             f"{'subsystem':<22} {'self s':>9} {'share':>7} {'calls':>12}"]
+    for bucket in sorted(buckets, key=lambda b: -buckets[b]):
+        lines.append(f"{bucket:<22} {buckets[bucket]:>9.3f} "
+                     f"{buckets[bucket] / total:>6.1%} {calls[bucket]:>12,}")
+    lines.append(f"{'total':<22} {total:>9.3f} {'100.0%':>7}")
+
+    lines.append("")
+    lines.append(f"== profile: top {top} functions by self time ==")
+    rows.sort(key=lambda r: -r[0])
+    for tottime, nc, filename, lineno, funcname in rows[:top]:
+        where = filename.replace("\\", "/")
+        marker = "/repro/"
+        pos = where.rfind(marker)
+        if pos >= 0:
+            where = "repro/" + where[pos + len(marker):]
+        lines.append(f"{tottime:>9.3f}s {nc:>10,} calls  "
+                     f"{where}:{lineno} {funcname}")
+    return "\n".join(lines)

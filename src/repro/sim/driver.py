@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (perf -> sim)
+    from repro.perf.cache import ResultCache
 
 from repro.sim.config import SystemConfig, custom_config, preset
 from repro.sim.stats import SimResult
@@ -37,13 +40,45 @@ def run_simulation(workload: str | Trace,
 
 def run_matrix(workloads: Iterable[str] | None = None,
                configs: Iterable[str | SystemConfig] = ("nopref",),
-               scale: float = 1.0) -> Mapping[tuple[str, str], SimResult]:
-    """Run every (workload, config) pair; keys are (app, config-name)."""
-    results: dict[tuple[str, str], SimResult] = {}
-    for app in (workloads or list_workloads()):
-        for config in configs:
-            result = run_simulation(app, config, scale=scale)
-            results[(app, result.config_name)] = result
+               scale: float = 1.0, jobs: int = 1,
+               cache: "ResultCache | None" = None,
+               ) -> Mapping[tuple[str, "str | SystemConfig"], SimResult]:
+    """Run every (workload, config) pair.
+
+    String configs key their results on ``(app, config_name)``.  Explicit
+    :class:`SystemConfig` instances key on ``(app, config)`` — the frozen
+    config itself — because two ad-hoc configs may share a preset's ``name``
+    (e.g. a fault-plan variant of ``"repl"``), and a name-based key would
+    silently hand back only one of their results.
+
+    ``jobs > 1`` fans the matrix out across worker processes (result
+    collection stays in deterministic matrix order); ``cache`` is an
+    optional :class:`repro.perf.cache.ResultCache` consulted and filled
+    either way.
+    """
+    apps = list(workloads or list_workloads())
+    config_list = list(configs)
+    results: dict[tuple[str, str | SystemConfig], SimResult] = {}
+
+    def _install(app: str, config: "str | SystemConfig",
+                 result: SimResult) -> None:
+        key_config = (config if isinstance(config, SystemConfig)
+                      else result.config_name)
+        results[(app, key_config)] = result
+
+    if jobs > 1 or cache is not None:
+        from repro.perf.pool import run_tasks, sim_task
+        tasks = [sim_task(app, config, scale)
+                 for app in apps for config in config_list]
+        values = run_tasks(tasks, jobs=jobs, cache=cache)
+        for task, value in zip(tasks, values):
+            if value is None:  # pool failure: recompute (and surface) here
+                value = run_simulation(task.app, task.config, scale=scale)
+            _install(task.app, task.config, value)
+    else:
+        for app in apps:
+            for config in config_list:
+                _install(app, config, run_simulation(app, config, scale=scale))
     return results
 
 

@@ -1,0 +1,74 @@
+"""Serialisation helpers for the result-cache round trip.
+
+Every stats dataclass that travels through the persistent result cache
+(:mod:`repro.perf.cache`) carries ``to_dict``/``from_dict`` methods built on
+the two helpers here.  The contract is *exact* round-tripping: ints stay
+ints, floats survive via JSON's shortest-repr round trip, tuples come back
+as tuples — so a :class:`~repro.sim.stats.SimResult` loaded from disk prints
+byte-identically to the freshly simulated one.
+
+:func:`canonical` additionally renders arbitrary (nested, frozen) dataclass
+trees — :class:`~repro.sim.config.SystemConfig` with its
+:class:`~repro.params.SequentialParams` and
+:class:`~repro.faults.plan.FaultPlan` payloads — into a deterministic
+JSON-able structure, which is what the cache's content hash is computed
+over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Mapping, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def flat_to_dict(obj: Any) -> dict:
+    """Serialise a *flat* stats dataclass (scalar and dict fields only)."""
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if isinstance(value, dict):
+            value = dict(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def flat_from_dict(cls: Type[T], data: Mapping[str, Any]) -> T:
+    """Rebuild a flat stats dataclass from :func:`flat_to_dict` output.
+
+    Unknown keys are rejected (they indicate a corrupted or incompatible
+    cache entry — the caller treats the exception as a cache miss); missing
+    keys fall back to the dataclass defaults so older cache entries survive
+    purely-additive schema growth.
+    """
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ValueError(f"{cls.__name__}: unknown fields {sorted(unknown)}")
+    return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def canonical(value: Any) -> Any:
+    """Render a value tree into a deterministic JSON-able structure.
+
+    Dataclasses become ``{field: canonical(value)}`` dicts, enums their
+    ``value``, tuples lists, and dict keys are emitted in sorted order.
+    Used for cache-key fingerprints: two equal configs always canonicalise
+    to the same structure regardless of construction order.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return canonical(value.value)
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical(value[k]) for k in sorted(value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__}: {value!r}")

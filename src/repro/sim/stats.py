@@ -17,6 +17,7 @@ from repro.faults.plan import FaultStats
 from repro.memsys.bus import BusStats
 from repro.memsys.l2 import L2Stats
 from repro.core.ulmt import UlmtStats
+from repro.sim.serialize import flat_from_dict, flat_to_dict
 
 #: Figure 6 bin edges (1.6 GHz cycles); the last bin is open-ended.
 MISS_DISTANCE_BINS = (0, 80, 200, 280)
@@ -46,6 +47,13 @@ class UlmtTimingStats:
     occupancy_mem: float = 0.0
     ipc: float = 0.0
     observations: int = 0
+
+    def to_dict(self) -> dict:
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UlmtTimingStats":
+        return flat_from_dict(cls, data)
 
 
 @dataclass
@@ -82,6 +90,13 @@ class RobustnessStats:
         """Work items the pipeline dropped instead of falling over."""
         return (self.filter_dropped + self.queue2_overflow_drops
                 + self.queue3_overflow_drops + self.degraded_observations)
+
+    def to_dict(self) -> dict:
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RobustnessStats":
+        return flat_from_dict(cls, data)
 
 
 @dataclass
@@ -159,3 +174,52 @@ class SimResult:
 
     def bus_prefetch_utilization(self) -> float:
         return self.bus.prefetch_utilization(self.execution_time)
+
+    # -- persistence (repro.perf.cache) ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able representation with exact round-trip semantics."""
+        return {
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "processor": self.processor.to_dict(),
+            "l2": self.l2.to_dict(),
+            "bus": self.bus.to_dict(),
+            "ulmt": self.ulmt.to_dict() if self.ulmt is not None else None,
+            "ulmt_timing": (self.ulmt_timing.to_dict()
+                            if self.ulmt_timing is not None else None),
+            "miss_distance_counts": list(self.miss_distance_counts),
+            "demand_misses_to_memory": self.demand_misses_to_memory,
+            "prefetches_issued_to_memory": self.prefetches_issued_to_memory,
+            "faults": self.faults.to_dict(),
+            "robustness": self.robustness.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input;
+        the persistent cache treats any of those as a miss and recomputes.
+        """
+        ulmt = data["ulmt"]
+        timing = data["ulmt_timing"]
+        counts = data["miss_distance_counts"]
+        if len(counts) != 4:
+            raise ValueError(f"miss_distance_counts must have 4 bins: {counts}")
+        c0, c1, c2, c3 = counts
+        return cls(
+            workload=data["workload"],
+            config_name=data["config_name"],
+            processor=ProcessorStats.from_dict(data["processor"]),
+            l2=L2Stats.from_dict(data["l2"]),
+            bus=BusStats.from_dict(data["bus"]),
+            ulmt=UlmtStats.from_dict(ulmt) if ulmt is not None else None,
+            ulmt_timing=(UlmtTimingStats.from_dict(timing)
+                         if timing is not None else None),
+            miss_distance_counts=(c0, c1, c2, c3),
+            demand_misses_to_memory=data["demand_misses_to_memory"],
+            prefetches_issued_to_memory=data["prefetches_issued_to_memory"],
+            faults=FaultStats.from_dict(data["faults"]),
+            robustness=RobustnessStats.from_dict(data["robustness"]),
+        )

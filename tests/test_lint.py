@@ -333,6 +333,87 @@ class TestConfigDriftRules:
 
 
 # ---------------------------------------------------------------------------
+# Parallel-engine rules
+# ---------------------------------------------------------------------------
+
+
+class TestParallelRules:
+    def test_par001_flags_cross_module_rebind(self):
+        # The exact specimen the rule exists for: runall.main used to do
+        # ``common.DEFAULT_SCALE = args.scale``.
+        findings = lint_source(
+            "from repro.experiments import common\n"
+            "def main(args):\n"
+            "    common.DEFAULT_SCALE = args.scale\n",
+            select=["PAR001"])
+        assert codes(findings) == ["PAR001"]
+
+    def test_par001_flags_module_level_monkeypatch(self):
+        findings = lint_source(
+            "import repro.experiments.common as common\n"
+            "common.DEFAULT_SCALE = 0.5\n",
+            select=["PAR001"])
+        assert codes(findings) == ["PAR001"]
+
+    def test_par001_flags_global_rebind(self):
+        findings = lint_source(
+            "SCALE = 1.0\n"
+            "def set_scale(value):\n"
+            "    global SCALE\n"
+            "    SCALE = value\n",
+            select=["PAR001"])
+        assert codes(findings) == ["PAR001"]
+
+    def test_par001_flags_global_augassign(self):
+        findings = lint_source(
+            "COUNT = 0\n"
+            "def bump():\n"
+            "    global COUNT\n"
+            "    COUNT += 1\n",
+            select=["PAR001"])
+        assert codes(findings) == ["PAR001"]
+
+    def test_par001_passes_context_manager_override(self):
+        findings = lint_source(
+            "from repro.experiments import common\n"
+            "def main(args):\n"
+            "    with common.use_scale(args.scale):\n"
+            "        pass\n",
+            select=["PAR001"])
+        assert findings == []
+
+    def test_par001_passes_self_and_local_attributes(self):
+        findings = lint_source(
+            "import math\n"
+            "class C:\n"
+            "    def set(self, v):\n"
+            "        self.value = v\n"
+            "def local(obj):\n"
+            "    obj.value = 1\n",
+            select=["PAR001"])
+        assert findings == []
+
+    def test_par001_passes_shadowed_import(self):
+        findings = lint_source(
+            "from repro.experiments import common\n"
+            "def f():\n"
+            "    common = make_thing()\n"
+            "    common.attr = 1\n",
+            select=["PAR001"])
+        assert findings == []
+
+    def test_par001_suppressible_with_justification(self):
+        findings = lint_source(
+            "HOLDER = 1.0\n"
+            "def install(value):\n"
+            "    global HOLDER\n"
+            "    # repro-lint: disable=PAR001 -- parent-only holder\n"
+            "    HOLDER = value\n",
+            select=["PAR001"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and baseline
 # ---------------------------------------------------------------------------
 
@@ -488,7 +569,7 @@ class TestRegistry:
         present = {rule.code for rule in all_rules()}
         assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
                 "UNIT001", "UNIT002", "PHASE001", "PHASE002",
-                "CFG001", "CFG002"} <= present
+                "CFG001", "CFG002", "PAR001"} <= present
 
     def test_every_rule_has_rationale_and_severity(self):
         for rule in all_rules():

@@ -1,0 +1,185 @@
+"""Tests for the parallel fan-out engine (:mod:`repro.perf.pool`).
+
+The contract under test: serial, parallel, and warm-cache executions of
+the same task list produce identical results in identical (task) order,
+and the scale override travels with tasks instead of through module
+globals.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import common
+from repro.faults.plan import FaultPlan
+from repro.perf.cache import ResultCache
+from repro.perf.pool import (KIND_SIM, MatrixTask, execute_task, fig5_task,
+                             prewarm, resolve_task_config, run_tasks,
+                             sim_task, tablesize_task, task_cache_key)
+from repro.sim.config import SystemConfig, preset
+from repro.sim.driver import run_matrix
+
+SCALE = 0.02
+
+TASKS = [
+    sim_task("tree", "nopref", SCALE),
+    sim_task("tree", "repl", SCALE),
+    fig5_task("tree", SCALE, ("seq1", "repl")),
+    tablesize_task("tree", SCALE),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_tasks(list(TASKS), jobs=1)
+
+
+class TestTasks:
+    def test_labels(self):
+        assert TASKS[0].label() == "tree/nopref"
+        assert TASKS[2].label() == "fig5:tree"
+
+    def test_resolve_preset_and_explicit_config(self):
+        assert resolve_task_config(TASKS[1]) == preset("repl")
+        explicit = preset("base")
+        assert resolve_task_config(
+            sim_task("tree", explicit, SCALE)) is explicit
+
+    def test_unknown_kind_rejected(self):
+        bogus = MatrixTask(kind="nope", app="tree", scale=SCALE)
+        with pytest.raises(ValueError):
+            task_cache_key(bogus)
+        with pytest.raises(ValueError):
+            execute_task(bogus)
+
+    def test_cache_key_distinguishes_cells(self):
+        keys = [repr(task_cache_key(t)) for t in TASKS]
+        assert len(set(keys)) == len(keys)
+
+
+class TestParallelParity:
+    def test_results_in_task_order(self, serial_results):
+        sim_nopref, sim_repl, fig5_row, sizing = serial_results
+        assert sim_nopref.config_name == "nopref"
+        assert sim_repl.config_name == "repl"
+        assert list(fig5_row) == ["seq1", "repl"]  # predictor order kept
+        assert sizing.app == "tree"
+
+    def test_parallel_matches_serial(self, serial_results):
+        parallel_results = run_tasks(list(TASKS), jobs=2)
+        assert parallel_results == serial_results
+
+    def test_warm_cache_matches_serial(self, serial_results, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_tasks(list(TASKS), jobs=1, cache=cache)
+        assert cold == serial_results
+        assert cache.stats.stores == len(TASKS)
+        warm = run_tasks(list(TASKS), jobs=1, cache=cache)
+        assert warm == serial_results
+        assert cache.stats.hits == len(TASKS)
+        # Warm-parallel: everything is served in the parent, no pool work.
+        assert run_tasks(list(TASKS), jobs=2, cache=cache) == serial_results
+
+    def test_prewarm_reports_progress(self, serial_results, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        run_tasks(list(TASKS), jobs=1, cache=cache)
+        results = prewarm(list(TASKS), jobs=1, cache=cache, verbose=True)
+        assert results == serial_results
+        captured = capsys.readouterr()
+        # Progress goes to stderr only: stdout must stay byte-comparable
+        # between serial and parallel runs.
+        assert captured.out == ""
+        assert f"[prewarm] {len(TASKS)}/{len(TASKS)}" in captured.err
+
+    def test_failed_task_leaves_none_slot(self, capsys):
+        tasks = [sim_task("no-such-app", "nopref", SCALE),
+                 tablesize_task("tree", SCALE)]
+        results = run_tasks(tasks, jobs=1)
+        assert results[0] is None
+        assert results[1] is not None
+        assert "no-such-app" in capsys.readouterr().err
+
+
+class TestRunMatrixKeying:
+    def test_string_configs_keyed_by_name(self):
+        matrix = run_matrix(["tree"], ["nopref"], scale=SCALE)
+        assert set(matrix) == {("tree", "nopref")}
+
+    def test_adhoc_configs_sharing_a_name_do_not_collide(self):
+        """Regression: run_matrix used to key on (app, result.config_name),
+        so two ad-hoc configs with the same ``name`` (e.g. a chaos sweep
+        varying only the fault rate) silently overwrote each other."""
+        base = preset("nopref")
+        variant = dataclasses.replace(
+            base, fault_plan=FaultPlan.uniform(1e-4, seed=3))
+        assert variant.name == base.name  # same display name on purpose
+        matrix = run_matrix(["tree"], [base, variant], scale=SCALE)
+        assert len(matrix) == 2
+        assert matrix[("tree", base)].config_name == base.name
+        assert matrix[("tree", variant)] is not matrix[("tree", base)]
+
+    def test_parallel_matrix_matches_serial(self, tmp_path):
+        serial = run_matrix(["tree"], ["nopref", "repl"], scale=SCALE)
+        parallel = run_matrix(["tree"], ["nopref", "repl"], scale=SCALE,
+                              jobs=2, cache=ResultCache(tmp_path / "c"))
+        assert set(serial) == set(parallel)
+        for key, result in serial.items():
+            assert parallel[key] == result
+
+
+class TestScaleOverride:
+    def test_default_without_override(self):
+        assert common.resolve_scale(None) == common.DEFAULT_SCALE
+        assert common.resolve_scale(0.3) == 0.3
+
+    def test_override_applies_and_unwinds(self):
+        with common.use_scale(0.25) as scale:
+            assert scale == 0.25
+            assert common.resolve_scale(None) == 0.25
+            assert common.resolve_scale(0.5) == 0.5  # explicit wins
+        assert common.resolve_scale(None) == common.DEFAULT_SCALE
+
+    def test_none_override_is_passthrough(self):
+        with common.use_scale(None) as scale:
+            assert scale == common.DEFAULT_SCALE
+            assert common.resolve_scale(None) == common.DEFAULT_SCALE
+
+    def test_nested_overrides(self):
+        with common.use_scale(0.25):
+            with common.use_scale(0.125):
+                assert common.resolve_scale(None) == 0.125
+            assert common.resolve_scale(None) == 0.25
+
+    def test_unwinds_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with common.use_scale(0.25):
+                raise RuntimeError("boom")
+        assert common.resolve_scale(None) == common.DEFAULT_SCALE
+
+    def test_default_scale_constant_not_rebound(self):
+        """The module constant itself must never move (PAR001): overrides
+        live on the stack, not in ``DEFAULT_SCALE``."""
+        before = common.DEFAULT_SCALE
+        with common.use_scale(0.25):
+            assert common.DEFAULT_SCALE == before
+        assert common.DEFAULT_SCALE == before
+
+
+class TestRunallEnumeration:
+    def test_enumerates_full_matrix(self):
+        from repro.experiments.runall import enumerate_tasks
+        tasks = enumerate_tasks(SCALE)
+        apps = common.all_apps()
+        sims = [t for t in tasks if t.kind == KIND_SIM]
+        # 9 distinct config columns x every app, plus one fig5 row and one
+        # table-sizing run per app.
+        assert len(sims) == 9 * len(apps)
+        assert len(tasks) == len(sims) + 2 * len(apps)
+        labels = [t.label() for t in tasks]
+        assert len(set(labels)) == len(labels)
+
+    def test_every_config_resolvable(self):
+        from repro.experiments.runall import enumerate_tasks
+        for task in enumerate_tasks(SCALE):
+            if task.kind == KIND_SIM:
+                assert isinstance(resolve_task_config(task), SystemConfig)

@@ -1,0 +1,191 @@
+"""Tests for the persistent on-disk result cache (:mod:`repro.perf.cache`).
+
+Covers the hit/miss/invalidation contract, corrupted-entry fallback, the
+content-addressing properties the parallel engine relies on, and the
+``cached_run`` integration in :mod:`repro.experiments.common`.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments import common
+from repro.faults.plan import FaultPlan
+from repro.perf.cache import (CACHE_DIR_ENV, CACHE_FORMAT_VERSION,
+                              ResultCache, default_cache_dir, fingerprint,
+                              sim_cache_key)
+from repro.perf.pool import (encode_payload, sim_task, task_cache_key)
+from repro.sim.config import preset
+from repro.sim.driver import run_simulation
+
+KEY = {"app": "tree", "scale": 0.02, "seed": None}
+PAYLOAD = {"misses": 123, "rows": [1, 2, 3]}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestHitMissStore:
+    def test_fresh_cache_misses(self, cache):
+        assert cache.get("sim", KEY) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_put_then_get_hits(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        assert cache.get("sim", KEY) == PAYLOAD
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_kind_namespaces_do_not_collide(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        assert cache.get("fig5", KEY) is None
+
+    def test_last_writer_wins(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        cache.put("sim", KEY, {"misses": 999})
+        assert cache.get("sim", KEY) == {"misses": 999}
+        assert len(cache) == 1
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        assert [p for p in cache.directory.iterdir()
+                if p.suffix == ".tmp"] == []
+
+    def test_clear(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        cache.put("sim", {"other": 1}, PAYLOAD)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("sim", KEY) is None
+
+
+class TestInvalidation:
+    """Content addressing: any key change lands on a different file, so
+    stale entries are never read — there is no in-place invalidation."""
+
+    def test_config_change_invalidates(self, cache):
+        key_a = sim_cache_key("tree", preset("repl"), 0.02)
+        key_b = sim_cache_key("tree", preset("base"), 0.02)
+        cache.put("sim", key_a, PAYLOAD)
+        assert cache.get("sim", key_b) is None
+        assert cache.get("sim", key_a) == PAYLOAD
+
+    def test_fault_plan_change_invalidates(self, cache):
+        config = preset("repl")
+        chaotic = dataclasses.replace(
+            config, fault_plan=FaultPlan.uniform(1e-4, seed=7))
+        cache.put("sim", sim_cache_key("tree", config, 0.02), PAYLOAD)
+        assert cache.get(
+            "sim", sim_cache_key("tree", chaotic, 0.02)) is None
+
+    def test_scale_and_seed_change_invalidate(self, cache):
+        cache.put("sim", sim_cache_key("tree", preset("repl"), 0.02), PAYLOAD)
+        assert cache.get(
+            "sim", sim_cache_key("tree", preset("repl"), 0.04)) is None
+        assert cache.get(
+            "sim", sim_cache_key("tree", preset("repl"), 0.02, seed=1)) is None
+
+    def test_identical_configs_share_an_entry(self, cache):
+        """Two separately constructed but equal configs must hit the same
+        file — that is what deduplicates matrix cells across figures."""
+        cache.put("sim", sim_cache_key("tree", preset("repl"), 0.02), PAYLOAD)
+        assert cache.get(
+            "sim", sim_cache_key("tree", preset("repl"), 0.02)) == PAYLOAD
+
+
+class TestCorruptFallback:
+    def entry_path(self, cache, kind="sim", key=KEY):
+        return cache._path(kind, fingerprint(kind, key))
+
+    def test_truncated_json_is_a_miss_and_removed(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        self.entry_path(cache).write_text('{"format": 1, "payl')
+        assert cache.get("sim", KEY) is None
+        assert cache.stats.corrupt == 1
+        assert not self.entry_path(cache).exists()
+        # Recompute-and-store works after the drop.
+        cache.put("sim", KEY, PAYLOAD)
+        assert cache.get("sim", KEY) == PAYLOAD
+
+    def test_wrong_format_version_is_a_miss(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        entry = json.loads(self.entry_path(cache).read_text())
+        entry["format"] = CACHE_FORMAT_VERSION + 1
+        self.entry_path(cache).write_text(json.dumps(entry))
+        assert cache.get("sim", KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_kind_is_a_miss(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        entry = json.loads(self.entry_path(cache).read_text())
+        entry["kind"] = "fig5"
+        self.entry_path(cache).write_text(json.dumps(entry))
+        assert cache.get("sim", KEY) is None
+
+    def test_missing_payload_key_is_a_miss(self, cache):
+        cache.put("sim", KEY, PAYLOAD)
+        entry = {"format": CACHE_FORMAT_VERSION, "kind": "sim"}
+        self.entry_path(cache).write_text(json.dumps(entry))
+        assert cache.get("sim", KEY) is None
+
+
+class TestFingerprint:
+    def test_dict_order_is_immaterial(self):
+        assert (fingerprint("sim", {"a": 1, "b": 2})
+                == fingerprint("sim", {"b": 2, "a": 1}))
+
+    def test_kind_and_format_fold_in(self):
+        assert fingerprint("sim", KEY) != fingerprint("fig5", KEY)
+
+    def test_stable_across_processes(self):
+        """The digest must depend only on content (it names files shared
+        between runs), so no per-process hash randomisation may leak in."""
+        assert fingerprint("sim", {"app": "tree"}) == fingerprint(
+            "sim", {"app": "tree"})
+
+
+class TestDefaultDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_default_name(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == ".repro-cache"
+
+
+class TestCachedRunIntegration:
+    """``common.cached_run`` goes through the installed disk cache."""
+
+    def test_disk_hit_skips_simulation(self, cache):
+        task = sim_task("tree", "nopref", 0.02)
+        result = run_simulation("tree", "nopref", scale=0.02)
+        cache.put("sim", task_cache_key(task), encode_payload(task, result))
+        previous = common.set_disk_cache(cache)
+        try:
+            common.clear_result_cache()
+            loaded = common.cached_run("tree", "nopref", scale=0.02)
+        finally:
+            common.set_disk_cache(previous)
+            common.clear_result_cache()
+        assert loaded == result
+        assert cache.stats.hits == 1
+
+    def test_miss_computes_and_stores(self, cache):
+        previous = common.set_disk_cache(cache)
+        try:
+            common.clear_result_cache()
+            computed = common.cached_run("tree", "nopref", scale=0.02)
+        finally:
+            common.set_disk_cache(previous)
+            common.clear_result_cache()
+        assert computed.workload == "tree"
+        assert len(cache) == 1
+        task = sim_task("tree", "nopref", 0.02)
+        assert cache.get("sim", task_cache_key(task)) is not None

@@ -1,0 +1,154 @@
+"""Round-trip tests for the result-cache serialisation layer.
+
+The persistent cache (:mod:`repro.perf.cache`) stores results as JSON;
+correctness of warm-cache runs rests on *exact* round-tripping — a
+:class:`~repro.sim.stats.SimResult` loaded from disk must compare equal
+to (and print byte-identically with) the freshly simulated one.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cpu.processor import ProcessorStats
+from repro.core.ulmt import UlmtStats
+from repro.faults.plan import FaultStats
+from repro.memsys.bus import BusStats
+from repro.memsys.l2 import L2Stats
+from repro.sim.driver import run_simulation
+from repro.sim.serialize import canonical, flat_from_dict, flat_to_dict
+from repro.sim.stats import RobustnessStats, SimResult, UlmtTimingStats
+from repro.sim.config import preset
+
+#: Every flat stats dataclass that travels through the disk cache.
+FLAT_STATS_CLASSES = (ProcessorStats, L2Stats, BusStats, UlmtStats,
+                      UlmtTimingStats, FaultStats, RobustnessStats)
+
+
+def populate(cls):
+    """An instance of ``cls`` with a distinct non-default value per field."""
+    kwargs = {}
+    for i, f in enumerate(dataclasses.fields(cls), start=1):
+        ftype = f.type if isinstance(f.type, str) else getattr(
+            f.type, "__name__", str(f.type))
+        if ftype == "int":
+            kwargs[f.name] = i * 10 + 1
+        elif ftype == "float":
+            kwargs[f.name] = i + 0.125   # binary-exact, survives JSON
+        elif ftype.startswith("dict"):
+            kwargs[f.name] = {"probe": i}
+        else:
+            pytest.fail(f"{cls.__name__}.{f.name}: unhandled flat "
+                        f"field type {f.type!r}")
+    return cls(**kwargs)
+
+
+def json_round_trip(data):
+    """Exactly what the disk does to a payload between put and get."""
+    return json.loads(json.dumps(data, sort_keys=True))
+
+
+class TestFlatStats:
+    @pytest.mark.parametrize("cls", FLAT_STATS_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_round_trip_every_field(self, cls):
+        original = populate(cls)
+        restored = cls.from_dict(json_round_trip(original.to_dict()))
+        assert restored == original
+
+    @pytest.mark.parametrize("cls", FLAT_STATS_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_unknown_field_rejected(self, cls):
+        """A corrupted/foreign entry must raise, not half-load: the cache
+        treats the exception as a miss and recomputes."""
+        data = populate(cls).to_dict()
+        data["bogus_field_from_the_future"] = 1
+        with pytest.raises(ValueError):
+            cls.from_dict(data)
+
+    @pytest.mark.parametrize("cls", FLAT_STATS_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_missing_fields_default(self, cls):
+        """Older cache entries survive purely-additive schema growth."""
+        assert cls.from_dict({}) == cls()
+
+
+class TestSimResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def nopref(self):
+        return run_simulation("tree", "nopref", scale=0.02)
+
+    @pytest.fixture(scope="class")
+    def repl(self):
+        return run_simulation("tree", "repl", scale=0.02)
+
+    def test_nopref_round_trip_ulmt_none(self, nopref):
+        assert nopref.ulmt is None and nopref.ulmt_timing is None
+        restored = SimResult.from_dict(json_round_trip(nopref.to_dict()))
+        assert restored == nopref
+        assert restored.ulmt is None and restored.ulmt_timing is None
+
+    def test_repl_round_trip_ulmt_populated(self, repl):
+        assert repl.ulmt is not None and repl.ulmt_timing is not None
+        restored = SimResult.from_dict(json_round_trip(repl.to_dict()))
+        assert restored == repl
+
+    def test_round_trip_preserves_derived_metrics(self, repl, nopref):
+        """The figures are computed from derived metrics; a restored
+        result must reproduce them bit-for-bit."""
+        restored = SimResult.from_dict(json_round_trip(repl.to_dict()))
+        base = SimResult.from_dict(json_round_trip(nopref.to_dict()))
+        assert restored.miss_breakdown() == repl.miss_breakdown()
+        assert (restored.miss_distance_fractions()
+                == repl.miss_distance_fractions())
+        assert restored.bus_utilization() == repl.bus_utilization()
+        assert restored.speedup_over(base) == repl.speedup_over(nopref)
+
+    def test_miss_distance_counts_back_to_tuple(self, nopref):
+        restored = SimResult.from_dict(json_round_trip(nopref.to_dict()))
+        assert isinstance(restored.miss_distance_counts, tuple)
+        assert len(restored.miss_distance_counts) == 4
+
+    def test_wrong_bin_count_rejected(self, nopref):
+        data = nopref.to_dict()
+        data["miss_distance_counts"] = [1, 2, 3]
+        with pytest.raises(ValueError):
+            SimResult.from_dict(data)
+
+    def test_robustness_and_fault_counters_travel(self, repl):
+        data = json_round_trip(repl.to_dict())
+        restored = SimResult.from_dict(data)
+        assert restored.robustness == repl.robustness
+        assert restored.faults == repl.faults
+        assert restored.robustness.total_sheds == repl.robustness.total_sheds
+
+
+class TestCanonical:
+    def test_equal_configs_canonicalise_identically(self):
+        assert canonical(preset("repl")) == canonical(preset("repl"))
+
+    def test_different_configs_differ(self):
+        assert canonical(preset("repl")) != canonical(preset("base"))
+
+    def test_dict_key_order_is_immaterial(self):
+        assert canonical({"b": 2, "a": 1}) == canonical({"a": 1, "b": 2})
+
+    def test_tuples_become_lists(self):
+        assert canonical((1, (2, 3))) == [1, [2, 3]]
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestFlatHelpers:
+    def test_flat_to_dict_copies_containers(self):
+        stats = ProcessorStats()
+        out = flat_to_dict(stats)
+        out["extra"]["poke"] = 1
+        assert stats.extra == {}
+
+    def test_flat_from_dict_unknown_key(self):
+        with pytest.raises(ValueError):
+            flat_from_dict(ProcessorStats, {"no_such_counter": 3})
