@@ -1,0 +1,160 @@
+"""Observability-overhead benchmark: the disabled path must cost nothing.
+
+Two claims are checked (see ``docs/OBSERVABILITY.md``):
+
+1. **Zero allocation when disabled.**  A simulation run without a tracer
+   must never enter :mod:`repro.obs` — asserted with ``tracemalloc``: the
+   run performs *zero* allocations attributable to any file of the
+   package.  Every event object is constructed inside
+   ``repro/obs/tracer.py``, so a single stray emission on the untraced
+   path fails this immediately.
+
+2. **No wall-clock regression.**  The cold-serial pass of the committed
+   ``BENCH_core.json`` task set is re-timed and compared against the
+   recorded ``serial_s``.  Machines differ, so the default threshold is
+   generous; ``--strict`` enforces the <3% acceptance bound and is what
+   CI (or a calibrated box) should use::
+
+    python benchmarks/bench_obs.py                 # informational
+    python benchmarks/bench_obs.py --strict        # enforce the 3% bound
+    python benchmarks/bench_obs.py --skip-timing   # allocation check only
+
+The enabled-path overhead (traced vs untraced wall-clock of one cell) is
+also measured and reported, and everything lands in ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))          # conftest constants
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from bench_core import core_tasks  # noqa: E402
+from conftest import BENCH_SCALE  # noqa: E402
+
+import repro.obs.runner  # noqa: E402  (import before tracemalloc starts)
+from repro.obs.runner import run_traced  # noqa: E402
+from repro.perf.pool import run_tasks  # noqa: E402
+from repro.sim.driver import run_simulation  # noqa: E402
+from repro.workloads.registry import clear_trace_cache  # noqa: E402
+
+REFERENCE = Path(__file__).parent / "BENCH_core.json"
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_obs.json"
+
+#: Cell used for the allocation check and the enabled-overhead ratio.
+PROBE_APP, PROBE_CONFIG, PROBE_SCALE = "cg", "repl", 0.05
+
+
+def disabled_path_allocations() -> int:
+    """Bytes allocated in ``repro/obs/*`` by one untraced run (want: 0)."""
+    obs_dir = str(Path(repro.obs.runner.__file__).parent)
+    run_simulation(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)  # warm caches
+    tracemalloc.start(1)
+    try:
+        run_simulation(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_only = snapshot.filter_traces(
+        [tracemalloc.Filter(True, obs_dir + "/*")])
+    return sum(stat.size for stat in obs_only.statistics("filename"))
+
+
+def enabled_overhead() -> tuple[float, float]:
+    """(traced/untraced wall-clock ratio, events per traced second)."""
+    clear_trace_cache()
+    start = time.perf_counter()
+    run_simulation(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)
+    untraced_s = time.perf_counter() - start
+    clear_trace_cache()
+    start = time.perf_counter()
+    traced = run_traced(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)
+    traced_s = time.perf_counter() - start
+    return traced_s / untraced_s, len(traced.events) / traced_s
+
+
+def timed_cold_serial(scale: float) -> float:
+    """Re-run the BENCH_core cold-serial pass (tracing disabled)."""
+    tasks = core_tasks(scale)
+    clear_trace_cache()
+    start = time.perf_counter()
+    results = run_tasks(tasks, jobs=1)
+    elapsed = time.perf_counter() - start
+    failed = sum(1 for r in results if r is None)
+    if failed:
+        raise SystemExit(f"cold serial: {failed} task(s) failed")
+    return elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--strict", action="store_true",
+                        help="enforce the <3%% serial regression bound "
+                             "(use on the machine BENCH_core.json was "
+                             "recorded on, e.g. CI)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="non-strict serial_s ratio bound (default 1.5: "
+                             "catches gross regressions across machines)")
+    parser.add_argument("--skip-timing", action="store_true",
+                        help="only run the zero-allocation check")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    leaked = disabled_path_allocations()
+    print(f"[bench_obs] disabled-path allocations in repro/obs: {leaked} B",
+          file=sys.stderr)
+    if leaked:
+        raise SystemExit(
+            f"disabled tracer path allocated {leaked} bytes inside "
+            f"repro/obs — the is-not-None guards are broken")
+
+    report: dict = {"disabled_obs_alloc_bytes": leaked}
+
+    ratio, events_per_s = enabled_overhead()
+    report["traced_overhead_ratio"] = round(ratio, 3)
+    report["traced_events_per_s"] = round(events_per_s)
+    print(f"[bench_obs] enabled-path overhead: {ratio:.2f}x untraced "
+          f"({events_per_s:,.0f} events/s)", file=sys.stderr)
+
+    if not args.skip_timing:
+        if not REFERENCE.exists():
+            raise SystemExit(f"missing {REFERENCE}: run bench_core.py first")
+        reference = json.loads(REFERENCE.read_text())
+        scale = reference["scale"]
+        serial_s = timed_cold_serial(scale)
+        bound = 1.03 if args.strict else args.threshold
+        serial_ratio = serial_s / reference["serial_s"]
+        report.update({
+            "scale": scale,
+            "serial_s": round(serial_s, 3),
+            "reference_serial_s": reference["serial_s"],
+            "serial_ratio": round(serial_ratio, 4),
+            "bound": bound,
+            "strict": args.strict,
+        })
+        print(f"[bench_obs] cold serial: {serial_s:.2f}s vs reference "
+              f"{reference['serial_s']:.2f}s (ratio {serial_ratio:.3f}, "
+              f"bound {bound})", file=sys.stderr)
+        if serial_ratio > bound:
+            args.output.write_text(json.dumps(report, indent=2) + "\n")
+            raise SystemExit(
+                f"cold-serial regression: {serial_ratio:.3f}x the committed "
+                f"BENCH_core.json serial_s exceeds the {bound} bound")
+
+    if not args.skip_timing:
+        # --skip-timing is a gate (CI), not a measurement: leave the
+        # committed full record alone.
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

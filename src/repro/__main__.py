@@ -8,6 +8,7 @@ Subcommands::
     python -m repro experiments [--scale S]           regenerate everything
     python -m repro chaos <app> [--config C]          fault-injection sweep
     python -m repro lint [paths...]                   static analysis suite
+    python -m repro trace <apps> [configs]            pipeline event tracing
 
 ``run`` accepts fault-injection options (see ``docs/ROBUSTNESS.md``)::
 
@@ -165,11 +166,18 @@ def _cmd_experiments(args) -> int:
         forwarded.append("--no-cache")
     if args.profile:
         forwarded.append("--profile")
+    if args.trace_dir is not None:
+        forwarded += ["--trace-dir", args.trace_dir]
     return runall.main(forwarded)
 
 
 def _cmd_lint(rest: list[str]) -> int:
     from repro.lint import cli
+    return cli.main(rest)
+
+
+def _cmd_trace(rest: list[str]) -> int:
+    from repro.obs import cli
     return cli.main(rest)
 
 
@@ -198,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
     exp_p.add_argument("--scale", type=float, default=1.0)
     exp_p.add_argument("--profile", action="store_true",
                        help="report time per subsystem (to stderr)")
+    exp_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="run the matrix under the observability tracer "
+                            "and export event streams into DIR")
     _add_perf_options(exp_p)
 
     chaos_p = sub.add_parser(
@@ -216,11 +227,17 @@ def main(argv: list[str] | None = None) -> int:
         "lint", help="static analysis suite (see docs/STATIC_ANALYSIS.md)",
         add_help=False)
 
+    sub.add_parser(
+        "trace", help="pipeline event tracing (see docs/OBSERVABILITY.md)",
+        add_help=False)
+
     arglist = list(sys.argv[1:] if argv is None else argv)
     if arglist[:1] == ["lint"]:
         # Everything after `lint` belongs to repro.lint.cli's own parser
         # (argparse subparsers cannot forward unknown options cleanly).
         return _cmd_lint(arglist[1:])
+    if arglist[:1] == ["trace"]:
+        return _cmd_trace(arglist[1:])
     args = parser.parse_args(arglist)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "experiments": _cmd_experiments,

@@ -10,6 +10,10 @@ address is appended to the tail, evicting the oldest entry when full.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> core)
+    from repro.obs.metrics import MetricsRegistry
 
 
 class PrefetchFilter:
@@ -26,6 +30,9 @@ class PrefetchFilter:
         self._members: set[int] = set()
         self.passed = 0
         self.dropped = 0
+        #: Observability hook; None (the default) costs one test per
+        #: admit call (the ULMT prefetch path only).
+        self.metrics: "MetricsRegistry | None" = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -34,6 +41,8 @@ class PrefetchFilter:
         """True if the prefetch should be issued; False if filtered out."""
         if line_addr in self._members:
             self.dropped += 1
+            if self.metrics is not None:
+                self.metrics.count("filter.reject")
             return False
         if len(self._fifo) == self.entries:
             evicted = self._fifo[0]
@@ -41,6 +50,8 @@ class PrefetchFilter:
         self._fifo.append(line_addr)
         self._members.add(line_addr)
         self.passed += 1
+        if self.metrics is not None:
+            self.metrics.count("filter.accept")
         return True
 
     def contains(self, line_addr: int) -> bool:

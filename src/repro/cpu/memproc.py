@@ -10,6 +10,11 @@ baked in, which is what the system simulator instantiates.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> cpu)
+    from repro.obs.tracer import Tracer
+
 from repro.core.algorithms import UlmtAlgorithm
 from repro.core.cost_model import CostConstants, UlmtCostModel
 from repro.core.ulmt import Ulmt
@@ -28,13 +33,15 @@ class MemoryProcessor:
                  cost_constants: CostConstants | None = None,
                  queue_params: QueueParams | None = None,
                  fault_injector: FaultInjector | None = None,
-                 watchdog: UlmtWatchdog | None = None) -> None:
+                 watchdog: UlmtWatchdog | None = None,
+                 tracer: "Tracer | None" = None) -> None:
         self.controller = controller
         self.core_params = core_params or MemProcessorParams()
         self.cost_model = UlmtCostModel(controller, cost_constants)
         self.ulmt = Ulmt(algorithm, self.cost_model,
                          queue_params=queue_params, verbose=verbose,
-                         fault_injector=fault_injector, watchdog=watchdog)
+                         fault_injector=fault_injector, watchdog=watchdog,
+                         tracer=tracer)
 
     @property
     def location(self) -> MemProcLocation:

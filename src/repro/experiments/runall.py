@@ -130,16 +130,19 @@ def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
     return failures
 
 
-def enumerate_tasks(scale: float) -> list:
+def enumerate_tasks(scale: float, trace: bool = False) -> list:
     """Every independent cell the full regeneration needs.
 
     The union of the simulation configs of Figures 7-11 (plus the Table 5
     customisations), one Figure 5 predictability row per application, and
     one Table 2 sizing per application.  Figure 6 reuses the ``nopref``
     runs.  Order is deterministic (first-seen config order x app order).
+    With ``trace=True`` the simulation cells run under the observability
+    tracer (``--trace-dir``); their results carry the identical
+    :class:`~repro.sim.stats.SimResult` plus the event stream.
     """
     from repro.analysis.prediction import PREDICTORS
-    from repro.perf.pool import fig5_task, sim_task, tablesize_task
+    from repro.perf.pool import fig5_task, sim_task, tablesize_task, trace_task
 
     config_names: list[str] = []
     for module_configs in (fig7.CONFIGS, ("custom",), fig8.CONFIGS,
@@ -148,12 +151,40 @@ def enumerate_tasks(scale: float) -> list:
             if name not in config_names:
                 config_names.append(name)
 
+    make_task = trace_task if trace else sim_task
     apps = common.all_apps()
-    tasks = [sim_task(app, name, scale)
+    tasks = [make_task(app, name, scale)
              for name in config_names for app in apps]
     tasks += [fig5_task(app, scale, PREDICTORS) for app in apps]
     tasks += [tablesize_task(app, scale) for app in apps]
     return tasks
+
+
+def _export_traces(trace_dir: str, tasks: list, results: list) -> None:
+    """Write the prewarmed trace cells to disk (``--trace-dir``).
+
+    One ``<app>_<config>.jsonl`` event stream per simulation cell plus a
+    merged ``metrics.json`` — snapshots merge in task order, which equals
+    the serial order regardless of how pool workers interleaved.
+    """
+    from pathlib import Path
+
+    from repro.obs.metrics import merge_all
+    from repro.perf.pool import KIND_TRACE
+    from repro.sim.serialize import json_line
+
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    traced = [(task, run) for task, run in zip(tasks, results)
+              if task.kind == KIND_TRACE and run is not None]
+    for task, run in traced:
+        path = out / f"{task.app}_{run.result.config_name}.jsonl"
+        path.write_text(run.jsonl(), encoding="ascii")
+    merged = merge_all(run.metrics for _, run in traced)
+    (out / "metrics.json").write_text(json_line(merged) + "\n",
+                                      encoding="ascii")
+    print(f"[trace] {len(traced)} event streams + metrics.json in {out}",
+          file=sys.stderr)
 
 
 def _build_cache(args):
@@ -183,6 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="profile the run and report time per "
                              "subsystem (to stderr)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="run the simulation matrix under the "
+                             "observability tracer and write one JSON-lines "
+                             "event stream per cell (plus a merged "
+                             "metrics.json) into DIR; figures are unchanged")
     args = parser.parse_args(argv)
 
     cache = _build_cache(args)
@@ -190,10 +226,11 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     try:
         with common.use_scale(args.scale) as scale:
-            if args.jobs > 1:
+            tracing = args.trace_dir is not None
+            if args.jobs > 1 or tracing:
                 from repro.perf.pool import prewarm
 
-                tasks = enumerate_tasks(scale)
+                tasks = enumerate_tasks(scale, trace=tracing)
                 print(f"[prewarm] {len(tasks)} matrix cells across "
                       f"{args.jobs} workers", file=sys.stderr)
                 warm_start = time.time()
@@ -202,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
                 common.install_prewarmed(tasks, results)
                 print(f"[prewarm] done in {time.time() - warm_start:.1f}s",
                       file=sys.stderr)
+                if tracing:
+                    _export_traces(args.trace_dir, tasks, results)
 
             if args.profile:
                 from repro.perf.profile import profile_subsystems, render_profile

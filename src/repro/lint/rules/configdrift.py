@@ -29,6 +29,9 @@ _CLI_ONLY_DESTS = frozenset({
     # Parallel-engine / result-cache harness controls (repro.perf): they
     # steer scheduling and caching, never the simulated machine.
     "jobs", "cache_dir", "no_cache", "profile",
+    # Observability harness controls (repro.obs): tracing never alters
+    # the simulated machine (traced results are identical to untraced).
+    "trace_dir", "out_dir", "events",
 })
 
 #: CLI dest -> the SystemConfig/FaultPlan field it feeds.

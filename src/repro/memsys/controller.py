@@ -16,9 +16,14 @@ numbers (208/243, 21/56, 65/100 cycles).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.memsys.bus import Bus
 from repro.memsys.dram import Dram
 from repro.params import MemoryParams, MemProcLocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
 
 #: Split of ``main_fixed`` (96 cycles, tSystem) around the bus address phase:
 #: request pipe + 4-cycle address phase + reply pipe = 40 + 4 + 52 = 96.
@@ -38,6 +43,9 @@ class MemoryController:
         self.demand_fetches = 0
         self.prefetch_pushes = 0
         self.memproc_fetches = 0
+        #: Observability hook; None (the default) costs one test per fetch
+        #: that reaches memory (never on cache hits).
+        self.tracer: "Tracer | None" = None
 
     # -- main processor demand path --------------------------------------------
 
@@ -58,13 +66,24 @@ class MemoryController:
                                   low_priority=low_priority)
         bus_done = self.bus.schedule(access.data_ready,
                                      p.bus_transfer_l2_line, kind)
-        return bus_done + _REPLY_FIXED
+        complete = bus_done + _REPLY_FIXED
+        if self.tracer is not None:
+            # Queue 1 of Figure 3: demand (and tagged processor-prefetch)
+            # requests entering the memory system in time order.
+            self.tracer.emit("q1.issue", now, byte_addr // 64,
+                             complete=complete, source=kind)
+            self.tracer.metrics.observe("q1.latency", complete - now)
+        return complete
 
     def writeback(self, byte_addr: int, now: int) -> int:
         """Drain one dirty L2 line to memory; returns completion time."""
         p = self.params
         bus_done = self.bus.schedule(now, p.bus_transfer_l2_line, "writeback")
         access = self.dram.access(byte_addr, bus_done, low_priority=True)
+        if self.tracer is not None:
+            self.tracer.emit("mem.writeback", now, byte_addr // 64,
+                             complete=access.data_ready)
+            self.tracer.metrics.count("mem.writebacks")
         return access.data_ready
 
     # -- prefetch push path -------------------------------------------------------
@@ -85,7 +104,12 @@ class MemoryController:
         access = self.dram.access(byte_addr, ready, low_priority=True)
         bus_done = self.bus.schedule(access.data_ready,
                                      p.bus_transfer_l2_line, "prefetch")
-        return bus_done + p.push_fixed
+        complete = bus_done + p.push_fixed
+        if self.tracer is not None:
+            self.tracer.emit("mem.push", now, byte_addr // 64,
+                             complete=complete)
+            self.tracer.metrics.observe("push.latency", complete - now)
+        return complete
 
     # -- memory-processor (ULMT table) path -----------------------------------------
 

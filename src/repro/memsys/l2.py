@@ -22,10 +22,15 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from typing import TYPE_CHECKING
+
 from repro.memsys.cache import Cache
 from repro.memsys.mshr import MshrFile
 from repro.memsys.queues import WritebackQueue
 from repro.params import CacheParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
 
 
 class DemandKind(Enum):
@@ -122,6 +127,9 @@ class L2Cache:
         self.writeback_queue = WritebackQueue(writeback_depth)
         self.stats = L2Stats()
         self._pending_is_write: dict[int, bool] = {}
+        #: Observability hook; None (the default) keeps the demand path
+        #: untouched — only the push-arrival path tests it.
+        self.tracer: "Tracer | None" = None
 
     # -- demand path ----------------------------------------------------------
 
@@ -178,8 +186,17 @@ class L2Cache:
         """Handle a pushed prefetch line arriving from memory.
 
         Returns one of ``"redundant"``, ``"writeback_match"``, ``"steal"``,
-        ``"mshr_full"``, ``"set_pending"``, or ``"filled"``.
+        ``"mshr_full"``, ``"set_pending"``, or ``"filled"`` — the first
+        four are the Section 2.1 drop rules, in the order the hardware
+        checks them; each outcome is traced as ``l2.push.<outcome>``.
         """
+        outcome = self._accept_prefetch(line_addr, now)
+        if self.tracer is not None:
+            self.tracer.emit(f"l2.push.{outcome}", now, line_addr)
+            self.tracer.metrics.count(f"l2.push.{outcome}")
+        return outcome
+
+    def _accept_prefetch(self, line_addr: int, now: int) -> str:
         self.retire(now)
 
         if self.cache.contains(line_addr):

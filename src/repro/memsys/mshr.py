@@ -10,7 +10,10 @@ acts as the reply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.metrics import MetricsRegistry
 
 #: Sentinel completion time meaning "no outstanding transaction".
 _NEVER = float("inf")
@@ -39,6 +42,9 @@ class MshrFile:
         self.capacity = capacity
         self._entries: dict[int, MshrEntry] = {}
         self._min_completion: float = _NEVER
+        #: Observability hook; None (the default) costs one test per
+        #: allocation (the miss path — never the demand-hit path).
+        self.metrics: "MetricsRegistry | None" = None
 
     def _recompute_min(self) -> None:
         self._min_completion = min(
@@ -70,6 +76,8 @@ class MshrFile:
         self._entries[line_addr] = entry
         if completion_time < self._min_completion:
             self._min_completion = completion_time
+        if self.metrics is not None:
+            self.metrics.observe("mshr.occupancy", len(self._entries))
         return entry
 
     def free(self, line_addr: int) -> MshrEntry:

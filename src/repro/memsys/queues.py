@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +48,8 @@ class ObservationQueue:
         self._fifo: deque[ObservedMiss] = deque()
         self.dropped_overflow = 0
         self.dropped_matched = 0
+        #: Observability hook; None (the default) costs one test per push.
+        self.tracer: "Tracer | None" = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -55,14 +60,28 @@ class ObservationQueue:
 
     def push(self, miss: ObservedMiss) -> bool:
         """Deposit an observed miss; returns False when dropped on overflow."""
+        tr = self.tracer
         if self.full:
             self.dropped_overflow += 1
+            if tr is not None:
+                tr.emit("q2.drop_overflow", miss.arrival_time, miss.line_addr)
+                tr.metrics.count("q2.drop_overflow")
             return False
         self._fifo.append(miss)
+        if tr is not None:
+            tr.emit("q2.enqueue", miss.arrival_time, miss.line_addr,
+                    depth=len(self._fifo))
+            tr.metrics.observe("q2.depth", len(self._fifo))
         return True
 
     def pop(self) -> Optional[ObservedMiss]:
-        return self._fifo.popleft() if self._fifo else None
+        if not self._fifo:
+            return None
+        miss = self._fifo.popleft()
+        if self.tracer is not None:
+            self.tracer.emit("q2.dequeue", miss.arrival_time, miss.line_addr,
+                            depth=len(self._fifo))
+        return miss
 
     def peek(self) -> Optional[ObservedMiss]:
         return self._fifo[0] if self._fifo else None
@@ -73,6 +92,10 @@ class ObservationQueue:
             if entry.line_addr == line_addr:
                 self._fifo.remove(entry)
                 self.dropped_matched += 1
+                if self.tracer is not None:
+                    self.tracer.emit("q2.crossmatch", entry.arrival_time,
+                                     line_addr)
+                    self.tracer.metrics.count("q2.crossmatch")
                 return True
         return False
 
@@ -115,6 +138,8 @@ class PrefetchQueue:
         self._fifo: deque[PrefetchRequest] = deque()
         self.dropped_overflow = 0
         self.cancelled_by_demand = 0
+        #: Observability hook; None (the default) costs one test per push.
+        self.tracer: "Tracer | None" = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -125,10 +150,19 @@ class PrefetchQueue:
 
     def push(self, request: PrefetchRequest) -> bool:
         """Enqueue a prefetch; returns False when dropped on overflow."""
+        tr = self.tracer
         if self.full:
             self.dropped_overflow += 1
+            if tr is not None:
+                tr.emit("q3.drop_overflow", request.issue_time,
+                        request.line_addr)
+                tr.metrics.count("q3.drop_overflow")
             return False
         self._fifo.append(request)
+        if tr is not None:
+            tr.emit("q3.enqueue", request.issue_time, request.line_addr,
+                    depth=len(self._fifo), retries=request.retries)
+            tr.metrics.observe("q3.depth", len(self._fifo))
         return True
 
     def pop(self) -> Optional[PrefetchRequest]:
@@ -147,6 +181,10 @@ class PrefetchQueue:
             if entry.line_addr == line_addr:
                 self._fifo.remove(entry)
                 self.cancelled_by_demand += 1
+                if self.tracer is not None:
+                    self.tracer.emit("q3.cancel_demand", entry.issue_time,
+                                     line_addr)
+                    self.tracer.metrics.count("q3.cancel_demand")
                 return True
         return False
 

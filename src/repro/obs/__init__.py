@@ -1,0 +1,45 @@
+"""Observability layer: structured pipeline tracing + metrics registry.
+
+The paper's claims are *timing* claims — response vs. occupancy time
+(Figure 2), queue-2/3 cross-matching, the four L2 drop rules of Section
+2.1 — yet the Figure-3 pipeline used to be observable only through
+aggregate counters.  This package makes the internal dynamics first-class:
+
+* :mod:`repro.obs.events` — the typed event schema: every pipeline event
+  (queue enqueue/dequeue, cross-match, Filter accept/reject, ULMT
+  prefetch/learning step, MSHR steal, each L2 drop rule) as a frozen,
+  seed-deterministic record with a cycle timestamp.
+* :mod:`repro.obs.tracer` — the :class:`Tracer` the subsystems emit into.
+  Every call site is guarded by ``if tracer is not None`` so the disabled
+  path costs one attribute load and allocates nothing (asserted by
+  ``benchmarks/bench_obs.py``).
+* :mod:`repro.obs.metrics` — counters and power-of-two-binned histograms
+  whose snapshots merge associatively/commutatively (property-tested in
+  ``tests/test_obs_merge.py``), which is what lets per-worker snapshots
+  from the parallel pool combine deterministically.
+* :mod:`repro.obs.runner` — :func:`run_traced`, the traced analogue of
+  :func:`repro.sim.driver.run_simulation`.
+* :mod:`repro.obs.cli` — ``python -m repro trace``: run (workload, config)
+  cells with tracing on, export JSON-lines event streams and a metrics
+  summary (serial, ``--jobs N`` and warm-cache runs are byte-identical).
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metrics catalogue.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.metrics import (MetricsRegistry, empty_snapshot,
+                               merge_snapshots, merge_all)
+from repro.obs.tracer import Tracer
+from repro.obs.runner import TraceRun, run_traced
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "MetricsRegistry",
+    "empty_snapshot",
+    "merge_snapshots",
+    "merge_all",
+    "Tracer",
+    "TraceRun",
+    "run_traced",
+]

@@ -1,0 +1,125 @@
+"""``python -m repro trace`` — run cells under the observability tracer.
+
+Usage::
+
+    python -m repro trace APPS [CONFIGS] [--scale S] [--jobs N]
+        [--out-dir DIR] [--events] [--cache-dir DIR]
+
+``APPS`` and ``CONFIGS`` are comma-separated (``CONFIGS`` defaults to
+``repl``).  Every (app, config) cell runs under the event tracer; the
+command prints one digest line per cell (event count + SHA-256 of the
+JSON-lines stream + headline figures) followed by the metrics summary
+merged across all cells in matrix order.  Because every cell is
+deterministic and snapshot merging is order-independent, the entire
+stdout is byte-identical between serial, ``--jobs N``, and warm-cache
+invocations — the CI trace-parity job diffs exactly this.
+
+Unlike the other matrix commands the persistent cache is *opt-in*
+(``--cache-dir``): traced payloads embed the full event stream and are
+orders of magnitude larger than plain results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import merge_all, summary_lines
+from repro.obs.runner import TraceRun
+from repro.sim.driver import run_matrix
+
+
+def trace_digest(run: TraceRun) -> str:
+    """SHA-256 over the cell's full JSON-lines event stream."""
+    return hashlib.sha256(run.jsonl().encode("ascii")).hexdigest()
+
+
+def cell_lines(app: str, name: str, run: TraceRun) -> list[str]:
+    """The per-cell digest block (deterministic, stdout)."""
+    lines = [f"{app}/{name}: {len(run.events):,} events  "
+             f"sha256 {trace_digest(run)[:16]}  "
+             f"exec {run.result.execution_time:,} cycles"]
+    counts: dict[str, int] = {}
+    for event in run.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    for kind in sorted(counts):
+        lines.append(f"    {kind:24s} {counts[kind]:>10,}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="run (workload, config) cells with pipeline tracing on")
+    parser.add_argument("apps", help="comma-separated workloads")
+    parser.add_argument("configs", nargs="?", default="repl",
+                        help="comma-separated configs (default: repl)")
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="write one <app>_<config>.jsonl event stream "
+                             "and a merged metrics.json into DIR")
+    parser.add_argument("--events", action="store_true",
+                        help="print the raw event stream to stdout "
+                             "(single cell only)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="opt-in persistent result cache (traced "
+                             "payloads are large, so off by default)")
+    args = parser.parse_args(argv)
+
+    apps = [a for a in args.apps.split(",") if a]
+    configs = [c for c in args.configs.split(",") if c]
+    if not apps or not configs:
+        parser.error("need at least one app and one config")
+    if args.events and len(apps) * len(configs) != 1:
+        parser.error("--events needs exactly one (app, config) cell")
+
+    cache = None
+    if args.cache_dir is not None:
+        from repro.perf.cache import ResultCache
+        cache = ResultCache(args.cache_dir)
+
+    matrix = run_matrix(apps, configs, scale=args.scale, jobs=args.jobs,
+                        cache=cache, trace=True)
+    # Insertion order is matrix order on both the serial and pool paths.
+    runs = list(matrix.values())
+    cells = [(app, config) for app in apps for config in configs]
+
+    if args.events:
+        sys.stdout.write(runs[0].jsonl())
+        return 0
+
+    out_dir = Path(args.out_dir) if args.out_dir is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"trace matrix @ scale {args.scale} — "
+          f"{len(apps)} app(s) x {len(configs)} config(s)")
+    for (app, config), run in zip(cells, runs):
+        name = run.result.config_name
+        for line in cell_lines(app, name, run):
+            print(line)
+        if out_dir is not None:
+            path = out_dir / f"{app}_{name}.jsonl"
+            path.write_text(run.jsonl(), encoding="ascii")
+            print(f"[trace] wrote {path}", file=sys.stderr)
+
+    merged = merge_all(run.metrics for run in runs)
+    print("merged metrics (all cells):")
+    for line in summary_lines(merged):
+        print(line)
+    if out_dir is not None:
+        from repro.sim.serialize import json_line
+        (out_dir / "metrics.json").write_text(json_line(merged) + "\n",
+                                              encoding="ascii")
+    if cache is not None:
+        print(f"[cache] {cache.stats.describe()} in {cache.directory}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

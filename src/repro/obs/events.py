@@ -1,0 +1,100 @@
+"""Typed event schema of the Figure-3 pipeline trace.
+
+One :class:`TraceEvent` records one thing the pipeline did, stamped with
+the main-processor cycle it happened at.  Events are frozen and carry
+their extra fields as a sorted tuple of ``(key, value)`` pairs, so two
+runs of the same (workload, config, seed) cell produce *identical* event
+objects in identical order — which is what makes the JSON-lines export
+byte-comparable across serial, parallel, and warm-cache runs.
+
+The kinds (full catalogue in ``docs/OBSERVABILITY.md``):
+
+=======================  ========================================================
+``q1.issue``             demand/prefetch request entering the memory system
+``q2.enqueue``           miss deposited into the observation queue (queue 2)
+``q2.dequeue``           observation handed to the ULMT
+``q2.drop_overflow``     queue 2 full: the observation is lost (Section 3.2)
+``q2.crossmatch``        queue-2/3 cross-match removed a queued observation
+``q3.enqueue``           ULMT prefetch deposited into queue 3
+``q3.drop_overflow``     queue 3 full: the prefetch is lost
+``q3.cancel_demand``     a demand miss superseded a queued prefetch (cross-match)
+``filter.accept``        Filter module admitted a generated prefetch address
+``filter.reject``        Filter module suppressed a recently issued address
+``ulmt.prefetch_step``   Figure-2 prefetching step ran (response time attached)
+``ulmt.learning_step``   Figure-2 learning step ran (occupancy time attached)
+``ulmt.learning_shed``   watchdog shed the learning step (prefetch-only mode)
+``ulmt.warm_restart``    the ULMT crashed and warm-restarted (fault injection)
+``push.issue``           queue-3 entry issued to memory (arrival time attached)
+``push.arrive``          pushed line arrived at the L2
+``push.merge_demand``    a demand miss merged with an in-flight push (DelayedHit)
+``push.merge_fill``      the merged push arrived and filled as a demand line
+``mem.push``             controller scheduled the push's DRAM/bus transfer
+``mem.writeback``        dirty L2 victim drained to memory
+``l2.push.redundant``    drop rule 1: the cache already holds the line
+``l2.push.writeback_match``  drop rule 2: the write-back queue holds the line
+``l2.push.mshr_full``    drop rule 3: all MSHRs are busy
+``l2.push.set_pending``  drop rule 4: every line in the set is pending
+``l2.push.steal``        the push stole a pending demand MSHR (acts as reply)
+``l2.push.filled``       the push filled into a free frame
+=======================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+#: The four L2 drop rules of Section 2.1, in the order the L2 checks them.
+L2_DROP_RULES = ("redundant", "writeback_match", "mshr_full", "set_pending")
+
+#: Every event kind the tracer may emit (schema freeze: the golden-trace
+#: battery fails if an unknown kind appears in a stream).
+EVENT_KINDS = frozenset({
+    "q1.issue",
+    "q2.enqueue", "q2.dequeue", "q2.drop_overflow", "q2.crossmatch",
+    "q3.enqueue", "q3.drop_overflow", "q3.cancel_demand",
+    "filter.accept", "filter.reject",
+    "ulmt.prefetch_step", "ulmt.learning_step", "ulmt.learning_shed",
+    "ulmt.warm_restart",
+    "push.issue", "push.arrive", "push.merge_demand", "push.merge_fill",
+    "mem.push", "mem.writeback",
+    "l2.push.steal", "l2.push.filled",
+    *(f"l2.push.{rule}" for rule in L2_DROP_RULES),
+})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One pipeline event: kind + cycle + line address + extra fields."""
+
+    kind: str
+    cycle: int
+    addr: Optional[int] = None
+    #: Extra fields, sorted by key (kept as a tuple so the event is
+    #: hashable and its construction order cannot leak into the stream).
+    info: tuple[tuple[str, int | str], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "cycle": self.cycle}
+        if self.addr is not None:
+            out["addr"] = self.addr
+        for key, value in self.info:
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output (cache round trip)."""
+        kind = data["kind"]
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        info = tuple(sorted((k, v) for k, v in data.items()
+                            if k not in ("kind", "cycle", "addr")))
+        return cls(kind=kind, cycle=data["cycle"],
+                   addr=data.get("addr"), info=info)
+
+
+def make_info(**fields: int | str) -> tuple[tuple[str, int | str], ...]:
+    """Sorted info tuple from keyword fields (the only way call sites
+    should build one — sorting here keeps emission sites order-free)."""
+    return tuple(sorted(fields.items()))

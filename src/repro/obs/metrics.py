@@ -1,0 +1,163 @@
+"""Metrics registry: counters + power-of-two histograms with mergeable
+snapshots.
+
+Every subsystem emits into a :class:`MetricsRegistry` through the
+:class:`~repro.obs.tracer.Tracer` it is handed; with no tracer installed
+the call sites reduce to one ``is not None`` test (no registry exists at
+all).  A registry renders to a *snapshot* — a plain JSON-able dict — and
+snapshots from different runs (or different pool workers) combine with
+:func:`merge_snapshots`, which is associative, commutative, and has
+:func:`empty_snapshot` as identity.  Those algebraic properties (checked
+by ``tests/test_obs_merge.py``) are what make the parallel pool's merge
+order-independent: per-worker snapshots merged in task order equal the
+serial run's merge no matter how workers interleaved.
+
+Histograms use power-of-two bins (bin ``i`` holds values ``v`` with
+``v.bit_length() == i``, i.e. ``[2**(i-1), 2**i)``; bin 0 holds 0), so a
+bin index is a ``bit_length()`` call — cheap enough for per-event use —
+and any two histograms of the same metric share bin edges by construction,
+which keeps the merge pointwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+#: Snapshot schema version (bumped on incompatible layout changes; the
+#: persistent cache embeds snapshots, so decode rejects mismatches).
+SNAPSHOT_VERSION = 1
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one traced run."""
+
+    __slots__ = ("_counters", "_hists")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        #: name -> [bins dict, count, total, min, max]
+        self._hists: dict[str, list[Any]] = {}
+
+    # -- emission (hot path when tracing is enabled) -------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one sample of ``value`` into histogram ``name``."""
+        if value < 0:
+            value = 0
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = [{}, 0, 0, value, value]
+            self._hists[name] = hist
+        bins: dict[int, int] = hist[0]
+        b = value.bit_length()
+        bins[b] = bins.get(b, 0) + 1
+        hist[1] += 1
+        hist[2] += value
+        if value < hist[3]:
+            hist[3] = value
+        if value > hist[4]:
+            hist[4] = value
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Render to a plain, JSON-able, deterministically ordered dict."""
+        hists = {}
+        for name in sorted(self._hists):
+            bins, count, total, lo, hi = self._hists[name]
+            hists[name] = {
+                "bins": {str(b): bins[b] for b in sorted(bins)},
+                "count": count, "sum": total, "min": lo, "max": hi,
+            }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "histograms": hists,
+        }
+
+
+def empty_snapshot() -> dict[str, Any]:
+    """The merge identity."""
+    return {"version": SNAPSHOT_VERSION, "counters": {}, "histograms": {}}
+
+
+def validate_snapshot(snap: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` on a malformed or incompatible snapshot."""
+    if snap.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(f"metrics snapshot version {snap.get('version')!r} "
+                         f"!= {SNAPSHOT_VERSION}")
+    if not isinstance(snap.get("counters"), dict):
+        raise ValueError("metrics snapshot has no counters dict")
+    if not isinstance(snap.get("histograms"), dict):
+        raise ValueError("metrics snapshot has no histograms dict")
+
+
+def merge_snapshots(a: Mapping[str, Any],
+                    b: Mapping[str, Any]) -> dict[str, Any]:
+    """Pointwise combination of two snapshots.
+
+    Counters and histogram bins/count/sum add; ``min``/``max`` take the
+    min/max — every per-field operation is itself associative and
+    commutative, so the whole merge is too.  Key order in the result is
+    sorted, making the rendered JSON independent of argument order.
+    """
+    validate_snapshot(a)
+    validate_snapshot(b)
+    counters = dict(a["counters"])
+    for name, value in b["counters"].items():
+        counters[name] = counters.get(name, 0) + value
+    hists: dict[str, Any] = {
+        name: {"bins": dict(h["bins"]), "count": h["count"],
+               "sum": h["sum"], "min": h["min"], "max": h["max"]}
+        for name, h in a["histograms"].items()}
+    for name, h in b["histograms"].items():
+        mine = hists.get(name)
+        if mine is None:
+            hists[name] = {"bins": dict(h["bins"]), "count": h["count"],
+                           "sum": h["sum"], "min": h["min"], "max": h["max"]}
+            continue
+        for bin_key, n in h["bins"].items():
+            mine["bins"][bin_key] = mine["bins"].get(bin_key, 0) + n
+        mine["count"] += h["count"]
+        mine["sum"] += h["sum"]
+        mine["min"] = min(mine["min"], h["min"])
+        mine["max"] = max(mine["max"], h["max"])
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {
+            name: {"bins": {b: hists[name]["bins"][b]
+                            for b in sorted(hists[name]["bins"],
+                                            key=lambda k: int(k))},
+                   "count": hists[name]["count"],
+                   "sum": hists[name]["sum"],
+                   "min": hists[name]["min"],
+                   "max": hists[name]["max"]}
+            for name in sorted(hists)},
+    }
+
+
+def merge_all(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold :func:`merge_snapshots` over any number of snapshots."""
+    merged = empty_snapshot()
+    for snap in snapshots:
+        merged = merge_snapshots(merged, snap)
+    return merged
+
+
+def summary_lines(snap: Mapping[str, Any]) -> list[str]:
+    """Deterministic text rendering of a snapshot (trace CLI output)."""
+    validate_snapshot(snap)
+    lines = []
+    for name, value in snap["counters"].items():
+        lines.append(f"  {name:32s} {value:>12,}")
+    for name, h in snap["histograms"].items():
+        count = h["count"]
+        mean = h["sum"] / count if count else 0.0
+        lines.append(f"  {name:32s} {count:>12,} samples  "
+                     f"mean {mean:.1f}  min {h['min']}  max {h['max']}")
+    return lines

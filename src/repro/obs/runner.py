@@ -1,0 +1,102 @@
+"""Run one simulation cell with tracing on.
+
+:func:`run_traced` is the traced analogue of
+:func:`repro.sim.driver.run_simulation`: same (workload, config, scale,
+seed) inputs, same deterministic :class:`~repro.sim.stats.SimResult`,
+plus the full event stream and a metrics snapshot.  The returned
+:class:`TraceRun` round-trips exactly through ``to_dict``/``from_dict``,
+so traced cells live in the persistent result cache
+(:mod:`repro.perf.cache`) next to plain simulation results and a
+warm-cache replay is byte-identical to the original run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import validate_snapshot
+from repro.obs.tracer import Tracer, event_json_line
+from repro.sim.config import SystemConfig, custom_config, preset
+from repro.sim.stats import SimResult, result_counter_metrics
+from repro.sim.system import System
+from repro.workloads.registry import get_trace
+from repro.workloads.trace import Trace
+
+#: Bumped on incompatible TraceRun layout changes (cache safety).
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceRun:
+    """Everything one traced cell produced."""
+
+    result: SimResult
+    events: list[TraceEvent]
+    #: Metrics snapshot (see :mod:`repro.obs.metrics`): registry metrics
+    #: plus the run's headline counters folded in, so merged summaries
+    #: carry coverage/accuracy context without re-reading every result.
+    metrics: dict[str, Any]
+
+    def event_lines(self) -> list[str]:
+        return [event_json_line(e) for e in self.events]
+
+    def jsonl(self) -> str:
+        return "".join(line + "\n" for line in self.event_lines())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "result": self.result.to_dict(),
+            "events": [e.to_dict() for e in self.events],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceRun":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        payloads; the persistent cache treats those as a miss.
+        """
+        if data["version"] != TRACE_FORMAT_VERSION:
+            raise ValueError(f"trace format version {data['version']!r} "
+                             f"!= {TRACE_FORMAT_VERSION}")
+        metrics = data["metrics"]
+        validate_snapshot(metrics)
+        return cls(
+            result=SimResult.from_dict(data["result"]),
+            events=[TraceEvent.from_dict(e) for e in data["events"]],
+            metrics=metrics,
+        )
+
+
+def run_traced(workload: Union[str, Trace],
+               config: Union[str, SystemConfig] = "nopref",
+               scale: float = 1.0,
+               seed: Optional[int] = None) -> TraceRun:
+    """Simulate one cell with the event tracer and metrics registry on.
+
+    Mirrors :func:`repro.sim.driver.run_simulation` (the produced
+    :class:`SimResult` is identical to an untraced run of the same cell);
+    ``seed`` optionally regenerates the workload trace under a non-default
+    layout seed, exactly as the pool's task ``seed`` field does.
+    """
+    if isinstance(workload, Trace):
+        trace = workload
+        app_name = trace.name or "trace"
+    else:
+        trace = get_trace(workload, scale=scale, seed=seed)
+        app_name = workload
+    if isinstance(config, str):
+        config = (custom_config(app_name) if config == "custom"
+                  else preset(config))
+    tracer = Tracer()
+    system = System(config, tracer=tracer)
+    result = system.run(trace)
+    registry = tracer.metrics
+    for name, value in result_counter_metrics(result).items():
+        registry.count(name, value)
+    return TraceRun(result=result, events=tracer.events,
+                    metrics=registry.snapshot())

@@ -1,0 +1,73 @@
+"""The structured event tracer the pipeline emits into.
+
+A :class:`Tracer` is attached to a :class:`repro.sim.system.System` at
+construction (``System(config, tracer=...)``), which threads it through
+every subsystem of the Figure-3 pipeline: the L2 (drop rules, MSHR
+steals), queues 2/3 (enqueue/drop/cross-match), the Filter, the ULMT
+(prefetch/learning step transitions), and the memory controller.
+
+**The disabled path is the contract.**  Every instrumented subsystem
+holds a ``tracer`` attribute that defaults to ``None`` and guards each
+emission with ``if tracer is not None``; no event object, info tuple, or
+registry entry is ever allocated when tracing is off.
+``benchmarks/bench_obs.py`` asserts this with ``tracemalloc``: a run
+without a tracer performs zero allocations attributable to this package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.serialize import json_line
+
+
+def event_json_line(event: TraceEvent) -> str:
+    """One JSON-lines record: compact, sorted keys — byte-deterministic."""
+    return json_line(event.to_dict())
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records plus a metrics registry.
+
+    ``emit`` appends in call order; the simulator is single-threaded and
+    deterministic, so the stream order is a pure function of the
+    (workload, config, seed) cell.
+    """
+
+    __slots__ = ("events", "metrics", "_check_kinds")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 check_kinds: bool = False) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Schema enforcement for tests; off by default on the hot path.
+        self._check_kinds = check_kinds
+
+    def emit(self, kind: str, cycle: int, addr: Optional[int] = None,
+             **info: int | str) -> None:
+        """Record one event (``info`` keys are sorted into the record)."""
+        if self._check_kinds and kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        self.events.append(TraceEvent(kind=kind, cycle=cycle, addr=addr,
+                                      info=tuple(sorted(info.items()))))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- export ---------------------------------------------------------------
+
+    def jsonl_lines(self) -> list[str]:
+        return [event_json_line(e) for e in self.events]
+
+    def jsonl(self) -> str:
+        """The whole stream as one JSON-lines document (trailing newline)."""
+        return "".join(line + "\n" for line in self.jsonl_lines())
+
+    def kind_counts(self) -> dict[str, int]:
+        """Events per kind, sorted by kind (summary output)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}

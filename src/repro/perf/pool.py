@@ -29,6 +29,7 @@ from typing import Any, Callable, Optional
 
 from repro.analysis.prediction import PredictionResult, figure5_row
 from repro.analysis.tablesize import TableSizing, size_application_table
+from repro.obs.runner import TraceRun, run_traced
 from repro.perf.cache import ResultCache, fingerprint, sim_cache_key
 from repro.sim.config import SystemConfig, custom_config, preset
 from repro.sim.driver import run_simulation
@@ -39,6 +40,7 @@ from repro.sim.stats import SimResult
 KIND_SIM = "sim"
 KIND_FIG5 = "fig5"
 KIND_TABLESIZE = "tablesize"
+KIND_TRACE = "trace"
 
 
 @dataclass(frozen=True)
@@ -56,16 +58,28 @@ class MatrixTask:
     seed: Optional[int] = None
 
     def label(self) -> str:
-        if self.kind == KIND_SIM:
+        if self.kind in (KIND_SIM, KIND_TRACE):
             name = (self.config.name if isinstance(self.config, SystemConfig)
                     else self.config)
-            return f"{self.app}/{name}"
+            cell = f"{self.app}/{name}"
+            return cell if self.kind == KIND_SIM else f"trace:{cell}"
         return f"{self.kind}:{self.app}"
 
 
 def sim_task(app: str, config: "str | SystemConfig", scale: float,
              seed: Optional[int] = None) -> MatrixTask:
     return MatrixTask(kind=KIND_SIM, app=app, scale=scale, config=config,
+                      seed=seed)
+
+
+def trace_task(app: str, config: "str | SystemConfig", scale: float,
+               seed: Optional[int] = None) -> MatrixTask:
+    """A ``sim`` cell run under the observability tracer.
+
+    A distinct kind (not a flag on ``sim``) so traced and untraced results
+    never share a cache entry: ``fingerprint`` mixes the kind into the key.
+    """
+    return MatrixTask(kind=KIND_TRACE, app=app, scale=scale, config=config,
                       seed=seed)
 
 
@@ -91,7 +105,7 @@ def resolve_task_config(task: MatrixTask) -> SystemConfig:
 
 def task_cache_key(task: MatrixTask) -> dict[str, Any]:
     """The persistent-cache key material of one task."""
-    if task.kind == KIND_SIM:
+    if task.kind in (KIND_SIM, KIND_TRACE):
         return sim_cache_key(task.app, resolve_task_config(task),
                              task.scale, task.seed)
     if task.kind == KIND_FIG5:
@@ -108,7 +122,7 @@ def task_cache_key(task: MatrixTask) -> dict[str, Any]:
 
 
 def encode_payload(task: MatrixTask, result: Any) -> Any:
-    if task.kind == KIND_SIM:
+    if task.kind in (KIND_SIM, KIND_TRACE):
         return result.to_dict()
     if task.kind == KIND_FIG5:
         # A list, not a dict: the cache file is written with sorted keys,
@@ -130,6 +144,8 @@ def decode_payload(task: MatrixTask, payload: Any) -> Any:
     """
     if task.kind == KIND_SIM:
         return SimResult.from_dict(payload)
+    if task.kind == KIND_TRACE:
+        return TraceRun.from_dict(payload)
     if task.kind == KIND_FIG5:
         return {entry["predictor"]: PredictionResult(
                     predictor=entry["predictor"],
@@ -150,6 +166,9 @@ def execute_task(task: MatrixTask) -> Any:
     if task.kind == KIND_SIM:
         return run_simulation(task.app, resolve_task_config(task),
                               scale=task.scale)
+    if task.kind == KIND_TRACE:
+        return run_traced(task.app, resolve_task_config(task),
+                          scale=task.scale, seed=task.seed)
     if task.kind == KIND_FIG5:
         predictors, max_level = task.params
         return figure5_row(task.app, task.scale, predictors, max_level)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (perf -> sim)
+    from repro.obs.tracer import Tracer
     from repro.perf.cache import ResultCache
 
 from repro.sim.config import SystemConfig, custom_config, preset
@@ -16,14 +17,17 @@ from repro.workloads.trace import Trace
 
 def run_simulation(workload: str | Trace,
                    config: str | SystemConfig = "nopref",
-                   scale: float = 1.0) -> SimResult:
+                   scale: float = 1.0,
+                   tracer: "Tracer | None" = None) -> SimResult:
     """Simulate one application under one system configuration.
 
     ``workload`` is an application name from
     :func:`repro.workloads.list_workloads` or an explicit :class:`Trace`;
     ``config`` is a preset name from :mod:`repro.sim.config` (or ``custom``
     for the per-application Table 5 customisation) or a full
-    :class:`SystemConfig`.
+    :class:`SystemConfig`.  ``tracer`` optionally installs an observability
+    :class:`~repro.obs.tracer.Tracer` (see
+    :func:`repro.obs.runner.run_traced` for the packaged form).
     """
     if isinstance(workload, Trace):
         trace = workload
@@ -34,7 +38,7 @@ def run_simulation(workload: str | Trace,
     if isinstance(config, str):
         config = (custom_config(app_name) if config == "custom"
                   else preset(config))
-    system = System(config)
+    system = System(config, tracer=tracer)
     return system.run(trace)
 
 
@@ -42,7 +46,8 @@ def run_matrix(workloads: Iterable[str] | None = None,
                configs: Iterable[str | SystemConfig] = ("nopref",),
                scale: float = 1.0, jobs: int = 1,
                cache: "ResultCache | None" = None,
-               ) -> Mapping[tuple[str, "str | SystemConfig"], SimResult]:
+               trace: bool = False,
+               ) -> Mapping[tuple[str, "str | SystemConfig"], Any]:
     """Run every (workload, config) pair.
 
     String configs key their results on ``(app, config_name)``.  Explicit
@@ -54,31 +59,45 @@ def run_matrix(workloads: Iterable[str] | None = None,
     ``jobs > 1`` fans the matrix out across worker processes (result
     collection stays in deterministic matrix order); ``cache`` is an
     optional :class:`repro.perf.cache.ResultCache` consulted and filled
-    either way.
+    either way.  With ``trace=True`` every cell runs under the
+    observability tracer and the mapping holds
+    :class:`repro.obs.runner.TraceRun` values (``.result`` is the
+    :class:`SimResult`, identical to an untraced run); per-worker metric
+    snapshots merge deterministically because collection stays in matrix
+    order and the snapshot merge is order-independent
+    (``tests/test_obs_merge.py``).
     """
     apps = list(workloads or list_workloads())
     config_list = list(configs)
-    results: dict[tuple[str, str | SystemConfig], SimResult] = {}
+    results: dict[tuple[str, str | SystemConfig], Any] = {}
+
+    def _serial_run(app: str, config: "str | SystemConfig") -> Any:
+        if trace:
+            from repro.obs.runner import run_traced
+            return run_traced(app, config, scale=scale)
+        return run_simulation(app, config, scale=scale)
 
     def _install(app: str, config: "str | SystemConfig",
-                 result: SimResult) -> None:
+                 result: Any) -> None:
+        sim = result.result if trace else result
         key_config = (config if isinstance(config, SystemConfig)
-                      else result.config_name)
+                      else sim.config_name)
         results[(app, key_config)] = result
 
     if jobs > 1 or cache is not None:
-        from repro.perf.pool import run_tasks, sim_task
-        tasks = [sim_task(app, config, scale)
+        from repro.perf.pool import run_tasks, sim_task, trace_task
+        make_task = trace_task if trace else sim_task
+        tasks = [make_task(app, config, scale)
                  for app in apps for config in config_list]
         values = run_tasks(tasks, jobs=jobs, cache=cache)
         for task, value in zip(tasks, values):
             if value is None:  # pool failure: recompute (and surface) here
-                value = run_simulation(task.app, task.config, scale=scale)
+                value = _serial_run(task.app, task.config)
             _install(task.app, task.config, value)
     else:
         for app in apps:
             for config in config_list:
-                _install(app, config, run_simulation(app, config, scale=scale))
+                _install(app, config, _serial_run(app, config))
     return results
 
 

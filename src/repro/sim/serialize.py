@@ -19,9 +19,20 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import json
 from typing import Any, Mapping, Type, TypeVar
 
 T = TypeVar("T")
+
+
+def json_line(value: Any) -> str:
+    """Render a JSON-able value as one byte-deterministic line.
+
+    Compact separators + sorted keys: two structurally equal values always
+    produce the same bytes, which is what the observability layer's
+    JSON-lines event streams (:mod:`repro.obs`) are compared on.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
 def flat_to_dict(obj: Any) -> dict:

@@ -19,6 +19,41 @@ from repro.memsys.l2 import L2Stats
 from repro.core.ulmt import UlmtStats
 from repro.sim.serialize import flat_from_dict, flat_to_dict
 
+def result_counter_metrics(result: "SimResult") -> dict[str, int]:
+    """Headline counters of a run, named for the metrics registry.
+
+    :func:`repro.obs.runner.run_traced` folds these into the run's
+    metrics snapshot so a merged (multi-cell, multi-worker) summary
+    carries coverage/accuracy context without re-reading every result.
+    Keys are stable — they are part of the trace-CLI output the golden
+    battery pins.
+    """
+    l2 = result.l2
+    counters = {
+        "run.cells": 1,
+        "run.demand_misses_to_memory": result.demand_misses_to_memory,
+        "run.prefetches_issued": result.prefetches_issued_to_memory,
+        "l2.prefetch_hits": l2.prefetch_hits,
+        "l2.delayed_hits": l2.delayed_hits,
+        "l2.nonpref_misses": l2.nonpref_misses,
+        "l2.replaced_prefetches": l2.replaced_prefetches,
+        "l2.redundant_prefetches": l2.redundant_prefetches,
+        "l2.dropped_writeback_match": l2.dropped_writeback_match,
+        "l2.dropped_mshr_full": l2.dropped_mshr_full,
+        "l2.dropped_set_pending": l2.dropped_set_pending,
+        "l2.accepted_prefetches": l2.accepted_prefetches,
+        "robustness.total_sheds": result.robustness.total_sheds,
+    }
+    if result.ulmt is not None:
+        counters["ulmt.misses_processed"] = result.ulmt.misses_processed
+        counters["ulmt.misses_dropped"] = result.ulmt.misses_dropped
+        counters["ulmt.prefetches_generated"] = \
+            result.ulmt.prefetches_generated
+        counters["ulmt.prefetches_filtered"] = \
+            result.ulmt.prefetches_filtered
+    return counters
+
+
 #: Figure 6 bin edges (1.6 GHz cycles); the last bin is open-ended.
 MISS_DISTANCE_BINS = (0, 80, 200, 280)
 MISS_DISTANCE_LABELS = ("[0,80)", "[80,200)", "[200,280)", "[280,Inf)")

@@ -19,7 +19,10 @@ processor's clock is monotonic.
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
 
 from repro.core.ulmt import UlmtPrefetch
 from repro.cpu.memproc import MemoryProcessor
@@ -59,11 +62,21 @@ class System:
     """One simulated machine: main processor + memory system + ULMT."""
 
     def __init__(self, config: SystemConfig,
-                 memory_params: MemoryParams | None = None) -> None:
+                 memory_params: MemoryParams | None = None,
+                 tracer: "Tracer | None" = None) -> None:
         self.config = config
+        #: Observability (docs/OBSERVABILITY.md): one tracer threaded
+        #: through every Figure-3 subsystem.  None (the default) keeps the
+        #: simulation bit-identical and allocation-free on the hot path —
+        #: every emission site guards with ``is not None``.
+        self.tracer = tracer
         self.l2 = L2Cache(MAIN_L2)
         self.controller = MemoryController(memory_params or MemoryParams(),
                                            location=config.location)
+        if tracer is not None:
+            self.l2.tracer = tracer
+            self.l2.mshrs.metrics = tracer.metrics
+            self.controller.tracer = tracer
         queue_params = QueueParams(
             queue_depth=config.queue_depth or QUEUES.queue_depth,
             filter_entries=config.filter_entries or QUEUES.filter_entries)
@@ -82,7 +95,8 @@ class System:
                                            verbose=config.verbose,
                                            queue_params=queue_params,
                                            fault_injector=self.fault_injector,
-                                           watchdog=watchdog)
+                                           watchdog=watchdog,
+                                           tracer=tracer)
         stream = (HardwareStreamPrefetcher(config.conven)
                   if config.conven is not None else None)
         proc_params = (MainProcessorParams(rob_refs=config.rob_refs)
@@ -95,10 +109,15 @@ class System:
             self.dasp = DaspEngine(self.controller)
 
         self.prefetch_queue = PrefetchQueue(queue_params.queue_depth)  # queue 3
+        self.prefetch_queue.tracer = tracer
         #: in-flight pushed lines: line -> (arrival, demand_merged)
         self._inflight: dict[int, int] = {}
         self._arrivals: list[tuple[int, int, bool]] = []  # heap
         self._merged: set[int] = set()
+        #: Windowed coverage/accuracy sampling (tracing only): snapshot of
+        #: the L2 classification counters at the last window boundary.
+        self._window_misses = 0
+        self._window_base: tuple[int, int, int, int] = (0, 0, 0, 0)
 
         # Figure 6 bookkeeping.
         self._miss_bins = [0, 0, 0, 0]
@@ -151,6 +170,10 @@ class System:
                 self.l2.stats.delayed_hits += 1
             else:
                 self.l2.stats.prefetch_hits += 1
+            if self.tracer is not None:
+                self.tracer.emit("push.merge_demand", now, l2_line,
+                                 arrival=arrival)
+                self.tracer.metrics.count("push.merge_demand")
             return AccessResult(max(arrival, now), LEVEL_MEM)
 
         # Queue 2/3 cross-match: a queued-but-unissued prefetch for this
@@ -166,6 +189,8 @@ class System:
         if not is_prefetch:
             self._record_miss_distance(now)
         self.demand_misses_to_memory += 1
+        if self.tracer is not None:
+            self._window_sample()
         if self.miss_observer is not None:
             self.miss_observer(l2_line, now, is_prefetch)
 
@@ -207,10 +232,46 @@ class System:
                 continue
             self.prefetch_queue.push(PrefetchRequest(pf.line_addr, pf.issue_time))
 
+    #: Demand misses per coverage/accuracy sampling window (tracing only).
+    COVERAGE_WINDOW = 256
+
+    def _window_sample(self) -> None:
+        """Per-window prefetch coverage/accuracy (tracing enabled only).
+
+        Every :data:`COVERAGE_WINDOW` demand misses to memory, the delta of
+        the L2 classification counters over the window becomes one
+        histogram sample each of ``l2.window_coverage_pct`` (fraction of
+        the window's would-be misses fully or partially eliminated) and
+        ``prefetch.window_accuracy_pct`` (useful pushes / pushes arrived).
+        """
+        self._window_misses += 1
+        if self._window_misses < self.COVERAGE_WINDOW:
+            return
+        self._window_misses = 0
+        stats = self.l2.stats
+        current = (stats.prefetch_hits, stats.delayed_hits,
+                   stats.nonpref_misses, stats.total_prefetches_arrived)
+        base = self._window_base
+        self._window_base = current
+        hits = current[0] - base[0]
+        delayed = current[1] - base[1]
+        remaining = current[2] - base[2]
+        arrived = current[3] - base[3]
+        eliminated = hits + delayed
+        original = eliminated + remaining
+        metrics = self.tracer.metrics  # type: ignore[union-attr]
+        if original:
+            metrics.observe("l2.window_coverage_pct",
+                            (100 * eliminated) // original)
+        if arrived:
+            metrics.observe("prefetch.window_accuracy_pct",
+                            (100 * eliminated) // arrived)
+
     def _issue_prefetches(self, now: int) -> None:
         """Move due queue-3 entries into the memory system."""
         inj = self.fault_injector
         faulty = inj.active  # hoisted: constant for the run
+        tr = self.tracer
         while True:
             head = self.prefetch_queue.pop()
             if head is None:
@@ -242,8 +303,12 @@ class System:
             self.prefetches_issued += 1
             self._inflight[head.line_addr] = arrival
             heapq.heappush(self._arrivals, (arrival, head.line_addr, False))
+            if tr is not None:
+                tr.emit("push.issue", head.issue_time, head.line_addr,
+                        arrival=arrival)
 
     def _process_arrivals(self, now: int) -> None:
+        tr = self.tracer
         while self._arrivals and self._arrivals[0][0] <= now:
             arrival, line, _ = heapq.heappop(self._arrivals)
             if line in self._merged:
@@ -251,9 +316,13 @@ class System:
                 # line as a normal (referenced) fill.
                 self._merged.discard(line)
                 self.l2.fill_demand_merged(line, arrival)
+                if tr is not None:
+                    tr.emit("push.merge_fill", arrival, line)
                 continue
             if line in self._inflight:
                 del self._inflight[line]
+                if tr is not None:
+                    tr.emit("push.arrive", arrival, line)
                 self.l2.accept_prefetch(line, arrival)
 
     def _record_miss_distance(self, now: int) -> None:

@@ -1,0 +1,60 @@
+"""Tests for ``python -m repro trace`` (:mod:`repro.obs.cli`)."""
+
+import json
+
+import pytest
+
+from repro.obs import cli
+from repro.obs.runner import run_traced
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def cg_nopref():
+    return run_traced("cg", "nopref", scale=SCALE)
+
+
+class TestTraceCli:
+    def test_digest_output_is_deterministic(self, capsys, cg_nopref):
+        assert cli.main(["cg", "nopref", "--scale", str(SCALE)]) == 0
+        first = capsys.readouterr().out
+        assert cli.main(["cg", "nopref", "--scale", str(SCALE)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert f"{len(cg_nopref.events):,} events" in first
+        assert "merged metrics (all cells):" in first
+        assert cli.trace_digest(cg_nopref)[:16] in first
+
+    def test_events_mode_prints_the_stream(self, capsys, cg_nopref):
+        assert cli.main(["cg", "nopref", "--scale", str(SCALE),
+                         "--events"]) == 0
+        out = capsys.readouterr().out
+        assert out == cg_nopref.jsonl()
+        # Every line is a standalone JSON record with a known kind.
+        first = json.loads(out.splitlines()[0])
+        assert "kind" in first and "cycle" in first
+
+    def test_events_mode_requires_single_cell(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["cg", "nopref,repl", "--events"])
+
+    def test_out_dir_writes_streams_and_metrics(self, tmp_path, capsys,
+                                                cg_nopref):
+        out = tmp_path / "traces"
+        assert cli.main(["cg", "nopref", "--scale", str(SCALE),
+                         "--out-dir", str(out)]) == 0
+        capsys.readouterr()
+        stream = out / "cg_nopref.jsonl"
+        assert stream.read_text() == cg_nopref.jsonl()
+        merged = json.loads((out / "metrics.json").read_text())
+        assert merged == cg_nopref.metrics
+
+    def test_empty_cell_list_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main([",", "nopref"])
+
+    def test_main_module_forwards_trace(self, capsys):
+        from repro.__main__ import main
+        assert main(["trace", "cg", "nopref", "--scale", str(SCALE)]) == 0
+        assert "merged metrics" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Direct unit tests for the four Section-2.1 L2 drop rules via trace events.
+
+Each rule is driven in isolation against a small L2 with the tracer
+installed (schema checking on), asserting the ``l2.push.<rule>`` event,
+the metrics counter, and the matching ``L2Stats`` field all move
+together.  The steal and fill outcomes get the same treatment, plus the
+event-schema invariants the golden battery relies on.
+"""
+
+import pytest
+
+from repro.memsys.l2 import L2Cache
+from repro.obs.events import EVENT_KINDS, L2_DROP_RULES, TraceEvent, make_info
+from repro.obs.tracer import Tracer, event_json_line
+from repro.params import CacheParams
+
+#: 4 KB, 2-way, 64 B lines -> 32 sets: small enough to exercise set
+#: pressure with a handful of addresses.
+SMALL_L2 = CacheParams(size_bytes=4 * 1024, assoc=2, line_bytes=64,
+                       hit_cycles=19)
+
+
+def make_l2(mshr_capacity: int = 4) -> tuple[L2Cache, Tracer]:
+    l2 = L2Cache(SMALL_L2, mshr_capacity=mshr_capacity)
+    tracer = Tracer(check_kinds=True)
+    l2.tracer = tracer
+    return l2, tracer
+
+
+def push_events(tracer: Tracer) -> list[TraceEvent]:
+    return [e for e in tracer.events if e.kind.startswith("l2.push.")]
+
+
+class TestDropRules:
+    def test_rule1_redundant(self):
+        """The cache already holds the line."""
+        l2, tracer = make_l2()
+        assert l2.accept_prefetch(5, now=10) == "filled"
+        assert l2.accept_prefetch(5, now=20) == "redundant"
+        assert l2.stats.redundant_prefetches == 1
+        last = push_events(tracer)[-1]
+        assert last.kind == "l2.push.redundant"
+        assert last.cycle == 20 and last.addr == 5
+        assert tracer.metrics.snapshot()["counters"]["l2.push.redundant"] == 1
+
+    def test_rule2_writeback_match(self):
+        """The write-back queue holds the line."""
+        l2, tracer = make_l2()
+        l2.writeback_queue.push(7)
+        assert l2.accept_prefetch(7, now=0) == "writeback_match"
+        assert l2.stats.dropped_writeback_match == 1
+        assert push_events(tracer)[-1].kind == "l2.push.writeback_match"
+
+    def test_rule3_mshr_full(self):
+        """All MSHRs are busy with other lines."""
+        l2, tracer = make_l2(mshr_capacity=2)
+        l2.register_demand_miss(1, False, now=0, completion_time=1000)
+        l2.register_demand_miss(2, False, now=0, completion_time=1000)
+        assert l2.accept_prefetch(3, now=10) == "mshr_full"
+        assert l2.stats.dropped_mshr_full == 1
+        assert push_events(tracer)[-1].kind == "l2.push.mshr_full"
+
+    def test_rule4_set_pending(self):
+        """Every line in the target set is transaction-pending."""
+        l2, tracer = make_l2(mshr_capacity=4)
+        # Lines 32 and 64 both map to set 0 (32 sets); assoc is 2, so two
+        # pending transactions saturate the set while MSHRs stay half free.
+        l2.register_demand_miss(32, False, now=0, completion_time=1000)
+        l2.register_demand_miss(64, False, now=0, completion_time=1000)
+        assert not l2.mshrs.full
+        assert l2.accept_prefetch(96, now=10) == "set_pending"
+        assert l2.stats.dropped_set_pending == 1
+        assert push_events(tracer)[-1].kind == "l2.push.set_pending"
+
+    def test_rule_order_redundant_before_writeback(self):
+        """Rules fire in the order the hardware checks them."""
+        l2, tracer = make_l2()
+        assert l2.accept_prefetch(5, now=0) == "filled"
+        l2.writeback_queue.push(5)
+        assert l2.accept_prefetch(5, now=1) == "redundant"
+
+    def test_every_drop_rule_has_an_event_kind(self):
+        for rule in L2_DROP_RULES:
+            assert f"l2.push.{rule}" in EVENT_KINDS
+
+
+class TestStealAndFill:
+    def test_mshr_steal(self):
+        """A push for a pending demand line acts as its reply."""
+        l2, tracer = make_l2()
+        l2.register_demand_miss(9, False, now=0, completion_time=1000)
+        assert l2.accept_prefetch(9, now=5) == "steal"
+        assert l2.mshrs.lookup(9) is None          # MSHR freed early
+        assert l2.cache.contains(9)                # line installed
+        assert push_events(tracer)[-1].kind == "l2.push.steal"
+
+    def test_fill_counts_accepted(self):
+        l2, tracer = make_l2()
+        assert l2.accept_prefetch(11, now=0) == "filled"
+        assert l2.stats.accepted_prefetches == 1
+        assert push_events(tracer)[-1].kind == "l2.push.filled"
+
+    def test_untraced_l2_emits_nothing(self):
+        """The disabled path: same outcomes, no tracer, no events."""
+        l2 = L2Cache(SMALL_L2, mshr_capacity=4)
+        assert l2.tracer is None
+        assert l2.accept_prefetch(5, now=0) == "filled"
+        assert l2.accept_prefetch(5, now=1) == "redundant"
+        assert l2.stats.redundant_prefetches == 1
+
+
+class TestEventSchema:
+    def test_unknown_kind_rejected_by_checking_tracer(self):
+        tracer = Tracer(check_kinds=True)
+        with pytest.raises(ValueError):
+            tracer.emit("l2.push.nonsense", 0, 1)
+
+    def test_unknown_kind_rejected_on_decode(self):
+        with pytest.raises(ValueError):
+            TraceEvent.from_dict({"kind": "nope", "cycle": 0})
+
+    def test_event_roundtrip(self):
+        event = TraceEvent(kind="q2.enqueue", cycle=42, addr=7,
+                           info=make_info(depth=3))
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_info_keys_sorted_regardless_of_call_order(self):
+        tracer = Tracer()
+        tracer.emit("q1.issue", 1, 2, source="demand", complete=9)
+        tracer.emit("q1.issue", 1, 2, complete=9, source="demand")
+        assert tracer.events[0] == tracer.events[1]
+        assert event_json_line(tracer.events[0]) == event_json_line(
+            tracer.events[1])
+
+    def test_json_line_is_compact_and_sorted(self):
+        event = TraceEvent(kind="q1.issue", cycle=5, addr=3,
+                           info=make_info(source="demand"))
+        assert event_json_line(event) == (
+            '{"addr":3,"cycle":5,"kind":"q1.issue","source":"demand"}')
+
+    def test_kind_counts_sorted(self):
+        tracer = Tracer()
+        tracer.emit("q3.enqueue", 0, 1)
+        tracer.emit("q1.issue", 1, 2)
+        tracer.emit("q3.enqueue", 2, 3)
+        assert tracer.kind_counts() == {"q1.issue": 1, "q3.enqueue": 2}
+        assert len(tracer) == 3

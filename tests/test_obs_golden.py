@@ -1,0 +1,145 @@
+"""Golden-trace regression battery (see ``docs/OBSERVABILITY.md``).
+
+Each golden file under ``tests/golden/`` freezes one traced cell —
+2 workloads x 2 configs — as a digest: event count, SHA-256 of the full
+JSON-lines stream, per-kind counts, the metrics snapshot, and the first
+lines of the stream for debuggability.  The stream itself is megabytes
+per cell, so the digest is what is committed; SHA-256 equality is
+equivalent to byte equality of the full stream.
+
+The parity tests then assert the acceptance criterion directly: the
+serial run, a ``--jobs 2`` pool run, and a warm-cache replay of the same
+cells produce *byte-identical* event streams and metric summaries.
+
+Regenerate the goldens after an intentional schema or model change::
+
+    PYTHONPATH=src python tests/test_obs_golden.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import EVENT_KINDS
+from repro.obs.metrics import merge_all, summary_lines
+from repro.obs.runner import TRACE_FORMAT_VERSION, TraceRun, run_traced
+from repro.perf.cache import ResultCache
+from repro.sim.driver import run_matrix
+
+SCALE = 0.05
+APPS = ["tree", "cg"]
+CONFIGS = ["nopref", "repl"]
+CELLS = [(app, config) for app in APPS for config in CONFIGS]
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_path(app: str, config: str) -> Path:
+    return GOLDEN_DIR / f"trace_{app}_{config}.json"
+
+
+def digest(app: str, config: str, run: TraceRun) -> dict:
+    """The committed shape of one traced cell."""
+    jsonl = run.jsonl()
+    lines = jsonl.splitlines()
+    counts: dict[str, int] = {}
+    for event in run.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {
+        "app": app,
+        "config": config,
+        "scale": SCALE,
+        "trace_format_version": TRACE_FORMAT_VERSION,
+        "events": len(run.events),
+        "sha256": hashlib.sha256(jsonl.encode("ascii")).hexdigest(),
+        "execution_time": run.result.execution_time,
+        "kind_counts": {k: counts[k] for k in sorted(counts)},
+        "metrics": run.metrics,
+        "head": lines[:10],
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    return {(app, config): run_traced(app, config, scale=SCALE)
+            for app, config in CELLS}
+
+
+class TestGoldenSerial:
+    @pytest.mark.parametrize("app,config", CELLS)
+    def test_cell_matches_golden(self, app, config, serial_runs):
+        path = golden_path(app, config)
+        assert path.exists(), (
+            f"missing golden {path}; regenerate with "
+            f"`PYTHONPATH=src python tests/test_obs_golden.py`")
+        golden = json.loads(path.read_text())
+        got = digest(app, config, serial_runs[(app, config)])
+        # Compare the cheap fields first for a readable failure, then the
+        # byte-identity proxy (the stream hash) and the full snapshot.
+        assert got["events"] == golden["events"]
+        assert got["kind_counts"] == golden["kind_counts"]
+        assert got["execution_time"] == golden["execution_time"]
+        assert got["head"] == golden["head"]
+        assert got["metrics"] == golden["metrics"]
+        assert got["sha256"] == golden["sha256"]
+
+    def test_streams_only_use_schema_kinds(self, serial_runs):
+        for run in serial_runs.values():
+            assert {e.kind for e in run.events} <= EVENT_KINDS
+
+
+class TestParity:
+    """Serial == ``--jobs 2`` == warm-cache, byte for byte."""
+
+    def test_parallel_pool_matches_serial(self, serial_runs):
+        matrix = run_matrix(APPS, CONFIGS, scale=SCALE, jobs=2, trace=True)
+        for app, config in CELLS:
+            run = matrix[(app, config)]
+            want = serial_runs[(app, config)]
+            assert run.jsonl() == want.jsonl()
+            assert run.metrics == want.metrics
+            assert run.result.to_dict() == want.result.to_dict()
+
+    def test_merged_summary_matches_serial(self, serial_runs):
+        matrix = run_matrix(APPS, CONFIGS, scale=SCALE, jobs=2, trace=True)
+        parallel = summary_lines(merge_all(
+            matrix[cell].metrics for cell in CELLS))
+        serial = summary_lines(merge_all(
+            serial_runs[cell].metrics for cell in CELLS))
+        assert parallel == serial
+
+    def test_warm_cache_matches_serial(self, serial_runs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_matrix(APPS, CONFIGS, scale=SCALE, cache=cache,
+                          trace=True)
+        assert cache.stats.stores == len(CELLS)
+        warm = run_matrix(APPS, CONFIGS, scale=SCALE, cache=cache,
+                          trace=True)
+        assert cache.stats.hits == len(CELLS)
+        for app, config in CELLS:
+            want = serial_runs[(app, config)]
+            assert cold[(app, config)].jsonl() == want.jsonl()
+            assert warm[(app, config)].jsonl() == want.jsonl()
+            assert warm[(app, config)].metrics == want.metrics
+
+    def test_traced_result_identical_to_untraced(self, serial_runs):
+        """Tracing is pure observation: the SimResult cannot move."""
+        from repro.sim.driver import run_simulation
+        plain = run_simulation("tree", "repl", scale=SCALE)
+        assert (serial_runs[("tree", "repl")].result.to_dict()
+                == plain.to_dict())
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for app, config in CELLS:
+        run = run_traced(app, config, scale=SCALE)
+        path = golden_path(app, config)
+        path.write_text(json.dumps(digest(app, config, run), indent=2,
+                                   sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    _regen()

@@ -1,0 +1,126 @@
+"""Property battery for metrics-snapshot merging (:mod:`repro.obs.metrics`).
+
+The parallel pool merges per-worker snapshots in task order; the claim
+that this equals the serial run's registry rests on three algebraic
+properties of :func:`merge_snapshots` — associativity, commutativity,
+and :func:`empty_snapshot` as identity — plus partition-independence:
+splitting one operation stream across any number of registries and
+merging the snapshots reproduces the single-registry snapshot.  Each is
+checked here over hypothesis-generated operation streams.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.obs.metrics import (  # noqa: E402
+    MetricsRegistry,
+    SNAPSHOT_VERSION,
+    empty_snapshot,
+    merge_all,
+    merge_snapshots,
+    validate_snapshot,
+)
+
+NAMES = st.sampled_from(
+    ["q2.depth", "q3.depth", "ulmt.response", "filter.accept", "mem.push"])
+
+#: One registry operation: a counter bump or a histogram sample.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("count"), NAMES, st.integers(1, 9)),
+        st.tuples(st.just("observe"), NAMES, st.integers(0, 1 << 20)),
+    ),
+    max_size=64)
+
+
+def snapshot_of(ops) -> dict:
+    reg = MetricsRegistry()
+    for op, name, value in ops:
+        getattr(reg, op)(name, value)
+    return reg.snapshot()
+
+
+SNAPSHOTS = OPS.map(snapshot_of)
+
+
+class TestAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(SNAPSHOTS, SNAPSHOTS)
+    def test_commutative(self, a, b):
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(SNAPSHOTS, SNAPSHOTS, SNAPSHOTS)
+    def test_associative(self, a, b, c):
+        assert (merge_snapshots(merge_snapshots(a, b), c)
+                == merge_snapshots(a, merge_snapshots(b, c)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(SNAPSHOTS)
+    def test_identity(self, a):
+        assert merge_snapshots(a, empty_snapshot()) == a
+        assert merge_snapshots(empty_snapshot(), a) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(SNAPSHOTS)
+    def test_merge_output_is_valid_input(self, a):
+        validate_snapshot(merge_snapshots(a, a))
+
+
+class TestPartitionIndependence:
+    """Sharding one op stream across workers changes nothing."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(OPS, max_size=6))
+    def test_sharded_merge_equals_serial(self, shards):
+        serial = snapshot_of([op for shard in shards for op in shard])
+        assert merge_all(snapshot_of(shard) for shard in shards) == serial
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(SNAPSHOTS, max_size=6))
+    def test_merge_order_irrelevant(self, snaps):
+        assert merge_all(snaps) == merge_all(reversed(snaps))
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_histogram_bounds_survive_split(self, ops):
+        """min/max over a merge equal min/max over the union of samples."""
+        half = len(ops) // 2
+        merged = merge_snapshots(snapshot_of(ops[:half]),
+                                 snapshot_of(ops[half:]))
+        samples: dict[str, list[int]] = {}
+        for op, name, value in ops:
+            if op == "observe":
+                samples.setdefault(name, []).append(value)
+        for name, values in samples.items():
+            hist = merged["histograms"][name]
+            assert hist["min"] == min(values)
+            assert hist["max"] == max(values)
+            assert hist["sum"] == sum(values)
+            assert hist["count"] == len(values)
+
+
+class TestValidation:
+    def test_version_mismatch_rejected(self):
+        bad = empty_snapshot()
+        bad["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(ValueError):
+            validate_snapshot(bad)
+        with pytest.raises(ValueError):
+            merge_snapshots(bad, empty_snapshot())
+
+    def test_missing_sections_rejected(self):
+        for key in ("counters", "histograms"):
+            bad = empty_snapshot()
+            del bad[key]
+            with pytest.raises(ValueError):
+                validate_snapshot(bad)
+
+    def test_negative_observation_clamps_to_zero(self):
+        reg = MetricsRegistry()
+        reg.observe("x", -5)
+        hist = reg.snapshot()["histograms"]["x"]
+        assert hist["min"] == 0 and hist["max"] == 0
+        assert hist["bins"] == {"0": 1}
