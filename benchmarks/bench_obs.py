@@ -20,7 +20,9 @@ Two claims are checked (see ``docs/OBSERVABILITY.md``):
     python benchmarks/bench_obs.py --skip-timing   # allocation check only
 
 The enabled-path overhead (traced vs untraced wall-clock of one cell) is
-also measured and reported, and everything lands in ``BENCH_obs.json``.
+also measured and reported, as is the streaming-vs-buffered export ratio
+(same cell, bounded buffer, byte-identity asserted along the way), and
+everything lands in ``BENCH_obs.json``.
 """
 
 from __future__ import annotations
@@ -38,8 +40,12 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 from bench_core import core_tasks  # noqa: E402
 from conftest import BENCH_SCALE  # noqa: E402
 
+import hashlib  # noqa: E402
+import tempfile  # noqa: E402
+
 import repro.obs.runner  # noqa: E402  (import before tracemalloc starts)
-from repro.obs.runner import run_traced  # noqa: E402
+from repro.obs.runner import run_traced, run_traced_streaming  # noqa: E402
+from repro.obs.tracer import DEFAULT_STREAM_BUFFER  # noqa: E402
 from repro.perf.pool import run_tasks  # noqa: E402
 from repro.sim.driver import run_simulation  # noqa: E402
 from repro.workloads.registry import clear_trace_cache  # noqa: E402
@@ -77,6 +83,45 @@ def enabled_overhead() -> tuple[float, float]:
     traced = run_traced(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)
     traced_s = time.perf_counter() - start
     return traced_s / untraced_s, len(traced.events) / traced_s
+
+
+def streaming_overhead() -> tuple[float, int]:
+    """(streamed/buffered export wall-clock ratio, peak buffered events).
+
+    Both paths trace the probe cell and write its full JSON-lines stream
+    to a temp file; byte-identity of the two files is asserted (the
+    streaming contract), so the ratio compares equal work — the streamed
+    side just never holds more than ``DEFAULT_STREAM_BUFFER`` events.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        buffered_path = Path(tmp) / "buffered.jsonl"
+        streamed_path = Path(tmp) / "streamed.jsonl"
+
+        clear_trace_cache()
+        start = time.perf_counter()
+        run = run_traced(PROBE_APP, PROBE_CONFIG, scale=PROBE_SCALE)
+        buffered_path.write_text(run.jsonl(), encoding="ascii")
+        buffered_s = time.perf_counter() - start
+
+        clear_trace_cache()
+        start = time.perf_counter()
+        srun = run_traced_streaming(PROBE_APP, PROBE_CONFIG,
+                                    scale=PROBE_SCALE, out=streamed_path,
+                                    buffer_events=DEFAULT_STREAM_BUFFER)
+        streamed_s = time.perf_counter() - start
+
+        if buffered_path.read_bytes() != streamed_path.read_bytes():
+            raise SystemExit("streamed export is not byte-identical to "
+                             "the buffered export")
+        expected = hashlib.sha256(buffered_path.read_bytes()).hexdigest()
+        if srun.sha256 != expected:
+            raise SystemExit("streaming sink's rolling SHA-256 disagrees "
+                             "with the written bytes")
+        if srun.peak_buffered > srun.buffer_events:
+            raise SystemExit(
+                f"streaming buffer exceeded its bound: "
+                f"{srun.peak_buffered} > {srun.buffer_events}")
+    return streamed_s / buffered_s, srun.peak_buffered
 
 
 def timed_cold_serial(scale: float) -> float:
@@ -122,6 +167,14 @@ def main(argv: list[str] | None = None) -> int:
     report["traced_events_per_s"] = round(events_per_s)
     print(f"[bench_obs] enabled-path overhead: {ratio:.2f}x untraced "
           f"({events_per_s:,.0f} events/s)", file=sys.stderr)
+
+    stream_ratio, peak_buffered = streaming_overhead()
+    report["stream_vs_buffered_ratio"] = round(stream_ratio, 3)
+    report["stream_peak_buffered_events"] = peak_buffered
+    report["stream_buffer_events"] = DEFAULT_STREAM_BUFFER
+    print(f"[bench_obs] streaming export: {stream_ratio:.2f}x buffered "
+          f"(peak {peak_buffered} of {DEFAULT_STREAM_BUFFER} buffered "
+          f"events, byte-identical)", file=sys.stderr)
 
     if not args.skip_timing:
         if not REFERENCE.exists():

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro chaos <app> [--config C]          fault-injection sweep
     python -m repro lint [paths...]                   static analysis suite
     python -m repro trace <apps> [configs]            pipeline event tracing
+    python -m repro timeline <trace.jsonl>            ASCII lane timeline
+    python -m repro tracediff <a.jsonl> <b.jsonl>     explain stream diffs
 
 ``run`` accepts fault-injection options (see ``docs/ROBUSTNESS.md``)::
 
@@ -86,11 +88,17 @@ def _cmd_chaos(args) -> int:
     so the sweep fans out through the parallel pool (``--jobs``) and its
     cells land in the same persistent cache as everything else — results
     are printed in grid order either way.
+
+    With ``--windows N`` (the default; 0 disables) the faulted cells run
+    under the metrics-only tracer and the sweep additionally reports
+    coverage/accuracy per windowed-sampler bucket — *where in the run*
+    each fault rate hurt, not just the end-to-end speedup.
     """
-    from repro.perf.pool import run_tasks, sim_task
+    from repro.perf.pool import run_tasks, sim_task, windows_task
 
     rates = [float(r) for r in args.rates.split(",")]
     configs = args.configs.split(",")
+    windows = max(0, args.windows)
     cache = _build_cache(args)
     grid = [sim_task(args.app, "nopref", args.scale)]
     for name in configs:
@@ -99,7 +107,10 @@ def _cmd_chaos(args) -> int:
                                      args.fault_seed, args.invariants)
             config = replace(config, fault_plan=FaultPlan.uniform(
                 rate, seed=args.fault_seed))
-            grid.append(sim_task(args.app, config, args.scale))
+            if windows:
+                grid.append(windows_task(args.app, config, args.scale))
+            else:
+                grid.append(sim_task(args.app, config, args.scale))
     results = run_tasks(grid, jobs=args.jobs, cache=cache)
     if cache is not None:
         print(f"[cache] {cache.stats.describe()} in {cache.directory}",
@@ -109,17 +120,73 @@ def _cmd_chaos(args) -> int:
               file=sys.stderr)
         return 1
     baseline, cells = results[0], results[1:]
+    cell_results = [c.result if windows else c for c in cells]
     header = "  ".join(f"{r:>7g}" for r in rates)
     print(f"chaos sweep — {args.app} @ scale {args.scale}, seed {args.fault_seed}")
     print(f"speedup over NoPref by uniform fault rate "
           f"(see FaultPlan.uniform):\n")
     print(f"{'config':14s}  {header}")
     for i, name in enumerate(configs):
-        row = cells[i * len(rates):(i + 1) * len(rates)]
+        row = cell_results[i * len(rates):(i + 1) * len(rates)]
         print(f"{name:14s}  " + "  ".join(
             f"{baseline.execution_time / r.execution_time:7.3f}"
             for r in row))
+    if windows:
+        _print_chaos_windows(configs, rates, cells, windows)
     return 0
+
+
+def _bucket_windows(windows: list, n: int) -> list:
+    """Fold the sampler's window log into ``n`` coverage/accuracy buckets.
+
+    Bucket ``i`` sums windows ``[i*L//n, (i+1)*L//n)`` — integer-only
+    maths so serial, pooled, and warm-cache sweeps print byte-identical
+    tables.  A bucket is ``None`` when no window landed in it, and each
+    percentage is ``None`` when its denominator is zero.
+    """
+    length = len(windows)
+    buckets = []
+    for i in range(n):
+        chunk = windows[i * length // n:(i + 1) * length // n]
+        if not chunk:
+            buckets.append(None)
+            continue
+        eliminated = sum(w[0] for w in chunk)
+        original = sum(w[1] for w in chunk)
+        arrived = sum(w[2] for w in chunk)
+        coverage = (100 * eliminated // original) if original else None
+        accuracy = (100 * eliminated // arrived) if arrived else None
+        buckets.append((coverage, accuracy))
+    return buckets
+
+
+def _window_cells(values: list) -> str:
+    return "  ".join("   --" if v is None else f"{v:>5d}" for v in values)
+
+
+def _print_chaos_windows(configs: list, rates: list, cells: list,
+                         n: int) -> None:
+    """Per-window degradation block of the chaos sweep."""
+    print(f"\nper-window degradation ({n} buckets over each run; "
+          f"Δ rows vs rate {rates[0]:g}):")
+    print(f"{'config/rate':18s}  {'metric':10s}  "
+          + "  ".join(f"   b{i}" for i in range(n)))
+    for ci, name in enumerate(configs):
+        row = cells[ci * len(rates):(ci + 1) * len(rates)]
+        reference = _bucket_windows(row[0].windows, n)
+        for ri, rate in enumerate(rates):
+            buckets = _bucket_windows(row[ri].windows, n)
+            for mi, metric in ((0, "coverage%"), (1, "accuracy%")):
+                values = [b[mi] if b is not None else None for b in buckets]
+                print(f"{name + '/' + format(rate, 'g'):18s}  {metric:10s}  "
+                      + _window_cells(values))
+                if ri == 0:
+                    continue
+                ref = [b[mi] if b is not None else None for b in reference]
+                deltas = [v - r if v is not None and r is not None else None
+                          for v, r in zip(values, ref)]
+                print(f"{'':18s}  {'Δ' + metric[:-1]:10s}  "
+                      + _window_cells(deltas))
 
 
 def _cmd_compare(args) -> int:
@@ -221,6 +288,10 @@ def main(argv: list[str] | None = None) -> int:
     chaos_p.add_argument("--scale", type=float, default=0.3)
     chaos_p.add_argument("--fault-seed", type=int, default=0)
     chaos_p.add_argument("--invariants", action="store_true")
+    chaos_p.add_argument("--windows", type=int, default=8, metavar="N",
+                         help="report per-window coverage/accuracy "
+                              "degradation in N buckets (0 disables; "
+                              "default 8)")
     _add_perf_options(chaos_p)
 
     sub.add_parser(
@@ -231,6 +302,16 @@ def main(argv: list[str] | None = None) -> int:
         "trace", help="pipeline event tracing (see docs/OBSERVABILITY.md)",
         add_help=False)
 
+    sub.add_parser(
+        "timeline", help="render a trace as an ASCII lane timeline or "
+                         "collapsed flamegraph stacks",
+        add_help=False)
+
+    sub.add_parser(
+        "tracediff", help="align two event streams and explain every "
+                          "divergence",
+        add_help=False)
+
     arglist = list(sys.argv[1:] if argv is None else argv)
     if arglist[:1] == ["lint"]:
         # Everything after `lint` belongs to repro.lint.cli's own parser
@@ -238,6 +319,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(arglist[1:])
     if arglist[:1] == ["trace"]:
         return _cmd_trace(arglist[1:])
+    if arglist[:1] == ["timeline"]:
+        from repro.obs.analysis.cli import timeline_main
+        return timeline_main(arglist[1:])
+    if arglist[:1] == ["tracediff"]:
+        from repro.obs.analysis.cli import tracediff_main
+        return tracediff_main(arglist[1:])
     args = parser.parse_args(arglist)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "experiments": _cmd_experiments,

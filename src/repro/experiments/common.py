@@ -163,9 +163,11 @@ def install_prewarmed(tasks: "list[_pool.MatrixTask]",
         if task.kind == _pool.KIND_SIM:
             key = (task.app, task.config, task.scale)
             _RESULT_CACHE[key] = result  # repro-lint: disable=DET006 -- cache owner
-        elif task.kind == _pool.KIND_TRACE:
+        elif task.kind in (_pool.KIND_TRACE, _pool.KIND_STREAM,
+                           _pool.KIND_WINDOWS):
             # A traced cell's SimResult is identical to an untraced run of
-            # the same cell, so it seeds the same memo the figures read.
+            # the same cell (streamed and windowed variants included), so
+            # it seeds the same memo the figures read.
             key = (task.app, task.config, task.scale)
             _RESULT_CACHE[key] = result.result  # repro-lint: disable=DET006 -- cache owner
         elif task.kind == _pool.KIND_FIG5:

@@ -130,19 +130,33 @@ def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
     return failures
 
 
-def enumerate_tasks(scale: float, trace: bool = False) -> list:
+def enumerate_tasks(scale: float, trace: bool = False,
+                    trace_dir: "str | None" = None) -> list:
     """Every independent cell the full regeneration needs.
 
     The union of the simulation configs of Figures 7-11 (plus the Table 5
     customisations), one Figure 5 predictability row per application, and
     one Table 2 sizing per application.  Figure 6 reuses the ``nopref``
     runs.  Order is deterministic (first-seen config order x app order).
-    With ``trace=True`` the simulation cells run under the observability
-    tracer (``--trace-dir``); their results carry the identical
-    :class:`~repro.sim.stats.SimResult` plus the event stream.
+
+    With ``trace_dir`` set the simulation cells become *streaming* trace
+    tasks: each worker writes its ``<app>_<config>.jsonl`` event stream
+    straight into ``trace_dir`` (atomically) and returns only a digest,
+    so the full-matrix export holds O(buffer) events in memory per worker
+    instead of O(stream).  With only ``trace=True`` the cells run as
+    buffered trace tasks (full streams retained; pool-picklable and
+    cacheable).  Either way the carried :class:`~repro.sim.stats.SimResult`
+    is identical to an untraced run.
     """
     from repro.analysis.prediction import PREDICTORS
-    from repro.perf.pool import fig5_task, sim_task, tablesize_task, trace_task
+    from repro.obs.tracer import DEFAULT_STREAM_BUFFER
+    from repro.perf.pool import (
+        fig5_task,
+        sim_task,
+        stream_task,
+        tablesize_task,
+        trace_task,
+    )
 
     config_names: list[str] = []
     for module_configs in (fig7.CONFIGS, ("custom",), fig8.CONFIGS,
@@ -151,7 +165,12 @@ def enumerate_tasks(scale: float, trace: bool = False) -> list:
             if name not in config_names:
                 config_names.append(name)
 
-    make_task = trace_task if trace else sim_task
+    if trace_dir is not None:
+        def make_task(app: str, name: str, scale: float):
+            return stream_task(app, name, scale, trace_dir,
+                               DEFAULT_STREAM_BUFFER)
+    else:
+        make_task = trace_task if trace else sim_task
     apps = common.all_apps()
     tasks = [make_task(app, name, scale)
              for name in config_names for app in apps]
@@ -161,28 +180,27 @@ def enumerate_tasks(scale: float, trace: bool = False) -> list:
 
 
 def _export_traces(trace_dir: str, tasks: list, results: list) -> None:
-    """Write the prewarmed trace cells to disk (``--trace-dir``).
+    """Finish the ``--trace-dir`` export after the streamed prewarm.
 
-    One ``<app>_<config>.jsonl`` event stream per simulation cell plus a
-    merged ``metrics.json`` — snapshots merge in task order, which equals
-    the serial order regardless of how pool workers interleaved.
+    The pool workers already wrote each ``<app>_<config>.jsonl`` stream
+    atomically (see :func:`repro.perf.pool.stream_task`); what remains is
+    the merged ``metrics.json`` — snapshots merge in task order, which
+    equals the serial order regardless of how pool workers interleaved —
+    written with the same atomic discipline.
     """
     from pathlib import Path
 
     from repro.obs.metrics import merge_all
-    from repro.perf.pool import KIND_TRACE
+    from repro.perf.cache import atomic_write_text
+    from repro.perf.pool import KIND_STREAM
     from repro.sim.serialize import json_line
 
     out = Path(trace_dir)
-    out.mkdir(parents=True, exist_ok=True)
     traced = [(task, run) for task, run in zip(tasks, results)
-              if task.kind == KIND_TRACE and run is not None]
-    for task, run in traced:
-        path = out / f"{task.app}_{run.result.config_name}.jsonl"
-        path.write_text(run.jsonl(), encoding="ascii")
+              if task.kind == KIND_STREAM and run is not None]
     merged = merge_all(run.metrics for _, run in traced)
-    (out / "metrics.json").write_text(json_line(merged) + "\n",
-                                      encoding="ascii")
+    atomic_write_text(out / "metrics.json", json_line(merged) + "\n",
+                      encoding="ascii")
     print(f"[trace] {len(traced)} event streams + metrics.json in {out}",
           file=sys.stderr)
 
@@ -230,7 +248,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.jobs > 1 or tracing:
                 from repro.perf.pool import prewarm
 
-                tasks = enumerate_tasks(scale, trace=tracing)
+                tasks = enumerate_tasks(scale, trace=tracing,
+                                        trace_dir=args.trace_dir)
                 print(f"[prewarm] {len(tasks)} matrix cells across "
                       f"{args.jobs} workers", file=sys.stderr)
                 warm_start = time.time()

@@ -31,7 +31,7 @@ _CLI_ONLY_DESTS = frozenset({
     "jobs", "cache_dir", "no_cache", "profile",
     # Observability harness controls (repro.obs): tracing never alters
     # the simulated machine (traced results are identical to untraced).
-    "trace_dir", "out_dir", "events",
+    "trace_dir", "out_dir", "events", "windows",
 })
 
 #: CLI dest -> the SystemConfig/FaultPlan field it feeds.

@@ -21,7 +21,17 @@ aggregate counters.  This package makes the internal dynamics first-class:
   :func:`repro.sim.driver.run_simulation`.
 * :mod:`repro.obs.cli` — ``python -m repro trace``: run (workload, config)
   cells with tracing on, export JSON-lines event streams and a metrics
-  summary (serial, ``--jobs N`` and warm-cache runs are byte-identical).
+  summary (serial, ``--jobs N``, warm-cache, and ``--stream`` runs are
+  byte-identical).
+* :mod:`repro.obs.analysis` — the consumer tier on top of the event
+  schema: the ``timeline`` lane/flamegraph renderer, the ``tracediff``
+  divergence engine, and the stream loaders they share.
+
+Streaming export (:class:`~repro.obs.tracer.StreamingSink`,
+:func:`~repro.obs.runner.run_traced_streaming`) bounds the memory of a
+traced run to ``buffer_events`` events while producing byte-identical
+output; :func:`~repro.obs.runner.run_windowed` retains only the windowed
+coverage/accuracy sampler log (the chaos sweep's per-window tables).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metrics catalogue.
 """
@@ -29,8 +39,15 @@ See ``docs/OBSERVABILITY.md`` for the event schema and metrics catalogue.
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.metrics import (MetricsRegistry, empty_snapshot,
                                merge_snapshots, merge_all)
-from repro.obs.tracer import Tracer
-from repro.obs.runner import TraceRun, run_traced
+from repro.obs.tracer import DEFAULT_STREAM_BUFFER, StreamingSink, Tracer
+from repro.obs.runner import (
+    StreamedTraceRun,
+    TraceRun,
+    WindowedRun,
+    run_traced,
+    run_traced_streaming,
+    run_windowed,
+)
 
 __all__ = [
     "EVENT_KINDS",
@@ -39,7 +56,13 @@ __all__ = [
     "empty_snapshot",
     "merge_snapshots",
     "merge_all",
+    "DEFAULT_STREAM_BUFFER",
+    "StreamingSink",
     "Tracer",
+    "StreamedTraceRun",
     "TraceRun",
+    "WindowedRun",
     "run_traced",
+    "run_traced_streaming",
+    "run_windowed",
 ]

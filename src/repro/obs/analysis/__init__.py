@@ -1,0 +1,48 @@
+"""Trace-analysis tier: consumers of the Figure-3 event streams.
+
+:mod:`repro.obs` (PR 4) made the pipeline emit byte-deterministic
+JSON-lines event streams; this subpackage is the tier that *reads* them:
+
+* :mod:`repro.obs.analysis.lanes` — the lane model: every event kind
+  mapped onto one Figure-3 lane (queues 1-6, the Filter, the ULMT's
+  prefetch-vs-learning steps, L2 fills/drops) plus the per-cycle folding
+  that buckets a stream into fixed-width lane activity.
+* :mod:`repro.obs.analysis.timeline` — ASCII/ANSI timeline rendering of
+  the folded lanes and Brendan-Gregg collapsed-stack output consumable
+  by standard flamegraph tooling (``flamegraph.pl``, speedscope, ...).
+* :mod:`repro.obs.analysis.diff` — the trace-diff engine: align two
+  streams by ``(cycle, kind, addr)``, classify divergences (extra /
+  missing / retimed events), and report per-kind delta tables plus the
+  first point of divergence.
+* :mod:`repro.obs.analysis.cli` — ``python -m repro timeline`` and
+  ``python -m repro tracediff``.
+
+Everything here is a pure function of the event stream: no simulation
+state is consulted, so the tools run on exported ``.jsonl`` files and on
+the committed golden digests alike.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.analysis.diff import DiffReport, diff_streams, report_lines
+from repro.obs.analysis.lanes import (
+    LANES,
+    LaneActivity,
+    fold_stream,
+    lane_of,
+    load_event_records,
+    load_event_stream,
+)
+from repro.obs.analysis.timeline import collapsed_stacks, render_timeline
+
+__all__ = [
+    "DiffReport",
+    "diff_streams",
+    "report_lines",
+    "LANES",
+    "LaneActivity",
+    "fold_stream",
+    "lane_of",
+    "load_event_records",
+    "load_event_stream",
+    "collapsed_stacks",
+    "render_timeline",
+]

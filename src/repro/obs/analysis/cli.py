@@ -1,0 +1,117 @@
+"""``python -m repro timeline`` / ``python -m repro tracediff``.
+
+Timeline::
+
+    python -m repro timeline traces/tree_repl.jsonl
+    python -m repro timeline traces/tree_repl.jsonl --width 96 --ansi
+    python -m repro timeline traces/tree_repl.jsonl --lanes q2,q3,l2.drop
+    python -m repro timeline traces/tree_repl.jsonl --flame > tree.folded
+
+Input is an exported JSON-lines stream (``repro trace --events`` /
+``--out-dir`` / ``--trace-dir``) or a committed golden digest from
+``tests/golden/`` (whose ``head`` lines are rendered).  ``--flame``
+emits Brendan-Gregg collapsed stacks instead of the ASCII chart; pipe
+them straight into ``flamegraph.pl`` or load them in speedscope.
+
+Tracediff::
+
+    python -m repro tracediff traces/a.jsonl traces/b.jsonl
+
+prints the first point of divergence and a per-kind delta table (extra /
+missing / retimed events, always including the four L2 drop rules).
+Exit status is ``diff``-like: 0 when the streams align exactly, 1 when
+they diverge — which is what lets CI assert "two identical-seed runs
+diff clean" with no output parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.analysis.diff import diff_streams, report_lines
+from repro.obs.analysis.lanes import (
+    LANES,
+    fold_stream,
+    load_event_records,
+)
+from repro.obs.analysis.timeline import collapsed_stacks, render_timeline
+
+
+def timeline_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro timeline",
+        description="render an exported event stream as an ASCII timeline "
+                    "or flamegraph collapsed stacks")
+    parser.add_argument("trace", help="event stream (.jsonl) or golden digest")
+    parser.add_argument("--width", type=int, default=64,
+                        help="timeline columns (default 64)")
+    parser.add_argument("--lanes", default=None, metavar="NAMES",
+                        help="comma-separated lane subset, in order "
+                             f"(known: {','.join(l.name for l in LANES)})")
+    parser.add_argument("--ansi", action="store_true",
+                        help="colorize lanes with ANSI escapes")
+    parser.add_argument("--flame", action="store_true",
+                        help="emit collapsed-stack lines (flamegraph.pl "
+                             "input) instead of the timeline chart")
+    parser.add_argument("--weight", choices=("events", "cycles"),
+                        default="events",
+                        help="collapsed-stack weights: event counts or "
+                             "attached response/occupancy cycles")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    try:
+        records = load_event_records(path)
+    except (OSError, ValueError) as exc:
+        print(f"repro timeline: {exc}", file=sys.stderr)
+        return 2
+
+    if args.flame:
+        for line in collapsed_stacks(records, root=path.stem,
+                                     weight=args.weight):
+            print(line)
+        return 0
+
+    lanes = None
+    if args.lanes is not None:
+        lanes = [name for name in args.lanes.split(",") if name]
+    activity = fold_stream(((str(r["kind"]), int(r["cycle"]))
+                            for r in records), width=args.width)
+    try:
+        lines = render_timeline(activity, title=path.stem, lanes=lanes,
+                                ansi=args.ansi)
+    except ValueError as exc:
+        print(f"repro timeline: {exc}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    return 0
+
+
+def tracediff_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro tracediff",
+        description="align two exported event streams and explain every "
+                    "divergence (exit 0 = identical, 1 = divergent)")
+    parser.add_argument("trace_a", help="event stream A (.jsonl or golden)")
+    parser.add_argument("trace_b", help="event stream B (.jsonl or golden)")
+    args = parser.parse_args(argv)
+
+    try:
+        records_a = load_event_records(Path(args.trace_a))
+        records_b = load_event_records(Path(args.trace_b))
+    except (OSError, ValueError) as exc:
+        print(f"repro tracediff: {exc}", file=sys.stderr)
+        return 2
+
+    report = diff_streams(records_a, records_b)
+    for line in report_lines(report, label_a=args.trace_a,
+                             label_b=args.trace_b):
+        print(line)
+    return 0 if report.identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(timeline_main())

@@ -1,0 +1,191 @@
+"""Trace-diff engine: explain how two event streams differ.
+
+Two traced cells of the same ``(workload, config, seed)`` must be
+byte-identical (the PR-4 determinism contract); when two cells *differ* —
+two configs, two seeds, a before/after of a model change — this module
+says *where* and *why*, instead of leaving the caller with "the SHA-256s
+don't match":
+
+* **first divergence** — the first line index at which the two streams
+  stop being byte-identical, with both records printed;
+* **alignment** — events are matched as a multiset keyed on
+  ``(cycle, kind, addr)``; unmatched leftovers are re-matched on
+  ``(kind, addr)`` alone and classified **retimed** (same event, moved
+  in time), and whatever still remains is **missing** (only in A) or
+  **extra** (only in B);
+* **per-kind deltas** — a count table per event kind, always including
+  the four L2 drop rules of Section 2.1 (a prefetcher comparison that
+  cannot attribute drops per rule is not answering the paper's
+  question), with retimed counts broken out per kind.
+
+Pure stream computation: works on live ``TraceRun`` events and on
+exported ``.jsonl`` files alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.obs.events import L2_DROP_RULES
+
+#: The event key two aligned streams are matched on.
+Key = tuple[int, str, Optional[int]]
+
+
+@dataclass(frozen=True)
+class KindDelta:
+    """Per-kind alignment outcome."""
+
+    count_a: int = 0
+    count_b: int = 0
+    retimed: int = 0
+
+    @property
+    def delta(self) -> int:
+        return self.count_b - self.count_a
+
+
+@dataclass
+class DiffReport:
+    """Everything :func:`diff_streams` learned about streams A and B."""
+
+    total_a: int
+    total_b: int
+    matched: int
+    retimed: int
+    missing: int          # only in A (B lost them)
+    extra: int            # only in B (A never had them)
+    per_kind: dict[str, KindDelta] = field(default_factory=dict)
+    #: (0-based line index, record A or None, record B or None); None
+    #: means the shorter stream already ended.
+    first_divergence: Optional[tuple[int, Optional[str], Optional[str]]] = None
+
+    @property
+    def divergences(self) -> int:
+        """Events not matched exactly by (cycle, kind, addr)."""
+        return self.retimed + self.missing + self.extra
+
+    @property
+    def identical(self) -> bool:
+        return self.divergences == 0 and self.first_divergence is None
+
+
+def _key(record: Mapping[str, object]) -> Key:
+    addr = record.get("addr")
+    return (int(record["cycle"]), str(record["kind"]),  # type: ignore[arg-type]
+            int(addr) if isinstance(addr, int) else None)
+
+
+def _count(counter: dict, key: object, n: int = 1) -> None:
+    counter[key] = counter.get(key, 0) + n
+
+
+def diff_streams(events_a: Iterable[Mapping[str, object]],
+                 events_b: Iterable[Mapping[str, object]],
+                 ) -> DiffReport:
+    """Align two decoded event streams and classify every difference."""
+    from repro.sim.serialize import json_line
+
+    a = list(events_a)
+    b = list(events_b)
+
+    # First divergence: lockstep over the canonical line rendering, which
+    # is exactly what the byte-identity (SHA-256) contract compares.
+    first_divergence = None
+    for i in range(max(len(a), len(b))):
+        line_a = json_line(a[i]) if i < len(a) else None
+        line_b = json_line(b[i]) if i < len(b) else None
+        if line_a != line_b:
+            first_divergence = (i, line_a, line_b)
+            break
+
+    # Exact alignment on (cycle, kind, addr) as a multiset.
+    keys_a: dict[Key, int] = {}
+    keys_b: dict[Key, int] = {}
+    for record in a:
+        _count(keys_a, _key(record))
+    for record in b:
+        _count(keys_b, _key(record))
+    matched = 0
+    left_a: dict[tuple[str, Optional[int]], int] = {}
+    left_b: dict[tuple[str, Optional[int]], int] = {}
+    for key, n in keys_a.items():
+        m = keys_b.get(key, 0)
+        matched += min(n, m)
+        if n > m:
+            _count(left_a, key[1:], n - m)
+    for key, n in keys_b.items():
+        m = keys_a.get(key, 0)
+        if n > m:
+            _count(left_b, key[1:], n - m)
+
+    # Second pass: leftovers matching on (kind, addr) were just retimed.
+    retimed_by_kind: dict[str, int] = {}
+    missing_by_kind: dict[str, int] = {}
+    extra_by_kind: dict[str, int] = {}
+    for pair, n in left_a.items():
+        kind = pair[0]
+        m = left_b.get(pair, 0)
+        if min(n, m):
+            _count(retimed_by_kind, kind, min(n, m))
+        if n > m:
+            _count(missing_by_kind, kind, n - m)
+    for pair, n in left_b.items():
+        kind = pair[0]
+        m = left_a.get(pair, 0)
+        if n > m:
+            _count(extra_by_kind, kind, n - m)
+
+    counts_a: dict[str, int] = {}
+    counts_b: dict[str, int] = {}
+    for record in a:
+        _count(counts_a, str(record["kind"]))
+    for record in b:
+        _count(counts_b, str(record["kind"]))
+    kinds = set(counts_a) | set(counts_b)
+    kinds.update(f"l2.push.{rule}" for rule in L2_DROP_RULES)
+    per_kind = {
+        kind: KindDelta(count_a=counts_a.get(kind, 0),
+                        count_b=counts_b.get(kind, 0),
+                        retimed=retimed_by_kind.get(kind, 0))
+        for kind in sorted(kinds)}
+
+    return DiffReport(
+        total_a=len(a), total_b=len(b), matched=matched,
+        retimed=sum(retimed_by_kind.values()),
+        missing=sum(missing_by_kind.values()),
+        extra=sum(extra_by_kind.values()),
+        per_kind=per_kind,
+        first_divergence=first_divergence,
+    )
+
+
+def report_lines(report: DiffReport, label_a: str = "A",
+                 label_b: str = "B") -> list[str]:
+    """Deterministic text rendering of a :class:`DiffReport`."""
+    out = [f"tracediff: A = {label_a} ({report.total_a:,} events)  "
+           f"B = {label_b} ({report.total_b:,} events)"]
+    if report.identical:
+        out.append(f"verdict: IDENTICAL — 0 divergences over "
+                   f"{report.matched:,} aligned events")
+        return out
+    out.append(f"verdict: DIVERGENT — {report.divergences:,} divergent "
+               f"event(s): {report.retimed:,} retimed, "
+               f"{report.missing:,} only in A, {report.extra:,} only in B")
+    if report.first_divergence is not None:
+        index, line_a, line_b = report.first_divergence
+        out.append(f"first divergence at line {index + 1:,}:")
+        out.append(f"  A: {line_a if line_a is not None else '<end of stream>'}")
+        out.append(f"  B: {line_b if line_b is not None else '<end of stream>'}")
+    out.append("per-kind deltas (B - A; the four L2 drop rules always "
+               "listed):")
+    out.append(f"  {'kind':26s} {'A':>10s} {'B':>10s} {'delta':>10s} "
+               f"{'retimed':>8s}")
+    for kind, delta in report.per_kind.items():
+        if (delta.count_a == 0 and delta.count_b == 0
+                and not kind.startswith("l2.push.")):
+            continue
+        out.append(f"  {kind:26s} {delta.count_a:>10,} {delta.count_b:>10,} "
+                   f"{delta.delta:>+10,} {delta.retimed:>8,}")
+    return out

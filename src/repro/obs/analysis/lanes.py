@@ -1,0 +1,174 @@
+"""The lane model: Figure-3 stages as horizontal timeline lanes.
+
+A *lane* is one stage of the paper's Figure-3 pipeline; every event kind
+of :mod:`repro.obs.events` maps onto exactly one lane (checked by
+``tests/test_trace_analysis.py``).  The lanes follow the figure left to
+right: queue 1 (demand issue), queue 2 (observation), the ULMT's
+prefetching and learning steps (Figure 2), the Filter module, queue 3
+(prefetch requests), the push path (queues 4-6: requests in transit,
+bus, DRAM), and the L2's fill-vs-drop disposition of arrived pushes.
+
+:func:`fold_stream` buckets a stream's cycle span into a fixed number of
+columns and counts each lane's events per column — the per-cycle lane
+activity the timeline renderer draws.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.obs.events import EVENT_KINDS, L2_DROP_RULES
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One Figure-3 stage and the event kinds that happen in it."""
+
+    name: str
+    label: str
+    kinds: tuple[str, ...]
+
+
+#: The lanes in Figure-3 order (left to right through the pipeline).
+LANES: tuple[Lane, ...] = (
+    Lane("q1", "queue 1: demand/prefetch issue", ("q1.issue",)),
+    Lane("q2", "queue 2: observation",
+         ("q2.enqueue", "q2.dequeue", "q2.drop_overflow", "q2.crossmatch")),
+    Lane("ulmt.prefetch", "ULMT: prefetching step", ("ulmt.prefetch_step",)),
+    Lane("ulmt.learning", "ULMT: learning step",
+         ("ulmt.learning_step", "ulmt.learning_shed", "ulmt.warm_restart")),
+    Lane("filter", "Filter module", ("filter.accept", "filter.reject")),
+    Lane("q3", "queue 3: prefetch requests",
+         ("q3.enqueue", "q3.drop_overflow", "q3.cancel_demand")),
+    Lane("push", "queues 4-6: push in transit",
+         ("push.issue", "push.arrive", "push.merge_demand",
+          "push.merge_fill")),
+    Lane("mem", "memory controller", ("mem.push", "mem.writeback")),
+    Lane("l2.fill", "L2: push filled/stole",
+         ("l2.push.filled", "l2.push.steal")),
+    Lane("l2.drop", "L2: push dropped (rules 1-4)",
+         tuple(f"l2.push.{rule}" for rule in L2_DROP_RULES)),
+)
+
+#: kind -> lane name (total over the schema: every kind has a lane).
+KIND_TO_LANE: dict[str, str] = {
+    kind: lane.name for lane in LANES for kind in lane.kinds}
+
+assert set(KIND_TO_LANE) == EVENT_KINDS, "lane model must cover the schema"
+
+
+def lane_of(kind: str) -> str:
+    """The lane an event kind belongs to (``'?'`` for unknown kinds, so
+    the tools degrade gracefully on streams from a newer schema)."""
+    return KIND_TO_LANE.get(kind, "?")
+
+
+def load_event_records(path: str | Path) -> list[dict]:
+    """Read full event records from an exported trace file.
+
+    Accepts both forms the repo produces:
+
+    * a ``.jsonl`` event stream (``repro trace --events`` / ``--out-dir``
+      / ``--trace-dir``), one JSON record per line;
+    * a committed golden digest (``tests/golden/trace_*.json``), a single
+      JSON object whose ``head`` field holds the stream's first lines —
+      enough to smoke-test the renderers without the multi-megabyte
+      stream.
+
+    Raises ``ValueError`` on anything else.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    # A JSON-lines stream's first line is a complete event record; a
+    # pretty-printed golden digest's first line is just "{".
+    try:
+        first = json.loads(lines[0])
+        is_jsonl = isinstance(first, dict) and "kind" in first
+    except json.JSONDecodeError:
+        is_jsonl = False
+    if is_jsonl:
+        return list(_parse_lines(lines))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: neither JSON-lines nor JSON: {exc}")
+    if isinstance(payload, dict) and isinstance(payload.get("head"), list):
+        return list(_parse_lines(payload["head"]))
+    raise ValueError(f"{path}: not an event stream or golden digest")
+
+
+def load_event_stream(path: str | Path) -> list[tuple[str, int]]:
+    """``(kind, cycle)`` pairs of :func:`load_event_records` (timeline
+    folding needs nothing else, and the pairs are far lighter)."""
+    return [(str(r["kind"]), int(r["cycle"])) for r in load_event_records(path)]
+
+
+def _parse_lines(lines: Iterable[str]) -> Iterator[dict]:
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind, cycle = record["kind"], record["cycle"]
+            if not isinstance(kind, str) or not isinstance(cycle, int):
+                raise TypeError("kind/cycle have wrong types")
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(f"line {lineno}: bad event record: {exc}")
+        yield record
+
+
+@dataclass
+class LaneActivity:
+    """A stream folded into per-lane, per-column event counts."""
+
+    #: lane name -> events per column (len == ``width`` for every lane).
+    columns: dict[str, list[int]]
+    first_cycle: int
+    last_cycle: int
+    width: int
+    total_events: int
+
+    @property
+    def cycles_per_column(self) -> int:
+        span = self.last_cycle - self.first_cycle + 1
+        return max(1, -(-span // self.width))  # ceil division
+
+    def lane_total(self, name: str) -> int:
+        return sum(self.columns.get(name, ()))
+
+
+def fold_stream(events: Iterable[tuple[str, int]],
+                width: int = 64) -> LaneActivity:
+    """Bucket ``(kind, cycle)`` pairs into ``width`` timeline columns.
+
+    The cycle span is split into equal-size buckets; each event lands in
+    the bucket of its cycle on its kind's lane.  Unknown kinds land on a
+    ``'?'`` lane rather than being dropped, so the totals always add up.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    pairs = list(events)
+    if not pairs:
+        return LaneActivity(columns={lane.name: [0] * width for lane in LANES},
+                            first_cycle=0, last_cycle=0, width=width,
+                            total_events=0)
+    first = min(cycle for _, cycle in pairs)
+    last = max(cycle for _, cycle in pairs)
+    span = last - first + 1
+    per_column = max(1, -(-span // width))  # ceil division
+    columns: dict[str, list[int]] = {lane.name: [0] * width for lane in LANES}
+    for kind, cycle in pairs:
+        lane = lane_of(kind)
+        if lane not in columns:
+            columns[lane] = [0] * width
+        column = min((cycle - first) // per_column, width - 1)
+        columns[lane][column] += 1
+    return LaneActivity(columns=columns, first_cycle=first, last_cycle=last,
+                        width=width, total_events=len(pairs))

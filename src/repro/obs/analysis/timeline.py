@@ -1,0 +1,123 @@
+"""Timeline and flamegraph rendering of a folded event stream.
+
+Two renderings of the same :class:`~repro.obs.analysis.lanes.LaneActivity`:
+
+* :func:`render_timeline` — a fixed-width ASCII (optionally ANSI-colored)
+  chart, one row per Figure-3 lane, density glyphs per time column.  The
+  glyph ramp is normalised per lane, so each lane shows its own temporal
+  shape (a lane's busiest column always renders ``@``).
+* :func:`collapsed_stacks` — Brendan-Gregg collapsed-stack lines
+  (``frame;frame;frame count``), the input format of ``flamegraph.pl``,
+  speedscope, and friends.  The stack of an event is its kind split on
+  ``.`` under a root frame (the cell name), e.g.
+  ``tree/repl;l2;push;redundant 1042``.  Weights are event counts by
+  default; ``weight="cycles"`` uses the attached duration field
+  (``response`` for prefetching steps, ``occupancy`` for learning steps)
+  where one exists, which turns the flamegraph into Figure-2 time
+  attribution rather than event frequency.
+
+Both renderings are pure functions of the stream — byte-deterministic
+for a deterministic cell, which is what lets tests pin them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.analysis.lanes import LANES, LaneActivity
+
+#: Density ramp: index ~ lane-normalised event count (space = idle).
+GLYPHS = " .:-=+*#%@"
+
+#: ANSI foreground colors cycled across lanes (``ansi=True`` only).
+_ANSI_COLORS = (36, 33, 35, 31, 32, 34, 36, 33, 32, 31)
+_ANSI_RESET = "\x1b[0m"
+
+
+def _lane_row(counts: list[int], peak: int) -> str:
+    if peak <= 0:
+        return " " * len(counts)
+    top = len(GLYPHS) - 1
+    # Ceil-scale so any non-zero bucket is visible (never rounds to idle).
+    return "".join(GLYPHS[-(-count * top // peak)] if count else " "
+                   for count in counts)
+
+
+def render_timeline(activity: LaneActivity, title: str = "trace",
+                    lanes: Iterable[str] | None = None,
+                    ansi: bool = False) -> list[str]:
+    """Render folded lane activity as chart lines (no trailing newline).
+
+    ``lanes`` optionally restricts (and orders) the rendered lane names;
+    by default every schema lane is drawn, idle or not, so two runs of
+    different configs line up row for row.
+    """
+    wanted = list(lanes) if lanes is not None else [l.name for l in LANES]
+    labels = {lane.name: lane.label for lane in LANES}
+    unknown = [name for name in wanted
+               if name not in activity.columns and name not in labels]
+    if unknown:
+        known = ", ".join(lane.name for lane in LANES)
+        raise ValueError(f"unknown lane(s) {', '.join(unknown)}; "
+                         f"known lanes: {known}")
+    out = [f"timeline — {title}: {activity.total_events:,} events, "
+           f"cycles {activity.first_cycle:,}..{activity.last_cycle:,} "
+           f"({activity.cycles_per_column:,} cycles/column)"]
+    name_width = max(len(name) for name in wanted)
+    for index, name in enumerate(wanted):
+        counts = activity.columns.get(name, [0] * activity.width)
+        row = _lane_row(counts, max(counts, default=0))
+        if ansi:
+            color = _ANSI_COLORS[index % len(_ANSI_COLORS)]
+            row = f"\x1b[{color}m{row}{_ANSI_RESET}"
+        total = sum(counts)
+        label = labels.get(name, name)
+        out.append(f"{name:<{name_width}} |{row}| {total:>10,}  {label}")
+    ruler = _ruler(activity, name_width)
+    out.append(ruler)
+    return out
+
+
+def _ruler(activity: LaneActivity, name_width: int) -> str:
+    """Cycle ruler under the chart: first / middle / last column starts."""
+    width = activity.width
+    per = activity.cycles_per_column
+    left = f"{activity.first_cycle:,}"
+    mid = f"{activity.first_cycle + (width // 2) * per:,}"
+    right = f"{activity.last_cycle:,}"
+    line = [" "] * width
+    line[:len(left)] = left
+    mid_at = max(0, width // 2 - len(mid) // 2)
+    line[mid_at:mid_at + len(mid)] = mid
+    line[max(0, width - len(right)):] = right[:width]
+    return f"{'':<{name_width}} |{''.join(line[:width])}|"
+
+
+#: Event info fields that carry a duration, in lookup order
+#: (``weight="cycles"``): Figure-2 response/occupancy times first.
+_DURATION_FIELDS = ("response", "occupancy", "lost")
+
+
+def collapsed_stacks(events: Iterable[Mapping[str, object]],
+                     root: str = "trace",
+                     weight: str = "events") -> list[str]:
+    """Fold full event records into collapsed-stack lines.
+
+    ``events`` are decoded JSON-lines records (``kind`` plus info
+    fields).  Returns ``root;seg;seg <weight>`` lines sorted by stack
+    name — deterministic, and exactly what flamegraph tooling ingests.
+    """
+    if weight not in ("events", "cycles"):
+        raise ValueError(f"weight must be 'events' or 'cycles', not {weight!r}")
+    totals: dict[str, int] = {}
+    for record in events:
+        stack = root + ";" + str(record["kind"]).replace(".", ";")
+        n = 1
+        if weight == "cycles":
+            for field in _DURATION_FIELDS:
+                value = record.get(field)
+                if isinstance(value, int):
+                    n = max(1, value)
+                    break
+        totals[stack] = totals.get(stack, 0) + n
+    return [f"{stack} {totals[stack]}" for stack in sorted(totals)]

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro trace APPS [CONFIGS] [--scale S] [--jobs N]
         [--out-dir DIR] [--events] [--cache-dir DIR]
+        [--stream] [--stream-buffer N] [--diff CONFIG_A CONFIG_B]
 
 ``APPS`` and ``CONFIGS`` are comma-separated (``CONFIGS`` defaults to
 ``repl``).  Every (app, config) cell runs under the event tracer; the
@@ -11,8 +12,21 @@ command prints one digest line per cell (event count + SHA-256 of the
 JSON-lines stream + headline figures) followed by the metrics summary
 merged across all cells in matrix order.  Because every cell is
 deterministic and snapshot merging is order-independent, the entire
-stdout is byte-identical between serial, ``--jobs N``, and warm-cache
-invocations — the CI trace-parity job diffs exactly this.
+stdout is byte-identical between serial, ``--jobs N``, warm-cache, and
+``--stream`` invocations — the CI trace-parity job diffs exactly this.
+
+``--stream`` exports incrementally through the bounded
+:class:`~repro.obs.tracer.StreamingSink` instead of buffering whole
+streams: memory stays O(``--stream-buffer``) per cell and the written
+bytes (and printed SHA-256) are identical to the buffered path.
+Streaming runs in-process by construction, so it rejects ``--jobs`` > 1
+and ``--cache-dir`` (use the plain buffered path for those).
+
+``--diff CONFIG_A CONFIG_B`` traces one app under both configs and
+explains how the streams differ (first divergence, retimed/missing/extra
+classification, per-kind deltas including the four L2 drop rules) —
+see :mod:`repro.obs.analysis.diff`.  Exit status is diff-like: 0 when
+identical, 1 when divergent.
 
 Unlike the other matrix commands the persistent cache is *opt-in*
 (``--cache-dir``): traced payloads embed the full event stream and are
@@ -25,9 +39,12 @@ import argparse
 import hashlib
 import sys
 from pathlib import Path
+from typing import Mapping, Optional
 
 from repro.obs.metrics import merge_all, summary_lines
-from repro.obs.runner import TraceRun
+from repro.obs.runner import TraceRun, run_traced_streaming
+from repro.obs.tracer import DEFAULT_STREAM_BUFFER
+from repro.sim.config import custom_config, preset
 from repro.sim.driver import run_matrix
 
 
@@ -36,17 +53,105 @@ def trace_digest(run: TraceRun) -> str:
     return hashlib.sha256(run.jsonl().encode("ascii")).hexdigest()
 
 
-def cell_lines(app: str, name: str, run: TraceRun) -> list[str]:
-    """The per-cell digest block (deterministic, stdout)."""
-    lines = [f"{app}/{name}: {len(run.events):,} events  "
-             f"sha256 {trace_digest(run)[:16]}  "
-             f"exec {run.result.execution_time:,} cycles"]
+def cell_lines(app: str, name: str, event_count: int, digest: str,
+               kind_counts: Mapping[str, int],
+               execution_time: int) -> list[str]:
+    """The per-cell digest block (deterministic, stdout).
+
+    Takes the already-computed digest material rather than a
+    :class:`TraceRun` so the buffered and streamed paths print through
+    the exact same code — byte-identity between the two is a test
+    contract (``tests/test_obs_stream.py``).
+    """
+    lines = [f"{app}/{name}: {event_count:,} events  "
+             f"sha256 {digest[:16]}  "
+             f"exec {execution_time:,} cycles"]
+    for kind in sorted(kind_counts):
+        lines.append(f"    {kind:24s} {kind_counts[kind]:>10,}")
+    return lines
+
+
+def _run_cell_lines(app: str, name: str, run: TraceRun) -> list[str]:
     counts: dict[str, int] = {}
     for event in run.events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
-    for kind in sorted(counts):
-        lines.append(f"    {kind:24s} {counts[kind]:>10,}")
-    return lines
+    return cell_lines(app, name, len(run.events), trace_digest(run),
+                      counts, run.result.execution_time)
+
+
+class _Discard:
+    """A write-only text sink for digest-only streaming (no ``--out-dir``)."""
+
+    def write(self, chunk: str) -> None:
+        pass
+
+
+def _resolve_config_name(app: str, config: str):
+    cfg = custom_config(app) if config == "custom" else preset(config)
+    return cfg, cfg.name
+
+
+def _stream_cells(apps: list[str], configs: list[str], scale: float,
+                  buffer_events: int, out_dir: Optional[Path]) -> int:
+    """The ``--stream`` matrix: serial, bounded-memory, atomic files."""
+    print(f"trace matrix @ scale {scale} — "
+          f"{len(apps)} app(s) x {len(configs)} config(s)")
+    snapshots = []
+    for app in apps:
+        for config in configs:
+            cfg, name = _resolve_config_name(app, config)
+            if out_dir is not None:
+                target = out_dir / f"{app}_{name}.jsonl"
+                srun = run_traced_streaming(app, cfg, scale=scale, out=target,
+                                            buffer_events=buffer_events)
+            else:
+                srun = run_traced_streaming(app, cfg, scale=scale,
+                                            out=_Discard(),
+                                            buffer_events=buffer_events)
+            for line in cell_lines(app, name, srun.event_count, srun.sha256,
+                                   srun.kind_counts,
+                                   srun.result.execution_time):
+                print(line)
+            if srun.path is not None:
+                print(f"[trace] wrote {srun.path}", file=sys.stderr)
+            snapshots.append(srun.metrics)
+    _print_merged(snapshots, out_dir)
+    return 0
+
+
+def _print_merged(snapshots, out_dir: Optional[Path]) -> None:
+    merged = merge_all(snapshots)
+    print("merged metrics (all cells):")
+    for line in summary_lines(merged):
+        print(line)
+    if out_dir is not None:
+        from repro.perf.cache import atomic_write_text
+        from repro.sim.serialize import json_line
+        atomic_write_text(out_dir / "metrics.json", json_line(merged) + "\n",
+                          encoding="ascii")
+
+
+def _diff_cells(app: str, config_a: str, config_b: str,
+                scale: float) -> int:
+    """Trace one app under two configs and report their divergences.
+
+    The two cells run directly (not through the matrix mapping, whose
+    per-cell keys would collapse when both configs are the same name —
+    and diffing a config against itself is exactly the determinism
+    check CI runs).
+    """
+    from repro.obs.analysis.diff import diff_streams, report_lines
+    from repro.obs.runner import run_traced
+
+    run_a = run_traced(app, config_a, scale=scale)
+    run_b = run_traced(app, config_b, scale=scale)
+    report = diff_streams((e.to_dict() for e in run_a.events),
+                          (e.to_dict() for e in run_b.events))
+    label_a = f"{app}/{run_a.result.config_name}"
+    label_b = f"{app}/{run_b.result.config_name}"
+    for line in report_lines(report, label_a, label_b):
+        print(line)
+    return 0 if report.identical else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +173,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="opt-in persistent result cache (traced "
                              "payloads are large, so off by default)")
+    parser.add_argument("--stream", action="store_true",
+                        help="export incrementally with bounded memory "
+                             "(byte-identical output; serial only)")
+    parser.add_argument("--stream-buffer", type=int,
+                        default=DEFAULT_STREAM_BUFFER, metavar="N",
+                        help="streaming buffer bound in events "
+                             f"(default {DEFAULT_STREAM_BUFFER})")
+    parser.add_argument("--diff", nargs=2, default=None,
+                        metavar=("CONFIG_A", "CONFIG_B"),
+                        help="trace one app under two configs and report "
+                             "their divergences (exit 1 when divergent)")
     args = parser.parse_args(argv)
 
     apps = [a for a in args.apps.split(",") if a]
@@ -76,11 +192,36 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("need at least one app and one config")
     if args.events and len(apps) * len(configs) != 1:
         parser.error("--events needs exactly one (app, config) cell")
+    if args.stream and (args.jobs > 1 or args.cache_dir is not None):
+        parser.error("--stream runs in-process: drop --jobs/--cache-dir")
+    if args.stream and args.diff is not None:
+        parser.error("--diff needs retained streams; drop --stream")
+    if args.diff is not None and len(apps) != 1:
+        parser.error("--diff compares two configs of exactly one app")
+    if args.diff is not None and (args.jobs > 1 or args.cache_dir is not None):
+        parser.error("--diff runs its two cells in-process: "
+                     "drop --jobs/--cache-dir")
+    if args.stream_buffer < 1:
+        parser.error("--stream-buffer must be >= 1")
 
     cache = None
     if args.cache_dir is not None:
         from repro.perf.cache import ResultCache
         cache = ResultCache(args.cache_dir)
+
+    if args.diff is not None:
+        return _diff_cells(apps[0], args.diff[0], args.diff[1], args.scale)
+
+    if args.stream:
+        if args.events:
+            cfg, _ = _resolve_config_name(apps[0], configs[0])
+            run_traced_streaming(apps[0], cfg, scale=args.scale,
+                                 out=sys.stdout,
+                                 buffer_events=args.stream_buffer)
+            return 0
+        out_dir = Path(args.out_dir) if args.out_dir is not None else None
+        return _stream_cells(apps, configs, args.scale, args.stream_buffer,
+                             out_dir)
 
     matrix = run_matrix(apps, configs, scale=args.scale, jobs=args.jobs,
                         cache=cache, trace=True)
@@ -93,28 +234,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     out_dir = Path(args.out_dir) if args.out_dir is not None else None
-    if out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
 
     print(f"trace matrix @ scale {args.scale} — "
           f"{len(apps)} app(s) x {len(configs)} config(s)")
     for (app, config), run in zip(cells, runs):
         name = run.result.config_name
-        for line in cell_lines(app, name, run):
+        for line in _run_cell_lines(app, name, run):
             print(line)
         if out_dir is not None:
+            from repro.perf.cache import atomic_write_text
             path = out_dir / f"{app}_{name}.jsonl"
-            path.write_text(run.jsonl(), encoding="ascii")
+            atomic_write_text(path, run.jsonl(), encoding="ascii")
             print(f"[trace] wrote {path}", file=sys.stderr)
 
-    merged = merge_all(run.metrics for run in runs)
-    print("merged metrics (all cells):")
-    for line in summary_lines(merged):
-        print(line)
-    if out_dir is not None:
-        from repro.sim.serialize import json_line
-        (out_dir / "metrics.json").write_text(json_line(merged) + "\n",
-                                              encoding="ascii")
+    _print_merged([run.metrics for run in runs], out_dir)
     if cache is not None:
         print(f"[cache] {cache.stats.describe()} in {cache.directory}",
               file=sys.stderr)

@@ -45,7 +45,13 @@ class MetricsRegistry:
         self._counters[name] = self._counters.get(name, 0) + n
 
     def observe(self, name: str, value: int) -> None:
-        """Record one sample of ``value`` into histogram ``name``."""
+        """Record one sample of ``value`` into histogram ``name``.
+
+        Zero is a first-class sample: it lands in the defined bin ``0``
+        (``0 .bit_length() == 0``) rather than being dropped or pushed
+        into the ``[1, 2)`` bin, so all-zero histograms round-trip and
+        merge like any other; negatives clamp to that same bin.
+        """
         if value < 0:
             value = 0
         hist = self._hists.get(name)
@@ -85,8 +91,18 @@ def empty_snapshot() -> dict[str, Any]:
     return {"version": SNAPSHOT_VERSION, "counters": {}, "histograms": {}}
 
 
+#: The fields every histogram entry must carry (merge reads all of them).
+_HIST_FIELDS = ("bins", "count", "sum", "min", "max")
+
+
 def validate_snapshot(snap: Mapping[str, Any]) -> None:
-    """Raise ``ValueError`` on a malformed or incompatible snapshot."""
+    """Raise ``ValueError`` on a malformed or incompatible snapshot.
+
+    Histogram entries are checked field by field, so a truncated or
+    hand-built snapshot fails here with a clear ``ValueError`` — which
+    cache decoding treats as a miss — instead of surfacing as a
+    ``KeyError`` from deep inside :func:`merge_snapshots`.
+    """
     if snap.get("version") != SNAPSHOT_VERSION:
         raise ValueError(f"metrics snapshot version {snap.get('version')!r} "
                          f"!= {SNAPSHOT_VERSION}")
@@ -94,6 +110,15 @@ def validate_snapshot(snap: Mapping[str, Any]) -> None:
         raise ValueError("metrics snapshot has no counters dict")
     if not isinstance(snap.get("histograms"), dict):
         raise ValueError("metrics snapshot has no histograms dict")
+    for name, hist in snap["histograms"].items():
+        if not isinstance(hist, dict):
+            raise ValueError(f"histogram {name!r} is not a dict")
+        missing = [f for f in _HIST_FIELDS if f not in hist]
+        if missing:
+            raise ValueError(f"histogram {name!r} lacks field(s) "
+                             f"{', '.join(missing)}")
+        if not isinstance(hist["bins"], dict):
+            raise ValueError(f"histogram {name!r} bins is not a dict")
 
 
 def merge_snapshots(a: Mapping[str, Any],

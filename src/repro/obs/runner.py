@@ -12,12 +12,20 @@ warm-cache replay is byte-identical to the original run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Union
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, TextIO, Union
 
 from repro.obs.events import TraceEvent
 from repro.obs.metrics import validate_snapshot
-from repro.obs.tracer import Tracer, event_json_line
+from repro.obs.tracer import (
+    DEFAULT_STREAM_BUFFER,
+    StreamingSink,
+    Tracer,
+    event_json_line,
+)
 from repro.sim.config import SystemConfig, custom_config, preset
 from repro.sim.stats import SimResult, result_counter_metrics
 from repro.sim.system import System
@@ -72,6 +80,31 @@ class TraceRun:
         )
 
 
+def _resolve_cell(workload: Union[str, Trace],
+                  config: Union[str, SystemConfig],
+                  scale: float,
+                  seed: Optional[int]) -> tuple[Trace, SystemConfig]:
+    """Shared (workload, config) resolution of every traced entry point."""
+    if isinstance(workload, Trace):
+        trace = workload
+        app_name = trace.name or "trace"
+    else:
+        trace = get_trace(workload, scale=scale, seed=seed)
+        app_name = workload
+    if isinstance(config, str):
+        config = (custom_config(app_name) if config == "custom"
+                  else preset(config))
+    return trace, config
+
+
+def _fold_result_counters(tracer: Tracer, result: SimResult) -> dict[str, Any]:
+    """The run's metrics snapshot with the headline counters folded in."""
+    registry = tracer.metrics
+    for name, value in result_counter_metrics(result).items():
+        registry.count(name, value)
+    return registry.snapshot()
+
+
 def run_traced(workload: Union[str, Trace],
                config: Union[str, SystemConfig] = "nopref",
                scale: float = 1.0,
@@ -83,20 +116,183 @@ def run_traced(workload: Union[str, Trace],
     ``seed`` optionally regenerates the workload trace under a non-default
     layout seed, exactly as the pool's task ``seed`` field does.
     """
-    if isinstance(workload, Trace):
-        trace = workload
-        app_name = trace.name or "trace"
-    else:
-        trace = get_trace(workload, scale=scale, seed=seed)
-        app_name = workload
-    if isinstance(config, str):
-        config = (custom_config(app_name) if config == "custom"
-                  else preset(config))
+    trace, config = _resolve_cell(workload, config, scale, seed)
     tracer = Tracer()
     system = System(config, tracer=tracer)
     result = system.run(trace)
-    registry = tracer.metrics
-    for name, value in result_counter_metrics(result).items():
-        registry.count(name, value)
     return TraceRun(result=result, events=tracer.events,
-                    metrics=registry.snapshot())
+                    metrics=_fold_result_counters(tracer, result))
+
+
+@dataclass
+class StreamedTraceRun:
+    """What one *streamed* traced cell leaves behind.
+
+    The event stream itself went straight to disk (or an arbitrary text
+    stream) through the bounded :class:`~repro.obs.tracer.StreamingSink`;
+    what remains in memory is the digest the trace CLI prints — count,
+    per-kind counts, rolling SHA-256 — plus the usual result and metrics
+    snapshot.  ``sha256`` equals the buffered path's stream digest for
+    the same cell (``tests/test_obs_stream.py``).
+    """
+
+    result: SimResult
+    metrics: dict[str, Any]
+    event_count: int
+    kind_counts: dict[str, int]
+    sha256: str
+    peak_buffered: int
+    buffer_events: int
+    #: Where the stream landed (None when written to a caller stream).
+    path: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "result": self.result.to_dict(),
+            "metrics": self.metrics,
+            "event_count": self.event_count,
+            "kind_counts": dict(self.kind_counts),
+            "sha256": self.sha256,
+            "peak_buffered": self.peak_buffered,
+            "buffer_events": self.buffer_events,
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamedTraceRun":
+        if data["version"] != TRACE_FORMAT_VERSION:
+            raise ValueError(f"trace format version {data['version']!r} "
+                             f"!= {TRACE_FORMAT_VERSION}")
+        metrics = data["metrics"]
+        validate_snapshot(metrics)
+        return cls(result=SimResult.from_dict(data["result"]),
+                   metrics=metrics,
+                   event_count=data["event_count"],
+                   kind_counts=dict(data["kind_counts"]),
+                   sha256=data["sha256"],
+                   peak_buffered=data["peak_buffered"],
+                   buffer_events=data["buffer_events"],
+                   path=data["path"])
+
+
+def run_traced_streaming(workload: Union[str, Trace],
+                         config: Union[str, SystemConfig] = "nopref",
+                         scale: float = 1.0,
+                         seed: Optional[int] = None,
+                         *,
+                         out: "TextIO | str | Path",
+                         buffer_events: int = DEFAULT_STREAM_BUFFER,
+                         ) -> StreamedTraceRun:
+    """:func:`run_traced` with the event stream exported incrementally.
+
+    ``out`` is either an open text stream (e.g. ``sys.stdout``) or a
+    path.  Path targets follow the result cache's atomic-write
+    discipline: parent directories are created, the stream is written to
+    a same-directory temp file, and ``os.replace`` publishes it only
+    after the run finished — a killed run never leaves a torn trace.
+
+    Peak memory attributable to the event stream is ``buffer_events``
+    events; the written bytes (and their SHA-256) are identical to the
+    buffered path's ``TraceRun.jsonl()``.
+    """
+    trace, config = _resolve_cell(workload, config, scale, seed)
+
+    if hasattr(out, "write"):
+        sink = StreamingSink(out, buffer_events)  # type: ignore[arg-type]
+        result = _run_into_sink(trace, config, sink)
+        return _streamed_run(result, sink, path=None)
+
+    path = Path(out)  # type: ignore[arg-type]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="ascii") as fh:
+            sink = StreamingSink(fh, buffer_events)
+            result = _run_into_sink(trace, config, sink)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return _streamed_run(result, sink, path=str(path))
+
+
+def _run_into_sink(trace: Trace, config: SystemConfig,
+                   sink: StreamingSink) -> tuple[SimResult, dict[str, Any]]:
+    tracer = Tracer(sink=sink)
+    system = System(config, tracer=tracer)
+    result = system.run(trace)
+    tracer.flush()
+    return result, _fold_result_counters(tracer, result)
+
+
+def _streamed_run(ran: tuple[SimResult, dict[str, Any]], sink: StreamingSink,
+                  path: Optional[str]) -> StreamedTraceRun:
+    result, metrics = ran
+    return StreamedTraceRun(
+        result=result, metrics=metrics, event_count=sink.count,
+        kind_counts=dict(sink.kind_counts), sha256=sink.hexdigest(),
+        peak_buffered=sink.peak_buffered, buffer_events=sink.buffer_events,
+        path=path)
+
+
+@dataclass
+class WindowedRun:
+    """A metrics-only traced cell plus the per-window sampler log.
+
+    Built by :func:`run_windowed` for the chaos sweep: the simulation
+    runs under a metrics-only tracer (no event is ever retained, so the
+    memory cost is O(windows)), and ``windows`` carries the raw
+    coverage/accuracy sampler deltas — one ``(eliminated, original,
+    arrived)`` triple per :data:`repro.sim.system.System.COVERAGE_WINDOW`
+    demand misses, in run order, including the final partial window.
+    """
+
+    result: SimResult
+    metrics: dict[str, Any]
+    windows: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "result": self.result.to_dict(),
+            "metrics": self.metrics,
+            "windows": [list(w) for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowedRun":
+        if data["version"] != TRACE_FORMAT_VERSION:
+            raise ValueError(f"trace format version {data['version']!r} "
+                             f"!= {TRACE_FORMAT_VERSION}")
+        metrics = data["metrics"]
+        validate_snapshot(metrics)
+        windows = [(int(e), int(o), int(a)) for e, o, a in data["windows"]]
+        return cls(result=SimResult.from_dict(data["result"]),
+                   metrics=metrics, windows=windows)
+
+
+def run_windowed(workload: Union[str, Trace],
+                 config: Union[str, SystemConfig] = "nopref",
+                 scale: float = 1.0,
+                 seed: Optional[int] = None) -> WindowedRun:
+    """Run one cell with windowed coverage/accuracy sampling only.
+
+    The :class:`SimResult` is identical to an untraced run of the same
+    cell (tracing is pure observation); the event stream is discarded at
+    emission, so full-scale chaos sweeps stay cheap.
+    """
+    trace, config = _resolve_cell(workload, config, scale, seed)
+    tracer = Tracer(collect_events=False)
+    system = System(config, tracer=tracer)
+    result = system.run(trace)
+    windows = list(system.window_log)
+    tail = system.window_tail()
+    if tail is not None:
+        windows.append(tail)
+    return WindowedRun(result=result,
+                       metrics=_fold_result_counters(tracer, result),
+                       windows=windows)

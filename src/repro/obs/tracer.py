@@ -16,16 +16,70 @@ without a tracer performs zero allocations attributable to this package.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from typing import Optional, TextIO
 
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.serialize import json_line
 
+#: Default bounded-buffer size (events) of the streaming export path.
+DEFAULT_STREAM_BUFFER = 4096
+
 
 def event_json_line(event: TraceEvent) -> str:
     """One JSON-lines record: compact, sorted keys — byte-deterministic."""
     return json_line(event.to_dict())
+
+
+class StreamingSink:
+    """Bounded-memory JSON-lines writer with a rolling SHA-256.
+
+    A :class:`Tracer` built with ``sink=`` flushes its event buffer into
+    the sink every ``buffer_events`` emissions (and once more at the end
+    of the run), so a full-scale traced export holds O(buffer) events in
+    memory instead of O(stream).  The sink writes exactly the lines the
+    buffered path would (``Tracer.jsonl``), digests them as it goes, and
+    keeps the per-kind counts — everything the trace CLI's digest block
+    needs — without ever retaining an event.
+    """
+
+    __slots__ = ("stream", "buffer_events", "count", "kind_counts",
+                 "peak_buffered", "_sha")
+
+    def __init__(self, stream: TextIO,
+                 buffer_events: int = DEFAULT_STREAM_BUFFER) -> None:
+        if buffer_events < 1:
+            raise ValueError(f"buffer_events must be >= 1, "
+                             f"got {buffer_events}")
+        self.stream = stream
+        self.buffer_events = buffer_events
+        self.count = 0
+        self.kind_counts: dict[str, int] = {}
+        #: Largest event batch ever handed over by the tracer — the
+        #: bounded-memory claim is ``peak_buffered <= buffer_events``
+        #: (asserted by ``tests/test_obs_stream.py``).
+        self.peak_buffered = 0
+        self._sha = hashlib.sha256()
+
+    def write(self, events: list[TraceEvent]) -> None:
+        """Drain one tracer buffer: render, digest, write, count."""
+        if not events:
+            return
+        if len(events) > self.peak_buffered:
+            self.peak_buffered = len(events)
+        chunk = "".join(event_json_line(e) + "\n" for e in events)
+        self._sha.update(chunk.encode("ascii"))
+        self.stream.write(chunk)
+        self.count += len(events)
+        counts = self.kind_counts
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+
+    def hexdigest(self) -> str:
+        """SHA-256 over every byte written so far (== the buffered
+        stream's digest once the final flush has happened)."""
+        return self._sha.hexdigest()
 
 
 class Tracer:
@@ -34,24 +88,52 @@ class Tracer:
     ``emit`` appends in call order; the simulator is single-threaded and
     deterministic, so the stream order is a pure function of the
     (workload, config, seed) cell.
+
+    Two optional operating modes:
+
+    * ``sink=`` — streaming export: the event buffer is flushed into a
+      :class:`StreamingSink` whenever it reaches the sink's bound (call
+      :meth:`flush` once after the run for the tail).  The written bytes
+      are identical to the buffered path's ``jsonl()``.
+    * ``collect_events=False`` — metrics-only: ``emit`` becomes a no-op
+      (the registry is still populated by the instrumented subsystems),
+      used by the windowed chaos sweep where only the sampler output is
+      wanted and retaining the event stream would be O(stream) memory
+      for nothing.
     """
 
-    __slots__ = ("events", "metrics", "_check_kinds")
+    __slots__ = ("events", "metrics", "sink", "_check_kinds", "_collect",
+                 "_flush_at")
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
-                 check_kinds: bool = False) -> None:
+                 check_kinds: bool = False,
+                 sink: Optional[StreamingSink] = None,
+                 collect_events: bool = True) -> None:
         self.events: list[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Schema enforcement for tests; off by default on the hot path.
         self._check_kinds = check_kinds
+        self.sink = sink
+        self._collect = collect_events
+        self._flush_at = sink.buffer_events if sink is not None else 0
 
     def emit(self, kind: str, cycle: int, addr: Optional[int] = None,
              **info: int | str) -> None:
         """Record one event (``info`` keys are sorted into the record)."""
         if self._check_kinds and kind not in EVENT_KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
+        if not self._collect:
+            return
         self.events.append(TraceEvent(kind=kind, cycle=cycle, addr=addr,
                                       info=tuple(sorted(info.items()))))
+        if self._flush_at and len(self.events) >= self._flush_at:
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the buffer into the sink (no-op without one)."""
+        if self.sink is not None and self.events:
+            self.sink.write(self.events)
+            self.events.clear()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -57,6 +57,30 @@ def default_cache_dir() -> Path:
     return Path(DEFAULT_CACHE_DIRNAME)
 
 
+def atomic_write_text(path: Path | str, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` with the cache's atomic discipline.
+
+    Parent directories are created, the content lands in a same-directory
+    temp file, and ``os.replace`` publishes it — readers (including
+    concurrent pool workers writing sibling files) never observe a torn
+    or partial file, and a killed run leaves the previous version intact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def fingerprint(kind: str, key: dict[str, Any]) -> str:
     """Stable content hash for a cache key.
 

@@ -27,9 +27,18 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from pathlib import Path
+
 from repro.analysis.prediction import PredictionResult, figure5_row
 from repro.analysis.tablesize import TableSizing, size_application_table
-from repro.obs.runner import TraceRun, run_traced
+from repro.obs.runner import (
+    StreamedTraceRun,
+    TraceRun,
+    WindowedRun,
+    run_traced,
+    run_traced_streaming,
+    run_windowed,
+)
 from repro.perf.cache import ResultCache, fingerprint, sim_cache_key
 from repro.sim.config import SystemConfig, custom_config, preset
 from repro.sim.driver import run_simulation
@@ -41,6 +50,16 @@ KIND_SIM = "sim"
 KIND_FIG5 = "fig5"
 KIND_TABLESIZE = "tablesize"
 KIND_TRACE = "trace"
+KIND_WINDOWS = "windows"
+KIND_STREAM = "stream"
+
+#: Kinds whose results go through the persistent cache.  ``stream`` tasks
+#: are deliberately excluded: their observable product is a file on disk
+#: (written atomically by the worker itself), so replaying one from a
+#: cached digest would skip the write and "succeed" without producing the
+#: trace.  They always execute.
+CACHEABLE_KINDS = frozenset(
+    {KIND_SIM, KIND_FIG5, KIND_TABLESIZE, KIND_TRACE, KIND_WINDOWS})
 
 
 @dataclass(frozen=True)
@@ -58,11 +77,11 @@ class MatrixTask:
     seed: Optional[int] = None
 
     def label(self) -> str:
-        if self.kind in (KIND_SIM, KIND_TRACE):
+        if self.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM):
             name = (self.config.name if isinstance(self.config, SystemConfig)
                     else self.config)
             cell = f"{self.app}/{name}"
-            return cell if self.kind == KIND_SIM else f"trace:{cell}"
+            return cell if self.kind == KIND_SIM else f"{self.kind}:{cell}"
         return f"{self.kind}:{self.app}"
 
 
@@ -81,6 +100,32 @@ def trace_task(app: str, config: "str | SystemConfig", scale: float,
     """
     return MatrixTask(kind=KIND_TRACE, app=app, scale=scale, config=config,
                       seed=seed)
+
+
+def windows_task(app: str, config: "str | SystemConfig", scale: float,
+                 seed: Optional[int] = None) -> MatrixTask:
+    """A ``sim`` cell run with windowed coverage/accuracy sampling.
+
+    Metrics-only tracing: no event stream is retained, so full-scale
+    chaos sweeps can fan these out without O(stream) memory per worker.
+    """
+    return MatrixTask(kind=KIND_WINDOWS, app=app, scale=scale, config=config,
+                      seed=seed)
+
+
+def stream_task(app: str, config: "str | SystemConfig", scale: float,
+                out_dir: "str | Path",
+                buffer_events: int,
+                seed: Optional[int] = None) -> MatrixTask:
+    """A traced cell whose event stream goes straight to disk.
+
+    The worker writes ``<out_dir>/<app>_<config>.jsonl`` atomically and
+    returns only the :class:`~repro.obs.runner.StreamedTraceRun` digest
+    (which pickles cheaply), so exporting a full-scale matrix holds
+    O(buffer) events in memory per worker instead of O(stream).
+    """
+    return MatrixTask(kind=KIND_STREAM, app=app, scale=scale, config=config,
+                      params=(str(out_dir), buffer_events), seed=seed)
 
 
 def fig5_task(app: str, scale: float, predictors: tuple,
@@ -105,7 +150,13 @@ def resolve_task_config(task: MatrixTask) -> SystemConfig:
 
 def task_cache_key(task: MatrixTask) -> dict[str, Any]:
     """The persistent-cache key material of one task."""
-    if task.kind in (KIND_SIM, KIND_TRACE):
+    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS):
+        return sim_cache_key(task.app, resolve_task_config(task),
+                             task.scale, task.seed)
+    if task.kind == KIND_STREAM:
+        # Never cached (see CACHEABLE_KINDS), but still keyed: the worker
+        # re-seeds its RNG from this material, and the buffer size/target
+        # directory must not perturb that.
         return sim_cache_key(task.app, resolve_task_config(task),
                              task.scale, task.seed)
     if task.kind == KIND_FIG5:
@@ -122,7 +173,7 @@ def task_cache_key(task: MatrixTask) -> dict[str, Any]:
 
 
 def encode_payload(task: MatrixTask, result: Any) -> Any:
-    if task.kind in (KIND_SIM, KIND_TRACE):
+    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM):
         return result.to_dict()
     if task.kind == KIND_FIG5:
         # A list, not a dict: the cache file is written with sorted keys,
@@ -146,6 +197,10 @@ def decode_payload(task: MatrixTask, payload: Any) -> Any:
         return SimResult.from_dict(payload)
     if task.kind == KIND_TRACE:
         return TraceRun.from_dict(payload)
+    if task.kind == KIND_WINDOWS:
+        return WindowedRun.from_dict(payload)
+    if task.kind == KIND_STREAM:
+        return StreamedTraceRun.from_dict(payload)
     if task.kind == KIND_FIG5:
         return {entry["predictor"]: PredictionResult(
                     predictor=entry["predictor"],
@@ -169,6 +224,16 @@ def execute_task(task: MatrixTask) -> Any:
     if task.kind == KIND_TRACE:
         return run_traced(task.app, resolve_task_config(task),
                           scale=task.scale, seed=task.seed)
+    if task.kind == KIND_WINDOWS:
+        return run_windowed(task.app, resolve_task_config(task),
+                            scale=task.scale, seed=task.seed)
+    if task.kind == KIND_STREAM:
+        out_dir, buffer_events = task.params
+        config = resolve_task_config(task)
+        path = Path(out_dir) / f"{task.app}_{config.name}.jsonl"
+        return run_traced_streaming(task.app, config, scale=task.scale,
+                                    seed=task.seed, out=path,
+                                    buffer_events=buffer_events)
     if task.kind == KIND_FIG5:
         predictors, max_level = task.params
         return figure5_row(task.app, task.scale, predictors, max_level)
@@ -194,7 +259,7 @@ def _worker_execute(task: MatrixTask) -> Any:
 
 
 def _from_cache(task: MatrixTask, cache: Optional[ResultCache]) -> Any:
-    if cache is None:
+    if cache is None or task.kind not in CACHEABLE_KINDS:
         return None
     payload = cache.get(task.kind, task_cache_key(task))
     if payload is None:
@@ -235,7 +300,8 @@ def run_tasks(tasks: list[MatrixTask], jobs: int = 1,
         nonlocal done
         results[i] = value
         done += 1
-        if cache is not None and value is not None:
+        if (cache is not None and value is not None
+                and tasks[i].kind in CACHEABLE_KINDS):
             cache.put(tasks[i].kind, task_cache_key(tasks[i]),
                       encode_payload(tasks[i], value))
         if progress is not None:

@@ -118,6 +118,10 @@ class System:
         #: the L2 classification counters at the last window boundary.
         self._window_misses = 0
         self._window_base: tuple[int, int, int, int] = (0, 0, 0, 0)
+        #: One (eliminated, original, arrived) triple per completed
+        #: sampling window, in run order (tracing only) — the raw series
+        #: behind the chaos sweep's per-window degradation report.
+        self.window_log: list[tuple[int, int, int]] = []
 
         # Figure 6 bookkeeping.
         self._miss_bins = [0, 0, 0, 0]
@@ -248,6 +252,19 @@ class System:
         if self._window_misses < self.COVERAGE_WINDOW:
             return
         self._window_misses = 0
+        eliminated, original, arrived = self._window_delta()
+        self.window_log.append((eliminated, original, arrived))
+        metrics = self.tracer.metrics  # type: ignore[union-attr]
+        if original:
+            metrics.observe("l2.window_coverage_pct",
+                            (100 * eliminated) // original)
+        if arrived:
+            metrics.observe("prefetch.window_accuracy_pct",
+                            (100 * eliminated) // arrived)
+
+    def _window_delta(self) -> tuple[int, int, int]:
+        """(eliminated, original, arrived) since the last window boundary
+        (and advance the boundary to now)."""
         stats = self.l2.stats
         current = (stats.prefetch_hits, stats.delayed_hits,
                    stats.nonpref_misses, stats.total_prefetches_arrived)
@@ -258,14 +275,18 @@ class System:
         remaining = current[2] - base[2]
         arrived = current[3] - base[3]
         eliminated = hits + delayed
-        original = eliminated + remaining
-        metrics = self.tracer.metrics  # type: ignore[union-attr]
-        if original:
-            metrics.observe("l2.window_coverage_pct",
-                            (100 * eliminated) // original)
-        if arrived:
-            metrics.observe("prefetch.window_accuracy_pct",
-                            (100 * eliminated) // arrived)
+        return eliminated, eliminated + remaining, arrived
+
+    def window_tail(self) -> Optional[tuple[int, int, int]]:
+        """The partial window still open at end of run (None if empty).
+
+        Read after :meth:`run`; the tail is *not* folded into the
+        histogram metrics (which would retroactively change the golden
+        traces) — only the chaos sweep's window series consumes it.
+        """
+        if self.tracer is None or self._window_misses == 0:
+            return None
+        return self._window_delta()
 
     def _issue_prefetches(self, now: int) -> None:
         """Move due queue-3 entries into the memory system."""

@@ -483,6 +483,29 @@ class TestCliFaults:
         assert code == 0
         assert "chaos sweep" in out
         assert "repl" in out
+        assert "per-window degradation" in out
+        assert "coverage%" in out and "accuracy%" in out
+        assert "Δcoverage" in out
+
+    def test_chaos_windows_zero_disables_the_block(self, capsys):
+        from repro.__main__ import main
+        code = main(["chaos", "tree", "--scale", "0.05", "--no-cache",
+                     "--rates", "0", "--configs", "repl", "--windows", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-window degradation" not in out
+
+    def test_chaos_windows_parity_serial_vs_pool(self, capsys):
+        """The per-window block is byte-identical under --jobs 2."""
+        from repro.__main__ import main
+        argv = ["chaos", "tree", "--scale", "0.05", "--no-cache",
+                "--rates", "0,0.2", "--configs", "repl", "--windows", "4"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "per-window degradation (4 buckets" in serial
 
 
 class TestRobustnessSurfacing:

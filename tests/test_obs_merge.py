@@ -124,3 +124,55 @@ class TestValidation:
         hist = reg.snapshot()["histograms"]["x"]
         assert hist["min"] == 0 and hist["max"] == 0
         assert hist["bins"] == {"0": 1}
+
+    def test_zero_lands_in_a_defined_bucket(self):
+        """Regression: value 0 has its own bin (0.bit_length() == 0), not
+        a dropped sample or a share of the [1, 2) bin."""
+        reg = MetricsRegistry()
+        reg.observe("x", 0)
+        reg.observe("x", 1)
+        hist = reg.snapshot()["histograms"]["x"]
+        assert hist["bins"] == {"0": 1, "1": 1}
+        assert hist["count"] == 2 and hist["sum"] == 1
+
+    def test_all_zero_histograms_merge_like_any_other(self):
+        a = MetricsRegistry()
+        a.observe("x", 0)
+        b = MetricsRegistry()
+        b.observe("x", 0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["histograms"]["x"]["bins"] == {"0": 2}
+
+    def test_disjoint_bucket_sets_merge_without_keyerror(self):
+        """Regression: two snapshots of the same metric whose bin sets do
+        not overlap must merge pointwise, never raise KeyError."""
+        a = MetricsRegistry()
+        a.observe("x", 0)          # bin "0"
+        b = MetricsRegistry()
+        b.observe("x", 1 << 19)    # bin "20"
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        hist = merged["histograms"]["x"]
+        assert hist["bins"] == {"0": 1, "20": 1}
+        assert hist["min"] == 0 and hist["max"] == 1 << 19
+        # And in both argument orders (commutativity over disjoint bins).
+        assert merge_snapshots(b.snapshot(), a.snapshot()) == merged
+
+    def test_malformed_histogram_raises_valueerror_not_keyerror(self):
+        reg = MetricsRegistry()
+        reg.observe("x", 3)
+        good = reg.snapshot()
+        for drop in ("bins", "count", "sum", "min", "max"):
+            bad = reg.snapshot()
+            del bad["histograms"]["x"][drop]
+            with pytest.raises(ValueError):
+                validate_snapshot(bad)
+            with pytest.raises(ValueError):
+                merge_snapshots(good, bad)
+        not_a_dict = reg.snapshot()
+        not_a_dict["histograms"]["x"] = [1, 2, 3]
+        with pytest.raises(ValueError):
+            merge_snapshots(good, not_a_dict)
+        bad_bins = reg.snapshot()
+        bad_bins["histograms"]["x"]["bins"] = "3"
+        with pytest.raises(ValueError):
+            validate_snapshot(bad_bins)

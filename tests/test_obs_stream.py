@@ -1,0 +1,234 @@
+"""Tests for the streaming trace export and windowed runs.
+
+The streaming contract: the bytes a :class:`StreamingSink` writes are
+identical to the buffered path's ``TraceRun.jsonl()`` (equal SHA-256),
+while the tracer never holds more than ``buffer_events`` events —
+property-tested over synthetic emission streams and pinned against the
+committed golden digests for real cells.
+"""
+
+import hashlib
+import io
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.runner import (
+    StreamedTraceRun,
+    WindowedRun,
+    run_traced,
+    run_traced_streaming,
+    run_windowed,
+)
+from repro.obs.tracer import StreamingSink, Tracer
+from repro.sim.driver import run_simulation
+
+SCALE = 0.05
+APP, CONFIG = "tree", "repl"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def buffered():
+    return run_traced(APP, CONFIG, scale=SCALE)
+
+
+class _Discard:
+    def write(self, chunk: str) -> None:
+        pass
+
+
+class TestStreamingIdentity:
+    def test_streamed_file_is_byte_identical_to_buffered(self, tmp_path,
+                                                         buffered):
+        target = tmp_path / "tree_repl.jsonl"
+        srun = run_traced_streaming(APP, CONFIG, scale=SCALE, out=target,
+                                    buffer_events=257)
+        expected = buffered.jsonl()
+        assert target.read_text(encoding="ascii") == expected
+        assert srun.sha256 == hashlib.sha256(
+            expected.encode("ascii")).hexdigest()
+        assert srun.event_count == len(buffered.events)
+        assert srun.peak_buffered <= srun.buffer_events == 257
+        assert srun.path == str(target)
+        # Tracing (streamed or not) is pure observation.
+        assert srun.result.to_dict() == buffered.result.to_dict()
+        assert srun.metrics == buffered.metrics
+
+    def test_stream_to_text_stream_and_digest_only(self, buffered):
+        out = io.StringIO()
+        srun = run_traced_streaming(APP, CONFIG, scale=SCALE, out=out,
+                                    buffer_events=64)
+        assert out.getvalue() == buffered.jsonl()
+        assert srun.path is None
+        digest_only = run_traced_streaming(APP, CONFIG, scale=SCALE,
+                                           out=_Discard(), buffer_events=64)
+        assert digest_only.sha256 == srun.sha256
+
+    def test_streamed_matches_committed_golden_digests(self):
+        for golden_path in sorted(GOLDEN_DIR.glob("trace_*.json")):
+            golden = json.loads(golden_path.read_text())
+            srun = run_traced_streaming(golden["app"], golden["config"],
+                                        scale=SCALE, out=_Discard())
+            assert srun.sha256 == golden["sha256"], golden_path.name
+            assert srun.event_count == golden["events"]
+
+    def test_atomic_write_creates_parents_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "cell.jsonl"
+        srun = run_traced_streaming(APP, "nopref", scale=SCALE, out=target,
+                                    buffer_events=128)
+        assert target.is_file()
+        assert srun.event_count > 0
+        assert not list(target.parent.glob("*.tmp"))
+
+    def test_streamed_run_round_trips(self, tmp_path):
+        srun = run_traced_streaming(APP, "nopref", scale=SCALE,
+                                    out=tmp_path / "t.jsonl")
+        again = StreamedTraceRun.from_dict(srun.to_dict())
+        assert again.to_dict() == srun.to_dict()
+        bad = srun.to_dict() | {"version": 999}
+        with pytest.raises(ValueError):
+            StreamedTraceRun.from_dict(bad)
+
+
+KINDS = st.sampled_from(
+    ["q1.issue", "q2.enqueue", "ulmt.prefetch_step", "l2.push.redundant"])
+EMITS = st.lists(
+    st.tuples(KINDS, st.integers(0, 10_000),
+              st.one_of(st.none(), st.integers(0, 2**32))),
+    max_size=200)
+
+
+class TestStreamingProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(emits=EMITS, buffer_events=st.integers(1, 64))
+    def test_any_emission_stream_is_byte_identical_and_bounded(
+            self, emits, buffer_events):
+        plain = Tracer()
+        for kind, cycle, addr in emits:
+            plain.emit(kind, cycle, addr)
+        expected = plain.jsonl()
+
+        out = io.StringIO()
+        sink = StreamingSink(out, buffer_events)
+        streamed = Tracer(sink=sink)
+        for kind, cycle, addr in emits:
+            streamed.emit(kind, cycle, addr)
+        streamed.flush()
+
+        assert out.getvalue() == expected
+        assert sink.hexdigest() == hashlib.sha256(
+            expected.encode("ascii")).hexdigest()
+        assert sink.count == len(emits)
+        assert sink.peak_buffered <= buffer_events
+        assert len(streamed.events) == 0  # fully drained
+
+    def test_buffer_bound_is_validated(self):
+        with pytest.raises(ValueError):
+            StreamingSink(io.StringIO(), 0)
+
+
+class TestWindowedRuns:
+    def test_windowed_result_identical_to_untraced(self):
+        windowed = run_windowed(APP, CONFIG, scale=SCALE)
+        plain = run_simulation(APP, CONFIG, scale=SCALE)
+        assert windowed.result.to_dict() == plain.to_dict()
+        assert windowed.windows, "expected at least one sampler window"
+        for eliminated, original, arrived in windowed.windows:
+            assert 0 <= eliminated <= original
+            assert arrived >= 0
+
+    def test_windowed_run_round_trips(self):
+        windowed = run_windowed(APP, CONFIG, scale=SCALE)
+        again = WindowedRun.from_dict(windowed.to_dict())
+        assert again.windows == windowed.windows
+        assert again.to_dict() == windowed.to_dict()
+
+    def test_metrics_only_tracer_retains_no_events(self):
+        windowed = run_windowed(APP, CONFIG, scale=SCALE)
+        # The window log is the only per-run state beyond the result.
+        assert windowed.metrics["histograms"]
+
+
+class TestPoolIntegration:
+    def test_windows_task_round_trips_through_cache(self, tmp_path):
+        from repro.perf.cache import ResultCache
+        from repro.perf.pool import run_tasks, windows_task
+
+        task = windows_task(APP, CONFIG, SCALE)
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_tasks([task], cache=cache)[0]
+        assert cache.stats.stores == 1
+        warm = run_tasks([task], cache=cache)[0]
+        assert cache.stats.hits == 1
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_stream_task_writes_file_but_is_never_cached(self, tmp_path):
+        from repro.perf.cache import ResultCache
+        from repro.perf.pool import run_tasks, stream_task
+
+        out_dir = tmp_path / "traces"
+        task = stream_task(APP, "nopref", SCALE, out_dir, 512)
+        cache = ResultCache(tmp_path / "cache")
+        srun = run_tasks([task], cache=cache)[0]
+        target = out_dir / "tree_nopref.jsonl"
+        assert target.is_file()
+        assert srun.sha256 == hashlib.sha256(
+            target.read_bytes()).hexdigest()
+        assert cache.stats.stores == 0
+        assert not list((tmp_path / "cache").glob("stream-*.json"))
+        # Re-running executes again (and rewrites) rather than caching.
+        again = run_tasks([task], cache=cache)[0]
+        assert cache.stats.hits == 0
+        assert again.sha256 == srun.sha256
+
+    def test_stream_task_parallel_parity(self, tmp_path):
+        from repro.perf.pool import run_tasks, stream_task
+
+        serial_dir = tmp_path / "serial"
+        par_dir = tmp_path / "par"
+        mk = lambda d: [stream_task(APP, c, SCALE, d, 512)
+                        for c in ("nopref", "repl")]
+        serial = run_tasks(mk(serial_dir), jobs=1)
+        parallel = run_tasks(mk(par_dir), jobs=2)
+        for cfg in ("nopref", "repl"):
+            a = (serial_dir / f"tree_{cfg}.jsonl").read_bytes()
+            b = (par_dir / f"tree_{cfg}.jsonl").read_bytes()
+            assert a == b
+        assert [s.sha256 for s in serial] == [p.sha256 for p in parallel]
+
+
+class TestTraceCliStream:
+    def test_stream_output_is_byte_identical_to_buffered(self, capsys):
+        from repro.obs import cli
+        assert cli.main([APP, CONFIG, "--scale", str(SCALE)]) == 0
+        plain = capsys.readouterr().out
+        assert cli.main([APP, CONFIG, "--scale", str(SCALE), "--stream",
+                         "--stream-buffer", "100"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == plain
+
+    def test_stream_out_dir_files_match_buffered(self, tmp_path, capsys,
+                                                 buffered):
+        from repro.obs import cli
+        out = tmp_path / "made" / "by" / "cli"
+        assert cli.main([APP, CONFIG, "--scale", str(SCALE), "--stream",
+                         "--out-dir", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "tree_repl.jsonl").read_text(
+            encoding="ascii") == buffered.jsonl()
+        merged = json.loads((out / "metrics.json").read_text())
+        assert merged == buffered.metrics
+        assert not list(out.glob("*.tmp"))
+
+    def test_stream_rejects_pool_and_cache_flags(self):
+        from repro.obs import cli
+        with pytest.raises(SystemExit):
+            cli.main([APP, CONFIG, "--stream", "--jobs", "2"])
+        with pytest.raises(SystemExit):
+            cli.main([APP, CONFIG, "--stream", "--cache-dir", "/tmp/x"])
+        with pytest.raises(SystemExit):
+            cli.main([APP, CONFIG, "--stream", "--stream-buffer", "0"])

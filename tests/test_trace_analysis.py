@@ -1,0 +1,273 @@
+"""Tests for the trace analysis tier (:mod:`repro.obs.analysis`).
+
+Lane model totality, timeline folding/rendering, collapsed stacks, the
+trace-diff engine's classification rules, and the ``repro timeline`` /
+``repro tracediff`` CLI exit codes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.analysis.cli import timeline_main, tracediff_main
+from repro.obs.analysis.diff import diff_streams, report_lines
+from repro.obs.analysis.lanes import (
+    KIND_TO_LANE,
+    LANES,
+    fold_stream,
+    lane_of,
+    load_event_records,
+    load_event_stream,
+)
+from repro.obs.analysis.timeline import collapsed_stacks, render_timeline
+from repro.obs.events import EVENT_KINDS, L2_DROP_RULES
+from repro.obs.runner import run_traced
+
+SCALE = 0.05
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def tree_nopref():
+    return run_traced("tree", "nopref", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def tree_repl():
+    return run_traced("tree", "repl", scale=SCALE)
+
+
+class TestLaneModel:
+    def test_every_event_kind_has_exactly_one_lane(self):
+        assert set(KIND_TO_LANE) == EVENT_KINDS
+        per_lane = [kind for lane in LANES for kind in lane.kinds]
+        assert len(per_lane) == len(set(per_lane))
+
+    def test_lane_names_are_unique(self):
+        names = [lane.name for lane in LANES]
+        assert len(names) == len(set(names))
+
+    def test_unknown_kind_degrades_to_question_mark(self):
+        assert lane_of("l2.push.redundant") == "l2.drop"
+        assert lane_of("future.event") == "?"
+
+
+class TestFoldStream:
+    def test_events_land_in_the_right_columns(self):
+        events = [("q1.issue", 0), ("q2.enqueue", 50), ("q1.issue", 99)]
+        activity = fold_stream(events, width=10)
+        assert activity.width == 10
+        assert activity.first_cycle == 0 and activity.last_cycle == 99
+        assert activity.cycles_per_column == 10
+        assert activity.columns["q1"][0] == 1
+        assert activity.columns["q1"][9] == 1
+        assert activity.columns["q2"][5] == 1
+        assert activity.total_events == 3
+        assert activity.lane_total("q1") == 2
+
+    def test_totals_always_add_up_even_for_unknown_kinds(self):
+        events = [("q1.issue", 1), ("future.event", 2)]
+        activity = fold_stream(events, width=4)
+        assert sum(activity.lane_total(name) for name in activity.columns) == 2
+        assert activity.lane_total("?") == 1
+
+    def test_empty_stream_folds_to_all_idle(self):
+        activity = fold_stream([], width=8)
+        assert activity.total_events == 0
+        assert all(sum(cols) == 0 for cols in activity.columns.values())
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fold_stream([("q1.issue", 0)], width=0)
+
+
+class TestRenderTimeline:
+    def test_render_is_deterministic_and_row_aligned(self, tree_repl):
+        pairs = [(e.kind, e.cycle) for e in tree_repl.events]
+        activity = fold_stream(pairs, width=48)
+        first = render_timeline(activity, title="tree/repl")
+        second = render_timeline(activity, title="tree/repl")
+        assert first == second
+        # Header + one row per schema lane + ruler.
+        assert len(first) == 1 + len(LANES) + 1
+        assert f"{activity.total_events:,} events" in first[0]
+
+    def test_lane_subset_orders_rows(self):
+        activity = fold_stream([("q1.issue", 0), ("mem.push", 5)], width=4)
+        lines = render_timeline(activity, lanes=["mem", "q1"])
+        assert lines[1].startswith("mem")
+        assert lines[2].startswith("q1 ")
+
+    def test_unknown_lane_is_an_error(self):
+        activity = fold_stream([("q1.issue", 0)], width=4)
+        with pytest.raises(ValueError, match="unknown lane"):
+            render_timeline(activity, lanes=["bogus"])
+
+    def test_ansi_mode_wraps_rows_in_escapes(self):
+        activity = fold_stream([("q1.issue", 0)], width=4)
+        lines = render_timeline(activity, ansi=True)
+        assert "\x1b[" in lines[1]
+
+
+class TestCollapsedStacks:
+    def test_event_weights_sum_to_stream_length(self, tree_repl):
+        records = [e.to_dict() for e in tree_repl.events]
+        lines = collapsed_stacks(records, root="tree/repl")
+        weights = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert sum(weights) == len(records)
+        assert lines == sorted(lines)
+        assert all(line.startswith("tree/repl;") for line in lines)
+
+    def test_cycle_weights_use_duration_fields(self):
+        records = [
+            {"kind": "ulmt.prefetch_step", "cycle": 1, "response": 70},
+            {"kind": "ulmt.prefetch_step", "cycle": 2, "response": 30},
+            {"kind": "q1.issue", "cycle": 3},
+        ]
+        lines = collapsed_stacks(records, root="r", weight="cycles")
+        assert "r;ulmt;prefetch_step 100" in lines
+        assert "r;q1;issue 1" in lines
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            collapsed_stacks([], weight="bytes")
+
+
+def _record(kind, cycle, addr=None):
+    record = {"kind": kind, "cycle": cycle}
+    if addr is not None:
+        record["addr"] = addr
+    return record
+
+
+class TestDiffStreams:
+    def test_identical_streams_report_zero_divergences(self, tree_repl):
+        records = [e.to_dict() for e in tree_repl.events]
+        report = diff_streams(records, list(records))
+        assert report.identical
+        assert report.divergences == 0
+        assert report.first_divergence is None
+        assert report.matched == len(records)
+        lines = report_lines(report)
+        assert any("IDENTICAL" in line for line in lines)
+
+    def test_classification_of_retimed_missing_extra(self):
+        a = [_record("q1.issue", 1, 10), _record("q1.issue", 5, 20),
+             _record("mem.push", 7, 30)]
+        b = [_record("q1.issue", 1, 10), _record("q1.issue", 6, 20),
+             _record("filter.accept", 9, 40)]
+        report = diff_streams(a, b)
+        assert not report.identical
+        assert report.matched == 1
+        assert report.retimed == 1      # q1.issue@20 moved 5 -> 6
+        assert report.missing == 1      # mem.push only in A
+        assert report.extra == 1        # filter.accept only in B
+        index, line_a, line_b = report.first_divergence
+        assert index == 1 and line_a is not None and line_b is not None
+        assert report.per_kind["q1.issue"].retimed == 1
+        assert report.per_kind["mem.push"].delta == -1
+        assert report.per_kind["filter.accept"].delta == 1
+
+    def test_length_mismatch_marks_end_of_stream(self):
+        a = [_record("q1.issue", 1, 10)]
+        report = diff_streams(a, [])
+        index, line_a, line_b = report.first_divergence
+        assert index == 0 and line_b is None
+        assert any("<end of stream>" in line for line in report_lines(report))
+
+    def test_drop_rules_always_in_per_kind_table(self):
+        report = diff_streams([], [])
+        for rule in L2_DROP_RULES:
+            assert f"l2.push.{rule}" in report.per_kind
+
+    def test_nopref_vs_repl_attributes_deltas_per_kind(self, tree_nopref,
+                                                       tree_repl):
+        report = diff_streams((e.to_dict() for e in tree_nopref.events),
+                              (e.to_dict() for e in tree_repl.events))
+        assert not report.identical
+        # NoPref never pushes, so every push-side kind is all "extra".
+        assert report.per_kind["ulmt.prefetch_step"].count_a == 0
+        assert report.per_kind["ulmt.prefetch_step"].delta > 0
+        rendered = "\n".join(report_lines(report, "tree/nopref", "tree/repl"))
+        for rule in L2_DROP_RULES:
+            assert f"l2.push.{rule}" in rendered
+
+
+class TestAnalysisClis:
+    @pytest.fixture()
+    def stream_file(self, tmp_path, tree_repl):
+        path = tmp_path / "tree_repl.jsonl"
+        path.write_text(tree_repl.jsonl(), encoding="ascii")
+        return path
+
+    def test_loaders_accept_jsonl_and_golden_digests(self, stream_file):
+        records = load_event_records(stream_file)
+        assert len(records) > 0 and "kind" in records[0]
+        pairs = load_event_stream(stream_file)
+        assert pairs[0] == (records[0]["kind"], records[0]["cycle"])
+        golden = sorted(GOLDEN_DIR.glob("trace_*.json"))
+        assert golden, "golden digests must be committed"
+        head = load_event_records(golden[0])
+        assert head and "kind" in head[0]
+
+    def test_loader_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            load_event_records(bad)
+
+    def test_timeline_cli_exit_codes(self, capsys, stream_file, tmp_path):
+        assert timeline_main([str(stream_file)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline — tree_repl" in out
+        assert timeline_main([str(stream_file), "--flame"]) == 0
+        capsys.readouterr()
+        assert timeline_main([str(tmp_path / "missing.jsonl")]) == 2
+        assert timeline_main([str(stream_file), "--lanes", "bogus"]) == 2
+
+    def test_timeline_cli_renders_golden_digests(self, capsys):
+        for golden in sorted(GOLDEN_DIR.glob("trace_*.json")):
+            assert timeline_main([str(golden)]) == 0
+        assert capsys.readouterr().out
+
+    def test_tracediff_cli_exit_codes(self, capsys, stream_file, tmp_path,
+                                      tree_nopref):
+        same = tmp_path / "copy.jsonl"
+        same.write_text(stream_file.read_text(), encoding="ascii")
+        assert tracediff_main([str(stream_file), str(same)]) == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+        other = tmp_path / "tree_nopref.jsonl"
+        other.write_text(tree_nopref.jsonl(), encoding="ascii")
+        assert tracediff_main([str(other), str(stream_file)]) == 1
+        assert "DIVERGENT" in capsys.readouterr().out
+        assert tracediff_main([str(stream_file),
+                               str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_main_module_forwards_timeline_and_tracediff(self, capsys,
+                                                         stream_file):
+        from repro.__main__ import main
+        assert main(["timeline", str(stream_file)]) == 0
+        assert "timeline" in capsys.readouterr().out
+        assert main(["tracediff", str(stream_file), str(stream_file)]) == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_trace_cli_diff_modes(self, capsys):
+        from repro.obs import cli
+        assert cli.main(["tree", "--diff", "repl", "repl",
+                         "--scale", str(SCALE)]) == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+        assert cli.main(["tree", "--diff", "nopref", "repl",
+                         "--scale", str(SCALE)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENT" in out
+        for rule in L2_DROP_RULES:
+            assert f"l2.push.{rule}" in out
+
+    def test_trace_cli_diff_rejects_bad_combinations(self):
+        from repro.obs import cli
+        with pytest.raises(SystemExit):
+            cli.main(["tree,cg", "--diff", "nopref", "repl"])
+        with pytest.raises(SystemExit):
+            cli.main(["tree", "--diff", "nopref", "repl", "--stream"])
+        with pytest.raises(SystemExit):
+            cli.main(["tree", "--diff", "nopref", "repl", "--jobs", "2"])
