@@ -11,6 +11,8 @@ Subcommands::
     python -m repro trace <apps> [configs]            pipeline event tracing
     python -m repro timeline <trace.jsonl>            ASCII lane timeline
     python -m repro tracediff <a.jsonl> <b.jsonl>     explain stream diffs
+    python -m repro campaign <apps> [configs]         crash-safe sweep driver
+    python -m repro cache stats|verify|gc             cache integrity tools
 
 ``run`` accepts fault-injection options (see ``docs/ROBUSTNESS.md``)::
 
@@ -312,6 +314,15 @@ def main(argv: list[str] | None = None) -> int:
                           "divergence",
         add_help=False)
 
+    sub.add_parser(
+        "campaign", help="crash-safe N-repetition sweep driver with "
+                         "journaled resume (see docs/ROBUSTNESS.md)",
+        add_help=False)
+
+    sub.add_parser(
+        "cache", help="result-cache integrity tools: stats / verify / gc",
+        add_help=False)
+
     arglist = list(sys.argv[1:] if argv is None else argv)
     if arglist[:1] == ["lint"]:
         # Everything after `lint` belongs to repro.lint.cli's own parser
@@ -325,6 +336,12 @@ def main(argv: list[str] | None = None) -> int:
     if arglist[:1] == ["tracediff"]:
         from repro.obs.analysis.cli import tracediff_main
         return tracediff_main(arglist[1:])
+    if arglist[:1] == ["campaign"]:
+        from repro.campaign.cli import main as campaign_main
+        return campaign_main(arglist[1:])
+    if arglist[:1] == ["cache"]:
+        from repro.perf.cachecli import main as cache_main
+        return cache_main(arglist[1:])
     args = parser.parse_args(arglist)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "experiments": _cmd_experiments,

@@ -1,0 +1,39 @@
+"""Statistical campaign runner: crash-safe sweeps over the matrix.
+
+The MCC use-case scripts and the mubench replication (SNIPPETS.md §2–3)
+define the shape this package reproduces: an N-repetition sweep driver
+whose single first-class artifact is ``run_table.csv`` — one row per
+run×repetition carrying latency, coverage, accuracy, and robustness
+columns — plus a journal that makes the whole campaign resumable after
+any crash, including SIGKILL.
+
+* :mod:`repro.campaign.spec` — the frozen :class:`CampaignSpec` (what to
+  sweep) and its journal-header round trip;
+* :mod:`repro.campaign.runner` — :func:`run_campaign` over the resilient
+  pool (:mod:`repro.perf.resilient`): retries, timeouts, quarantine,
+  journaled checkpoint/resume, graceful drain;
+* :mod:`repro.campaign.cli` — ``python -m repro campaign``.
+
+See the "Execution robustness" section of ``docs/ROBUSTNESS.md`` for the
+failure semantics and exit codes.
+"""
+
+from repro.campaign.runner import (
+    EXIT_INTERRUPTED,
+    EXIT_QUARANTINED,
+    CampaignError,
+    CampaignOutcome,
+    run_campaign,
+    run_table_rows,
+)
+from repro.campaign.spec import CampaignSpec
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignError",
+    "CampaignOutcome",
+    "run_campaign",
+    "run_table_rows",
+    "EXIT_QUARANTINED",
+    "EXIT_INTERRUPTED",
+]

@@ -1,0 +1,155 @@
+"""``python -m repro campaign`` — crash-safe N-repetition sweeps.
+
+Examples::
+
+    # 5 repetitions of two apps under three configs, 4 workers:
+    python -m repro campaign mcf,tree nopref,base,repl \\
+        --reps 5 --scale 0.2 --jobs 4 --out results/c1
+
+    # the same campaign after a crash / SIGKILL / Ctrl-C — only the
+    # unfinished cells run, run_table.csv comes out byte-identical:
+    python -m repro campaign --resume results/c1
+
+Exit status: 0 success; 1 completed with quarantined task(s); 2 usage or
+spec mismatch; 3 interrupted (graceful shutdown wrote a partial table).
+SIGINT/SIGTERM trigger the graceful path: no new cells launch, in-flight
+cells drain up to ``--drain`` seconds and their results are salvaged
+into the journal for the next ``--resume``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from repro.campaign.runner import CampaignError, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.perf.cache import ResultCache, default_cache_dir
+from repro.perf.journal import JournalError, RunJournal
+from repro.perf.retry import RetryPolicy
+from repro.sim.config import PRESETS
+from repro.workloads.registry import list_workloads
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    apps = tuple(args.apps.split(","))
+    configs = tuple(args.configs.split(","))
+    known_apps = set(list_workloads())
+    known_configs = set(PRESETS) | {"custom"}
+    for app in apps:
+        if app not in known_apps:
+            raise CampaignError(f"unknown app {app!r}; available: "
+                                f"{', '.join(sorted(known_apps))}")
+    for name in configs:
+        if name not in known_configs:
+            raise CampaignError(f"unknown config {name!r}; available: "
+                                f"{', '.join(sorted(known_configs))}")
+    return CampaignSpec(apps=apps, configs=configs, scale=args.scale,
+                        repetitions=args.reps, base_seed=args.seed,
+                        faults=args.faults, fault_seed=args.fault_seed)
+
+
+def _spec_from_journal(out_dir: Path) -> CampaignSpec:
+    journal = RunJournal(out_dir / "journal.jsonl")
+    if not journal.exists():
+        raise CampaignError(f"nothing to resume: {journal.path} not found")
+    header = journal.header()
+    if header is None or "campaign" not in header:
+        raise CampaignError(
+            f"{journal.path} has no campaign header to resume from")
+    return CampaignSpec.from_dict(header["campaign"])
+
+
+def _install_stop_handlers(stop_event: threading.Event) -> None:
+    def _handler(signum: int, _frame: object) -> None:
+        if stop_event.is_set():
+            # A second signal means "stop now": skip the drain.
+            raise SystemExit(128 + signum)
+        print(f"[campaign] received {signal.Signals(signum).name}; "
+              f"draining (signal again to abort)", file=sys.stderr)
+        stop_event.set()
+
+    signal.signal(signal.SIGINT, _handler)
+    signal.signal(signal.SIGTERM, _handler)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro campaign", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("apps", nargs="?", default=None,
+                        help="comma-separated workloads (omit with --resume)")
+    parser.add_argument("configs", nargs="?", default="nopref,repl",
+                        help="comma-separated configs "
+                             "(default nopref,repl)")
+    parser.add_argument("--reps", type=int, default=1, metavar="N",
+                        help="repetitions per cell; repetition r uses "
+                             "workload seed SEED+r (default 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base workload seed (default 0)")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault plan applied to every non-baseline "
+                             'cell, e.g. "obs_drop=0.05"')
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--out", default="campaign-out", metavar="DIR",
+                        help="campaign directory (journal + run_table.csv; "
+                             "default campaign-out)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="resume the campaign journaled in DIR "
+                             "(spec comes from the journal header)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent worker processes (default 1)")
+    parser.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                        help="per-task wall-clock timeout in seconds "
+                             "(0 = none; default 0)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts before quarantine (default 3)")
+    parser.add_argument("--backoff-base", type=float, default=0.5,
+                        metavar="S", help="first retry delay (default 0.5)")
+    parser.add_argument("--backoff-cap", type=float, default=30.0,
+                        metavar="S", help="maximum retry delay (default 30)")
+    parser.add_argument("--drain", type=float, default=30.0, metavar="S",
+                        help="graceful-shutdown drain deadline (default 30)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory (default "
+                             ".repro-cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.resume is not None:
+            out_dir = Path(args.resume)
+            spec = _spec_from_journal(out_dir)
+        else:
+            if args.apps is None:
+                parser.error("apps is required unless --resume is given")
+            out_dir = Path(args.out)
+            spec = _spec_from_args(args)
+        policy = RetryPolicy(max_attempts=args.max_attempts,
+                             timeout_s=args.timeout,
+                             backoff_base_s=args.backoff_base,
+                             backoff_cap_s=args.backoff_cap)
+        cache = (None if args.no_cache
+                 else ResultCache(args.cache_dir or default_cache_dir()))
+        stop_event = threading.Event()
+        _install_stop_handlers(stop_event)
+        outcome = run_campaign(spec, out_dir, jobs=args.jobs, cache=cache,
+                               policy=policy,
+                               resume=args.resume is not None,
+                               stop_event=stop_event, drain_s=args.drain,
+                               verbose=not args.quiet)
+    except (CampaignError, JournalError, ValueError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    return outcome.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Drive a campaign over the resilient pool and emit its artifacts.
+
+Artifacts, all under the campaign directory (``--out``):
+
+* ``journal.jsonl`` — the append-only run journal (checkpoint/resume);
+* ``run_table.csv`` — the first-class results table, one row per
+  run×repetition in the MCC shape: identity columns, then latency,
+  coverage, accuracy, then the robustness counters;
+* ``failures.json`` — the quarantined tasks as typed rows;
+* ``metrics.json`` — the campaign's execution counters (retries,
+  timeouts, crashes, quarantines, ...) as a standard mergeable metrics
+  snapshot (:mod:`repro.obs.metrics`).
+
+``run_table.csv`` and ``failures.json`` are **deterministic**: rows are
+emitted in spec order, numbers derive only from simulation results and
+the (deterministic) retry schedule, and no wall-clock value is written —
+which is why a ``--resume`` after SIGKILL reproduces the uninterrupted
+file byte for byte (CI enforces this).  ``metrics.json`` is the one
+artifact that legitimately differs across resumes (it counts what *this*
+invocation did, e.g. ``campaign.resumed``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.obs.metrics import snapshot_from_counters
+from repro.perf.cache import ResultCache, atomic_write_text
+from repro.perf.journal import RunJournal
+from repro.perf.pool import MatrixTask
+from repro.perf.resilient import ResilientRun, run_tasks_resilient
+from repro.perf.retry import RetryPolicy
+from repro.sim.serialize import json_line
+from repro.sim.stats import SimResult
+
+#: Exit codes of ``python -m repro campaign`` beyond 0 (success) and the
+#: argparse-reserved 2 (usage / spec mismatch).
+EXIT_QUARANTINED = 1   # completed, but at least one task was quarantined
+EXIT_INTERRUPTED = 3   # graceful shutdown (SIGINT/SIGTERM) cut the run short
+
+#: ``run_table.csv`` column order — identity, execution, latency/quality,
+#: then robustness (one row per run×repetition, the MCC shape).
+RUN_TABLE_COLUMNS = (
+    "app", "config", "scale", "seed", "repetition",
+    "status", "attempts",
+    "execution_time", "speedup", "coverage", "accuracy",
+    "demand_misses", "prefetches_issued",
+    "filter_dropped", "q2_overflow_drops", "q3_overflow_drops",
+    "warm_restarts", "watchdog_activations", "degraded_observations",
+    "total_sheds",
+)
+
+#: Row status for a cell never started/finished before an interrupt.
+STATUS_ABANDONED = "abandoned"
+STATUS_OK = "ok"
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not start (journal clash, spec mismatch, ...)."""
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything :func:`run_campaign` produced."""
+
+    spec: "CampaignSpec"
+    out_dir: Path
+    run: ResilientRun
+    rows: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def run_table_path(self) -> Path:
+        return self.out_dir / "run_table.csv"
+
+    @property
+    def exit_code(self) -> int:
+        if self.run.interrupted:
+            return EXIT_INTERRUPTED
+        if self.run.failures:
+            return EXIT_QUARANTINED
+        return 0
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def run_table_rows(spec: "CampaignSpec",
+                   run: ResilientRun) -> list[dict[str, str]]:
+    """One CSV row dict per run×repetition, in spec order.
+
+    Failed cells keep their identity columns and status/attempts and
+    leave every metric cell empty; ``speedup`` is filled only when the
+    spec sweeps a ``nopref`` baseline and that baseline's repetition
+    succeeded.
+    """
+    keys = spec.row_keys()
+    baseline_time: dict[tuple[str, int], int] = {}
+    if "nopref" in spec.configs:
+        for i, (app, name, rep) in enumerate(keys):
+            result = run.results[i]
+            if name == "nopref" and isinstance(result, SimResult):
+                baseline_time[(app, rep)] = result.execution_time
+
+    rows: list[dict[str, str]] = []
+    for i, (app, name, rep) in enumerate(keys):
+        row = {column: "" for column in RUN_TABLE_COLUMNS}
+        row.update({
+            "app": app, "config": name, "scale": format(spec.scale, "g"),
+            "seed": str(spec.base_seed + rep), "repetition": str(rep),
+            "attempts": str(run.attempts[i]),
+        })
+        result = run.results[i]
+        if not isinstance(result, SimResult):
+            failure = run.failure_for(i)
+            row["status"] = failure.kind if failure else STATUS_ABANDONED
+            rows.append(row)
+            continue
+        l2 = result.l2
+        rb = result.robustness
+        arrived = l2.total_prefetches_arrived
+        eliminated = l2.prefetch_hits + l2.delayed_hits
+        base = baseline_time.get((app, rep))
+        row.update({
+            "status": STATUS_OK,
+            "execution_time": str(result.execution_time),
+            "speedup": (_fmt(base / result.execution_time)
+                        if base else ""),
+            "coverage": _fmt(result.coverage()),
+            "accuracy": _fmt(eliminated / arrived if arrived else 0.0),
+            "demand_misses": str(result.demand_misses_to_memory),
+            "prefetches_issued": str(result.prefetches_issued_to_memory),
+            "filter_dropped": str(rb.filter_dropped),
+            "q2_overflow_drops": str(rb.queue2_overflow_drops),
+            "q3_overflow_drops": str(rb.queue3_overflow_drops),
+            "warm_restarts": str(rb.ulmt_warm_restarts),
+            "watchdog_activations": str(rb.watchdog_activations),
+            "degraded_observations": str(rb.degraded_observations),
+            "total_sheds": str(rb.total_sheds),
+        })
+        rows.append(row)
+    return rows
+
+
+def render_run_table(rows: list[dict[str, str]]) -> str:
+    lines = [",".join(RUN_TABLE_COLUMNS)]
+    lines += [",".join(row[column] for column in RUN_TABLE_COLUMNS)
+              for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def run_campaign(spec: "CampaignSpec",
+                 out_dir: "Path | str",
+                 jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 resume: bool = False,
+                 stop_event: Optional[threading.Event] = None,
+                 drain_s: float = 30.0,
+                 verbose: bool = True) -> CampaignOutcome:
+    """Execute (or resume) one campaign; see the module docstring.
+
+    A fresh campaign refuses a directory that already has a journal
+    (``resume=False``) — silently mixing two campaigns' checkpoints is
+    how resume guarantees die.  ``resume=True`` validates the journal
+    header against ``spec`` and replays every finished task from it.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    journal = RunJournal(out / "journal.jsonl")
+
+    header = journal.header() if journal.exists() else None
+    if header is not None and not resume:
+        raise CampaignError(
+            f"{journal.path} already exists — resume it with --resume "
+            f"{out} or start a fresh --out directory")
+    if resume:
+        if header is None:
+            raise CampaignError(
+                f"{journal.path} has no campaign header to resume from")
+        recorded = header.get("campaign")
+        if recorded != spec.to_dict():
+            raise CampaignError(
+                f"journal {journal.path} records a different campaign "
+                f"spec ({recorded!r}); refusing to resume")
+    else:
+        journal.write_header({"campaign": spec.to_dict()})
+
+    tasks = spec.tasks()
+    if verbose:
+        print(f"[campaign] {spec.describe()}", file=sys.stderr)
+
+    progress = None
+    if verbose:
+        def progress(done: int, total: int, task: MatrixTask) -> None:
+            print(f"[campaign] {done}/{total} {task.label()}",
+                  file=sys.stderr, flush=True)
+
+    run = run_tasks_resilient(tasks, jobs=jobs, cache=cache, policy=policy,
+                              journal=journal, stop_event=stop_event,
+                              drain_s=drain_s, progress=progress)
+
+    rows = run_table_rows(spec, run)
+    outcome = CampaignOutcome(spec=spec, out_dir=out, run=run, rows=rows)
+    atomic_write_text(outcome.run_table_path, render_run_table(rows),
+                      encoding="ascii")
+    atomic_write_text(
+        out / "failures.json",
+        json_line([f.to_dict() for f in run.failures]) + "\n",
+        encoding="ascii")
+    counters = {f"campaign.{name}": value
+                for name, value in sorted(run.counters.items())}
+    atomic_write_text(out / "metrics.json",
+                      json_line(snapshot_from_counters(counters)) + "\n",
+                      encoding="ascii")
+    if verbose:
+        summary = ", ".join(f"{name}={value}"
+                            for name, value in run.counters.items() if value)
+        print(f"[campaign] {summary or 'nothing to do'}", file=sys.stderr)
+        print(f"[campaign] run table: {outcome.run_table_path}",
+              file=sys.stderr)
+    return outcome

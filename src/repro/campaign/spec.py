@@ -1,0 +1,107 @@
+"""What a campaign sweeps: the frozen, journal-round-trippable spec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Mapping, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.perf.pool import MatrixTask, sim_task
+from repro.sim.config import SystemConfig, custom_config, preset
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One sweep: ``apps × configs × repetitions`` simulation cells.
+
+    Repetition ``r`` runs under workload trace seed ``base_seed + r`` —
+    each repetition is a genuinely different trace layout, which is what
+    gives the per-row statistics their spread, while staying a pure
+    function of the spec (two campaigns with the same spec enumerate
+    bit-identical tasks).  ``faults``/``fault_seed`` optionally put every
+    non-baseline cell under a seeded :class:`~repro.faults.FaultPlan`, so
+    the robustness columns of the run table exercise the same degradation
+    machinery the chaos sweep reports.
+    """
+
+    apps: tuple[str, ...]
+    configs: tuple[str, ...]
+    scale: float = 0.1
+    repetitions: int = 1
+    base_seed: int = 0
+    faults: Optional[str] = None
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.apps or not self.configs:
+            raise ValueError("campaign needs at least one app and config")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if self.scale <= 0:
+            raise ValueError("scale must be > 0")
+
+    # -- enumeration -------------------------------------------------------------
+
+    def resolve_config(self, app: str, name: str) -> "str | SystemConfig":
+        """The config one cell runs under (fault plan folded in)."""
+        if self.faults is None:
+            return name
+        config = (custom_config(app) if name == "custom" else preset(name))
+        if name == "nopref":
+            return config  # the baseline stays clean by definition
+        return dc_replace(config, fault_plan=FaultPlan.parse(
+            self.faults, seed=self.fault_seed))
+
+    def tasks(self) -> list[MatrixTask]:
+        """Every cell, app-major then config then repetition.
+
+        The order is the row order of ``run_table.csv`` and the journal's
+        task identity set — deterministic by construction.
+        """
+        cells = []
+        for app in self.apps:
+            for name in self.configs:
+                config = self.resolve_config(app, name)
+                for rep in range(self.repetitions):
+                    cells.append(sim_task(app, config, self.scale,
+                                          seed=self.base_seed + rep))
+        return cells
+
+    def row_keys(self) -> list[tuple[str, str, int]]:
+        """(app, config name, repetition) per task, in task order."""
+        return [(app, name, rep)
+                for app in self.apps
+                for name in self.configs
+                for rep in range(self.repetitions)]
+
+    # -- journal header round trip ------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "apps": list(self.apps),
+            "configs": list(self.configs),
+            "scale": self.scale,
+            "repetitions": self.repetitions,
+            "base_seed": self.base_seed,
+            "faults": self.faults,
+            "fault_seed": self.fault_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(apps=tuple(data["apps"]), configs=tuple(data["configs"]),
+                   scale=float(data["scale"]),
+                   repetitions=int(data["repetitions"]),
+                   base_seed=int(data["base_seed"]),
+                   faults=data.get("faults"),
+                   fault_seed=int(data.get("fault_seed", 0)))
+
+    def describe(self) -> str:
+        cells = len(self.apps) * len(self.configs) * self.repetitions
+        text = (f"{','.join(self.apps)} × {','.join(self.configs)} × "
+                f"{self.repetitions} rep(s) @ scale {self.scale:g} "
+                f"({cells} cells, seeds {self.base_seed}.."
+                f"{self.base_seed + self.repetitions - 1})")
+        if self.faults:
+            text += f", faults \"{self.faults}\" seed {self.fault_seed}"
+        return text

@@ -22,13 +22,12 @@ sections, so a partially broken tree still regenerates what it can.
 from __future__ import annotations
 
 import argparse
-import signal
 import sys
-import threading
 import time
 import traceback
-from contextlib import contextmanager
 from dataclasses import dataclass
+
+from repro.perf.retry import TimeBudgetExceeded, time_budget
 
 from repro.experiments import (
     fig5,
@@ -62,8 +61,11 @@ SECTIONS = (
 )
 
 
-class ExperimentTimeout(RuntimeError):
-    """An experiment exceeded its per-section time budget."""
+#: Backwards-compatible alias: sections now time out through the portable
+#: :func:`repro.perf.retry.time_budget` (SIGALRM on a Unix main thread, a
+#: timer-thread interrupt everywhere else), so the budget is enforced on
+#: every platform instead of silently running unbounded off-Unix.
+ExperimentTimeout = TimeBudgetExceeded
 
 
 @dataclass
@@ -75,32 +77,6 @@ class SectionFailure:
     elapsed: float
 
 
-@contextmanager
-def _time_budget(seconds: int):
-    """Raise :class:`ExperimentTimeout` if the block runs too long.
-
-    Uses ``SIGALRM``, so the budget is only enforced on platforms that have
-    it and when running on the main thread; elsewhere the block runs
-    unbounded (isolation via try/except still applies).
-    """
-    usable = (seconds > 0 and hasattr(signal, "SIGALRM")
-              and threading.current_thread() is threading.main_thread())
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise ExperimentTimeout(f"exceeded the {seconds}s section budget")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.alarm(seconds)
-    try:
-        yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
     """Run every section, isolating failures; returns what failed."""
     failures: list[SectionFailure] = []
@@ -108,7 +84,7 @@ def run_sections(sections=SECTIONS, timeout: int = 0) -> list[SectionFailure]:
         print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n")
         section_start = time.time()
         try:
-            with _time_budget(timeout):
+            with time_budget(float(timeout)):
                 runner()
         except KeyboardInterrupt:
             raise

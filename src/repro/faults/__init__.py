@@ -21,6 +21,13 @@ from repro.faults.invariants import (
     invariants_enabled_in_env,
 )
 from repro.faults.plan import ZERO_PLAN, FaultInjector, FaultPlan, FaultStats
+from repro.faults.process import (
+    PROCESS_FAULTS_ENV,
+    InjectedProcessFault,
+    ProcessFault,
+    maybe_inject,
+    parse_process_faults,
+)
 from repro.faults.watchdog import UlmtWatchdog
 
 __all__ = [
@@ -32,4 +39,9 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "invariants_enabled_in_env",
+    "PROCESS_FAULTS_ENV",
+    "InjectedProcessFault",
+    "ProcessFault",
+    "maybe_inject",
+    "parse_process_faults",
 ]

@@ -1,0 +1,128 @@
+"""Process-level fault injection: crash a worker on purpose.
+
+:mod:`repro.faults.plan` injects faults *inside* a simulation; this module
+injects them at the level the resilient pool defends — the worker process
+itself.  It exists for tests and CI: the kill-and-resume smoke job starts a
+real campaign, has a worker die with SIGKILL on its first attempt, feeds
+the runner one poison task, and asserts the retry/quarantine/resume
+machinery produces a byte-identical ``run_table.csv``.
+
+The injection point is the environment variable ``REPRO_PROCESS_FAULTS``,
+a semicolon-separated list of directives::
+
+    <label>@<attempt>=<action>[;...]
+
+* ``label`` — the task's fault label: ``MatrixTask.label()`` plus
+  ``#<seed>`` when the task carries a workload seed (so one repetition of
+  a campaign cell can be targeted without hitting its siblings).
+* ``attempt`` — a 1-based attempt number, or ``*`` for every attempt
+  (``*`` is what makes a task *poison*: it fails every retry and ends up
+  quarantined).
+* ``action`` — one of:
+
+  - ``kill``   — ``SIGKILL`` to self (the abrupt worker-loss case);
+  - ``exit``   — ``os._exit(86)`` (abnormal exit without a signal);
+  - ``raise``  — raise :class:`InjectedProcessFault` (an ordinary
+    exception the worker reports before dying cleanly);
+  - ``sleep:N`` — sleep ``N`` seconds first (for exercising wall-clock
+    timeouts), then return without failing.
+
+Example — crash ``tree/repl`` seed 0 once, poison ``cg/nopref`` seed 1::
+
+    REPRO_PROCESS_FAULTS="tree/repl#0@1=kill;cg/nopref#1@*=raise"
+
+Attempt numbers restart when a killed campaign is resumed (the journal
+records finished tasks, not in-flight attempt counts), which keeps the
+injected schedule — and therefore the resumed run's results — exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+#: The environment variable holding the directive list.
+PROCESS_FAULTS_ENV = "REPRO_PROCESS_FAULTS"
+
+_ACTIONS = ("kill", "exit", "raise", "sleep")
+
+#: Exit code used by the ``exit`` action (distinguishable from signals).
+INJECTED_EXIT_CODE = 86
+
+
+class InjectedProcessFault(RuntimeError):
+    """The exception the ``raise`` action throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """One parsed directive."""
+
+    label: str
+    attempt: "int | None"      # None = every attempt ('*')
+    action: str
+    sleep_s: float = 0.0
+
+    def matches(self, label: str, attempt: int) -> bool:
+        return (self.label == label
+                and (self.attempt is None or self.attempt == attempt))
+
+
+def parse_process_faults(spec: str) -> tuple[ProcessFault, ...]:
+    """Parse a ``REPRO_PROCESS_FAULTS`` value; raises ValueError loudly.
+
+    A malformed spec must never be silently ignored — a typo'd directive
+    in a resilience test would make the test vacuously pass.
+    """
+    faults = []
+    for raw in spec.split(";"):
+        directive = raw.strip()
+        if not directive:
+            continue
+        try:
+            target, action = directive.split("=", 1)
+            label, attempt_s = target.rsplit("@", 1)
+        except ValueError:
+            raise ValueError(
+                f"bad process-fault directive {directive!r} "
+                f"(expected label@attempt=action)") from None
+        attempt = None if attempt_s == "*" else int(attempt_s)
+        if attempt is not None and attempt < 1:
+            raise ValueError(f"attempt must be >= 1 in {directive!r}")
+        sleep_s = 0.0
+        if action.startswith("sleep:"):
+            sleep_s = float(action.split(":", 1)[1])
+            action = "sleep"
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"unknown process-fault action {action!r} in {directive!r}")
+        faults.append(ProcessFault(label=label.strip(), attempt=attempt,
+                                   action=action, sleep_s=sleep_s))
+    return tuple(faults)
+
+
+def maybe_inject(label: str, attempt: int) -> None:
+    """Fire any matching directive; a no-op without the env variable.
+
+    Called by the resilient worker right before executing its task, in
+    the child process — ``kill`` and ``exit`` therefore take down only
+    that worker, exactly like a real crash would.
+    """
+    spec = os.environ.get(PROCESS_FAULTS_ENV)
+    if not spec:
+        return
+    for fault in parse_process_faults(spec):
+        if not fault.matches(label, attempt):
+            continue
+        if fault.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.action == "exit":
+            os._exit(INJECTED_EXIT_CODE)
+        elif fault.action == "raise":
+            raise InjectedProcessFault(
+                f"injected fault: {label} attempt {attempt}")
+        elif fault.action == "sleep":
+            time.sleep(fault.sleep_s)

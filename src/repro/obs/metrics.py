@@ -91,6 +91,18 @@ def empty_snapshot() -> dict[str, Any]:
     return {"version": SNAPSHOT_VERSION, "counters": {}, "histograms": {}}
 
 
+def snapshot_from_counters(counters: Mapping[str, int]) -> dict[str, Any]:
+    """A valid snapshot holding only the given counters.
+
+    Lets code that tallies plain ints (the resilient pool, the campaign
+    runner) export them in the standard mergeable shape without carrying
+    a :class:`MetricsRegistry` across process boundaries.
+    """
+    return {"version": SNAPSHOT_VERSION,
+            "counters": {k: int(counters[k]) for k in sorted(counters)},
+            "histograms": {}}
+
+
 #: The fields every histogram entry must carry (merge reads all of them).
 _HIST_FIELDS = ("bins", "count", "sum", "min", "max")
 

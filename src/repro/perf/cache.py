@@ -32,8 +32,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro.sim.config import SystemConfig
 from repro.sim.serialize import canonical
@@ -47,6 +49,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Directory name used when no explicit ``--cache-dir`` is given.
 DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+#: Subdirectory corrupt entries are moved into by ``repro cache verify``
+#: (kept for forensics instead of deleted; emptied by ``cache gc``).
+QUARANTINE_DIRNAME = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -107,21 +113,32 @@ def sim_cache_key(app: str, config: SystemConfig, scale: float,
 
 
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store counters for one :class:`ResultCache` instance.
 
-    __slots__ = ("hits", "misses", "stores", "corrupt")
+    ``corrupt`` counts entries that *looked* broken (unreadable,
+    truncated, wrong version, undecodable payload); ``removed`` counts
+    the subset whose file was actually unlinked — the deletes are
+    best-effort (a concurrent reader may have removed the file first),
+    and making the two visible separately is what lets ``repro cache
+    stats`` report removals instead of swallowing them silently.
+    """
+
+    __slots__ = ("hits", "misses", "stores", "corrupt", "removed")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.removed = 0
 
     def describe(self) -> str:
-        return (f"{self.hits} hit(s), {self.misses} miss(es), "
-                f"{self.stores} store(s)"
-                + (f", {self.corrupt} corrupt entr(ies) dropped"
-                   if self.corrupt else ""))
+        text = (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.stores} store(s)")
+        if self.corrupt:
+            text += (f", {self.corrupt} corrupt entr(ies) "
+                     f"({self.removed} removed)")
+        return text
 
 
 class ResultCache:
@@ -151,12 +168,16 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted or incompatible entry: drop it and recompute.
+            # The unlink is best-effort (a racing reader may win); what
+            # succeeded is counted so the removal is reportable.
             self.stats.corrupt += 1
             self.stats.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
+            else:
+                self.stats.removed += 1
             return None
         self.stats.hits += 1
         return payload
@@ -199,3 +220,159 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    # -- scrubbing (repro cache verify | gc | stats) ---------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIRNAME
+
+    def entries(self) -> Iterator["CacheEntry"]:
+        """Every entry file, cheapest-first metadata only (no reads).
+
+        Quarantined files live in a subdirectory, so the top-level glob
+        never sees them; deterministic (sorted) order so scrub reports
+        are stable.
+        """
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent removal
+            kind = path.name.split("-", 1)[0] if "-" in path.name else "?"
+            yield CacheEntry(path=path, kind=kind, size=stat.st_size,
+                             mtime=stat.st_mtime)
+
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries())
+
+    def check_entry(self, path: Path) -> Optional[str]:
+        """None when the entry is intact, else why it is not.
+
+        Checks everything short of payload *semantics* (which need the
+        task context): JSON well-formedness, the format/kind/key/payload
+        fields, and that the filename actually is the content hash of
+        the recorded kind+key — a renamed or foreign file is corrupt
+        even when its JSON parses.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except OSError as exc:
+            return f"unreadable ({exc.__class__.__name__})"
+        except ValueError:
+            return "not valid JSON (truncated or torn write)"
+        if not isinstance(entry, dict):
+            return "entry is not a JSON object"
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return (f"format {entry.get('format')!r} != "
+                    f"{CACHE_FORMAT_VERSION}")
+        kind = entry.get("kind")
+        key = entry.get("key")
+        if not isinstance(kind, str) or not isinstance(key, dict):
+            return "missing kind/key fields"
+        if "payload" not in entry:
+            return "missing payload"
+        expected = self._path(kind, fingerprint(kind, key)).name
+        if path.name != expected:
+            return f"filename does not match content hash ({expected})"
+        return None
+
+    def verify(self, *, quarantine: bool = True) -> "ScrubReport":
+        """Scan every entry; quarantine (or just report) the broken ones.
+
+        Corrupt files are moved into ``quarantine/`` (atomic rename, so a
+        concurrent reader either sees the intact path or a miss — never a
+        half-removed file); with ``quarantine=False`` they are only
+        reported.
+        """
+        report = ScrubReport()
+        for entry in self.entries():
+            report.scanned += 1
+            reason = self.check_entry(entry.path)
+            if reason is None:
+                report.intact += 1
+                continue
+            report.corrupt.append((entry.path.name, reason))
+            if not quarantine:
+                continue
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(entry.path, self.quarantine_dir / entry.path.name)
+                report.quarantined += 1
+            except OSError:
+                pass  # racing reader removed it first: equally gone
+        return report
+
+    def gc(self, *, max_age_s: Optional[float] = None,
+           max_size_bytes: Optional[int] = None,
+           now: Optional[float] = None) -> "ScrubReport":
+        """Evict entries by age, then by total size (oldest first).
+
+        ``max_age_s`` removes entries older than the horizon;
+        ``max_size_bytes`` then evicts oldest-first until the remainder
+        fits.  Quarantined files are always purged — they were kept only
+        for inspection between scrubs.  ``now`` is injectable for tests.
+        """
+        report = ScrubReport()
+        if now is None:
+            now = time.time()
+        survivors: list[CacheEntry] = []
+        for entry in self.entries():
+            report.scanned += 1
+            if max_age_s is not None and now - entry.mtime > max_age_s:
+                if self._evict(entry, report):
+                    continue
+            survivors.append(entry)
+        if max_size_bytes is not None:
+            total = sum(entry.size for entry in survivors)
+            for entry in sorted(survivors, key=lambda e: (e.mtime,
+                                                          e.path.name)):
+                if total <= max_size_bytes:
+                    break
+                if self._evict(entry, report):
+                    total -= entry.size
+        if self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.glob("*.json")):
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                report.evicted += 1
+                report.evicted_bytes += size
+        return report
+
+    def _evict(self, entry: "CacheEntry", report: "ScrubReport") -> bool:
+        try:
+            entry.path.unlink()
+        except OSError:
+            return False
+        report.evicted += 1
+        report.evicted_bytes += entry.size
+        return True
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache file (no payload read)."""
+
+    path: Path
+    kind: str
+    size: int
+    mtime: float
+
+
+@dataclass
+class ScrubReport:
+    """What one ``verify``/``gc`` pass did."""
+
+    scanned: int = 0
+    intact: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
+    #: (filename, reason) per corrupt entry found by ``verify``.
+    corrupt: list[tuple[str, str]] = field(default_factory=list)

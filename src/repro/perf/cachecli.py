@@ -1,0 +1,134 @@
+"""``python -m repro cache`` — integrity scrubbing for ``.repro-cache/``.
+
+Subcommands::
+
+    repro cache stats   [--cache-dir DIR]      entry counts / bytes / ages
+    repro cache verify  [--cache-dir DIR]      detect + quarantine corrupt
+                        [--no-quarantine]      entries (report only)
+    repro cache gc      [--cache-dir DIR]      evict by age and/or size
+                        [--max-age-days N] [--max-size-mb N]
+
+``verify`` checks every entry's JSON well-formedness, format version,
+kind/key/payload fields, and that the filename equals the content hash of
+the recorded key — a torn write, a stale-format entry, or a renamed file
+all count as corrupt.  Corrupt entries move into ``quarantine/`` (atomic
+rename) so a later ``gc`` can purge them; readers treat the vanished path
+as an ordinary miss and recompute.  Exit status: ``verify`` returns 1
+when corruption was found (0 after quarantining nothing), everything
+else returns 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.cache import ResultCache, default_cache_dir
+
+
+def _build(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{n} B" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{n} B"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    cache = _build(args)
+    entries = list(cache.entries())
+    by_kind: dict[str, tuple[int, int]] = {}
+    for entry in entries:
+        count, size = by_kind.get(entry.kind, (0, 0))
+        by_kind[entry.kind] = (count + 1, size + entry.size)
+    print(f"cache {cache.directory}: {len(entries)} entr(ies), "
+          f"{_fmt_bytes(sum(e.size for e in entries))}")
+    for kind in sorted(by_kind):
+        count, size = by_kind[kind]
+        print(f"  {kind:12s} {count:6d} entr(ies)  {_fmt_bytes(size)}")
+    quarantined = (sorted(cache.quarantine_dir.glob("*.json"))
+                   if cache.quarantine_dir.is_dir() else [])
+    if quarantined:
+        print(f"  {'quarantined':12s} {len(quarantined):6d} entr(ies)  "
+              f"{_fmt_bytes(sum(p.stat().st_size for p in quarantined))}")
+    # Session counters: nonzero only when a command in this process also
+    # exercised get/put, but printing them keeps the removal counter
+    # (CacheStats.removed) from being invisible in scripts that reuse
+    # one process for run + stats.
+    print(f"  session: {cache.stats.describe()}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    cache = _build(args)
+    report = cache.verify(quarantine=not args.no_quarantine)
+    print(f"verified {report.scanned} entr(ies) in {cache.directory}: "
+          f"{report.intact} intact, {len(report.corrupt)} corrupt, "
+          f"{report.quarantined} quarantined")
+    for name, reason in report.corrupt:
+        print(f"  CORRUPT {name}: {reason}")
+    return 1 if report.corrupt else 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    cache = _build(args)
+    max_age_s = (args.max_age_days * 86400.0
+                 if args.max_age_days is not None else None)
+    max_size = (int(args.max_size_mb * 1024 * 1024)
+                if args.max_size_mb is not None else None)
+    if max_age_s is None and max_size is None and not args.all:
+        print("cache gc: nothing to do "
+              "(give --max-age-days and/or --max-size-mb, or --all)",
+              file=sys.stderr)
+        return 2
+    if args.all:
+        removed = cache.clear()
+        print(f"cleared {removed} entr(ies) from {cache.directory}")
+        return 0
+    report = cache.gc(max_age_s=max_age_s, max_size_bytes=max_size)
+    print(f"gc {cache.directory}: scanned {report.scanned}, evicted "
+          f"{report.evicted} entr(ies) ({_fmt_bytes(report.evicted_bytes)})")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="cache directory (default .repro-cache, or "
+                            "$REPRO_CACHE_DIR)")
+
+    stats_p = sub.add_parser("stats", help="entry counts, bytes, kinds")
+    _common(stats_p)
+
+    verify_p = sub.add_parser(
+        "verify", help="detect and quarantine corrupt entries")
+    _common(verify_p)
+    verify_p.add_argument("--no-quarantine", action="store_true",
+                          help="report corruption without moving files")
+
+    gc_p = sub.add_parser("gc", help="evict entries by age and/or size")
+    _common(gc_p)
+    gc_p.add_argument("--max-age-days", type=float, default=None,
+                      help="evict entries older than N days")
+    gc_p.add_argument("--max-size-mb", type=float, default=None,
+                      help="evict oldest entries until the cache fits N MiB")
+    gc_p.add_argument("--all", action="store_true",
+                      help="remove every entry")
+
+    args = parser.parse_args(argv)
+    handlers = {"stats": _cmd_stats, "verify": _cmd_verify, "gc": _cmd_gc}
+    return handlers[args.subcommand](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""Append-only JSON-lines run journal: the checkpoint behind ``--resume``.
+
+A campaign writes one journal record per lifecycle event — a header
+describing the run, then ``start`` / ``retry`` / ``finish`` / ``failure``
+per task, and finally ``shutdown`` — each as a single ``\\n``-terminated
+JSON line flushed and fsynced before the runner moves on.  The format is
+chosen for *crash shape*, not elegance:
+
+* appends are the only mutation, so a SIGKILL at any instant leaves a
+  valid journal plus at most one torn final line;
+* :func:`RunJournal.load` tolerates exactly that torn tail (an
+  undecodable **last** line is dropped; an undecodable line in the middle
+  raises :class:`JournalError`, because that means real corruption, not
+  an interrupted append);
+* a ``finish`` record embeds the task's encoded payload (the same
+  ``to_dict`` encoding the persistent cache stores), so resume does not
+  depend on the cache surviving — the journal alone replays every
+  finished task byte-identically.
+
+The journal is *not* the results artifact — ``run_table.csv`` is — and it
+deliberately carries no wall-clock timestamps, so a resumed run's journal
+replay produces byte-identical downstream artifacts to an uninterrupted
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
+
+#: Bump on incompatible journal layout changes; resume refuses a
+#: mismatched journal rather than guessing.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Record kinds (the ``event`` field).
+EVENT_HEADER = "header"
+EVENT_START = "start"
+EVENT_RETRY = "retry"
+EVENT_FINISH = "finish"
+EVENT_FAILURE = "failure"
+EVENT_SHUTDOWN = "shutdown"
+
+
+class JournalError(ValueError):
+    """The journal is corrupt or incompatible (not merely truncated)."""
+
+
+def _record_line(record: Mapping[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class RunJournal:
+    """One append-only journal file.
+
+    ``append`` opens the file in append mode, writes a single line, and
+    fsyncs — slow-path durability is the point; the journal records task
+    boundaries (seconds to hours apart), never per-event data.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record."""
+        if "event" not in record:
+            raise ValueError("journal records need an 'event' field")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = _record_line(record)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def write_header(self, meta: Mapping[str, Any]) -> None:
+        """Append the header record (first line of a fresh journal)."""
+        record = {"event": EVENT_HEADER,
+                  "format": JOURNAL_FORMAT_VERSION}
+        record.update(meta)
+        self.append(record)
+
+    def task_start(self, digest: str, label: str, attempt: int) -> None:
+        self.append({"event": EVENT_START, "task": digest,
+                     "label": label, "attempt": attempt})
+
+    def task_retry(self, digest: str, label: str, attempt: int,
+                   kind: str, message: str, delay_s: float) -> None:
+        self.append({"event": EVENT_RETRY, "task": digest, "label": label,
+                     "attempt": attempt, "kind": kind, "message": message,
+                     "delay_s": delay_s})
+
+    def task_finish(self, digest: str, label: str, attempts: int,
+                    payload: Any) -> None:
+        self.append({"event": EVENT_FINISH, "task": digest, "label": label,
+                     "attempts": attempts, "payload": payload})
+
+    def task_failure(self, digest: str, label: str, attempts: int,
+                     kind: str, message: str) -> None:
+        self.append({"event": EVENT_FAILURE, "task": digest, "label": label,
+                     "attempts": attempts, "kind": kind, "message": message})
+
+    def shutdown(self, reason: str, completed: int, total: int) -> None:
+        self.append({"event": EVENT_SHUTDOWN, "reason": reason,
+                     "completed": completed, "total": total})
+
+    # -- reading -----------------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> list[dict[str, Any]]:
+        """Every intact record, tolerating a torn final line.
+
+        Raises :class:`JournalError` when a *non*-final line is
+        undecodable or the header is missing/incompatible.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a kill mid-append: expected
+                raise JournalError(
+                    f"{self.path}: undecodable journal line {i + 1} "
+                    f"(not the final line — the file is corrupt)") from None
+            if not isinstance(record, dict) or "event" not in record:
+                raise JournalError(
+                    f"{self.path}: line {i + 1} is not a journal record")
+            records.append(record)
+        if records and records[0].get("event") == EVENT_HEADER:
+            if records[0].get("format") != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"{self.path}: journal format "
+                    f"{records[0].get('format')!r} "
+                    f"!= {JOURNAL_FORMAT_VERSION}")
+        return records
+
+    def header(self) -> Optional[dict[str, Any]]:
+        """The header record, or None when the journal has none.
+
+        A header is optional for a bare :func:`run_tasks_resilient`
+        journal; the campaign layer writes one and refuses to resume a
+        journal whose header does not match its spec.
+        """
+        records = self.load()
+        if records and records[0].get("event") == EVENT_HEADER:
+            return records[0]
+        return None
+
+
+def finished_payloads(
+        records: Iterable[Mapping[str, Any]]) -> dict[str, dict[str, Any]]:
+    """task digest -> its ``finish`` record (last one wins).
+
+    The values are the full records (``payload``, ``attempts``, ``label``),
+    so a resuming runner can both skip the task and reproduce its
+    result row exactly.
+    """
+    finished: dict[str, dict[str, Any]] = {}
+    for record in records:
+        if record.get("event") == EVENT_FINISH:
+            finished[str(record["task"])] = dict(record)
+    return finished
+
+
+def recorded_failures(
+        records: Iterable[Mapping[str, Any]]) -> dict[str, dict[str, Any]]:
+    """task digest -> its ``failure`` record (last one wins).
+
+    A quarantined task is *terminal* for the run that recorded it, but a
+    resumed run re-attempts it from scratch — a crash that was load- or
+    machine-induced may well succeed on retry, and a genuinely poison
+    task will simply be re-quarantined with the same record shape.
+    Resume therefore treats these as informational, not as skips.
+    """
+    failures: dict[str, dict[str, Any]] = {}
+    for record in records:
+        if record.get("event") == EVENT_FAILURE:
+            failures[str(record["task"])] = dict(record)
+    return failures

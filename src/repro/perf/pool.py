@@ -220,7 +220,7 @@ def execute_task(task: MatrixTask) -> Any:
     """Run one task to completion (also the serial in-process path)."""
     if task.kind == KIND_SIM:
         return run_simulation(task.app, resolve_task_config(task),
-                              scale=task.scale)
+                              scale=task.scale, seed=task.seed)
     if task.kind == KIND_TRACE:
         return run_traced(task.app, resolve_task_config(task),
                           scale=task.scale, seed=task.seed)

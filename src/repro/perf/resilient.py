@@ -1,0 +1,433 @@
+"""Crash-safe task execution: the resilient counterpart of ``run_tasks``.
+
+:func:`repro.perf.pool.run_tasks` is the fast path: a
+``ProcessPoolExecutor`` fan-out that assumes workers behave.  This module
+is the hardened path a long campaign runs on.  Same tasks, same
+deterministic task-order results, plus:
+
+* **per-task wall-clock timeouts** — a cell that hangs is killed and
+  counted, it cannot stall the campaign;
+* **worker-crash detection** — a worker that dies without reporting
+  (SIGKILL, ``os._exit``, a segfaulting C extension) is detected by its
+  exit, not by a hung future;
+* **bounded retries with deterministic backoff** — crashes/timeouts/
+  errors are retried up to :class:`~repro.perf.retry.RetryPolicy`
+  ``max_attempts`` times, the delay before each retry drawn from the
+  task-keyed jitter stream of :func:`~repro.perf.retry.backoff_delay`;
+* **poison-task quarantine** — a task failing every attempt becomes a
+  typed :class:`~repro.perf.retry.TaskFailure` row and the campaign
+  continues;
+* **journaled checkpointing** — every start/retry/finish/failure is
+  appended to a :class:`~repro.perf.journal.RunJournal`; a rerun against
+  the same journal replays finished tasks from it (``--resume``);
+* **graceful shutdown** — a ``stop_event`` (set by the campaign CLI's
+  SIGINT/SIGTERM handler) stops launching work, drains in-flight tasks
+  up to a deadline, salvages their results into the journal, and
+  returns with ``interrupted=True``.
+
+Every task attempt runs in its own ``multiprocessing.Process`` — dearer
+than a pooled worker, but it is what makes kill-on-timeout and per-attempt
+crash isolation possible at all, and campaign cells are seconds-to-minutes
+of simulation for which the spawn cost is noise.  Workers re-seed exactly
+like pool workers (``_worker_execute``), so results are bit-identical to
+the fast path, to a serial run, and to a warm-cache replay.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Optional
+
+import threading
+
+from repro.faults.process import maybe_inject
+from repro.perf.cache import ResultCache, fingerprint
+from repro.perf.journal import (
+    RunJournal,
+    finished_payloads,
+)
+from repro.perf.pool import (
+    CACHEABLE_KINDS,
+    MatrixTask,
+    _worker_execute,
+    decode_payload,
+    encode_payload,
+    task_cache_key,
+)
+from repro.perf.retry import (
+    FAILURE_CRASH,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
+    RetryPolicy,
+    TaskFailure,
+    backoff_delay,
+)
+
+#: How long (s) a terminated worker gets to die before SIGKILL.
+_TERMINATE_GRACE_S = 1.0
+
+#: Poll interval (s) of the supervision loop when nothing is readable.
+_POLL_S = 0.05
+
+#: Counter names a run always reports (zero-valued ones included, so the
+#: exported metrics have a stable shape).
+COUNTER_NAMES = (
+    "tasks", "completed", "cache_hits", "resumed", "retries",
+    "crashes", "timeouts", "errors", "quarantined", "salvaged",
+    "abandoned_inflight",
+)
+
+
+def fault_label(task: MatrixTask) -> str:
+    """The label process-fault directives match against.
+
+    ``MatrixTask.label()`` plus ``#<seed>`` when the task carries a
+    workload seed: campaign repetitions share a cell label but never a
+    seed, so one repetition can be crash-targeted without its siblings.
+    """
+    label = task.label()
+    return label if task.seed is None else f"{label}#{task.seed}"
+
+
+def task_digest(task: MatrixTask) -> str:
+    """The task's content digest — cache filename and journal identity."""
+    return fingerprint(task.kind, task_cache_key(task))
+
+
+def _resilient_worker(task: MatrixTask, attempt: int,
+                      conn: Connection) -> None:
+    """Child-process entry point: run one attempt, report on the pipe.
+
+    Protocol: exactly one ``("ok", result)`` or ``("err", message)``
+    message, then EOF.  A worker that dies before sending (injected or
+    real crash) is detected by the parent as EOF + abnormal exit.
+    """
+    try:
+        maybe_inject(fault_label(task), attempt)
+        value = _worker_execute(task)
+        conn.send(("ok", value))
+    except BaseException as exc:  # noqa: BLE001 - everything must be reported
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class ResilientRun:
+    """What :func:`run_tasks_resilient` produced.
+
+    ``results`` is in task order (``None`` for quarantined or abandoned
+    tasks); ``attempts[i]`` is how many times task ``i`` ran in *this*
+    invocation (0 = served from cache or journal); ``failures`` holds the
+    quarantined tasks; ``interrupted`` is True when a graceful shutdown
+    cut the run short.
+    """
+
+    results: list[Any]
+    attempts: list[int]
+    failures: list[TaskFailure] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    interrupted: bool = False
+
+    def failure_for(self, index: int) -> Optional[TaskFailure]:
+        for failure in self.failures:
+            if failure.index == index:
+                return failure
+        return None
+
+
+class _Running:
+    """Supervision state of one in-flight attempt."""
+
+    __slots__ = ("index", "attempt", "process", "conn", "deadline",
+                 "started")
+
+    def __init__(self, index: int, attempt: int, process: Any,
+                 conn: Connection, deadline: Optional[float]) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.started = time.monotonic()
+
+
+def _stop_process(entry: _Running) -> None:
+    """Terminate (then kill) one worker and reap it."""
+    process = entry.process
+    if process.is_alive():
+        process.terminate()
+        process.join(_TERMINATE_GRACE_S)
+        if process.is_alive():
+            process.kill()
+            process.join()
+    else:
+        process.join()
+    try:
+        entry.conn.close()
+    except Exception:
+        pass
+
+
+def run_tasks_resilient(
+        tasks: list[MatrixTask],
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        stop_event: Optional["threading.Event"] = None,
+        drain_s: float = 30.0,
+        progress: Optional[Callable[[int, int, MatrixTask], None]] = None,
+) -> ResilientRun:
+    """Run every task with retries, timeouts, quarantine, and journaling.
+
+    Results come back in task order regardless of worker interleaving and
+    are bit-identical to :func:`repro.perf.pool.run_tasks` for tasks that
+    succeed.  See the module docstring for the failure semantics.
+
+    ``journal`` doubles as the resume source: tasks whose digest already
+    has a ``finish`` record are served from the journal without running
+    (and without touching the cache), which is what makes a resumed
+    campaign byte-identical to an uninterrupted one.
+    """
+    policy = policy or RetryPolicy()
+    jobs = max(1, jobs)
+    counters = {name: 0 for name in COUNTER_NAMES}
+    counters["tasks"] = len(tasks)
+    results: list[Any] = [None] * len(tasks)
+    attempts_used = [0] * len(tasks)
+    failures: list[TaskFailure] = []
+    done_flags = [False] * len(tasks)
+    done = 0
+
+    journaled = finished_payloads(journal.load()) if journal is not None \
+        else {}
+    digests = [task_digest(task) for task in tasks]
+
+    def _mark_done(index: int, value: Any) -> None:
+        nonlocal done
+        results[index] = value
+        done_flags[index] = True
+        done += 1
+        if progress is not None:
+            progress(done, len(tasks), tasks[index])
+
+    # -- resume / cache pre-pass (no processes involved) ----------------------
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        record = journaled.get(digests[i])
+        if record is not None:
+            try:
+                value = decode_payload(task, record["payload"])
+            except (KeyError, TypeError, ValueError):
+                value = None  # incompatible journal payload: recompute
+            if value is not None:
+                counters["resumed"] += 1
+                # Report the journaled attempt count, not 0: a resumed
+                # campaign's run table must be byte-identical to the
+                # uninterrupted run that would have produced it.
+                attempts_used[i] = int(record.get("attempts", 0))
+                _mark_done(i, value)
+                continue
+        if cache is not None and task.kind in CACHEABLE_KINDS:
+            payload = cache.get(task.kind, task_cache_key(task))
+            if payload is not None:
+                try:
+                    value = decode_payload(task, payload)
+                except (KeyError, TypeError, ValueError):
+                    cache.stats.corrupt += 1
+                    value = None
+                if value is not None:
+                    counters["cache_hits"] += 1
+                    if journal is not None:
+                        journal.task_finish(digests[i], task.label(),
+                                            attempts=0, payload=payload)
+                    _mark_done(i, value)
+                    continue
+        pending.append(i)
+
+    # -- supervised execution --------------------------------------------------
+    ctx = multiprocessing.get_context()
+    #: task index -> earliest monotonic time it may (re)launch.
+    ready_at = {i: 0.0 for i in pending}
+    attempt_no = {i: 0 for i in pending}
+    running: list[_Running] = []
+    interrupted = False
+    drain_deadline: Optional[float] = None
+
+    def _stopping() -> bool:
+        return stop_event is not None and stop_event.is_set()
+
+    def _launch(index: int) -> None:
+        attempt_no[index] += 1
+        attempt = attempt_no[index]
+        attempts_used[index] = attempt
+        task = tasks[index]
+        if journal is not None:
+            journal.task_start(digests[index], task.label(), attempt)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_resilient_worker,
+                              args=(task, attempt, child_conn), daemon=True)
+        process.start()
+        child_conn.close()
+        deadline = (time.monotonic() + policy.timeout_s
+                    if policy.timeout_s > 0 else None)
+        running.append(_Running(index, attempt, process, parent_conn,
+                                deadline))
+
+    def _complete_ok(entry: _Running, value: Any) -> None:
+        task = tasks[entry.index]
+        counters["completed"] += 1
+        if (cache is not None and task.kind in CACHEABLE_KINDS):
+            cache.put(task.kind, task_cache_key(task),
+                      encode_payload(task, value))
+        if journal is not None:
+            journal.task_finish(digests[entry.index], task.label(),
+                                attempts=entry.attempt,
+                                payload=encode_payload(task, value))
+        if _stopping():
+            counters["salvaged"] += 1
+        _mark_done(entry.index, value)
+
+    def _complete_failed(entry: _Running, kind: str, message: str) -> None:
+        index = entry.index
+        task = tasks[index]
+        counter = {FAILURE_CRASH: "crashes", FAILURE_TIMEOUT: "timeouts",
+                   FAILURE_ERROR: "errors"}[kind]
+        counters[counter] += 1
+        if entry.attempt < policy.max_attempts and not _stopping():
+            delay = backoff_delay(policy, digests[index], entry.attempt)
+            counters["retries"] += 1
+            if journal is not None:
+                journal.task_retry(digests[index], task.label(),
+                                   entry.attempt, kind, message, delay)
+            print(f"[resilient] {task.label()} attempt {entry.attempt} "
+                  f"{kind} ({message}); retrying in {delay:.2f}s",
+                  file=sys.stderr)
+            ready_at[index] = time.monotonic() + delay
+            return
+        counters["quarantined"] += 1
+        failure = TaskFailure(index=index, label=task.label(), kind=kind,
+                              attempts=entry.attempt, message=message)
+        failures.append(failure)
+        if journal is not None:
+            journal.task_failure(digests[index], task.label(),
+                                 entry.attempt, kind, message)
+        print(f"[resilient] QUARANTINED {failure.describe()}",
+              file=sys.stderr)
+        _mark_done(index, None)
+
+    def _reap(entry: _Running) -> None:
+        """Handle one worker whose pipe became readable (or who died)."""
+        running.remove(entry)
+        message: Optional[tuple[str, Any]] = None
+        try:
+            if entry.conn.poll(0):
+                message = entry.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        entry.process.join()
+        try:
+            entry.conn.close()
+        except Exception:
+            pass
+        if message is not None:
+            status, payload = message
+            if status == "ok":
+                _complete_ok(entry, payload)
+            else:
+                _complete_failed(entry, FAILURE_ERROR, str(payload))
+            return
+        code = entry.process.exitcode
+        _complete_failed(entry, FAILURE_CRASH,
+                         f"worker died with exit code {code}")
+
+    try:
+        while done < len(tasks):
+            now = time.monotonic()
+
+            # Graceful shutdown: freeze launches, set the drain deadline.
+            if _stopping() and drain_deadline is None:
+                drain_deadline = now + max(0.0, drain_s)
+                interrupted = True
+                print(f"[resilient] shutdown requested: draining "
+                      f"{len(running)} in-flight task(s) "
+                      f"(deadline {drain_s:g}s)", file=sys.stderr)
+
+            if drain_deadline is None:
+                launchable = [i for i in ready_at
+                              if not done_flags[i]
+                              and all(r.index != i for r in running)
+                              and ready_at[i] <= now]
+                for index in sorted(launchable):
+                    if len(running) >= jobs:
+                        break
+                    _launch(index)
+            else:
+                if not running:
+                    break  # drained everything that was in flight
+                if now >= drain_deadline:
+                    for entry in list(running):
+                        counters["abandoned_inflight"] += 1
+                        print(f"[resilient] abandoning in-flight "
+                              f"{tasks[entry.index].label()} "
+                              f"(drain deadline)", file=sys.stderr)
+                        _stop_process(entry)
+                        running.remove(entry)
+                    break
+
+            # Per-task wall-clock timeouts.
+            for entry in list(running):
+                if entry.deadline is not None and now >= entry.deadline:
+                    elapsed = now - entry.started
+                    _stop_process(entry)
+                    running.remove(entry)
+                    _complete_failed(
+                        entry, FAILURE_TIMEOUT,
+                        f"exceeded {policy.timeout_s:g}s wall-clock "
+                        f"budget (ran {elapsed:.1f}s)")
+
+            if not running:
+                if all(done_flags[i] or ready_at[i] > now
+                       for i in ready_at):
+                    future = [ready_at[i] for i in ready_at
+                              if not done_flags[i]]
+                    if not future:
+                        break
+                    time.sleep(min(_POLL_S * 4,
+                                   max(0.0, min(future) - now)))
+                continue
+
+            readable = connection_wait([r.conn for r in running],
+                                       timeout=_POLL_S)
+            reaped = False
+            for entry in list(running):
+                if entry.conn in readable:
+                    _reap(entry)
+                    reaped = True
+            if not reaped:
+                # No pipe activity: also detect workers that died without
+                # their pipe becoming readable yet.
+                for entry in list(running):
+                    if not entry.process.is_alive():
+                        _reap(entry)
+    finally:
+        for entry in list(running):
+            _stop_process(entry)
+
+    if journal is not None and interrupted:
+        journal.shutdown("signal", completed=done, total=len(tasks))
+
+    return ResilientRun(results=results, attempts=attempts_used,
+                        failures=failures, counters=counters,
+                        interrupted=interrupted)

@@ -1,0 +1,189 @@
+"""Retry, backoff, and wall-clock-budget primitives for task execution.
+
+The paper's ULMT is a robustness story *inside* the simulator: prefetching
+must degrade gracefully and never corrupt correctness.  This module states
+the same property for the execution layer around it — a campaign of
+thousands of matrix cells must survive crashed workers, hung cells, and
+poison tasks without losing the rest of the run.
+
+Three primitives, all deterministic and side-effect free:
+
+* :class:`RetryPolicy` — how many attempts a task gets, its per-attempt
+  wall-clock budget, and the exponential-backoff envelope;
+* :func:`backoff_delay` / :func:`backoff_schedule` — the delay before a
+  given retry, with jitter drawn from a :class:`random.Random` seeded from
+  the *task's content digest* (the same key the persistent cache uses).
+  The schedule is therefore a pure function of (policy, task): replaying a
+  campaign replays the exact same delays, and — like the per-kind fault
+  streams of :class:`repro.faults.FaultInjector` — the jitter stream of
+  one task can never perturb any other task's, the simulator's, or the
+  fault injector's RNG;
+* :func:`time_budget` — a portable wall-clock limit on a code block.
+  ``SIGALRM`` is used where available (Unix main thread, preempts C-level
+  loops too); elsewhere a timer thread interrupts the main thread, so
+  non-SIGALRM platforms no longer silently run unbounded.
+
+:class:`TaskFailure` is the typed row a task that exhausted its attempts
+turns into: campaigns record it and continue instead of raising.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import threading
+import _thread
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+#: Failure classification carried by :class:`TaskFailure`.
+FAILURE_TIMEOUT = "timeout"     # exceeded RetryPolicy.timeout_s, killed
+FAILURE_CRASH = "crash"         # worker died without reporting (SIGKILL, ...)
+FAILURE_ERROR = "error"         # worker raised an exception
+FAILURE_KINDS = (FAILURE_TIMEOUT, FAILURE_CRASH, FAILURE_ERROR)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a resilient runner treats one task's failures.
+
+    ``max_attempts`` counts *total* tries (1 = never retry); a task still
+    failing after the last attempt is quarantined as a
+    :class:`TaskFailure`.  ``timeout_s`` is the per-attempt wall-clock
+    budget (0 disables).  Backoff before attempt ``n+1`` is
+    ``min(backoff_cap_s, backoff_base_s * 2**(n-1))`` stretched by up to
+    ``jitter`` (a fraction) of deterministic, task-keyed jitter.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float = 0.0
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s < 0 or self.backoff_base_s < 0 \
+                or self.backoff_cap_s < 0 or self.jitter < 0:
+            raise ValueError("retry-policy durations must be >= 0")
+
+
+def backoff_delay(policy: RetryPolicy, task_digest: str,
+                  attempt: int) -> float:
+    """Seconds to wait after failed attempt ``attempt`` (1-based).
+
+    Deterministic per (policy, task digest, attempt): the jitter comes
+    from a dedicated ``random.Random(f"{task_digest}:retry:{attempt}")``
+    stream, so it is independent of execution order, of every other
+    task's schedule, and of the sim/fault RNG streams (the same
+    stream-separation rule ``FaultInjector`` uses per fault kind).  The
+    process-global RNG is never touched.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    base = min(policy.backoff_cap_s,
+               policy.backoff_base_s * (2 ** (attempt - 1)))
+    rng = random.Random(f"{task_digest}:retry:{attempt}")
+    return base * (1.0 + policy.jitter * rng.random())
+
+
+def backoff_schedule(policy: RetryPolicy,
+                     task_digest: str) -> tuple[float, ...]:
+    """Every delay the policy would apply: one per possible retry."""
+    return tuple(backoff_delay(policy, task_digest, attempt)
+                 for attempt in range(1, policy.max_attempts))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget (a row, not an exception).
+
+    ``index`` is the task's slot in the submitted list (its result slot
+    holds ``None``); ``kind`` is one of :data:`FAILURE_KINDS`; ``attempts``
+    is how many times it ran; ``message`` carries the last error text
+    (``"exit code N"`` for crashes, the exception repr for errors).
+    """
+
+    index: int
+    label: str
+    kind: str
+    attempts: int
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "label": self.label, "kind": self.kind,
+                "attempts": self.attempts, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskFailure":
+        kind = data["kind"]
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        return cls(index=int(data["index"]), label=str(data["label"]),
+                   kind=kind, attempts=int(data["attempts"]),
+                   message=str(data["message"]))
+
+    def describe(self) -> str:
+        return (f"{self.label}: {self.kind} after {self.attempts} "
+                f"attempt(s) — {self.message}")
+
+
+class TimeBudgetExceeded(RuntimeError):
+    """A :func:`time_budget` block ran past its wall-clock limit."""
+
+
+@contextmanager
+def time_budget(seconds: float, *,
+                use_sigalrm: bool = True) -> Iterator[None]:
+    """Bound a block's wall-clock time, portably.
+
+    On Unix main threads ``SIGALRM`` preempts the block exactly as the
+    previous runall-only implementation did.  Everywhere else (Windows,
+    non-main threads, ``use_sigalrm=False``) a timer thread calls
+    ``_thread.interrupt_main()`` at the deadline; the resulting
+    ``KeyboardInterrupt`` is converted to :class:`TimeBudgetExceeded`,
+    so the budget is enforced on every platform instead of silently
+    running unbounded.  A genuine Ctrl-C (timer not fired) propagates
+    unchanged.  ``seconds <= 0`` disables the budget.
+    """
+    if seconds <= 0:
+        yield
+        return
+
+    sigalrm_usable = (use_sigalrm and hasattr(signal, "SIGALRM")
+                      and threading.current_thread()
+                      is threading.main_thread())
+    if sigalrm_usable:
+        def _on_alarm(signum: int, frame: Any) -> None:
+            raise TimeBudgetExceeded(
+                f"exceeded the {seconds:g}s wall-clock budget")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    fired = threading.Event()
+
+    def _interrupt() -> None:
+        fired.set()
+        _thread.interrupt_main()
+
+    timer = threading.Timer(seconds, _interrupt)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    except KeyboardInterrupt:
+        if fired.is_set():
+            raise TimeBudgetExceeded(
+                f"exceeded the {seconds:g}s wall-clock budget") from None
+        raise
+    finally:
+        timer.cancel()

@@ -18,7 +18,8 @@ from repro.workloads.trace import Trace
 def run_simulation(workload: str | Trace,
                    config: str | SystemConfig = "nopref",
                    scale: float = 1.0,
-                   tracer: "Tracer | None" = None) -> SimResult:
+                   tracer: "Tracer | None" = None,
+                   seed: "int | None" = None) -> SimResult:
     """Simulate one application under one system configuration.
 
     ``workload`` is an application name from
@@ -27,11 +28,16 @@ def run_simulation(workload: str | Trace,
     for the per-application Table 5 customisation) or a full
     :class:`SystemConfig`.  ``tracer`` optionally installs an observability
     :class:`~repro.obs.tracer.Tracer` (see
-    :func:`repro.obs.runner.run_traced` for the packaged form).
+    :func:`repro.obs.runner.run_traced` for the packaged form).  ``seed``
+    overrides the workload trace seed (campaign repetitions sweep it);
+    it is ignored for an explicit :class:`Trace`, which is already built.
     """
     if isinstance(workload, Trace):
         trace = workload
         app_name = trace.name or "trace"
+    elif seed is not None:
+        trace = get_trace(workload, scale=scale, seed=seed, cache=False)
+        app_name = workload
     else:
         trace = get_trace(workload, scale=scale)
         app_name = workload

@@ -1,0 +1,183 @@
+"""Tests for cache integrity scrubbing (:mod:`repro.perf.cache` + the
+``repro cache`` CLI).
+
+The contract: corrupt entries (torn writes, wrong format, renamed files)
+are detected, reported, quarantined, and treated as misses — never as
+results; GC evicts by age then oldest-first by size; and two readers
+racing on the same torn entry both recompute without crashing.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.perf.cache import (CACHE_FORMAT_VERSION, ResultCache,
+                              fingerprint)
+from repro.perf.cachecli import main as cache_main
+
+KIND = "sim"
+KEY = {"app": "tree", "scale": 0.02}
+PAYLOAD = {"execution_time": 123}
+
+
+def _entry_path(cache, key=KEY):
+    return cache.directory / f"{KIND}-{fingerprint(KIND, key)}.json"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(KIND, KEY, PAYLOAD)
+    return cache
+
+
+class TestCorruptReads:
+    def test_torn_entry_is_a_counted_removed_miss(self, cache):
+        path = _entry_path(cache)
+        path.write_text(path.read_text()[:20])  # torn write
+        assert cache.get(KIND, KEY) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.removed == 1
+        assert "1 corrupt entr(ies) (1 removed)" in cache.stats.describe()
+        assert not path.exists()
+
+    def test_wrong_format_version_is_a_miss(self, cache):
+        path = _entry_path(cache)
+        entry = json.loads(path.read_text())
+        entry["format"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(KIND, KEY) is None
+        assert cache.stats.removed == 1
+
+
+class TestVerify:
+    def test_intact_cache_is_clean(self, cache):
+        report = cache.verify()
+        assert (report.scanned, report.intact) == (1, 1)
+        assert not report.corrupt and report.quarantined == 0
+
+    def test_detects_and_quarantines_each_corruption_kind(self, cache):
+        good = _entry_path(cache).read_text()
+        torn = cache.directory / f"{KIND}-{'0' * 64}.json"
+        torn.write_text(good[:15])
+        renamed = cache.directory / f"{KIND}-{'f' * 64}.json"
+        renamed.write_text(good)  # valid JSON, filename != content hash
+        report = cache.verify()
+        assert report.scanned == 3
+        assert report.intact == 1
+        assert report.quarantined == 2
+        reasons = dict(report.corrupt)
+        assert "not valid JSON" in reasons[torn.name]
+        assert "does not match content hash" in reasons[renamed.name]
+        assert sorted(p.name for p in cache.quarantine_dir.glob("*.json")) \
+            == sorted([torn.name, renamed.name])
+        # The intact entry still reads; the quarantined ones are misses.
+        assert cache.get(KIND, KEY) == PAYLOAD
+
+    def test_no_quarantine_reports_only(self, cache):
+        bad = cache.directory / f"{KIND}-{'0' * 64}.json"
+        bad.write_text("{")
+        report = cache.verify(quarantine=False)
+        assert report.quarantined == 0
+        assert bad.exists()
+
+    def test_quarantined_files_invisible_to_entries(self, cache):
+        (cache.directory / f"{KIND}-{'0' * 64}.json").write_text("{")
+        cache.verify()
+        assert [e.path.name for e in cache.entries()] \
+            == [_entry_path(cache).name]
+
+
+class TestGC:
+    def test_age_eviction(self, cache):
+        cache.put("fig5", {"app": "other"}, [1, 2])
+        old = _entry_path(cache)
+        os.utime(old, (1000.0, 1000.0))
+        report = cache.gc(max_age_s=3600.0, now=1e9)
+        assert report.evicted == 1
+        assert not old.exists()
+        assert len(cache) == 1
+
+    def test_size_eviction_is_oldest_first(self, cache):
+        cache.put("fig5", {"app": "other"}, [1] * 50)
+        newest = cache.directory / f"fig5-{fingerprint('fig5', {'app': 'other'})}.json"
+        os.utime(_entry_path(cache), (1000.0, 1000.0))
+        os.utime(newest, (2000.0, 2000.0))
+        report = cache.gc(max_size_bytes=newest.stat().st_size, now=3000.0)
+        assert report.evicted == 1
+        assert not _entry_path(cache).exists()
+        assert newest.exists()
+
+    def test_gc_purges_quarantine(self, cache):
+        (cache.directory / f"{KIND}-{'0' * 64}.json").write_text("{")
+        cache.verify()
+        report = cache.gc(max_age_s=None, max_size_bytes=None)
+        assert report.evicted == 1
+        assert not list(cache.quarantine_dir.glob("*.json"))
+
+
+class TestCLI:
+    def test_verify_exit_codes(self, cache, capsys):
+        argv = ["verify", "--cache-dir", str(cache.directory)]
+        assert cache_main(argv) == 0
+        (cache.directory / f"{KIND}-{'0' * 64}.json").write_text("{")
+        assert cache_main(argv) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+        assert cache_main(argv) == 0  # quarantined on the previous pass
+
+    def test_stats_lists_kinds_and_quarantine(self, cache, capsys):
+        (cache.directory / f"{KIND}-{'0' * 64}.json").write_text("{")
+        cache.verify()
+        assert cache_main(["stats", "--cache-dir",
+                           str(cache.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out and "quarantined" in out
+
+    def test_gc_requires_a_bound(self, cache):
+        assert cache_main(["gc", "--cache-dir",
+                           str(cache.directory)]) == 2
+        assert cache_main(["gc", "--cache-dir", str(cache.directory),
+                           "--all"]) == 0
+        assert len(cache) == 0
+
+
+def _racing_reader(directory, barrier, out_queue):
+    """Worker for the torn-entry race: read-miss, recompute, store.
+
+    The second barrier keeps both reads inside the window where the
+    entry is still torn (before either worker has republished it), so
+    the test exercises two concurrent corrupt-entry unlinks, not a
+    read-after-repair.
+    """
+    cache = ResultCache(directory)
+    barrier.wait()
+    first = cache.get(KIND, KEY)
+    barrier.wait()
+    cache.put(KIND, KEY, PAYLOAD)
+    out_queue.put((first, cache.get(KIND, KEY)))
+
+
+class TestConcurrentTornEntry:
+    def test_two_workers_racing_on_torn_entry_both_recompute(self, cache):
+        # Both workers hit the same torn file at once: each must see a
+        # miss (not an exception, not a partial payload), recompute, and
+        # end with the intact value — regardless of who unlinks first.
+        path = _entry_path(cache)
+        path.write_text(path.read_text()[:30])
+        barrier = multiprocessing.Barrier(2)
+        queue = multiprocessing.Queue()
+        workers = [multiprocessing.Process(
+            target=_racing_reader,
+            args=(str(cache.directory), barrier, queue))
+            for _ in range(2)]
+        for w in workers:
+            w.start()
+        outcomes = [queue.get(timeout=30) for _ in workers]
+        for w in workers:
+            w.join(30)
+            assert w.exitcode == 0
+        assert [o[0] for o in outcomes] == [None, None]
+        assert [o[1] for o in outcomes] == [PAYLOAD, PAYLOAD]
+        assert cache.check_entry(path) is None

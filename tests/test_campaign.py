@@ -1,0 +1,152 @@
+"""Tests for the campaign driver (:mod:`repro.campaign`).
+
+The contract: ``run_table.csv`` has one row per run×repetition in spec
+order; a resumed campaign reproduces the uninterrupted table byte for
+byte; quarantined cells become typed rows (and a nonzero exit code), not
+lost runs; a directory holding a different campaign refuses to be
+overwritten or resumed.
+"""
+
+import pytest
+
+from repro.campaign import (EXIT_QUARANTINED, CampaignError, CampaignSpec,
+                            run_campaign)
+from repro.campaign.runner import RUN_TABLE_COLUMNS, render_run_table
+from repro.faults.process import PROCESS_FAULTS_ENV
+from repro.perf.retry import RetryPolicy
+
+SPEC = CampaignSpec(apps=("tree",), configs=("nopref", "repl"),
+                    scale=0.02, repetitions=2, base_seed=0)
+
+FAST = RetryPolicy(max_attempts=2, backoff_base_s=0.01, backoff_cap_s=0.02,
+                   jitter=0.0)
+
+
+def _run(out_dir, spec=SPEC, **kwargs):
+    kwargs.setdefault("policy", FAST)
+    kwargs.setdefault("verbose", False)
+    return run_campaign(spec, out_dir, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def complete(tmp_path_factory):
+    """One uninterrupted campaign, shared by the read-only tests."""
+    out = tmp_path_factory.mktemp("campaign")
+    return _run(out)
+
+
+class TestSpec:
+    def test_round_trips_through_header_dict(self):
+        assert CampaignSpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_enumerates_app_config_rep_cells(self):
+        tasks = SPEC.tasks()
+        assert len(tasks) == 4
+        assert [t.seed for t in tasks] == [0, 1, 0, 1]
+        assert SPEC.row_keys() == [("tree", "nopref", 0),
+                                   ("tree", "nopref", 1),
+                                   ("tree", "repl", 0),
+                                   ("tree", "repl", 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(apps=(), configs=("repl",))
+        with pytest.raises(ValueError):
+            CampaignSpec(apps=("tree",), configs=("repl",), repetitions=0)
+
+    def test_fault_plan_spares_the_baseline(self):
+        spec = CampaignSpec(apps=("tree",), configs=("nopref", "repl"),
+                            faults="obs_drop=0.05", fault_seed=7)
+        assert spec.resolve_config("tree", "nopref").fault_plan is None
+        assert spec.resolve_config("tree", "repl").fault_plan is not None
+
+
+class TestRunTable:
+    def test_one_row_per_cell_in_spec_order(self, complete):
+        assert complete.exit_code == 0
+        assert [r["status"] for r in complete.rows] == ["ok"] * 4
+        assert [(r["app"], r["config"], r["repetition"])
+                for r in complete.rows] \
+            == [("tree", "nopref", "0"), ("tree", "nopref", "1"),
+                ("tree", "repl", "0"), ("tree", "repl", "1")]
+
+    def test_repetitions_sweep_the_workload_seed(self, complete):
+        rep0, rep1 = complete.rows[2], complete.rows[3]
+        assert (rep0["seed"], rep1["seed"]) == ("0", "1")
+        # Different trace layouts -> genuinely different measurements.
+        assert rep0["execution_time"] != rep1["execution_time"]
+
+    def test_speedup_is_relative_to_same_rep_baseline(self, complete):
+        for rep in (0, 1):
+            base = int(complete.rows[rep]["execution_time"])
+            repl = complete.rows[2 + rep]
+            expected = base / int(repl["execution_time"])
+            assert repl["speedup"] == f"{expected:.6f}"
+            assert complete.rows[rep]["speedup"] == "1.000000"
+
+    def test_artifacts_written(self, complete):
+        assert complete.run_table_path.read_text().startswith(
+            ",".join(RUN_TABLE_COLUMNS))
+        assert (complete.out_dir / "failures.json").read_text() == "[]\n"
+        assert '"campaign.completed":4' in \
+            (complete.out_dir / "metrics.json").read_text()
+
+
+class TestResume:
+    def test_fresh_run_refuses_existing_journal(self, complete):
+        with pytest.raises(CampaignError):
+            _run(complete.out_dir)
+
+    def test_resume_refuses_missing_header(self, tmp_path):
+        (tmp_path / "journal.jsonl").write_text(
+            '{"event":"start","task":"d","label":"x","attempt":1}\n')
+        with pytest.raises(CampaignError):
+            _run(tmp_path, resume=True)
+
+    def test_resume_refuses_different_spec(self, complete):
+        other = CampaignSpec(apps=("tree",), configs=("nopref",),
+                             scale=0.02)
+        with pytest.raises(CampaignError):
+            _run(complete.out_dir, spec=other, resume=True)
+
+    def test_resume_after_kill_is_byte_identical(self, complete, tmp_path):
+        # Replay the SIGKILL shape: header + one finish + a torn line.
+        reference = complete.run_table_path.read_bytes()
+        out = tmp_path / "resumed"
+        out.mkdir()
+        lines = (complete.out_dir / "journal.jsonl") \
+            .read_text().splitlines(keepends=True)
+        keep = [lines[0]] + [line for line in lines
+                             if '"finish"' in line][:1]
+        (out / "journal.jsonl").write_text(
+            "".join(keep) + '{"event":"finish","task":"torn')
+        outcome = _run(out, resume=True)
+        assert outcome.exit_code == 0
+        assert outcome.run.counters["resumed"] == 1
+        assert outcome.run.counters["completed"] == 3
+        assert outcome.run_table_path.read_bytes() == reference
+
+
+class TestQuarantine:
+    def test_poison_cell_becomes_a_failed_row(self, tmp_path, monkeypatch):
+        # Poison exactly one repetition of the baseline: its row fails,
+        # and the repl row of the same repetition loses only its speedup.
+        monkeypatch.setenv(PROCESS_FAULTS_ENV, "tree/nopref#1@*=raise")
+        outcome = _run(tmp_path / "camp", policy=RetryPolicy(
+            max_attempts=1, jitter=0.0))
+        assert outcome.exit_code == EXIT_QUARANTINED
+        statuses = [r["status"] for r in outcome.rows]
+        assert statuses == ["ok", "error", "ok", "ok"]
+        failed = outcome.rows[1]
+        assert failed["execution_time"] == ""
+        assert failed["attempts"] == "1"
+        assert outcome.rows[3]["speedup"] == ""      # baseline rep lost
+        assert outcome.rows[2]["speedup"] != ""      # sibling rep intact
+        assert '"kind":"error"' in \
+            (outcome.out_dir / "failures.json").read_text()
+
+
+class TestRender:
+    def test_missing_column_would_be_loud(self):
+        with pytest.raises(KeyError):
+            render_run_table([{"app": "tree"}])

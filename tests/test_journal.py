@@ -1,0 +1,109 @@
+"""Tests for the append-only run journal (:mod:`repro.perf.journal`).
+
+The contract: a SIGKILL at any instant leaves a loadable journal (at
+most one torn final line, which is dropped); corruption anywhere else is
+an error, not a guess; ``finish`` records alone are enough to replay a
+task's result.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.journal import (JOURNAL_FORMAT_VERSION, JournalError,
+                                RunJournal, finished_payloads,
+                                recorded_failures)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return RunJournal(tmp_path / "journal.jsonl")
+
+
+class TestAppendLoad:
+    def test_round_trip_in_order(self, journal):
+        journal.write_header({"campaign": {"apps": ["tree"]}})
+        journal.task_start("d1", "tree/repl", 1)
+        journal.task_finish("d1", "tree/repl", attempts=1,
+                            payload={"x": 1})
+        records = journal.load()
+        assert [r["event"] for r in records] == ["header", "start", "finish"]
+        assert records[0]["format"] == JOURNAL_FORMAT_VERSION
+        assert records[2]["payload"] == {"x": 1}
+
+    def test_missing_file_loads_empty(self, journal):
+        assert journal.load() == []
+        assert not journal.exists()
+
+    def test_records_need_an_event_field(self, journal):
+        with pytest.raises(ValueError):
+            journal.append({"task": "d1"})
+
+    def test_one_line_per_record(self, journal):
+        journal.task_start("d1", "a", 1)
+        journal.task_start("d2", "b", 1)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["event"] == "start" for line in lines)
+
+
+class TestCrashShape:
+    def test_torn_final_line_is_dropped(self, journal):
+        journal.task_start("d1", "a", 1)
+        journal.task_finish("d1", "a", attempts=1, payload={})
+        with open(journal.path, "a") as fh:
+            fh.write('{"event":"finish","task":"d2","payl')  # kill mid-append
+        records = journal.load()
+        assert [r["event"] for r in records] == ["start", "finish"]
+
+    def test_mid_file_corruption_raises(self, journal):
+        journal.task_start("d1", "a", 1)
+        with open(journal.path, "a") as fh:
+            fh.write("not json at all\n")
+        journal.task_start("d2", "b", 1)
+        with pytest.raises(JournalError):
+            journal.load()
+
+    def test_non_record_line_raises(self, journal):
+        with open(journal.path, "w") as fh:
+            fh.write('{"no_event": true}\n{"event":"start"}\n')
+        with pytest.raises(JournalError):
+            journal.load()
+
+    def test_incompatible_format_raises(self, journal):
+        with open(journal.path, "w") as fh:
+            fh.write(json.dumps({"event": "header", "format": 999}) + "\n")
+        with pytest.raises(JournalError):
+            journal.load()
+
+
+class TestHeader:
+    def test_header_round_trip(self, journal):
+        journal.write_header({"campaign": {"apps": ["tree"]}})
+        header = journal.header()
+        assert header is not None
+        assert header["campaign"] == {"apps": ["tree"]}
+
+    def test_headerless_journal_is_legal(self, journal):
+        # A bare run_tasks_resilient journal has no header; only the
+        # campaign layer requires one.
+        journal.task_start("d1", "a", 1)
+        assert journal.header() is None
+        assert len(journal.load()) == 1
+
+
+class TestReplayIndexes:
+    def test_finished_payloads_last_wins(self, journal):
+        journal.task_finish("d1", "a", attempts=1, payload={"v": 1})
+        journal.task_finish("d1", "a", attempts=2, payload={"v": 2})
+        journal.task_finish("d2", "b", attempts=1, payload={"v": 3})
+        finished = finished_payloads(journal.load())
+        assert set(finished) == {"d1", "d2"}
+        assert finished["d1"]["payload"] == {"v": 2}
+        assert finished["d1"]["attempts"] == 2
+
+    def test_recorded_failures(self, journal):
+        journal.task_failure("d1", "a", attempts=3, kind="error",
+                             message="boom")
+        failures = recorded_failures(journal.load())
+        assert failures["d1"]["kind"] == "error"

@@ -1,0 +1,156 @@
+"""Tests for the crash-safe executor (:mod:`repro.perf.resilient`).
+
+The contract: results of surviving tasks are bit-identical to the fast
+pool path; crashes and errors retry with the deterministic backoff
+schedule; poison tasks quarantine as typed rows without sinking the run;
+a journal replays finished tasks (including their attempt counts) so a
+resumed run is byte-equivalent; a stop request drains instead of losing
+work.  Worker failures are injected through ``REPRO_PROCESS_FAULTS``
+(:mod:`repro.faults.process`), which only fires inside worker processes.
+"""
+
+import threading
+
+import pytest
+
+from repro.faults.process import PROCESS_FAULTS_ENV
+from repro.perf.journal import RunJournal
+from repro.perf.pool import run_tasks, sim_task
+from repro.perf.resilient import (fault_label, run_tasks_resilient,
+                                  task_digest)
+from repro.perf.retry import RetryPolicy
+
+SCALE = 0.02
+
+TASKS = [
+    sim_task("tree", "nopref", SCALE),
+    sim_task("tree", "repl", SCALE),
+]
+
+#: Fast retries so injected-failure tests don't sleep for real.
+FAST = RetryPolicy(max_attempts=2, backoff_base_s=0.01, backoff_cap_s=0.02,
+                   jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def pool_results():
+    return run_tasks(list(TASKS), jobs=1)
+
+
+class TestParity:
+    def test_matches_fast_pool_path(self, pool_results):
+        run = run_tasks_resilient(list(TASKS), jobs=2)
+        assert run.results == pool_results
+        assert run.attempts == [1, 1]
+        assert not run.failures
+        assert not run.interrupted
+        assert run.counters["completed"] == 2
+
+    def test_warm_cache_short_circuits(self, pool_results, tmp_path):
+        from repro.perf.cache import ResultCache
+        cache = ResultCache(tmp_path / "cache")
+        run_tasks_resilient(list(TASKS), cache=cache)
+        warm = run_tasks_resilient(list(TASKS), cache=cache)
+        assert warm.results == pool_results
+        assert warm.counters["cache_hits"] == 2
+        assert warm.attempts == [0, 0]
+
+
+class TestFaultHandling:
+    def test_crash_is_retried_to_success(self, pool_results, monkeypatch):
+        label = fault_label(TASKS[0])
+        monkeypatch.setenv(PROCESS_FAULTS_ENV, f"{label}@1=kill")
+        run = run_tasks_resilient(list(TASKS), policy=FAST)
+        assert run.results == pool_results
+        assert run.attempts[0] == 2
+        assert run.counters["crashes"] == 1
+        assert run.counters["retries"] == 1
+        assert not run.failures
+
+    def test_poison_task_is_quarantined(self, pool_results, monkeypatch,
+                                        capsys):
+        label = fault_label(TASKS[0])
+        monkeypatch.setenv(PROCESS_FAULTS_ENV, f"{label}@*=raise")
+        run = run_tasks_resilient(list(TASKS), policy=FAST)
+        # The poison task fails terminally; its sibling still completes.
+        assert run.results[0] is None
+        assert run.results[1] == pool_results[1]
+        assert [f.index for f in run.failures] == [0]
+        assert run.failures[0].kind == "error"
+        assert run.failures[0].attempts == FAST.max_attempts
+        assert run.counters["quarantined"] == 1
+        assert "QUARANTINED" in capsys.readouterr().err
+
+    def test_hung_task_times_out(self, monkeypatch):
+        label = fault_label(TASKS[0])
+        monkeypatch.setenv(PROCESS_FAULTS_ENV, f"{label}@*=sleep:30")
+        policy = RetryPolicy(max_attempts=1, timeout_s=0.5)
+        run = run_tasks_resilient([TASKS[0]], policy=policy)
+        assert run.results == [None]
+        assert run.failures[0].kind == "timeout"
+        assert run.counters["timeouts"] == 1
+
+
+class TestJournalResume:
+    def test_resume_replays_results_and_attempts(self, pool_results,
+                                                 tmp_path, monkeypatch):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        label = fault_label(TASKS[0])
+        monkeypatch.setenv(PROCESS_FAULTS_ENV, f"{label}@1=exit")
+        first = run_tasks_resilient(list(TASKS), policy=FAST,
+                                    journal=journal)
+        monkeypatch.delenv(PROCESS_FAULTS_ENV)
+        assert first.results == pool_results
+
+        resumed = run_tasks_resilient(list(TASKS), journal=journal)
+        assert resumed.results == pool_results
+        assert resumed.counters["resumed"] == 2
+        assert resumed.counters["completed"] == 0
+        # Attempt counts come from the journal, not from this run, so a
+        # downstream run table is byte-identical either way.
+        assert resumed.attempts == first.attempts
+        assert resumed.attempts[0] == 2
+
+    def test_torn_tail_only_loses_the_torn_task(self, pool_results,
+                                                tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        run_tasks_resilient(list(TASKS), journal=journal)
+        lines = journal.path.read_text().splitlines(keepends=True)
+        # Keep the first finish, tear the second mid-line (SIGKILL shape).
+        finishes = [line for line in lines if '"finish"' in line]
+        with open(journal.path, "w") as fh:
+            fh.write(finishes[0])
+            fh.write(finishes[1][:len(finishes[1]) // 2])
+        resumed = run_tasks_resilient(list(TASKS), journal=journal)
+        assert resumed.results == pool_results
+        assert resumed.counters["resumed"] == 1
+        assert resumed.counters["completed"] == 1
+
+
+class TestGracefulShutdown:
+    def test_preset_stop_event_runs_nothing(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        stop = threading.Event()
+        stop.set()
+        run = run_tasks_resilient(list(TASKS), journal=journal,
+                                  stop_event=stop, drain_s=0.1)
+        assert run.interrupted
+        assert run.results == [None, None]
+        assert run.counters["completed"] == 0
+        events = [r["event"] for r in journal.load()]
+        assert events[-1] == "shutdown"
+
+
+class TestIdentity:
+    def test_digest_matches_cache_identity(self):
+        from repro.perf.cache import fingerprint
+        from repro.perf.pool import task_cache_key
+        task = TASKS[0]
+        assert task_digest(task) == fingerprint(task.kind,
+                                                task_cache_key(task))
+
+    def test_fault_label_distinguishes_repetitions(self):
+        bare = sim_task("tree", "repl", SCALE)
+        seeded = sim_task("tree", "repl", SCALE, seed=3)
+        assert fault_label(bare) == "tree/repl"
+        assert fault_label(seeded) == "tree/repl#3"

@@ -1,0 +1,132 @@
+"""Tests for the retry/backoff/time-budget primitives (:mod:`repro.perf.retry`).
+
+The contract: backoff schedules are a pure function of (policy, task
+digest, attempt) — deterministic across calls and processes, independent
+of every other RNG stream in the repo — and :func:`time_budget` bounds a
+block's wall-clock time on both its SIGALRM and its timer-thread path.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.perf.retry import (FAILURE_KINDS, RetryPolicy, TaskFailure,
+                              TimeBudgetExceeded, backoff_delay,
+                              backoff_schedule, time_budget)
+
+POLICY = RetryPolicy(max_attempts=4, backoff_base_s=0.5, backoff_cap_s=30.0,
+                     jitter=0.5)
+
+
+class TestBackoffDeterminism:
+    def test_same_inputs_same_delay(self):
+        assert backoff_delay(POLICY, "digest-a", 1) \
+            == backoff_delay(POLICY, "digest-a", 1)
+        assert backoff_schedule(POLICY, "digest-a") \
+            == backoff_schedule(POLICY, "digest-a")
+
+    def test_distinct_tasks_get_distinct_jitter(self):
+        assert backoff_delay(POLICY, "digest-a", 1) \
+            != backoff_delay(POLICY, "digest-b", 1)
+
+    def test_schedule_is_one_delay_per_possible_retry(self):
+        assert len(backoff_schedule(POLICY, "d")) == POLICY.max_attempts - 1
+
+    def test_exponential_envelope_with_cap(self):
+        policy = RetryPolicy(max_attempts=12, backoff_base_s=1.0,
+                             backoff_cap_s=8.0, jitter=0.25)
+        for attempt, delay in enumerate(backoff_schedule(policy, "d"), 1):
+            base = min(8.0, 1.0 * 2 ** (attempt - 1))
+            assert base <= delay <= base * 1.25
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(backoff_base_s=2.0, jitter=0.0)
+        assert backoff_delay(policy, "d", 1) == 2.0
+        assert backoff_delay(policy, "d", 2) == 4.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(POLICY, "d", 0)
+
+
+class TestStreamIndependence:
+    """Same rule as FaultInjector's per-kind streams: dedicated
+    ``random.Random`` instances, never the process-global RNG."""
+
+    def test_global_rng_untouched(self):
+        random.seed(1234)
+        expected = [random.random() for _ in range(4)]
+        random.seed(1234)
+        backoff_schedule(POLICY, "digest-a")
+        backoff_schedule(POLICY, "digest-b")
+        assert [random.random() for _ in range(4)] == expected
+
+    def test_delays_independent_of_global_seed(self):
+        random.seed(1)
+        first = backoff_schedule(POLICY, "digest-a")
+        random.seed(99999)
+        assert backoff_schedule(POLICY, "digest-a") == first
+
+    def test_per_attempt_streams_are_separate(self):
+        # Jitter for attempt 2 must not be "the next draw" of attempt 1's
+        # stream: each (digest, attempt) pair seeds its own Random.
+        a1 = backoff_delay(POLICY, "d", 1) / 0.5 - 1.0
+        a2 = backoff_delay(POLICY, "d", 2) / 1.0 - 1.0
+        chained = random.Random("d:retry:1")
+        chained.random()
+        assert abs(a2 / POLICY.jitter - chained.random()) > 1e-12
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestTaskFailure:
+    def test_round_trip(self):
+        failure = TaskFailure(index=3, label="tree/repl", kind="crash",
+                              attempts=2, message="exit code -9")
+        assert TaskFailure.from_dict(failure.to_dict()) == failure
+
+    def test_unknown_kind_rejected(self):
+        data = TaskFailure(0, "x", FAILURE_KINDS[0], 1, "m").to_dict()
+        data["kind"] = "mystery"
+        with pytest.raises(ValueError):
+            TaskFailure.from_dict(data)
+
+
+class TestTimeBudget:
+    def test_sigalrm_path_raises(self):
+        with pytest.raises(TimeBudgetExceeded):
+            with time_budget(0.05):
+                time.sleep(5)
+
+    def test_timer_thread_path_raises(self):
+        with pytest.raises(TimeBudgetExceeded):
+            with time_budget(0.05, use_sigalrm=False):
+                time.sleep(5)
+
+    def test_fast_block_passes_both_paths(self):
+        with time_budget(5.0):
+            pass
+        with time_budget(5.0, use_sigalrm=False):
+            pass
+
+    def test_zero_disables(self):
+        with time_budget(0.0):
+            time.sleep(0.01)
+
+    def test_genuine_interrupt_propagates_on_timer_path(self):
+        # A KeyboardInterrupt the timer did NOT fire must come through
+        # unchanged (Ctrl-C beats the budget conversion).
+        with pytest.raises(KeyboardInterrupt):
+            with time_budget(60.0, use_sigalrm=False):
+                raise KeyboardInterrupt
