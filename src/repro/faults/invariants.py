@@ -17,6 +17,10 @@ suite); when disabled the system holds no checker at all, so the cost is one
 from __future__ import annotations
 
 import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # sim.system imports this module; annotation only
+    from repro.sim.system import System
 
 
 class InvariantViolation(AssertionError):
@@ -38,13 +42,13 @@ class InvariantChecker:
     def _fail(self, message: str) -> None:
         raise InvariantViolation(f"after {self.audits} audits: {message}")
 
-    def audit(self, system) -> None:
+    def audit(self, system: "System") -> None:
         """Validate every cross-structure invariant of ``system``."""
         self.audits += 1
         for problem in self.collect(system):
             self._fail(problem)
 
-    def collect(self, system) -> list[str]:
+    def collect(self, system: "System") -> list[str]:
         """Gather every violation without raising (tests and tooling)."""
         problems = list(system.l2.audit())
         problems.extend(self._audit_push_tracking(system))
@@ -61,7 +65,7 @@ class InvariantChecker:
 
     # -- cross-structure audits ---------------------------------------------------
 
-    def _audit_push_tracking(self, system) -> list[str]:
+    def _audit_push_tracking(self, system: "System") -> list[str]:
         problems: list[str] = []
         inflight = set(system._inflight)
         merged = set(system._merged)

@@ -33,8 +33,12 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
 
 from repro.core.table import CorrelationTable
+
+if TYPE_CHECKING:  # annotation-only: core.ulmt holds the injector
+    from repro.core.algorithms import UlmtAlgorithm
 
 #: Bit width of a correlation-table successor entry (line addresses on the
 #: paper's 32-bit machine) — the range a fault may flip a bit in.
@@ -265,7 +269,7 @@ class FaultInjector:
 
     # -- correlation-table corruption ---------------------------------------------
 
-    def corrupt_table(self, algorithm) -> bool:
+    def corrupt_table(self, algorithm: "UlmtAlgorithm") -> bool:
         """Flip one random successor bit in the algorithm's table(s).
 
         The flip's location draws from the same ``bitflip`` stream as the
@@ -283,7 +287,7 @@ class FaultInjector:
         return flipped
 
 
-def _tables_of(algorithm) -> list[CorrelationTable]:
+def _tables_of(algorithm: "UlmtAlgorithm") -> list[CorrelationTable]:
     """Correlation tables reachable from an algorithm (composites recurse)."""
     components = getattr(algorithm, "components", None)
     if components is not None:

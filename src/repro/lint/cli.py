@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro lint                     # lint the repro package
+    python -m repro lint                     # package + benchmarks/examples
     python -m repro lint path/to/file.py     # lint specific files/dirs
-    python -m repro lint --format json       # machine-readable output
+    python -m repro lint --output json       # machine-readable output
+    python -m repro lint --output sarif      # SARIF 2.1.0 (code scanning)
     python -m repro lint --list-rules        # rule codes + rationales
     python -m repro lint --write-baseline    # grandfather current findings
     python -m repro lint --no-baseline       # ignore the committed baseline
@@ -23,6 +24,7 @@ from typing import Sequence
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.lint.engine import Finding, Severity, all_rules, run_lint
+from repro.lint.sarif import render_sarif
 
 
 def _package_root() -> Path:
@@ -38,6 +40,19 @@ def _default_baseline_path(package_root: Path) -> Path:
     if (repo_root / "pyproject.toml").exists():
         return repo_root / DEFAULT_BASELINE_NAME
     return Path(DEFAULT_BASELINE_NAME)
+
+
+def _default_paths(package_root: Path) -> list[Path]:
+    """The package plus the repo's ``benchmarks/`` and ``examples/``
+    trees when running from a checkout — harness code rides the same
+    gate as the simulator, scoped by ``repro.lint.pathconfig``."""
+    paths = [package_root]
+    repo_root = package_root.parent.parent
+    if (repo_root / "pyproject.toml").exists():
+        for extra in ("benchmarks", "examples"):
+            if (repo_root / extra).is_dir():
+                paths.append(repo_root / extra)
+    return paths
 
 
 def _display_path(path: Path) -> Path:
@@ -88,8 +103,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files/directories to lint "
                              "(default: the repro package)")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text")
+    parser.add_argument("--output", "--format", dest="output",
+                        choices=("text", "json", "sarif"), default="text",
+                        help="output format (--format is an alias)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline file (default: lint-baseline.json "
                              "at the repo root)")
@@ -109,8 +125,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     package_root = _package_root()
-    paths = ([_display_path(p) for p in args.paths] if args.paths
-             else [_display_path(package_root)])
+    paths = [_display_path(p) for p in
+             (args.paths or _default_paths(package_root))]
     for path in paths:
         if not path.exists():
             print(f"repro lint: no such path: {path}", file=sys.stderr)
@@ -136,7 +152,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         baselined = len(findings) - len(new_findings)
         findings = new_findings
 
-    render = _render_json if args.format == "json" else _render_text
-    print(render(findings, baselined))
+    if args.output == "sarif":
+        print(render_sarif(findings))
+    elif args.output == "json":
+        print(_render_json(findings, baselined))
+    else:
+        print(_render_text(findings, baselined))
     has_errors = any(f.severity is Severity.ERROR for f in findings)
     return 1 if has_errors else 0

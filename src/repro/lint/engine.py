@@ -76,6 +76,35 @@ SIM_PACKAGES = ("core", "sim", "memsys", "cpu", "faults", "workloads")
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\-]+)")
 
+#: Parsed-module cache: resolved path -> ((mtime_ns, size), source, tree).
+#: Parsing dominates lint wall-clock now that a dozen rules *and* the
+#: whole-program flow layer walk the same files; the stat stamp keeps
+#: edits visible to long-lived processes (tests, editor integrations).
+_AST_CACHE: dict[Path, tuple[tuple[int, int], str, ast.Module]] = {}
+
+
+def clear_ast_cache() -> None:
+    """Drop every cached parse (tests; rarely needed otherwise)."""
+    # repro-lint: disable=DET006 -- intentional parse cache: invalidated
+    # by (mtime_ns, size), holds no simulation state
+    _AST_CACHE.clear()
+
+
+def _parse_cached(path: Path) -> tuple[str, ast.Module]:
+    """Read and parse ``path``, reusing the cached tree when unchanged."""
+    key = path.resolve()
+    stat = key.stat()
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _AST_CACHE.get(key)
+    if cached is not None and cached[0] == stamp:
+        return cached[1], cached[2]
+    source = key.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    # repro-lint: disable=DET006 -- intentional parse cache: invalidated
+    # by (mtime_ns, size), holds no simulation state
+    _AST_CACHE[key] = (stamp, source, tree)
+    return source, tree
+
 
 def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     """Extract inline and file-level suppressions from source text.
@@ -126,16 +155,24 @@ class ModuleContext:
     @classmethod
     def parse(cls, path: Path, package_root: Optional[Path] = None,
               display_path: Optional[str] = None) -> "ModuleContext":
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
+        source, tree = _parse_cached(path)
         if package_root is not None:
+            root = package_root.resolve()
+            resolved = path.resolve()
             try:
-                rel = path.resolve().relative_to(package_root.resolve())
+                rel = resolved.relative_to(root)
                 relpath = rel.as_posix()
                 in_sim = rel.parts[:1] in {(p,) for p in SIM_PACKAGES}
             except ValueError:
-                relpath = path.name
-                in_sim = True          # loose file: lint conservatively
+                # Outside the package: lint conservatively, but keep a
+                # repo-relative path when possible so the path-scoped
+                # config (benchmarks/, examples/) can address the file.
+                try:
+                    relpath = resolved.relative_to(
+                        root.parent.parent).as_posix()
+                except ValueError:
+                    relpath = path.name
+                in_sim = True
         else:
             relpath = path.name
             in_sim = True
@@ -266,6 +303,8 @@ def run_lint(paths: Iterable[Path], package_root: Optional[Path] = None,
     reporting path), files outside it are linted conservatively.
     Baseline filtering is the caller's job (see :mod:`repro.lint.cli`).
     """
+    from repro.lint.pathconfig import scoped_ignores
+
     rules = select_rules(select, ignore)
     module_rules = [r for r in rules
                     if type(r).check_module is not Rule.check_module]
@@ -280,10 +319,14 @@ def run_lint(paths: Iterable[Path], package_root: Optional[Path] = None,
 
     suppressions = {module.path: _parse_suppressions(module.source)
                     for module in modules}
+    scoped = {module.path: scoped_ignores(module.relpath)
+              for module in modules}
 
     for module in modules:
         per_line, file_wide = suppressions[module.path]
         for rule in module_rules:
+            if _rule_identifiers(rule) & scoped[module.path]:
+                continue
             for finding in rule.check_module(module):
                 if not _suppressed(finding, rule, per_line, file_wide):
                     findings.append(finding)
@@ -296,6 +339,8 @@ def run_lint(paths: Iterable[Path], package_root: Optional[Path] = None,
                 finding.path, ({}, set()))
             if finding.path in by_path and _suppressed(
                     finding, rule, per_line, file_wide):
+                continue
+            if _rule_identifiers(rule) & scoped.get(finding.path, set()):
                 continue
             findings.append(finding)
 

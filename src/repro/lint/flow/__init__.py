@@ -1,0 +1,22 @@
+"""Whole-program flow analysis for ``repro lint``.
+
+The per-module rules (DET/PAR/RES syntax checks) see one file at a time;
+this package sees the project: :mod:`repro.lint.flow.graph` builds an
+import-resolved module graph and function index over every linted
+module, :mod:`repro.lint.flow.taint` runs a forward dataflow/taint
+analysis with interprocedural function summaries on top of it, and
+:mod:`repro.lint.flow.rules` turns the recorded taint sinks into the
+FLOW/RACE/RES rule families (RNG provenance across functions and
+process boundaries, unpicklable worker captures, cache/journal write
+discipline).
+
+The analysis is deliberately approximate — may-taint, no aliasing, no
+container element tracking — and tuned so that everything it *does*
+report is a real hazard in this codebase's execution model (seeded
+determinism, forked workers, content-addressed cache).
+"""
+
+from repro.lint.flow.graph import ProjectGraph
+from repro.lint.flow.taint import ProjectAnalysis, analyze_project
+
+__all__ = ["ProjectGraph", "ProjectAnalysis", "analyze_project"]

@@ -1,0 +1,224 @@
+"""Import-resolved module graph and function index.
+
+Every linted :class:`~repro.lint.engine.ModuleContext` becomes a
+:class:`ModuleInfo` holding its import table (local name -> dotted
+target), its top-level and class-level functions, and its module-level
+bindings.  :class:`ProjectGraph` then answers the two questions the
+taint engine asks constantly:
+
+``canonical(module, dotted)``
+    the fully-qualified name a dotted use refers to, with import aliases
+    unfolded — ``np.random.default_rng`` -> ``numpy.random.default_rng``,
+    ``Random`` (from ``from random import Random``) -> ``random.Random``;
+
+``resolve_function(module, dotted)``
+    the :class:`FunctionInfo` a call lands in when the target is another
+    project module's function (or a method ``Class.method``), else None.
+
+Modules register under their package-relative dotted name *and* under
+``repro.<name>`` so absolute imports from either spelling resolve; the
+double registration is harmless for fixture packages in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lint.engine import ModuleContext, ProjectContext
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Constructors producing mutable containers, for module-state tracking.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "deque", "defaultdict", "Counter",
+    "OrderedDict", "bytearray",
+})
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a package-relative posix path."""
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") \
+        else relpath.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level or class-level function of a project module."""
+
+    module: "ModuleInfo"
+    qualname: str            # "run_tasks" or "ResultCache.put"
+    node: FunctionNode
+
+    @property
+    def fq(self) -> str:
+        return f"{self.module.name}.{self.qualname}"
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args
+                + args.kwonlyargs]
+
+
+@dataclass
+class ModuleInfo:
+    """One module of the project graph."""
+
+    name: str                # package-relative dotted name ("perf.pool")
+    ctx: ModuleContext
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Names bound at module level (imports, defs, classes, assignments).
+    global_names: set[str] = field(default_factory=set)
+    #: Module-level names bound to a mutable container literal/factory.
+    mutable_globals: set[str] = field(default_factory=set)
+    #: Module-level simple assignments, for seeding the global taint env.
+    global_assigns: list[ast.Assign] = field(default_factory=list)
+
+
+def _collect_imports(mod: ModuleInfo) -> None:
+    pkg_parts = mod.name.split(".")[:-1]
+    for node in ast.walk(mod.ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                mod.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = pkg_parts[:len(pkg_parts) - (node.level - 1)] \
+                    if node.level > 1 else pkg_parts
+                base = ".".join(base_parts + ([node.module]
+                                              if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mod.imports[local] = f"{base}.{alias.name}" if base \
+                    else alias.name
+
+
+def _collect_functions(mod: ModuleInfo) -> None:
+    for node in mod.ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[node.name] = FunctionInfo(mod, node.name, node)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    qual = f"{node.name}.{item.name}"
+                    mod.functions[qual] = FunctionInfo(mod, qual, item)
+
+
+def _collect_globals(mod: ModuleInfo) -> None:
+    for node in mod.ctx.tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+            mod.global_assigns.append(node)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            mod.global_names.add(node.name)
+            continue
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            mod.global_names.add(target.id)
+            if _is_mutable_value(value):
+                mod.mutable_globals.add(target.id)
+    mod.global_names |= set(mod.imports)
+
+
+def _is_mutable_value(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name is not None and \
+            name.split(".")[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class ProjectGraph:
+    """The modules of one lint run, indexed for name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: list[ModuleInfo] = []
+        self._by_alias: dict[str, ModuleInfo] = {}
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> "ProjectGraph":
+        graph = cls()
+        for ctx in project.modules:
+            if not ctx.relpath.endswith(".py"):
+                continue
+            mod = ModuleInfo(name=module_name(ctx.relpath), ctx=ctx)
+            _collect_imports(mod)
+            _collect_functions(mod)
+            _collect_globals(mod)
+            graph.modules.append(mod)
+            graph._by_alias[mod.name] = mod
+            graph._by_alias.setdefault(f"repro.{mod.name}", mod)
+        return graph
+
+    def module(self, alias: str) -> Optional[ModuleInfo]:
+        return self._by_alias.get(alias)
+
+    def canonical(self, mod: ModuleInfo, dotted: str) -> str:
+        """Fully-qualify ``dotted`` as used inside ``mod``.
+
+        The first segment resolves through the module's import table;
+        a name defined at the top level of the module itself qualifies
+        to ``<module>.<name>``.  Unknown names pass through unchanged
+        (builtins, locals — the caller tracks those separately).
+        """
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            if head in mod.functions or head in mod.global_names:
+                target = f"{mod.name}.{head}"
+            else:
+                return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_function(self, mod: ModuleInfo,
+                         dotted: str) -> Optional[FunctionInfo]:
+        """The project function a dotted use refers to, if any."""
+        fq = self.canonical(mod, dotted)
+        parts = fq.split(".")
+        # Longest module prefix wins: "a.b.C.m" may be module "a.b",
+        # qualname "C.m", or module "a.b.C" (a package), qualname "m".
+        for split in range(len(parts) - 1, 0, -1):
+            owner = self._by_alias.get(".".join(parts[:split]))
+            if owner is None:
+                continue
+            qualname = ".".join(parts[split:])
+            info = owner.functions.get(qualname)
+            if info is not None:
+                return info
+        return None

@@ -1,0 +1,425 @@
+"""FLOW/RACE/RES rules over the whole-program taint analysis.
+
+FLOW0xx generalize DET001/PAR001 beyond one file: RNG provenance is
+checked through call chains (a nondeterministic seed threaded through a
+helper in another module is caught at the construction site) and across
+process boundaries.  RACE0xx guard what may be handed to a worker
+process; RES0xx guard resource lifecycles (cache/journal write
+discipline, file-handle scope, swallowed failures, unbounded retries).
+
+The expensive part — :func:`repro.lint.flow.taint.analyze_project` —
+runs once per lint invocation and is shared by every rule here via a
+memo on the :class:`~repro.lint.engine.ProjectContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (Finding, ModuleContext, ProjectContext,
+                               Rule, Severity, register)
+from repro.lint.flow.taint import (CACHEPATH, HANDLE, NONDET, RNG,
+                                   ProjectAnalysis, analyze_project,
+                                   worker_state_mutation)
+
+#: Modules that *implement* the blessed write primitives: the raw
+#: ``open``/``os.replace`` sequences inside them are the discipline the
+#: rest of the tree must call into.
+_CACHE_PRIMITIVE_MODULES = frozenset({"perf.cache", "perf.journal"})
+
+#: Single-call ``try`` bodies that an ``except Exception: pass`` may
+#: legitimately wrap: best-effort cleanup/reporting on an object that is
+#: already being torn down.
+_CLEANUP_METHODS = frozenset({
+    "close", "unlink", "join", "kill", "terminate", "cancel", "release",
+    "flush", "shutdown", "send", "remove", "rmdir", "disconnect", "stop",
+})
+
+
+def _analysis_for(project: ProjectContext) -> ProjectAnalysis:
+    cached = getattr(project, "_flow_analysis", None)
+    if cached is None:
+        cached = analyze_project(project)
+        setattr(project, "_flow_analysis", cached)
+    return cached
+
+
+@register
+class RngNondetSeedRule(Rule):
+    """FLOW001: RNG seeds must be deterministic, through any call chain."""
+
+    code = "FLOW001"
+    name = "rng-nondet-seed"
+    severity = Severity.ERROR
+    rationale = (
+        "A random.Random()/default_rng() seed that carries host entropy "
+        "(wall clock, os.urandom, os.getpid, uuid, salted hash()) makes "
+        "the run non-replayable even when every draw is local.  The "
+        "taint engine follows the seed through assignments, f-strings "
+        "and helper functions in other modules, so hiding time.time() "
+        "behind a make_seed() helper does not evade the check.  Seeds "
+        "must derive from a task/config/digest-keyed value "
+        "(repro.perf.cache.fingerprint for string-keyed streams).")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        for sink in analysis.sinks:
+            if sink.kind == "seed" and NONDET in sink.taints:
+                yield sink.module.ctx.finding(
+                    self, sink.node,
+                    f"RNG seed ({sink.detail or 'seed expression'}) is "
+                    f"derived from host entropy: the stream cannot be "
+                    f"replayed — seed from the task/config/digest key "
+                    f"instead")
+
+
+@register
+class RngCrossesBoundaryRule(Rule):
+    """FLOW002: an RNG instance must not cross a process boundary."""
+
+    code = "FLOW002"
+    name = "rng-crosses-process-boundary"
+    severity = Severity.ERROR
+    rationale = (
+        "Shipping a random.Random instance into a worker (Process args, "
+        "pool submit/map) forks its state: parent and worker draw from "
+        "identical streams, and with --jobs N the interleaving decides "
+        "who draws what — serial and parallel runs diverge.  Workers "
+        "must construct their own stream from the task's digest (the "
+        "pool re-seeds exactly this way in _worker_execute).")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        for sink in analysis.sinks:
+            if sink.kind == "boundary" and RNG in sink.taints:
+                yield sink.module.ctx.finding(
+                    self, sink.node,
+                    f"an RNG instance is passed across the process "
+                    f"boundary ({sink.detail}): the worker gets a forked "
+                    f"copy of the stream state — pass the seed/digest "
+                    f"and construct the stream inside the worker")
+
+
+@register
+class RngStreamFanoutRule(Rule):
+    """FLOW003: one RNG instance must not serve several streams."""
+
+    code = "FLOW003"
+    name = "rng-stream-fanout"
+    severity = Severity.ERROR
+    rationale = (
+        "Storing one random.Random instance once per loop iteration "
+        "(dict of fault kinds, list of subsystems) couples every "
+        "consumer to one shared stream: adding a draw to one kind "
+        "shifts every other kind's values, which is exactly the "
+        "fault-RNG coupling bug PR 2 fixed.  Construct one stream per "
+        "slot, keyed by seed and slot name: "
+        "random.Random(f\"{seed}:{kind}\").")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        for event in analysis.fanouts:
+            yield event.module.ctx.finding(
+                self, event.node,
+                f"RNG instance {event.name!r} is created outside the "
+                f"loop but stored once per iteration: every slot shares "
+                f"one stream — construct a per-slot "
+                f"random.Random(f\"{{seed}}:{{slot}}\") instead")
+
+
+@register
+class UnpicklableWorkerArgRule(Rule):
+    """RACE001: worker arguments must survive pickling."""
+
+    code = "RACE001"
+    name = "unpicklable-worker-arg"
+    severity = Severity.ERROR
+    rationale = (
+        "Open file handles, locks, sockets and the process-local "
+        "observability objects (Tracer, StreamingSink, MetricsRegistry) "
+        "either fail to pickle into a worker or — worse on fork-based "
+        "start methods — arrive as silently diverging copies whose "
+        "buffered state never returns to the parent.  Workers must "
+        "receive plain task data and return payloads; the parent owns "
+        "every handle and merges metrics snapshots.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        for sink in analysis.sinks:
+            if sink.kind == "boundary" and HANDLE in sink.taints:
+                yield sink.module.ctx.finding(
+                    self, sink.node,
+                    f"a handle-like object (open file, lock, tracer or "
+                    f"metrics registry) is passed across the process "
+                    f"boundary ({sink.detail}): it cannot survive "
+                    f"pickling — ship plain data and rebuild the object "
+                    f"inside the worker")
+
+
+@register
+class WorkerMutatesModuleStateRule(Rule):
+    """RACE002: worker targets must not mutate module-level state."""
+
+    code = "RACE002"
+    name = "worker-mutates-module-state"
+    severity = Severity.ERROR
+    rationale = (
+        "A function used as a Process target or pool submission that "
+        "mutates module-level state (a global rebind or an "
+        "append/update on a module-level container, directly or via a "
+        "same-module helper) writes into a copy that dies with the "
+        "worker: the parent and every sibling worker never observe it, "
+        "so serial and parallel runs diverge silently.  Return the data "
+        "instead and let the parent aggregate it.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        seen: set[tuple[str, int]] = set()
+        for sink in analysis.sinks:
+            if sink.kind != "boundary" or sink.target is None:
+                continue
+            mutation = worker_state_mutation(analysis.graph, sink.target)
+            if mutation is None:
+                continue
+            key = (sink.module.ctx.path, getattr(sink.node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield sink.module.ctx.finding(
+                self, sink.node,
+                f"worker target {sink.target.fq}() mutates module-level "
+                f"state (line {getattr(mutation, 'lineno', '?')}): the "
+                f"mutation is invisible to the parent and to other "
+                f"workers — return the data and aggregate in the parent")
+
+
+@register
+class RawCacheWriteRule(Rule):
+    """RES001: cache/journal paths are written only via the primitives."""
+
+    code = "RES001"
+    name = "raw-cache-write"
+    severity = Severity.ERROR
+    rationale = (
+        "A plain open(.., 'w')/write_text on a path under .repro-cache/ "
+        "or a journal directory can tear: a crash mid-write leaves a "
+        "half-entry that later runs read as corrupt (or worse, as "
+        "valid).  Every write there must go through atomic_write_text "
+        "(mkstemp + os.replace) or RunJournal.append (append + fsync); "
+        "the taint engine tracks cache paths through default_cache_dir, "
+        "ResultCache/RunJournal attributes, Path arithmetic and string "
+        "literals.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis_for(project)
+        for sink in analysis.sinks:
+            if sink.kind != "cachewrite":
+                continue
+            if sink.module.name in _CACHE_PRIMITIVE_MODULES:
+                continue
+            yield sink.module.ctx.finding(
+                self, sink.node,
+                f"raw write to a cache/journal path ({sink.detail}): a "
+                f"crash mid-write tears the entry — use "
+                f"repro.perf.cache.atomic_write_text or "
+                f"RunJournal.append")
+
+
+@register
+class OpenOutsideWithRule(Rule):
+    """RES002: file handles live inside ``with`` (or are closed/returned)."""
+
+    code = "RES002"
+    name = "open-outside-with"
+    severity = Severity.ERROR
+    rationale = (
+        "An open() whose handle is neither managed by a with-block, nor "
+        "closed in the same scope, nor returned to a caller that owns "
+        "it, leaks a file descriptor per call — under the campaign "
+        "runner's retry loops that is an eventual EMFILE crash, and on "
+        "Windows it blocks the atomic os.replace the cache depends on.")
+
+    _OPEN_NAMES = frozenset({"open", "io.open", "gzip.open"})
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for scope in self._scopes(module.tree):
+            yield from self._check_scope(module, scope)
+
+    def _scopes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _check_scope(self, module: ModuleContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        opens: list[tuple[ast.Call, ast.AST]] = []
+        closed: set[str] = set()
+        with_managed: set[int] = set()
+        parents: dict[int, ast.AST] = {}
+        for node in self._walk_scope(scope):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+            if isinstance(node, ast.withitem):
+                for call in ast.walk(node.context_expr):
+                    with_managed.add(id(call))
+                if isinstance(node.context_expr, ast.Name):
+                    closed.add(node.context_expr.id)
+            elif isinstance(node, ast.Call):
+                if self._is_open(node):
+                    opens.append((node, scope))
+                if isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "close" and \
+                        isinstance(node.func.value, ast.Name):
+                    closed.add(node.func.value.id)
+        for call, _ in opens:
+            if id(call) in with_managed:
+                continue
+            parent = parents.get(id(call))
+            if isinstance(parent, ast.Return):
+                continue
+            if isinstance(parent, ast.Assign) and all(
+                    isinstance(t, ast.Name) and t.id in closed
+                    for t in parent.targets):
+                continue
+            if isinstance(parent, (ast.Attribute,)):
+                continue
+            yield module.finding(
+                self, call,
+                "open() outside a with-block and never closed in this "
+                "scope: the descriptor leaks — use 'with open(...) as "
+                "fh:' (or close it on every path)")
+
+    def _walk_scope(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``scope`` without descending into nested functions."""
+        stack: list[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)) and \
+                        node is not scope:
+                    continue
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+
+    def _is_open(self, call: ast.Call) -> bool:
+        if isinstance(call.func, ast.Name):
+            return call.func.id == "open"
+        if isinstance(call.func, ast.Attribute):
+            base = call.func.value
+            return isinstance(base, ast.Name) and \
+                f"{base.id}.{call.func.attr}" in self._OPEN_NAMES
+        return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RES003: ``except Exception: pass`` must not hide real failures."""
+
+    code = "RES003"
+    name = "swallowed-exception"
+    severity = Severity.ERROR
+    rationale = (
+        "A broad except whose body is just pass/continue makes worker "
+        "crashes, torn cache entries and task failures vanish: the "
+        "campaign reports success over silently missing work.  The one "
+        "tolerated shape is a single best-effort cleanup call "
+        "(conn.close(), proc.kill(), ...) in the try body — tearing "
+        "down an object that is already failing.  Everything else must "
+        "narrow the exception, record the failure, or re-raise.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if not self._broad(handler):
+                    continue
+                if not all(isinstance(s, (ast.Pass, ast.Continue))
+                           for s in handler.body):
+                    continue
+                if self._is_cleanup(node.body):
+                    continue
+                yield module.finding(
+                    self, handler,
+                    "broad except swallows the failure: a worker crash "
+                    "or task failure here disappears from the run — "
+                    "narrow the exception, record it, or re-raise")
+
+    @staticmethod
+    def _broad(handler: ast.ExceptHandler) -> bool:
+        def broad_name(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Name) and \
+                expr.id in ("Exception", "BaseException")
+        if handler.type is None:
+            return True
+        if broad_name(handler.type):
+            return True
+        return isinstance(handler.type, ast.Tuple) and \
+            any(broad_name(e) for e in handler.type.elts)
+
+    @staticmethod
+    def _is_cleanup(body: list[ast.stmt]) -> bool:
+        if len(body) != 1 or not isinstance(body[0], ast.Expr):
+            return False
+        call = body[0].value
+        return isinstance(call, ast.Call) and \
+            isinstance(call.func, ast.Attribute) and \
+            call.func.attr in _CLEANUP_METHODS
+
+
+@register
+class UnboundedRetryLoopRule(Rule):
+    """RES004: retry loops must have an exit."""
+
+    code = "RES004"
+    name = "unbounded-retry-loop"
+    severity = Severity.ERROR
+    rationale = (
+        "A 'while True' that catches-and-continues with no break, "
+        "return or raise anywhere in the body retries a permanently "
+        "failing operation forever — a poison task spins a worker at "
+        "100% CPU instead of hitting the quarantine path.  Bound the "
+        "loop (RetryPolicy.max_attempts) or make a terminal failure "
+        "escape it.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not (isinstance(node.test, ast.Constant)
+                    and bool(node.test.value)):
+                continue
+            if not self._has_swallowing_handler(node):
+                continue
+            if self._has_exit(node):
+                continue
+            yield module.finding(
+                self, node,
+                "unbounded retry: 'while True' swallows exceptions and "
+                "has no break/return/raise — a permanent failure loops "
+                "forever instead of reaching quarantine")
+
+    @staticmethod
+    def _has_swallowing_handler(loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if all(isinstance(s, (ast.Pass, ast.Continue))
+                           for s in handler.body):
+                        return True
+        return False
+
+    @staticmethod
+    def _has_exit(loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Break, ast.Return, ast.Raise)):
+                return True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+        return False

@@ -1,0 +1,748 @@
+"""Forward dataflow/taint analysis with interprocedural summaries.
+
+The engine tracks five taint kinds through assignments, containers,
+f-strings, attribute loads and calls:
+
+``rng``
+    a ``random.Random`` / numpy generator instance;
+``nondet``
+    a value derived from host entropy — wall clock, ``os.urandom``,
+    ``os.getpid``, ``uuid``, salted ``hash()`` — which must never reach
+    an RNG seed;
+``handle``
+    an object that cannot survive pickling into a worker — open files,
+    locks, sockets, ``Tracer``/``StreamingSink``/``MetricsRegistry``;
+``cachepath``
+    a filesystem path under ``.repro-cache/`` or a journal directory,
+    whose writes must go through ``atomic_write_text`` or
+    ``RunJournal.append``;
+``executor``
+    a process-pool / multiprocessing context, whose ``submit``/``map``/
+    ``Process`` calls are the process boundary.
+
+Each function is analyzed with its parameters carrying synthetic taints
+(``@0``, ``@1`` …); where a synthetic taint reaches an RNG-seed position,
+a process boundary, or the return value, the function's
+:class:`Summary` records it, and callers substitute their argument
+taints at every call site.  Summaries iterate to a fixed point over the
+project (bounded passes), so a nondeterministic seed threaded through
+two helpers in different modules is still caught at its origin.
+
+The analysis is a *may* analysis without aliasing or per-element
+container tracking: a tainted element taints the whole container.  That
+trade keeps it fast (single-digit milliseconds per module) and — tuned
+against this codebase — free of false positives at the sinks the
+FLOW/RACE/RES rules watch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lint.engine import ProjectContext
+from repro.lint.flow.graph import (FunctionInfo, FunctionNode, ModuleInfo,
+                                   ProjectGraph, dotted_name)
+
+RNG = "rng"
+NONDET = "nondet"
+HANDLE = "handle"
+CACHEPATH = "cachepath"
+EXECUTOR = "executor"
+
+#: RNG constructors: calling one yields an ``rng`` value and its seed
+#: argument is a seed sink.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random", "random.SystemRandom",
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+#: Calls that re-seed a global RNG: seed sink, no value produced.
+SEED_CALLS = frozenset({"random.seed", "numpy.random.seed"})
+
+#: Host-entropy sources.  ``hash`` is here because string hashing is
+#: salted per process unless PYTHONHASHSEED is pinned — use
+#: ``repro.perf.cache.fingerprint`` for stable digests.
+NONDET_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "os.urandom", "os.getpid", "uuid.uuid1",
+    "uuid.uuid4", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.randbits", "secrets.randbelow", "hash", "id",
+})
+
+#: Values that cannot cross a pickling boundary into a worker process.
+HANDLE_CALLS = frozenset({
+    "open", "io.open", "gzip.open", "bz2.open", "lzma.open",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile",
+    "socket.socket", "sqlite3.connect",
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+#: Project types that hold process-local buffers/streams: constructing
+#: one yields a ``handle`` (they must not be shipped to workers; workers
+#: return event/metric *payloads* instead, which the parent merges).
+PROJECT_HANDLE_TYPES = frozenset({
+    "repro.obs.tracer.Tracer", "repro.obs.tracer.StreamingSink",
+    "repro.obs.metrics.MetricsRegistry",
+})
+
+#: Producers of paths under the content-addressed cache / journal dirs.
+CACHEPATH_CALLS = frozenset({
+    "repro.perf.cache.default_cache_dir",
+    "repro.perf.cache.ResultCache",
+    "repro.perf.journal.RunJournal",
+})
+
+#: Substrings marking a literal as a cache/journal path.
+CACHEPATH_LITERALS = (".repro-cache", "journal.jsonl")
+
+#: Process-pool / multiprocessing-context producers.
+EXECUTOR_CALLS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.get_context", "multiprocessing.Pool",
+})
+
+#: Direct process constructors (boundary without an executor receiver).
+BOUNDARY_CONSTRUCTORS = frozenset({
+    "multiprocessing.Process", "multiprocessing.context.Process",
+})
+
+#: Executor attributes whose call is the process boundary.
+BOUNDARY_ATTRS = frozenset({
+    "submit", "map", "apply", "apply_async", "starmap", "Process",
+})
+
+#: Pure converters that pass ``nondet``/``cachepath`` taint through.
+_PASSTHROUGH_CALLS = frozenset({
+    "str", "int", "float", "repr", "abs", "round", "format",
+    "pathlib.Path", "pathlib.PurePath", "os.fspath", "os.path.join",
+    "os.path.abspath", "os.path.expanduser",
+})
+
+#: ``Path`` methods that yield another path from a path receiver.
+_PATH_METHODS = frozenset({
+    "with_suffix", "with_name", "with_stem", "joinpath", "resolve",
+    "absolute", "expanduser", "relative_to", "glob", "rglob", "iterdir",
+})
+
+#: File-writing ``Path``/file methods (cache-write sinks on a
+#: ``cachepath`` receiver).
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: Mutating container methods, for worker module-state detection.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "pop", "popitem", "remove",
+    "discard", "clear", "insert", "setdefault", "appendleft",
+})
+
+_PROPAGATED = frozenset({NONDET, CACHEPATH})
+
+
+@dataclass
+class Summary:
+    """What a function does with taints, as seen from a call site."""
+
+    returns: set[str] = field(default_factory=set)
+    returns_params: set[int] = field(default_factory=set)
+    seed_params: set[int] = field(default_factory=set)
+    boundary_params: set[int] = field(default_factory=set)
+
+    def same(self, other: "Summary") -> bool:
+        return (self.returns == other.returns
+                and self.returns_params == other.returns_params
+                and self.seed_params == other.seed_params
+                and self.boundary_params == other.boundary_params)
+
+
+@dataclass
+class SinkEvent:
+    """A taint set observed at a rule-relevant sink."""
+
+    kind: str                # "seed" | "boundary" | "cachewrite"
+    node: ast.AST
+    module: ModuleInfo
+    func: FunctionInfo
+    taints: set[str]
+    detail: str = ""
+    #: For boundary sinks: the worker callable, when it resolves.
+    target: Optional[FunctionInfo] = None
+
+
+@dataclass
+class FanoutEvent:
+    """One RNG instance stored per-iteration across a loop/comprehension."""
+
+    node: ast.AST
+    module: ModuleInfo
+    func: FunctionInfo
+    name: str
+
+
+@dataclass
+class ProjectAnalysis:
+    """The taint engine's output, consumed by the FLOW/RACE/RES rules."""
+
+    graph: ProjectGraph
+    summaries: dict[str, Summary] = field(default_factory=dict)
+    sinks: list[SinkEvent] = field(default_factory=list)
+    fanouts: list[FanoutEvent] = field(default_factory=list)
+    #: ``self.<attr>`` taints per (module name, class name).
+    class_envs: dict[tuple[str, str], dict[str, set[str]]] = \
+        field(default_factory=dict)
+    #: Module-level name taints per module name.
+    global_envs: dict[str, dict[str, set[str]]] = field(default_factory=dict)
+
+
+def _real(taints: set[str]) -> set[str]:
+    return {t for t in taints if not t.startswith("@")}
+
+
+def _params_in(taints: set[str]) -> set[int]:
+    return {int(t[1:]) for t in taints if t.startswith("@")}
+
+
+class _FunctionAnalyzer:
+    """One pass of the abstract interpreter over one function body."""
+
+    def __init__(self, analysis: ProjectAnalysis, mod: ModuleInfo,
+                 func: FunctionInfo, record: bool) -> None:
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.mod = mod
+        self.func = func
+        self.record = record
+        self.env: dict[str, set[str]] = {}
+        self.return_taints: set[str] = set()
+        self.summary = Summary()
+        self.class_name = func.qualname.split(".")[0] \
+            if "." in func.qualname else None
+        self.global_env = analysis.global_envs.get(mod.name, {})
+        self.class_env = analysis.class_envs.setdefault(
+            (mod.name, self.class_name), {}) if self.class_name else {}
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(self) -> Summary:
+        for i, name in enumerate(self.func.param_names()):
+            self.env[name] = {f"@{i}"}
+        # Two passes: the second sees loop-carried bindings from the
+        # first; sinks are recorded only on the second.
+        saved_record, self.record = self.record, False
+        self._exec_body(self.func.node.body)
+        self.record = saved_record
+        self.return_taints = set()
+        self._exec_body(self.func.node.body)
+        self.summary.returns = _real(self.return_taints)
+        self.summary.returns_params = _params_in(self.return_taints)
+        return self.summary
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self.env.setdefault(stmt.target.id, set()).update(taints)
+            else:
+                self._bind(stmt.target, taints)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taints |= self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self.eval(stmt.iter))
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints)
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_body(handler.body)
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def is a closure over the current environment:
+            # analyze its body with the captured taints so boundary
+            # calls inside launcher helpers (the resilient executor's
+            # _launch) still see the executor/RNG taints.  Its params
+            # are unknown, and its bindings stay local to it.
+            self._exec_nested(stmt)
+
+    def _exec_nested(self, func: FunctionNode) -> None:
+        saved = self.env
+        self.env = {name: set(taints) for name, taints in saved.items()}
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            self.env[arg.arg] = set()
+        self._exec_body(func.body)
+        self.env = saved
+
+    def _bind(self, target: ast.expr, taints: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taints)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taints)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                key = f"self.{target.attr}"
+                self.env[key] = set(taints)
+                if self.class_name:
+                    self.class_env[key] = set(taints)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env.setdefault(base.id, set()).update(taints)
+
+    # -- expressions ------------------------------------------------------------
+
+    def eval(self, expr: ast.expr) -> set[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return set(self.env[expr.id])
+            return set(self.global_env.get(expr.id, ()))
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, str) and any(
+                    mark in expr.value for mark in CACHEPATH_LITERALS):
+                return {CACHEPATH}
+            return set()
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.JoinedStr):
+            taints: set[str] = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    taints |= self.eval(value.value)
+            return taints & (_PROPAGATED | _synthetic(taints))
+        if isinstance(expr, ast.BinOp):
+            taints = self.eval(expr.left) | self.eval(expr.right)
+            return taints & (_PROPAGATED | _synthetic(taints))
+        if isinstance(expr, ast.BoolOp):
+            taints = set()
+            for value in expr.values:
+                taints |= self.eval(value)
+            return taints
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            return self.eval(expr.body) | self.eval(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            taints = set()
+            for element in expr.elts:
+                taints |= self.eval(element)
+            return taints
+        if isinstance(expr, ast.Dict):
+            taints = set()
+            for value in expr.values:
+                if value is not None:
+                    taints |= self.eval(value)
+            return taints
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Subscript):
+            self.eval(expr.slice)
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp([expr.elt], expr.generators)
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comp([expr.key, expr.value], expr.generators)
+        if isinstance(expr, ast.Compare):
+            return set()
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.NamedExpr):
+            taints = self.eval(expr.value)
+            self._bind(expr.target, taints)
+            return taints
+        return set()
+
+    def _eval_comp(self, results: list[ast.expr],
+                   generators: list[ast.comprehension]) -> set[str]:
+        for gen in generators:
+            self._bind(gen.target, self.eval(gen.iter))
+        taints: set[str] = set()
+        for result in results:
+            taints |= self.eval(result)
+        return taints
+
+    def _eval_attribute(self, expr: ast.Attribute) -> set[str]:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            key = f"self.{expr.attr}"
+            if key in self.env:
+                return set(self.env[key])
+            return set(self.class_env.get(key, ()))
+        value_taints = self.eval(expr.value)
+        # Path-like attribute loads (``cache.directory``, ``p.parent``)
+        # keep cachepath taint; other kinds do not survive attribute
+        # loads (``rng.random`` is a method, not an RNG).
+        return value_taints & ({CACHEPATH} | _synthetic(value_taints))
+
+    # -- calls ------------------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call) -> set[str]:
+        arg_taints = [self.eval(arg) for arg in call.args]
+        kw_taints = {kw.arg: self.eval(kw.value) for kw in call.keywords}
+        dotted = dotted_name(call.func)
+        canon = self.graph.canonical(self.mod, dotted) if dotted else None
+        # Local rebinds shadow imports: ``open = cache.get`` is nobody's
+        # idiom here, so the canonical name is trusted as-is.
+
+        if canon in RNG_CONSTRUCTORS or canon in SEED_CALLS:
+            seed_taints: set[str] = set()
+            for taints in arg_taints:
+                seed_taints |= taints
+            for taints in kw_taints.values():
+                seed_taints |= taints
+            self._sink("seed", call, seed_taints,
+                       detail=canon or "")
+            return {RNG} if canon in RNG_CONSTRUCTORS else set()
+        if canon in NONDET_CALLS:
+            return {NONDET}
+        if canon in HANDLE_CALLS or canon in PROJECT_HANDLE_TYPES:
+            if canon in ("open", "io.open", "gzip.open"):
+                self._check_open(call, arg_taints, kw_taints)
+            return {HANDLE}
+        if canon in CACHEPATH_CALLS:
+            return {CACHEPATH}
+        if canon in EXECUTOR_CALLS:
+            return {EXECUTOR}
+        if canon in BOUNDARY_CONSTRUCTORS:
+            self._boundary_process(call, kw_taints)
+            return set()
+
+        if isinstance(call.func, ast.Attribute):
+            receiver_taints = self.eval(call.func.value)
+            attr = call.func.attr
+            if EXECUTOR in receiver_taints and attr in BOUNDARY_ATTRS:
+                if attr == "Process":
+                    self._boundary_process(call, kw_taints)
+                else:
+                    self._boundary_submit(call, attr, arg_taints)
+                return set()
+            if CACHEPATH in receiver_taints:
+                if attr in _WRITE_METHODS:
+                    self._sink("cachewrite", call,
+                               receiver_taints | {CACHEPATH},
+                               detail=f".{attr}()")
+                    return set()
+                if attr in _PATH_METHODS:
+                    return {CACHEPATH}
+
+        resolved = self._resolve_callee(call)
+        if resolved is not None:
+            return self._apply_summary(call, resolved, arg_taints,
+                                       kw_taints)
+
+        if canon in _PASSTHROUGH_CALLS:
+            taints = set()
+            for arg in arg_taints:
+                taints |= arg
+            return taints & (_PROPAGATED | _synthetic(taints))
+        return set()
+
+    def _resolve_callee(self, call: ast.Call) -> Optional[FunctionInfo]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        if dotted.startswith("self.") and self.class_name:
+            qual = f"{self.class_name}.{dotted[5:]}"
+            return self.mod.functions.get(qual)
+        return self.graph.resolve_function(self.mod, dotted)
+
+    def _apply_summary(self, call: ast.Call, callee: FunctionInfo,
+                       arg_taints: list[set[str]],
+                       kw_taints: dict[Optional[str], set[str]],
+                       ) -> set[str]:
+        summary = self.analysis.summaries.get(callee.fq)
+        if summary is None:
+            return set()
+        params = callee.param_names()
+        offset = 1 if params and params[0] in ("self", "cls") and \
+            isinstance(call.func, ast.Attribute) else 0
+        by_index: dict[int, set[str]] = {}
+        for pos, taints in enumerate(arg_taints):
+            by_index[pos + offset] = taints
+        for name, taints in kw_taints.items():
+            if name in params:
+                by_index[params.index(name)] = taints
+        result = set(summary.returns)
+        for index in summary.returns_params:
+            result |= by_index.get(index, set())
+        for index in summary.seed_params:
+            self._sink("seed", call, by_index.get(index, set()),
+                       detail=f"via {callee.fq}()")
+        for index in summary.boundary_params:
+            self._sink("boundary", call, by_index.get(index, set()),
+                       detail=f"via {callee.fq}()")
+        return result
+
+    # -- sinks ------------------------------------------------------------------
+
+    def _sink(self, kind: str, node: ast.AST, taints: set[str],
+              detail: str = "",
+              target: Optional[FunctionInfo] = None) -> None:
+        for index in _params_in(taints):
+            if kind == "seed":
+                self.summary.seed_params.add(index)
+            elif kind == "boundary":
+                self.summary.boundary_params.add(index)
+        if self.record:
+            self.analysis.sinks.append(SinkEvent(
+                kind=kind, node=node, module=self.mod, func=self.func,
+                taints=set(taints), detail=detail, target=target))
+
+    def _check_open(self, call: ast.Call, arg_taints: list[set[str]],
+                    kw_taints: dict[Optional[str], set[str]]) -> None:
+        mode = "r"
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            mode = str(call.args[1].value)
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = str(kw.value.value)
+        if not any(flag in mode for flag in "wax+"):
+            return
+        path_taints = arg_taints[0] if arg_taints else \
+            kw_taints.get("file", set())
+        if CACHEPATH in path_taints:
+            self._sink("cachewrite", call, path_taints,
+                       detail=f"open(..., {mode!r})")
+
+    def _boundary_target(self, expr: ast.expr) -> Optional[FunctionInfo]:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        return self.graph.resolve_function(self.mod, dotted)
+
+    def _boundary_process(self, call: ast.Call,
+                          kw_taints: dict[Optional[str], set[str]]) -> None:
+        target: Optional[FunctionInfo] = None
+        arg_nodes: list[ast.expr] = []
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target = self._boundary_target(kw.value)
+            elif kw.arg == "args" and isinstance(kw.value,
+                                                 (ast.Tuple, ast.List)):
+                arg_nodes.extend(kw.value.elts)
+            elif kw.arg == "kwargs" and isinstance(kw.value, ast.Dict):
+                arg_nodes.extend(v for v in kw.value.values
+                                 if v is not None)
+        taints: set[str] = set()
+        for node in arg_nodes:
+            taints |= self.eval(node)
+        self._sink("boundary", call, taints, detail="Process(...)",
+                   target=target)
+
+    def _boundary_submit(self, call: ast.Call, attr: str,
+                         arg_taints: list[set[str]]) -> None:
+        target = self._boundary_target(call.args[0]) if call.args else None
+        taints: set[str] = set()
+        for arg in arg_taints[1:]:
+            taints |= arg
+        for kw in call.keywords:
+            taints |= self.eval(kw.value)
+        self._sink("boundary", call, taints, detail=f".{attr}()",
+                   target=target)
+
+
+def _synthetic(taints: set[str]) -> set[str]:
+    return {t for t in taints if t.startswith("@")}
+
+
+def _module_global_env(analysis: ProjectAnalysis,
+                       mod: ModuleInfo) -> dict[str, set[str]]:
+    """Taints of module-level assignments (no params, best effort)."""
+    # Reuse the function analyzer with a synthetic module-level "function".
+    holder = ast.FunctionDef(
+        name="<module>", args=ast.arguments(
+            posonlyargs=[], args=[], kwonlyargs=[], kw_defaults=[],
+            defaults=[]),
+        body=list(mod.global_assigns), decorator_list=[], returns=None)
+    info = FunctionInfo(mod, "<module>", holder)
+    analyzer = _FunctionAnalyzer(analysis, mod, info, record=False)
+    analyzer.run()
+    return {name: taints for name, taints in analyzer.env.items()
+            if _real(taints)}
+
+
+def _collect_fanouts(analysis: ProjectAnalysis, mod: ModuleInfo,
+                     func: FunctionInfo,
+                     env: dict[str, set[str]]) -> None:
+    """FLOW003 evidence: one RNG instance stored once per iteration."""
+
+    def rng_name(expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name) and RNG in env.get(expr.id, set()):
+            return expr.id
+        return None
+
+    def bound_inside(scope: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    names.update(e.id for e in target.elts
+                                 if isinstance(e, ast.Name))
+        return names
+
+    def scan_loop(loop: ast.AST) -> None:
+        inner = bound_inside(loop)
+        for node in ast.walk(loop):
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and isinstance(
+                    node.targets[0], (ast.Subscript, ast.Attribute)):
+                value = node.value
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) and \
+                    node.func.attr in ("append", "add") and node.args:
+                value = node.args[0]
+            name = rng_name(value) if value is not None else None
+            if name is not None and name not in inner:
+                analysis.fanouts.append(FanoutEvent(
+                    node=node, module=mod, func=func, name=name))
+
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.For, ast.While)):
+            scan_loop(node)
+        elif isinstance(node, ast.DictComp):
+            name = rng_name(node.value)
+            if name is not None and name not in bound_inside(node):
+                analysis.fanouts.append(FanoutEvent(
+                    node=node, module=mod, func=func, name=name))
+        elif isinstance(node, (ast.ListComp, ast.SetComp)):
+            name = rng_name(node.elt)
+            if name is not None and name not in bound_inside(node):
+                analysis.fanouts.append(FanoutEvent(
+                    node=node, module=mod, func=func, name=name))
+        elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute) and \
+                node.func.attr == "fromkeys" and len(node.args) == 2:
+            name = rng_name(node.args[1])
+            if name is not None:
+                analysis.fanouts.append(FanoutEvent(
+                    node=node, module=mod, func=func, name=name))
+
+
+#: Summary-iteration passes.  Call chains deeper than this many hops
+#: between modules stop propagating; three covers everything real here.
+_PASSES = 3
+
+
+def analyze_project(project: ProjectContext) -> ProjectAnalysis:
+    """Run the taint engine over every module of one lint run."""
+    graph = ProjectGraph.build(project)
+    analysis = ProjectAnalysis(graph=graph)
+    for round_no in range(_PASSES):
+        final = round_no == _PASSES - 1
+        analysis.sinks = []
+        analysis.fanouts = []
+        for mod in graph.modules:
+            analysis.global_envs[mod.name] = _module_global_env(
+                analysis, mod)
+        for mod in graph.modules:
+            for func in mod.functions.values():
+                analyzer = _FunctionAnalyzer(analysis, mod, func,
+                                             record=final)
+                summary = analyzer.run()
+                analysis.summaries[func.fq] = summary
+                if final:
+                    _collect_fanouts(analysis, mod, func, analyzer.env)
+    return analysis
+
+
+def worker_state_mutation(graph: ProjectGraph,
+                          worker: FunctionInfo) -> Optional[ast.AST]:
+    """A statement in ``worker`` (or a direct same-module callee) that
+    mutates module-level state — invisible to other workers and to the
+    parent after fork, so a process-boundary hazard (RACE002)."""
+    seen: set[str] = set()
+    queue = [worker]
+    depth = 0
+    while queue and depth < 2:
+        next_queue: list[FunctionInfo] = []
+        for info in queue:
+            if info.fq in seen:
+                continue
+            seen.add(info.fq)
+            found = _mutation_in(info)
+            if found is not None:
+                return found
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    dotted = dotted_name(node.func)
+                    if dotted and "." not in dotted:
+                        callee = info.module.functions.get(dotted)
+                        if callee is not None:
+                            next_queue.append(callee)
+        queue = next_queue
+        depth += 1
+    return None
+
+
+def _mutation_in(info: FunctionInfo) -> Optional[ast.AST]:
+    mod = info.module
+    declared_global: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    local = {a for a in info.param_names()}
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if target.id in declared_global:
+                        return node
+                    local.add(target.id)
+                elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name):
+                    name = target.value.id
+                    if name in mod.mutable_globals and name not in local:
+                        return node
+        elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute) and \
+                node.func.attr in _MUTATOR_METHODS:
+            base = node.func.value
+            if isinstance(base, ast.Name) and \
+                    base.id in mod.mutable_globals and base.id not in local:
+                return node
+    return None

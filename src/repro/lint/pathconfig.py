@@ -1,0 +1,62 @@
+"""Path-scoped rule configuration.
+
+Lint now covers ``benchmarks/`` and ``examples/`` in addition to the
+``repro`` package, and those trees legitimately use idioms the simulator
+rules forbid: a benchmark harness *measures* host wall-clock time, an
+example script may demonstrate a deliberately-degraded configuration.
+Blanket ``disable-file`` comments would also switch the rules off for
+the code the scripts import, and would have to be pasted into every new
+benchmark.  Instead, each scope below turns a named rule set off for one
+path prefix, with a recorded justification — the same shape as a
+baseline entry, but by *role* rather than by individual finding.
+
+Scopes match on the repo-relative posix path prefix (``benchmarks/``,
+``examples/``); files inside the ``repro`` package never match because
+their relpaths are package-relative (``perf/pool.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PathScope:
+    """Rules switched off for every file under one path prefix."""
+
+    prefix: str              # repo-relative posix path prefix
+    ignore: frozenset[str]   # rule codes/names disabled under the prefix
+    why: str                 # justification, surfaced in docs/--list-rules
+
+    def matches(self, relpath: str) -> bool:
+        return relpath.startswith(self.prefix)
+
+
+#: The committed scopes.  Keep each ``ignore`` set minimal: a scope is a
+#: statement that the *role* of the tree makes the rule inapplicable,
+#: not a dumping ground for unfixed findings (those go to the baseline,
+#: which is kept empty by fixing them).
+DEFAULT_SCOPES: tuple[PathScope, ...] = (
+    PathScope(
+        prefix="benchmarks/",
+        ignore=frozenset({"DET003"}),
+        why=("benchmark harnesses exist to measure host wall-clock time; "
+             "time.perf_counter() here times the simulator instead of "
+             "leaking nondeterminism into it")),
+    PathScope(
+        prefix="examples/",
+        ignore=frozenset({"DET003"}),
+        why=("example scripts time their own demo runs for display; the "
+             "measured values never feed simulation state")),
+)
+
+
+def scoped_ignores(relpath: str,
+                   scopes: tuple[PathScope, ...] = DEFAULT_SCOPES,
+                   ) -> frozenset[str]:
+    """Union of rule identifiers disabled for ``relpath`` by the scopes."""
+    disabled: set[str] = set()
+    for scope in scopes:
+        if scope.matches(relpath):
+            disabled |= scope.ignore
+    return frozenset(disabled)

@@ -4,10 +4,15 @@ Adding a rule: create (or extend) a module here, subclass
 :class:`repro.lint.engine.Rule`, decorate with ``@register``, and import
 the module below.  Codes are grouped by family: DET (determinism), UNIT
 (unit safety), PHASE (sim-phase mutation surface), CFG (config drift),
-PAR (parallel-engine / result-cache safety).
+PAR (parallel-engine / result-cache safety), and — from the
+whole-program flow layer (:mod:`repro.lint.flow`) — FLOW (interprocedural
+RNG provenance), RACE (process-boundary capture) and RES (resource
+lifecycle).
 """
 
+from repro.lint.flow import rules as flow_rules
 from repro.lint.rules import (configdrift, determinism, parallel, phases,
                               units)
 
-__all__ = ["configdrift", "determinism", "parallel", "phases", "units"]
+__all__ = ["configdrift", "determinism", "flow_rules", "parallel",
+           "phases", "units"]

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning, VS Code's SARIF viewer and most CI dashboards ingest, so
+``python -m repro lint --output sarif`` makes the simulator-specific
+rules first-class citizens next to general-purpose linters.
+
+The mapping is deliberately small and lossless:
+
+* every registered rule becomes a ``tool.driver.rules`` entry carrying
+  its code, kebab name and full rationale (shown by viewers on hover);
+* every finding becomes a ``result`` with the standard physical
+  location (1-based line, 1-based column) and the same stable
+  fingerprint the committed baseline uses, under
+  ``partialFingerprints["reproLint/v1"]`` — so a SARIF consumer
+  deduplicates findings across unrelated edits exactly like the
+  baseline does.
+
+Findings already filtered by the baseline are simply absent: the SARIF
+document describes what would fail the gate, which is what a code
+scanning alert should be.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.baseline import fingerprints
+from repro.lint.engine import Finding, Rule, Severity, all_rules
+
+#: SARIF schema pinned by the output documents.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Key under ``partialFingerprints`` carrying the baseline fingerprint.
+FINGERPRINT_KEY = "reproLint/v1"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    first_line = rule.rationale.split("\n", 1)[0] if rule.rationale else ""
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": first_line or rule.name},
+        "fullDescription": {"text": rule.rationale or rule.name},
+        "help": {"text": f"Suppress inline with "
+                         f"`# repro-lint: disable={rule.code}` plus a "
+                         f"justification, or grandfather via the "
+                         f"committed baseline (docs/STATIC_ANALYSIS.md)."},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding, fingerprint: str,
+            rule_index: dict[str, int]) -> dict:
+    uri = (finding.relpath or finding.path).replace("\\", "/")
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """A complete SARIF 2.1.0 document for one lint run, as a string."""
+    rules = all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/docs/STATIC_ANALYSIS.md",
+                    "rules": [_rule_descriptor(rule) for rule in rules],
+                },
+            },
+            "results": [
+                _result(finding, fingerprint, rule_index)
+                for finding, fingerprint
+                in zip(findings, fingerprints(findings))
+            ],
+        }],
+    }
+    return json.dumps(document, indent=2)

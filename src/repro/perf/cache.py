@@ -182,6 +182,26 @@ class ResultCache:
         self.stats.hits += 1
         return payload
 
+    def invalidate(self, kind: str, key: dict[str, Any]) -> bool:
+        """Drop the entry for ``key`` because its *payload* proved bad.
+
+        ``get`` only self-heals entries whose envelope is unreadable; a
+        caller that finds the decoded payload undecodable (wrong shape
+        for the task, stale inner format) must invalidate it here, or
+        the entry survives forever — re-read, re-failed and re-counted
+        as corrupt by every later run.  Returns True when the file was
+        removed (best-effort, like ``get``'s unlink: a racing reader
+        may win).
+        """
+        path = self._path(kind, fingerprint(kind, key))
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self.stats.removed += 1
+        return True
+
     def put(self, kind: str, key: dict[str, Any], payload: Any) -> None:
         """Store ``payload`` for ``key`` atomically (last writer wins)."""
         self.directory.mkdir(parents=True, exist_ok=True)

@@ -267,7 +267,10 @@ def _from_cache(task: MatrixTask, cache: Optional[ResultCache]) -> Any:
     try:
         return decode_payload(task, payload)
     except (KeyError, TypeError, ValueError):
-        cache.stats.corrupt += 1
+        # The envelope parsed but the payload didn't: without the
+        # invalidate, the entry would be re-read and re-failed by every
+        # later run instead of being recomputed once and rewritten.
+        cache.invalidate(task.kind, task_cache_key(task))
         return None
 
 

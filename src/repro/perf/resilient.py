@@ -245,7 +245,10 @@ def run_tasks_resilient(
                 try:
                     value = decode_payload(task, payload)
                 except (KeyError, TypeError, ValueError):
-                    cache.stats.corrupt += 1
+                    # Same discipline as pool._from_cache: a decodable
+                    # envelope with an undecodable payload must be
+                    # dropped, or every resume re-reads and re-fails it.
+                    cache.invalidate(task.kind, task_cache_key(task))
                     value = None
                 if value is not None:
                     counters["cache_hits"] += 1

@@ -569,7 +569,10 @@ class TestRegistry:
         present = {rule.code for rule in all_rules()}
         assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
                 "UNIT001", "UNIT002", "PHASE001", "PHASE002",
-                "CFG001", "CFG002", "PAR001"} <= present
+                "CFG001", "CFG002", "PAR001",
+                "FLOW001", "FLOW002", "FLOW003",
+                "RACE001", "RACE002",
+                "RES001", "RES002", "RES003", "RES004"} <= present
 
     def test_every_rule_has_rationale_and_severity(self):
         for rule in all_rules():
@@ -587,13 +590,17 @@ class TestMypyWiring:
         text = (REPO_ROOT / "pyproject.toml").read_text()
         assert "[tool.mypy]" in text
         assert '"repro.core.*"' in text and '"repro.sim.*"' in text
+        assert ('"repro.perf.*"' in text and '"repro.campaign.*"' in text
+                and '"repro.faults.*"' in text)
         assert "disallow_untyped_defs = true" in text
 
     def test_core_and_sim_defs_fully_annotated(self):
         """Static stand-in for strict mypy when it is not installed:
-        every def in core/ and sim/ annotates all params and the return."""
+        every def in the strict packages annotates all params and the
+        return.  perf/, campaign/ and faults/ joined core/ and sim/ when
+        the strict override was extended to them."""
         gaps = []
-        for pkg in ("core", "sim"):
+        for pkg in ("core", "sim", "perf", "campaign", "faults"):
             for path in sorted((SRC / "repro" / pkg).glob("*.py")):
                 tree = ast.parse(path.read_text())
                 for node in ast.walk(tree):
@@ -617,3 +624,129 @@ class TestMypyWiring:
             capture_output=True, text=True,
             env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# AST cache (satellite): correctness and a measured wall-clock win
+# ---------------------------------------------------------------------------
+
+
+class TestAstCache:
+    def test_warm_parse_reuses_tree_and_beats_cold(self):
+        """Parsing dominates lint wall-clock; a warm cache must return the
+        identical tree object and measurably beat re-parsing the package."""
+        import time
+
+        from repro.lint.engine import _parse_cached, clear_ast_cache
+
+        files = sorted((SRC / "repro").rglob("*.py"))
+        assert len(files) > 50  # the whole package, not a toy sample
+
+        clear_ast_cache()
+        t0 = time.perf_counter()
+        cold = [_parse_cached(p)[1] for p in files]
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = [_parse_cached(p)[1] for p in files]
+        warm_s = time.perf_counter() - t0
+
+        assert all(a is b for a, b in zip(cold, warm))  # cache hits
+        assert warm_s < cold_s / 2, (warm_s, cold_s)
+
+    def test_cache_invalidated_by_file_change(self, tmp_path):
+        import os
+
+        from repro.lint.engine import _parse_cached
+
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        _, tree1 = _parse_cached(path)
+        path.write_text("x = 2\n")
+        # mtime granularity can swallow back-to-back writes; force it.
+        os.utime(path, ns=(1, 1))
+        _, tree2 = _parse_cached(path)
+        assert tree1 is not tree2
+        assert tree2.body[0].value.value == 2
+
+
+# ---------------------------------------------------------------------------
+# Path-scoped rule config (satellite): benchmarks/examples without blanket
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestPathScopedConfig:
+    def test_benchmarks_scope_ignores_wall_clock_only(self):
+        from repro.lint.pathconfig import scoped_ignores
+
+        assert "DET003" in scoped_ignores("benchmarks/bench_lint.py")
+        assert "DET003" in scoped_ignores("examples/demo.py")
+        assert scoped_ignores("core/table.py") == frozenset()
+        # Only wall-clock reads are role-appropriate for harnesses;
+        # unseeded RNGs are not.
+        assert "DET001" not in scoped_ignores("benchmarks/bench_lint.py")
+
+    def test_wall_clock_ignored_under_benchmarks_flagged_under_sim(
+            self, tmp_path):
+        from repro.lint.engine import run_lint
+
+        source = "import time\n\ndef bench():\n    t0 = time.time()\n"
+        for rel in ("benchmarks", "sim"):
+            (tmp_path / rel).mkdir()
+            (tmp_path / rel / "timed.py").write_text(source)
+        findings = run_lint([tmp_path], package_root=tmp_path,
+                            select=["DET003"])
+        assert [f.relpath for f in findings] == ["sim/timed.py"]
+
+    def test_no_blanket_suppressions_in_harness_trees(self):
+        """The satellite's contract: benchmarks/ and examples/ are linted
+        via path-scoped config, not disable-file comments."""
+        for tree in ("benchmarks", "examples"):
+            for path in sorted((REPO_ROOT / tree).glob("*.py")):
+                assert "disable-file" not in path.read_text(), path
+
+
+# ---------------------------------------------------------------------------
+# SARIF output (tentpole wiring)
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_document_shape_and_fingerprints(self):
+        from repro.lint.sarif import FINGERPRINT_KEY, render_sarif
+
+        findings = lint_source("import random\nx = random.random()\n",
+                               select=["DET001"])
+        doc = json.loads(render_sarif(findings))
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "DET001" in rule_ids and "FLOW001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert (result["partialFingerprints"][FINGERPRINT_KEY]
+                == fingerprints(findings)[0])
+        assert driver["rules"][result["ruleIndex"]]["id"] == "DET001"
+
+    def test_cli_sarif_on_clean_repo(self):
+        proc = run_cli("--output", "sarif")
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["runs"][0]["results"] == []
+        # Every registered rule ships a descriptor with a rationale.
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["fullDescription"]["text"], rule["id"]
+
+    def test_cli_sarif_carries_findings(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text("import random\nx = random.random()\n")
+        proc = run_cli(str(scratch), "--output", "sarif")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["DET001"]

@@ -1,0 +1,412 @@
+"""Tests for the whole-program flow analyzer (FLOW/RACE/RES rules).
+
+The interprocedural rules need real files on disk — the analyzer builds
+its module graph from package-relative paths — so most fixtures here
+write a small package into ``tmp_path`` and lint it with
+``run_lint([tmp], package_root=tmp)``.  The cross-module fixture package
+(:class:`TestCrossModuleTaint`) is the satellite contract: a
+nondeterministic seed laundered through a helper in *another module*
+must still be flagged at the RNG construction site.
+
+The ``ResultCache.invalidate`` regression tests at the bottom pin the
+true positive the RES family surfaced in ``perf/``: a decodable cache
+envelope wrapping an undecodable payload used to be re-read and
+re-failed by every later run instead of being dropped and recomputed.
+"""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, fingerprints
+from repro.lint.engine import lint_source, run_lint
+from repro.perf.cache import ResultCache, fingerprint
+from repro.perf.pool import (_from_cache, encode_payload, sim_task,
+                             task_cache_key)
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+def write_pkg(tmp_path, **modules):
+    """Write ``pkg/<name>.py`` fixtures and return the lint root."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in modules.items():
+        (pkg / f"{name}.py").write_text(source)
+    return tmp_path
+
+
+def lint_pkg(root, *select):
+    return run_lint([root], package_root=root, select=list(select))
+
+
+# ---------------------------------------------------------------------------
+# FLOW001 — nondeterministic seeds, through call chains
+# ---------------------------------------------------------------------------
+
+
+class TestFlow001:
+    def test_direct_wall_clock_seed_flagged(self, tmp_path):
+        root = write_pkg(tmp_path, direct=(
+            "import random\n"
+            "import time\n"
+            "def build():\n"
+            "    return random.Random(time.time_ns())\n"))
+        findings = lint_pkg(root, "FLOW001")
+        assert codes(findings) == ["FLOW001"]
+        assert findings[0].relpath == "pkg/direct.py"
+
+    def test_digest_keyed_seed_passes(self, tmp_path):
+        root = write_pkg(tmp_path, clean=(
+            "import random\n"
+            "def build(seed, kind):\n"
+            "    return random.Random(f'{seed}:{kind}')\n"))
+        assert lint_pkg(root, "FLOW001") == []
+
+    def test_pid_mixed_into_fstring_seed_flagged(self, tmp_path):
+        root = write_pkg(tmp_path, mixed=(
+            "import os\n"
+            "import random\n"
+            "def build(seed):\n"
+            "    return random.Random(f'{seed}:{os.getpid()}')\n"))
+        assert codes(lint_pkg(root, "FLOW001")) == ["FLOW001"]
+
+
+class TestCrossModuleTaint:
+    """The satellite fixture: host entropy laundered through a helper in
+    another module must be flagged at the construction site."""
+
+    SEEDS = (
+        "import time\n"
+        "def make_seed():\n"
+        "    return time.time_ns()\n"
+        "def passthrough(value):\n"
+        "    return int(value)\n")
+    RUNNER = (
+        "import random\n"
+        "from pkg.seeds import make_seed, passthrough\n"
+        "def build_rng():\n"
+        "    seed = passthrough(make_seed())\n"
+        "    return random.Random(seed)\n")
+
+    def test_cross_module_taint_path_is_flagged(self, tmp_path):
+        root = write_pkg(tmp_path, seeds=self.SEEDS, runner=self.RUNNER)
+        findings = lint_pkg(root, "FLOW001")
+        assert codes(findings) == ["FLOW001"]
+        (finding,) = findings
+        # Flagged where the RNG is built, not where the entropy is read.
+        assert finding.relpath == "pkg/runner.py"
+        assert finding.line == 5
+
+    def test_same_shape_with_constant_seed_passes(self, tmp_path):
+        clean_seeds = self.SEEDS.replace("time.time_ns()", "0x5EED")
+        root = write_pkg(tmp_path, seeds=clean_seeds, runner=self.RUNNER)
+        assert lint_pkg(root, "FLOW001") == []
+
+
+# ---------------------------------------------------------------------------
+# FLOW002 / RACE001 / RACE002 — process-boundary sinks
+# ---------------------------------------------------------------------------
+
+
+class TestBoundaryRules:
+    def test_flow002_rng_into_pool_submit(self, tmp_path):
+        root = write_pkg(tmp_path, scatter=(
+            "import random\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(task, rng):\n"
+            "    return rng.random()\n"
+            "def scatter(tasks):\n"
+            "    rng = random.Random(7)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, t, rng) for t in tasks]\n"))
+        findings = lint_pkg(root, "FLOW002")
+        assert codes(findings) == ["FLOW002"]
+        assert findings[0].relpath == "pkg/scatter.py"
+
+    def test_flow002_seed_across_boundary_passes(self, tmp_path):
+        root = write_pkg(tmp_path, scatter=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(task, seed):\n"
+            "    import random\n"
+            "    return random.Random(seed).random()\n"
+            "def scatter(tasks, seed):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, t, seed) for t in tasks]\n"))
+        assert lint_pkg(root, "FLOW002") == []
+
+    def test_race001_handle_into_process_args(self, tmp_path):
+        root = write_pkg(tmp_path, leak=(
+            "import multiprocessing\n"
+            "def consume(fh):\n"
+            "    return fh.read()\n"
+            "def launch(path):\n"
+            "    fh = open(path)\n"
+            "    p = multiprocessing.Process(target=consume, args=(fh,))\n"
+            "    p.start()\n"
+            "    return fh\n"))
+        findings = lint_pkg(root, "RACE001")
+        assert codes(findings) == ["RACE001"]
+
+    def test_race002_worker_appends_to_module_global(self, tmp_path):
+        root = write_pkg(tmp_path, state=(
+            "import multiprocessing\n"
+            "RESULTS = []\n"
+            "def worker(x):\n"
+            "    RESULTS.append(x)\n"
+            "def launch():\n"
+            "    p = multiprocessing.Process(target=worker, args=(1,))\n"
+            "    p.start()\n"))
+        findings = lint_pkg(root, "RACE002")
+        assert codes(findings) == ["RACE002"]
+        assert "worker" in findings[0].message
+
+    def test_race002_pure_worker_passes(self, tmp_path):
+        root = write_pkg(tmp_path, state=(
+            "import multiprocessing\n"
+            "def worker(x):\n"
+            "    return x + 1\n"
+            "def launch():\n"
+            "    p = multiprocessing.Process(target=worker, args=(1,))\n"
+            "    p.start()\n"))
+        assert lint_pkg(root, "RACE002") == []
+
+
+# ---------------------------------------------------------------------------
+# FLOW003 — one RNG instance fanned out across streams
+# ---------------------------------------------------------------------------
+
+
+class TestFlow003:
+    def test_shared_instance_stored_per_slot_flagged(self, tmp_path):
+        root = write_pkg(tmp_path, fan=(
+            "import random\n"
+            "def streams(kinds, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    table = {}\n"
+            "    for kind in kinds:\n"
+            "        table[kind] = rng\n"
+            "    return table\n"))
+        assert codes(lint_pkg(root, "FLOW003")) == ["FLOW003"]
+
+    def test_per_slot_construction_passes(self, tmp_path):
+        root = write_pkg(tmp_path, fan=(
+            "import random\n"
+            "def streams(kinds, seed):\n"
+            "    return {kind: random.Random(f'{seed}:{kind}')\n"
+            "            for kind in kinds}\n"))
+        assert lint_pkg(root, "FLOW003") == []
+
+
+# ---------------------------------------------------------------------------
+# RES001 — raw writes to cache/journal paths
+# ---------------------------------------------------------------------------
+
+
+class TestRes001:
+    def test_write_text_on_cache_path_flagged(self, tmp_path):
+        root = write_pkg(tmp_path, stamp=(
+            "from pathlib import Path\n"
+            "def stamp(payload):\n"
+            "    target = Path('.repro-cache') / 'entry.json'\n"
+            "    target.write_text(payload)\n"))
+        assert codes(lint_pkg(root, "RES001")) == ["RES001"]
+
+    def test_plain_output_path_passes(self, tmp_path):
+        root = write_pkg(tmp_path, stamp=(
+            "from pathlib import Path\n"
+            "def stamp(payload, out_dir):\n"
+            "    target = Path(out_dir) / 'entry.json'\n"
+            "    target.write_text(payload)\n"))
+        assert lint_pkg(root, "RES001") == []
+
+
+# ---------------------------------------------------------------------------
+# RES002 / RES003 / RES004 — module-local lifecycle rules
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleRules:
+    def test_res002_open_never_closed(self):
+        findings = lint_source(
+            "def peek(path):\n"
+            "    fh = open(path)\n"
+            "    return fh.read()\n",
+            select=["RES002"])
+        assert codes(findings) == ["RES002"]
+
+    def test_res002_with_block_and_explicit_close_pass(self):
+        findings = lint_source(
+            "def read(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+            "def read_manual(path):\n"
+            "    fh = open(path)\n"
+            "    data = fh.read()\n"
+            "    fh.close()\n"
+            "    return data\n"
+            "def handle(path):\n"
+            "    return open(path)\n",
+            select=["RES002"])
+        assert findings == []
+
+    def test_res003_swallowed_failure_flagged(self):
+        findings = lint_source(
+            "def run(task):\n"
+            "    try:\n"
+            "        task.execute()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            select=["RES003"])
+        assert codes(findings) == ["RES003"]
+
+    def test_res003_best_effort_cleanup_tolerated(self):
+        findings = lint_source(
+            "def teardown(conn):\n"
+            "    try:\n"
+            "        conn.close()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            select=["RES003"])
+        assert findings == []
+
+    def test_res004_spin_forever_flagged(self):
+        findings = lint_source(
+            "def drain(queue):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            queue.get()\n"
+            "        except Exception:\n"
+            "            continue\n",
+            select=["RES004"])
+        assert codes(findings) == ["RES004"]
+
+    def test_res004_loop_with_terminal_exit_passes(self):
+        findings = lint_source(
+            "def drain(queue, attempts):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return queue.get()\n"
+            "        except Exception:\n"
+            "            continue\n",
+            select=["RES004"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions and baseline round-trip on the new families (satellite)
+# ---------------------------------------------------------------------------
+
+
+SCATTER_SRC = (
+    "import random\n"
+    "from concurrent.futures import ProcessPoolExecutor\n"
+    "def work(task, rng):\n"
+    "    return rng.random()\n"
+    "def scatter(tasks):\n"
+    "    rng = random.Random(7)\n"
+    "    with ProcessPoolExecutor() as pool:\n"
+    "        return [pool.submit(work, t, rng) for t in tasks]\n")
+
+
+class TestSuppressionAndBaseline:
+    def test_inline_suppression_covers_flow_finding(self, tmp_path):
+        suppressed = SCATTER_SRC.replace(
+            "        return [pool.submit(work, t, rng) for t in tasks]\n",
+            "        # repro-lint: disable=FLOW002 -- fixture\n"
+            "        return [pool.submit(work, t, rng) for t in tasks]\n")
+        root = write_pkg(tmp_path, scatter=suppressed)
+        assert lint_pkg(root, "FLOW002") == []
+
+    def test_rule_name_suppression_on_res_finding(self):
+        findings = lint_source(
+            "def run(task):\n"
+            "    try:\n"
+            "        task.execute()\n"
+            "    # repro-lint: disable=swallowed-exception -- fixture\n"
+            "    except Exception:\n"
+            "        pass\n",
+            select=["RES003"])
+        assert findings == []
+
+    def test_baseline_round_trip_on_flow_codes(self, tmp_path):
+        root = write_pkg(tmp_path, scatter=SCATTER_SRC)
+        findings = lint_pkg(root, "FLOW002")
+        assert codes(findings) == ["FLOW002"]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.filter_new(findings) == []
+        # Fingerprints key on the package-relative path and source line,
+        # so a rerun from a different cwd still matches.
+        (fp,) = fingerprints(findings)
+        assert fp.startswith("FLOW002|pkg/scatter.py|")
+
+    def test_fresh_finding_survives_flow_baseline(self, tmp_path):
+        root = write_pkg(tmp_path, scatter=SCATTER_SRC)
+        baseline = Baseline.from_findings(lint_pkg(root, "FLOW002"))
+        (root / "pkg" / "fan.py").write_text(
+            "import random\n"
+            "def streams(kinds, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    table = {}\n"
+            "    for kind in kinds:\n"
+            "        table[kind] = rng\n"
+            "    return table\n")
+        findings = lint_pkg(root, "FLOW002", "FLOW003")
+        surviving = baseline.filter_new(findings)
+        assert codes(surviving) == ["FLOW003"]
+
+
+# ---------------------------------------------------------------------------
+# Regression: the true positive the RES audit surfaced in perf/
+# ---------------------------------------------------------------------------
+
+
+class TestCacheInvalidateRegression:
+    """A decodable cache envelope wrapping an undecodable payload must be
+    dropped on first failure, not re-read and re-failed forever."""
+
+    def poisoned(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = sim_task("tree", "repl", 0.02)
+        key = task_cache_key(task)
+        # Valid envelope, garbage payload: decode_payload raises.
+        cache.put(task.kind, key, {"bogus": True})
+        return cache, task, key
+
+    def test_invalidate_removes_entry_and_counts(self, tmp_path):
+        cache, task, key = self.poisoned(tmp_path)
+        entry = cache._path(task.kind, fingerprint(task.kind, key))
+        assert entry.exists()
+        assert cache.invalidate(task.kind, key) is True
+        assert not entry.exists()
+        assert cache.stats.corrupt == 1
+        assert cache.stats.removed == 1
+        # Idempotent on a missing entry.
+        assert cache.invalidate(task.kind, key) is False
+
+    def test_pool_from_cache_drops_poisoned_entry(self, tmp_path):
+        cache, task, key = self.poisoned(tmp_path)
+        assert _from_cache(task, cache) is None
+        assert cache.stats.corrupt == 1
+        # The entry is gone: the next lookup is a clean miss, so the
+        # recompute path will store a fresh decodable payload.
+        assert cache.get(task.kind, key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_resilient_prepass_drops_poisoned_entry(self, tmp_path):
+        from repro.perf.resilient import run_tasks_resilient
+
+        cache, task, key = self.poisoned(tmp_path)
+        run = run_tasks_resilient([task], jobs=1, cache=cache)
+        assert run.counters["cache_hits"] == 0
+        (result,) = run.results
+        assert result is not None  # recomputed, not served from poison
+        # The recompute stored a decodable replacement entry.
+        fresh = _from_cache(task, cache)
+        assert fresh is not None
+        assert fresh.to_dict() == result.to_dict()
