@@ -1,24 +1,29 @@
-"""Core-engine benchmark: serial vs parallel vs warm-cache wall-clock.
+"""Core-engine benchmark: serial vs batch-kernel vs parallel vs warm cache.
 
 Unlike the per-figure ``bench_*`` modules (which time one figure each under
-pytest-benchmark), this is a standalone harness for the parallel engine
-itself.  It runs the same representative task set three ways —
+pytest-benchmark), this is a standalone harness for the execution engines
+themselves.  It runs the same representative task set four ways —
 
-1. **cold serial** — ``jobs=1``, no cache (the pre-engine baseline path);
-2. **cold parallel** — ``jobs=N`` workers, writing the persistent cache;
-3. **warm cache** — a rerun served entirely from disk —
+1. **cold serial** — ``jobs=1``, no cache, event engine (the pre-engine
+   baseline path);
+2. **cold serial batch** — the same tasks on the vectorized batch kernel
+   (``engine="batch"``), still ``jobs=1`` and uncached;
+3. **cold parallel** — ``jobs=N`` workers, writing the persistent cache;
+4. **warm cache** — a rerun served entirely from disk —
 
-asserts all three produce identical results, and writes the machine-readable
-``BENCH_core.json`` next to this file::
+asserts all four produce identical results (the batch pass doubles as the
+bit-identity oracle gate at benchmark scale), and writes the
+machine-readable ``BENCH_core.json`` next to this file::
 
     python benchmarks/bench_core.py                  # full (BENCH_SCALE)
     python benchmarks/bench_core.py --scale 0.05     # quicker
     python benchmarks/bench_core.py --jobs 8 --output /tmp/bench.json
 
-The JSON records the three wall-clocks plus the derived ratios
-(``parallel_speedup``, ``warm_fraction``) and enough machine context
-(``cpu_count``) to interpret them: on a single-core host the parallel pass
-cannot beat serial, and the recorded numbers say so honestly.
+The JSON records the four wall-clocks plus the derived ratios
+(``kernel_speedup``, ``parallel_speedup``, ``warm_fraction``) and enough
+machine context (``cpu_count``, ``core_limited``) to interpret them: on a
+single-core host the parallel pass cannot beat serial — ``core_limited``
+flags exactly that — and the recorded numbers say so honestly.
 """
 
 from __future__ import annotations
@@ -39,11 +44,25 @@ from conftest import BENCH_APPS, BENCH_SCALE  # noqa: E402
 from repro.analysis.prediction import PREDICTORS  # noqa: E402
 from repro.perf.cache import ResultCache  # noqa: E402
 from repro.perf.pool import (fig5_task, run_tasks, sim_task,  # noqa: E402
-                             tablesize_task)
+                             tablesize_task, with_engine)
 from repro.workloads.registry import clear_trace_cache  # noqa: E402
 
 #: The configs of the core comparison (Figure 7's main columns).
 CORE_CONFIGS = ("nopref", "base", "repl")
+
+#: Floor asserted on ``serial_s / batch_serial_s``.  The design target for
+#: the batch kernel was a 10x cold-serial speedup over a naive event loop;
+#: the event engine here is *not* naive (it already batches lazily and
+#: skips quiescent work), and the ULMT configs spend over half their time
+#: in the shared prefetcher/cost-model stack that both engines pay
+#: identically — which caps the achievable whole-set ratio at roughly 2x
+#: on this pure-Python twin (measured per-cell: ~2.0-2.6x nopref,
+#: ~1.2-2.0x ULMT configs; whole task set 2.18x at BENCH_SCALE on the
+#: CI container — see docs/PERFORMANCE.md, "Batch kernel").  The floor
+#: sits ~40% under the measured whole-set ratio so single-core CI timing
+#: noise does not flake the gate while a real kernel regression (which
+#: shows up as a 2x+ slowdown of the vector path) still trips it.
+MIN_KERNEL_SPEEDUP = 1.25
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_core.json"
 
@@ -81,39 +100,69 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 4)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write BENCH_core.json")
+    parser.add_argument("--min-kernel-speedup", type=float,
+                        default=MIN_KERNEL_SPEEDUP,
+                        help="assert serial/batch-serial at least this "
+                             f"(default {MIN_KERNEL_SPEEDUP}; see the "
+                             "MIN_KERNEL_SPEEDUP note)")
     args = parser.parse_args(argv)
 
     tasks = core_tasks(args.scale)
+    batch_tasks = [with_engine(task, "batch") for task in tasks]
     with tempfile.TemporaryDirectory(prefix="bench-core-cache-") as tmp:
         cache = ResultCache(tmp)
         serial_s, serial = timed_pass("cold serial (jobs=1, no cache)",
                                       tasks, jobs=1, cache=None)
+        batch_s, batch = timed_pass(
+            "cold serial batch kernel (jobs=1, no cache)", batch_tasks,
+            jobs=1, cache=None)
         parallel_s, parallel = timed_pass(
             f"cold parallel (jobs={args.jobs})", tasks, jobs=args.jobs,
             cache=cache)
         warm_s, warm = timed_pass("warm cache", tasks, jobs=args.jobs,
                                   cache=cache)
 
-    if parallel != serial or warm != serial:
+    if batch != serial or parallel != serial or warm != serial:
         raise SystemExit("parity violation: passes produced different "
                          "results — do not trust these numbers")
-    print("[bench_core] parity: serial == parallel == warm", file=sys.stderr)
+    print("[bench_core] parity: serial == batch == parallel == warm",
+          file=sys.stderr)
+
+    kernel_speedup = serial_s / batch_s
+    cpu_count = os.cpu_count() or 1
+    core_limited = cpu_count < args.jobs
+    if core_limited:
+        # Honesty caveat: with fewer cores than workers the parallel pass
+        # measures process-pool overhead, not parallelism — its "speedup"
+        # is an artifact of scheduling, not a property of the engine.
+        print(f"[bench_core] CAVEAT: cpu_count={cpu_count} < "
+              f"jobs={args.jobs}; parallel_speedup is core-limited and "
+              f"not meaningful on this host", file=sys.stderr)
 
     report = {
         "scale": args.scale,
         "jobs": args.jobs,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "core_limited": core_limited,
         "apps": list(BENCH_APPS),
         "configs": list(CORE_CONFIGS),
         "tasks": len(tasks),
+        "engines": ["event", "batch"],
         "serial_s": round(serial_s, 3),
+        "batch_serial_s": round(batch_s, 3),
         "parallel_s": round(parallel_s, 3),
         "warm_s": round(warm_s, 3),
+        "kernel_speedup": round(kernel_speedup, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3),
         "warm_fraction": round(warm_s / serial_s, 5),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    if kernel_speedup < args.min_kernel_speedup:
+        raise SystemExit(
+            f"kernel speedup {kernel_speedup:.2f}x below the "
+            f"{args.min_kernel_speedup}x floor — batch kernel regressed "
+            f"(see MIN_KERNEL_SPEEDUP for the tolerance rationale)")
     return 0
 
 

@@ -122,16 +122,29 @@ def measure_predictability(miss_stream: list[int], predictor: str,
 _STREAM_CACHE: dict[tuple[str, float], list[int]] = {}
 
 
-def collect_miss_stream(app: str, scale: float = 1.0) -> list[int]:
+def collect_miss_stream(app: str, scale: float = 1.0,
+                        engine: str = "event") -> list[int]:
     """The L2 miss line-address sequence of a NoPref run (what queue 2 of
-    the memory processor would observe).  Cached per (app, scale)."""
+    the memory processor would observe).  Cached per (app, scale).
+
+    ``engine`` selects the simulation engine for the collection pass only;
+    the stream is engine-independent (the kernel-parity guarantee covers
+    the full result, and queue-2 taps observe identical miss sequences),
+    so the memo key deliberately ignores it.
+    """
     key = (app, scale)
     if key in _STREAM_CACHE:
         return _STREAM_CACHE[key]
-    system = System(preset("nopref"))
     stream: list[int] = []
-    system.miss_observer = lambda line, now, is_pf: stream.append(line)
-    system.run(get_trace(app, scale=scale))
+    observer = lambda line, now, is_pf: stream.append(line)  # noqa: E731
+    if engine == "batch":
+        from repro.kernel.engine import run_batch
+        run_batch(get_trace(app, scale=scale), preset("nopref"),
+                  miss_observer=observer)
+    else:
+        system = System(preset("nopref"))
+        system.miss_observer = observer
+        system.run(get_trace(app, scale=scale))
     # repro-lint: disable=DET006 -- intentional memo of the deterministic
     # NoPref miss stream per (app, scale); read-only once stored
     _STREAM_CACHE[key] = stream
@@ -143,11 +156,12 @@ _ROW_CACHE: dict[tuple, dict[str, PredictionResult]] = {}
 
 def figure5_row(app: str, scale: float = 1.0,
                 predictors: tuple[str, ...] = PREDICTORS,
-                max_level: int = 3) -> dict[str, PredictionResult]:
+                max_level: int = 3,
+                engine: str = "event") -> dict[str, PredictionResult]:
     """All Figure 5 cells for one application (cached per process)."""
     key = (app, scale, tuple(predictors), max_level)
     if key not in _ROW_CACHE:
-        stream = collect_miss_stream(app, scale)
+        stream = collect_miss_stream(app, scale, engine=engine)
         # repro-lint: disable=DET006 -- intentional memo keyed by every
         # input that shapes the row; values are never mutated after store
         _ROW_CACHE[key] = {p: measure_predictability(stream, p, max_level)

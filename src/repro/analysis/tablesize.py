@@ -63,8 +63,13 @@ class TableSizing:
         return self.num_rows * ROW_BYTES[algorithm] / (1024 * 1024)
 
 
-def size_application_table(app: str, scale: float = 1.0) -> TableSizing:
-    """Run the Table 2 sizing procedure for one application."""
-    stream = collect_miss_stream(app, scale)
+def size_application_table(app: str, scale: float = 1.0,
+                           engine: str = "event") -> TableSizing:
+    """Run the Table 2 sizing procedure for one application.
+
+    ``engine`` picks the simulation engine for the miss-stream collection
+    pass; the sizing itself is engine-independent (identical streams).
+    """
+    stream = collect_miss_stream(app, scale, engine=engine)
     return TableSizing(app=app, num_rows=size_num_rows(stream),
                        misses=len(stream))

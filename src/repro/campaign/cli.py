@@ -121,6 +121,13 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="disable the persistent result cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--engine", choices=("event", "batch"),
+                        default="event",
+                        help="simulation engine (default event); 'batch' "
+                             "uses the vectorized kernel — results, journal "
+                             "identities and the run table are identical, "
+                             "so a campaign can be resumed under either "
+                             "engine")
     args = parser.parse_args(argv)
 
     try:
@@ -144,7 +151,7 @@ def main(argv: "list[str] | None" = None) -> int:
                                policy=policy,
                                resume=args.resume is not None,
                                stop_event=stop_event, drain_s=args.drain,
-                               verbose=not args.quiet)
+                               verbose=not args.quiet, engine=args.engine)
     except (CampaignError, JournalError, ValueError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2

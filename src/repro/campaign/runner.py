@@ -162,13 +162,20 @@ def run_campaign(spec: "CampaignSpec",
                  resume: bool = False,
                  stop_event: Optional[threading.Event] = None,
                  drain_s: float = 30.0,
-                 verbose: bool = True) -> CampaignOutcome:
+                 verbose: bool = True,
+                 engine: str = "event") -> CampaignOutcome:
     """Execute (or resume) one campaign; see the module docstring.
 
     A fresh campaign refuses a directory that already has a journal
     (``resume=False``) — silently mixing two campaigns' checkpoints is
     how resume guarantees die.  ``resume=True`` validates the journal
     header against ``spec`` and replays every finished task from it.
+
+    ``engine`` is an *execution* choice, like ``jobs`` — not part of the
+    spec and not recorded in the journal header.  Journal identities and
+    cache keys are engine-blind (the engines are bit-identical), so a
+    campaign may be resumed under either engine: finished cells replay
+    from the journal, remaining cells compute on the requested engine.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -192,8 +199,13 @@ def run_campaign(spec: "CampaignSpec",
         journal.write_header({"campaign": spec.to_dict()})
 
     tasks = spec.tasks()
+    if engine != "event":
+        from repro.perf.pool import with_engine
+
+        tasks = [with_engine(task, engine) for task in tasks]
     if verbose:
-        print(f"[campaign] {spec.describe()}", file=sys.stderr)
+        engine_note = f" [{engine} engine]" if engine != "event" else ""
+        print(f"[campaign] {spec.describe()}{engine_note}", file=sys.stderr)
 
     progress = None
     if verbose:

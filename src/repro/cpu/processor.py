@@ -101,6 +101,12 @@ class _InflightFill:
         self.is_prefetch = is_prefetch
 
 
+#: Public alias: the batch kernel (:mod:`repro.kernel.engine`) creates
+#: in-flight fill records with the exact same shape the event engine uses,
+#: so a run can in principle switch engines at any quiescent point.
+InflightFill = _InflightFill
+
+
 class MainProcessor:
     """The trace-walking timing model."""
 

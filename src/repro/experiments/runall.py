@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments.runall [--scale 1.0] [--timeout 900]
         [--jobs N] [--cache-dir DIR | --no-cache] [--profile]
+        [--engine event|batch]
 
 Simulation results are shared across figures through the common result
 cache, so the full matrix (9 applications x ~9 configurations) is only run
@@ -213,6 +214,14 @@ def main(argv: list[str] | None = None) -> int:
                              "observability tracer and write one JSON-lines "
                              "event stream per cell (plus a merged "
                              "metrics.json) into DIR; figures are unchanged")
+    parser.add_argument("--engine", choices=("event", "batch"),
+                        default="event",
+                        help="simulation engine for the prewarm matrix "
+                             "(default event); 'batch' computes each cell "
+                             "with the vectorized kernel — results are "
+                             "bit-identical and the cache key ignores the "
+                             "engine, so the sections replay the same "
+                             "entries either way")
     args = parser.parse_args(argv)
 
     cache = _build_cache(args)
@@ -221,15 +230,27 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with common.use_scale(args.scale) as scale:
             tracing = args.trace_dir is not None
-            if args.jobs > 1 or tracing:
-                from repro.perf.pool import prewarm
+            batch_engine = args.engine == "batch"
+            if args.jobs > 1 or tracing or batch_engine:
+                from repro.perf.pool import prewarm, with_engine
 
                 tasks = enumerate_tasks(scale, trace=tracing,
                                         trace_dir=args.trace_dir)
+                # Kernel-aware prewarm: the batch kernel computes the
+                # matrix; results are bit-identical and cache keys are
+                # engine-blind, so install/replay happen under the
+                # original (event-shaped) tasks the sections build.
+                # Trace tasks stay on the event engine — the tracer
+                # forces the scalar path anyway.
+                exec_tasks = ([with_engine(task, "batch")
+                               for task in tasks]
+                              if batch_engine and not tracing else tasks)
                 print(f"[prewarm] {len(tasks)} matrix cells across "
-                      f"{args.jobs} workers", file=sys.stderr)
+                      f"{args.jobs} workers"
+                      + (" (batch kernel)" if batch_engine else ""),
+                      file=sys.stderr)
                 warm_start = time.time()
-                results = prewarm(tasks, jobs=args.jobs, cache=cache,
+                results = prewarm(exec_tasks, jobs=args.jobs, cache=cache,
                                   verbose=True)
                 common.install_prewarmed(tasks, results)
                 print(f"[prewarm] done in {time.time() - warm_start:.1f}s",

@@ -1,0 +1,12 @@
+"""Batched array engine for the simulator (``engine="batch"``).
+
+A performance twin of the event engine: same machine, same numbers,
+bit-identical ``SimResult`` (CI-enforced), several times faster.  See
+:mod:`repro.kernel.engine` for the design notes and docs/PERFORMANCE.md
+("Batch kernel") for the user-facing story.
+"""
+
+from repro.kernel.arrays import TraceArrays, trace_arrays
+from repro.kernel.engine import fused_supported, run_batch
+
+__all__ = ["TraceArrays", "trace_arrays", "fused_supported", "run_batch"]

@@ -1,0 +1,72 @@
+"""Frozen columnar views of a :class:`~repro.workloads.trace.Trace`.
+
+The batch engine (:mod:`repro.kernel.engine`) replays a trace many times
+faster than the per-event loop, but only if it can stop paying the
+per-reference cost of attribute access on ``MemRef`` named tuples.  This
+module snapshots a trace once into parallel numpy columns (for the
+vectorized L1 tag scans) plus plain Python lists (for the fused scalar
+walk, where list indexing beats ``ndarray`` item access), and caches the
+snapshot per trace object so repeated cells over the same trace — the
+normal shape of an evaluation matrix — freeze it exactly once.
+
+The cache is keyed by trace *identity* in a ``WeakKeyDictionary``: traces
+are interned by the workload registry, and the weak keying means a trace
+evicted from the registry cache releases its columns too.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+class TraceArrays:
+    """Immutable columnar snapshot of one trace at one L1 line size."""
+
+    __slots__ = ("n", "l1_line_bytes", "l1_lines_np", "writes_np",
+                 "comp_cumsum", "l1_lines", "writes", "dependent",
+                 "comp_cycles")
+
+    def __init__(self, trace: Trace, l1_line_bytes: int) -> None:
+        refs = trace.refs
+        n = len(refs)
+        self.n = n
+        self.l1_line_bytes = l1_line_bytes
+        addrs = np.fromiter((r.addr for r in refs), dtype=np.int64, count=n)
+        #: L1 line address per reference (the unit the processor model
+        #: works in; the L2 line is ``l1_line // 2``).
+        self.l1_lines_np: np.ndarray = addrs // l1_line_bytes
+        self.writes_np: np.ndarray = np.fromiter(
+            (r.is_write for r in refs), dtype=np.bool_, count=n)
+        #: ``comp_cumsum[j] - comp_cumsum[i]`` = Busy cycles of refs [i, j).
+        comp = np.fromiter((r.comp_cycles for r in refs),
+                           dtype=np.int64, count=n)
+        self.comp_cumsum: np.ndarray = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(comp)))
+        # Python-native mirrors for the scalar walk.
+        self.l1_lines: list[int] = self.l1_lines_np.tolist()
+        self.writes: list[bool] = self.writes_np.tolist()
+        self.dependent: list[bool] = [r.dependent for r in refs]
+        self.comp_cycles: list[int] = comp.tolist()
+
+
+_CACHE: "weakref.WeakKeyDictionary[Trace, TraceArrays]" = (
+    weakref.WeakKeyDictionary())
+
+
+def trace_arrays(trace: Trace, l1_line_bytes: int) -> TraceArrays:
+    """The (cached) columnar snapshot of ``trace``.
+
+    ``Trace`` objects are immutable by convention once built, so the
+    snapshot never needs invalidation; a different ``l1_line_bytes`` (no
+    current config varies it) simply rebuilds.
+    """
+    cached = _CACHE.get(trace)
+    if cached is not None and cached.l1_line_bytes == l1_line_bytes:
+        return cached
+    arrays = TraceArrays(trace, l1_line_bytes)
+    _CACHE[trace] = arrays
+    return arrays

@@ -1,0 +1,755 @@
+"""Batched array engine: the event simulator's fast twin.
+
+:func:`run_batch` replays a frozen trace (:mod:`repro.kernel.arrays`)
+through a *fused* walk of the exact same state machines the event engine
+(:class:`repro.sim.system.System` + :class:`~repro.cpu.processor.MainProcessor`)
+steps one call at a time.  It is a performance twin, not a model variant:
+every counter update, LRU motion, horizon max, and stall attribution below
+is a line-for-line transcription of the oracle, and the CI ``kernel-parity``
+job enforces bit-identical ``SimResult.to_dict()`` across both engines for
+the whole tier-1 matrix (see docs/PERFORMANCE.md, "Batch kernel").
+
+Two mechanisms carry the speedup:
+
+* **Fused scalar walk** — one function holds the processor step, the L1,
+  the L2 demand path, the MSHR file, the bus/DRAM timing arithmetic, and
+  the queue-3 issue/arrival pump as locals, eliminating the ~30 method
+  calls and attribute chains the event engine pays per reference.  The
+  ULMT itself (algorithm + cost model + watchdog), the L2 push-arrival
+  rules, and the stream-prefetcher state machine stay *delegated*: they
+  run rarely relative to references, and keeping them behind their own
+  methods keeps this module honest about what it re-implements.
+* **Epoch-partitioned hit runs** — between "boundary events" (any L1 fill
+  in flight, any outstanding load/store miss) the machine is quiescent:
+  an L1 hit touches nothing below the L1 and advances time by its own
+  Busy cycles only.  The engine detects maximal runs of such hits with a
+  vectorized ``isin`` scan over the frozen address column and applies the
+  whole run at once — bulk counter updates, a cumulative-sum time jump,
+  and an order-preserving last-occurrence LRU replay.
+
+Scalar fallback to the *whole-run* event engine happens whenever state
+is data-dependent in ways the fused walk does not transcribe: tracing
+(observability hooks in every subsystem), invariant audits, fault
+injection, and the DASP baseline.  See :func:`fused_supported`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.cpu.processor import LEVEL_L1, LEVEL_L2, LEVEL_MEM, InflightFill
+from repro.kernel.arrays import trace_arrays
+from repro.memsys.cache import Line
+from repro.memsys.controller import _REPLY_FIXED, _REQ_FIXED
+from repro.memsys.mshr import MshrEntry
+from repro.memsys.queues import PrefetchRequest
+from repro.params import MemoryParams, MemProcLocation
+from repro.sim.stats import SimResult, distance_bin
+from repro.sim.system import System
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
+    from repro.sim.config import SystemConfig
+
+#: Scalar probe length before committing to a vectorized hit scan, and the
+#: block size of that scan.  Runs shorter than the probe stay pure-Python
+#: (a set-membership loop; numpy's per-call overhead dominates below a few
+#: hundred elements — measured on the tree workload, whose hit runs average
+#: ~114 references); the scan block bounds per-chunk work so a miss early
+#: in a long run does not pay for scanning the whole tail.
+_PROBE_REFS = 256
+_SCAN_BLOCK = 4096
+
+#: Hit runs at most this long replay LRU per-reference in Python; longer
+#: runs switch to the last-occurrence dedup (each line's final position in
+#: the LRU order depends only on its last hit in the run).
+_SMALL_RUN = 512
+
+_INF = float("inf")
+
+
+def fused_supported(system: System) -> bool:
+    """Can ``system`` run under the fused walk bit-identically?
+
+    The fused walk transcribes the fault-free, untraced hot path.  Four
+    features make state data-dependent in ways it deliberately does not
+    re-implement, and any of them routes the whole run to the event
+    engine instead:
+
+    * a tracer (emission sites exist in every subsystem the walk inlines);
+    * invariant audits (``config.invariants`` or ``REPRO_INVARIANTS=1``);
+    * an active fault plan (injected crashes/losses branch everywhere);
+    * the DASP baseline (its pull engine replaces the demand path).
+    """
+    return (system.tracer is None
+            and system.invariants is None
+            and system.dasp is None
+            and not system.fault_injector.active)
+
+
+def run_batch(trace: Trace, config: "SystemConfig",
+              memory_params: MemoryParams | None = None,
+              tracer: "Tracer | None" = None,
+              miss_observer: Optional[Callable[[int, int, bool], None]] = None,
+              ) -> SimResult:
+    """Simulate ``trace`` under ``config`` with the batch engine.
+
+    Drop-in equivalent of ``System(config).run(trace)`` — same result,
+    bit-identical (the parity gate's contract).  ``miss_observer`` mirrors
+    ``System.miss_observer`` (the Figure 5 queue-2 tap) and is supported
+    on the fused path.
+    """
+    system = System(config, memory_params=memory_params, tracer=tracer)
+    if miss_observer is not None:
+        system.miss_observer = miss_observer
+    if not fused_supported(system):
+        return system.run(trace)
+    return _run_fused(system, trace)
+
+
+def _run_fused(system: System, trace: Trace) -> SimResult:
+    """The fused walk.  Mirrors ``MainProcessor.step`` + ``System._access``.
+
+    Aliasing discipline (the correctness core of this function):
+
+    * *mutable containers* (set dicts, windows, FIFOs, the arrival heap,
+      the miss bins) are aliased as locals — delegated calls mutate the
+      same objects;
+    * *scalar state shared with delegated code* (bus horizons, the MSHR
+      min-completion, ``ulmt.free_at``, DRAM row counters) is always read
+      and written through its owning object, never cached;
+    * *scalar state only this walk touches* (the processor clock and
+      counters, ``prefetches_issued``, the miss-distance clock) lives in
+      locals and is written back before ``System.finalize_result`` runs
+      the oracle's own end-of-run code.
+    """
+    proc = system.processor
+    stats = proc.stats
+    pending_loads = proc.params.pending_loads
+    pending_stores = proc.params.pending_stores
+    rob_refs = proc.params.rob_refs
+    stream = proc.stream_prefetcher
+
+    arrays = trace_arrays(trace, proc.l1.params.line_bytes)
+    n = arrays.n
+    l1l = arrays.l1_lines
+    l1l_np = arrays.l1_lines_np
+    w_list = arrays.writes
+    w_np = arrays.writes_np
+    deps = arrays.dependent
+    comps = arrays.comp_cycles
+    comp_cumsum = arrays.comp_cumsum
+
+    # -- processor state -> locals (written back at the end)
+    now = proc.now
+    refs = stats.refs
+    busy = stats.busy_cycles
+    uptol2 = stats.uptol2_stall
+    beyondl2 = stats.beyondl2_stall
+    l1_hits = stats.l1_hits
+    l1_misses = stats.l1_misses
+    l1_prefetch_hits = stats.l1_prefetch_hits
+    load_window = proc._load_window
+    store_window = proc._store_window
+    l1_inflight = proc._l1_inflight
+    min_arrival = proc._min_arrival
+    prev_completion, prev_level = proc._prev_load
+
+    l1 = proc.l1
+    l1_sets = l1._sets
+    l1_set_mask = l1.num_sets - 1
+    l1_assoc = l1.params.assoc
+
+    # -- L2 / memory-system aliases
+    l2 = system.l2
+    l2stats = l2.stats
+    l2_sets = l2.cache._sets
+    l2_set_mask = l2.cache.num_sets - 1
+    l2_assoc = l2.params.assoc
+    l2_hit_cycles = l2.params.hit_cycles
+    mshrs = l2.mshrs
+    mshr_entries = mshrs._entries
+    mshr_capacity = mshrs.capacity
+    pending_is_write = l2._pending_is_write
+    wb_fifo = l2.writeback_queue._fifo
+    wb_depth = l2.writeback_queue.depth
+    l2_accept_prefetch = l2.accept_prefetch
+    l2_fill_demand_merged = l2.fill_demand_merged
+
+    controller = system.controller
+    bus = controller.bus
+    busstats = bus.stats
+    transfers = busstats.transfers
+    dram = controller.dram
+    banks = dram._banks
+    demand_busy = dram._demand_busy
+    low_busy = dram._low_busy
+    p = controller.params
+    bus_request_cycles = p.bus_request_cycles
+    bus_transfer = p.bus_transfer_l2_line
+    channel_xfer = p.channel_transfer_l2_line
+    svc_hit = p.bank_service_row_hit
+    svc_miss = p.bank_service_row_miss
+    num_channels = p.num_channels
+    banks_per_channel = p.banks_per_channel
+    row_bytes = p.row_bytes
+    push_fixed = p.push_fixed
+    nb_push_delay = (p.nb_prefetch_request_delay
+                     if controller.location is MemProcLocation.NORTH_BRIDGE
+                     else 0)
+    controller_writeback = controller.writeback
+
+    memproc = system.memproc
+    ulmt = memproc.ulmt if memproc is not None else None
+    obs_fifo = ulmt.obs_queue._fifo if ulmt is not None else None
+
+    prefetch_queue = system.prefetch_queue
+    pq_fifo = prefetch_queue._fifo
+    pq_depth = prefetch_queue.depth
+    inflight_push = system._inflight
+    arrivals = system._arrivals
+    merged = system._merged
+    miss_bins = system._miss_bins
+    miss_observer = system.miss_observer
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # -- system scalars -> locals (written back at the end)
+    prefetches_issued = system.prefetches_issued
+    demand_misses = system.demand_misses_to_memory
+    last_miss_time = system._last_miss_time
+
+    # L1 residency mirror for the hit scans: membership only changes when
+    # a fill lands (hits just move lines within their set), so the walk
+    # maintains this set incrementally at the landing site instead of
+    # re-snapshotting the cache.  The numpy view used by the vectorized
+    # scan is rebuilt lazily, at most once per landing epoch.
+    resident: set[int] = set(l1.resident_lines())
+    resident_np: np.ndarray | None = None
+
+    def enqueue_prefetches(issued: list) -> None:
+        # System._enqueue_prefetches, fault-free path.
+        for pf in issued:
+            la = pf.line_addr
+            if la in inflight_push:
+                continue
+            if len(pq_fifo) >= pq_depth:
+                prefetch_queue.dropped_overflow += 1
+            else:
+                pq_fifo.append(PrefetchRequest(la, pf.issue_time))
+
+    def issue_prefetches(t: int) -> None:
+        # System._issue_prefetches with controller.push_prefetch,
+        # Dram.access (low priority), and Bus.schedule inlined.
+        nonlocal prefetches_issued
+        while pq_fifo:
+            head = pq_fifo.popleft()
+            if head.issue_time > t:
+                pq_fifo.appendleft(head)
+                return
+            la = head.line_addr
+            if la in inflight_push:
+                continue
+            controller.prefetch_pushes += 1
+            ready = head.issue_time + nb_push_delay
+            byte = la * 64
+            channel = la % num_channels
+            row_id = byte // row_bytes
+            bank = banks[channel][(row_id // num_channels) % banks_per_channel]
+            row = row_id // num_channels // banks_per_channel
+            start = ready if ready > bank.busy_until else bank.busy_until
+            if bank.open_row == row:
+                dram.row_hits += 1
+                bank_done = start + svc_hit
+            else:
+                dram.row_misses += 1
+                bank_done = start + svc_miss
+            bank.busy_until = bank_done
+            bank.open_row = row
+            xfer_start = bank_done
+            if demand_busy[channel] > xfer_start:
+                xfer_start = demand_busy[channel]
+            if low_busy[channel] > xfer_start:
+                xfer_start = low_busy[channel]
+            data_ready = xfer_start + channel_xfer
+            low_busy[channel] = data_ready
+            bstart = data_ready
+            if bus._demand_horizon > bstart:
+                bstart = bus._demand_horizon
+            if bus._low_horizon > bstart:
+                bstart = bus._low_horizon
+            bus_done = bstart + bus_transfer
+            bus._low_horizon = bus_done
+            busstats.prefetch_cycles += bus_transfer
+            transfers["prefetch"] = transfers.get("prefetch", 0) + 1
+            arrival = bus_done + push_fixed
+            prefetches_issued += 1
+            inflight_push[la] = arrival
+            heappush(arrivals, (arrival, la, False))
+
+    def process_arrivals(t: int) -> None:
+        # System._process_arrivals; the two L2 landing paths stay
+        # delegated (drop rules + eviction bookkeeping live there).
+        while arrivals and arrivals[0][0] <= t:
+            arrival, line, _ = heappop(arrivals)
+            if line in merged:
+                merged.discard(line)
+                l2_fill_demand_merged(line, arrival)
+                continue
+            if line in inflight_push:
+                del inflight_push[line]
+                l2_accept_prefetch(line, arrival)
+
+    def l2_fill(line_addr: int, dirty: bool, prefetched: bool) -> int | None:
+        # L2Cache._fill + Cache.fill + WritebackQueue.push, fused (and
+        # without materialising an Eviction record).  Returns a line to
+        # write back now, if the queue overflowed.
+        cset = l2_sets[line_addr & l2_set_mask]
+        existing = cset.pop(line_addr, None)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            cset[line_addr] = existing
+            return None
+        if len(cset) >= l2_assoc:
+            victim_tag = next(iter(cset))
+            victim = cset.pop(victim_tag)
+            if victim.prefetched and not victim.referenced:
+                l2stats.replaced_prefetches += 1
+            if victim.dirty:
+                wb_fifo.append(victim_tag)
+                if len(wb_fifo) > wb_depth:
+                    l2stats.writebacks += 1
+                    cset[line_addr] = Line(line_addr, dirty=dirty,
+                                           prefetched=prefetched,
+                                           referenced=not prefetched)
+                    return wb_fifo.popleft()
+        cset[line_addr] = Line(line_addr, dirty=dirty, prefetched=prefetched,
+                               referenced=not prefetched)
+        return None
+
+    def advance(t: int) -> None:
+        # System._advance: four guarded pumps.  The drain guard equals
+        # Ulmt.drain's own while-condition, so skipping the call when it
+        # would do nothing is behaviour-preserving.
+        if t >= mshrs._min_completion:
+            # l2.retire + MshrFile.retire_completed, fused: free every
+            # due entry (recomputing the min once), then fill each.
+            done = [e for e in mshr_entries.values()
+                    if e.completion_time <= t]
+            for entry in done:
+                del mshr_entries[entry.line_addr]
+            m = _INF
+            for e in mshr_entries.values():
+                ct = e.completion_time
+                if ct < m:
+                    m = ct
+            mshrs._min_completion = m
+            for entry in done:
+                la = entry.line_addr
+                wb_line = l2_fill(la, pending_is_write.pop(la, False),
+                                  entry.is_prefetch)
+                if wb_line is not None:
+                    controller_writeback(wb_line * 64, t)
+        if ulmt is not None and obs_fifo and ulmt.free_at <= t:
+            issued = ulmt.drain(t)
+            if issued:
+                enqueue_prefetches(issued)
+        if pq_fifo:
+            issue_prefetches(t)
+        if arrivals:
+            process_arrivals(t)
+
+    def sys_access(l2_line: int, is_write: bool, t: int,
+                   is_prefetch: bool) -> tuple[int, str]:
+        # System._access + L2Cache.demand_lookup/register_demand_miss +
+        # controller.demand_fetch + Dram.access + Bus.schedule, fused.
+        # ``t`` is local time: the MSHR-full retry loop advances it
+        # without ever touching the processor clock (as in the oracle).
+        nonlocal last_miss_time, demand_misses
+        advance(t)
+        while True:
+            # demand_lookup.  Its leading retire(t) is a proven no-op
+            # here: advance(t) just retired everything due by t.
+            l2stats.demand_accesses += 1
+            cset = l2_sets[l2_line & l2_set_mask]
+            line = cset.pop(l2_line, None)
+            if line is not None:
+                # HIT.  first-touch test reads the flags *before* the
+                # demand access sets referenced.
+                if line.prefetched and not line.referenced:
+                    l2stats.prefetch_hits += 1
+                l2stats.demand_hits += 1
+                line.referenced = True
+                if is_write:
+                    line.dirty = True
+                cset[l2_line] = line
+                return t + l2_hit_cycles, LEVEL_L2
+            entry = mshr_entries.get(l2_line)
+            if entry is not None:
+                # PENDING: merge into the outstanding transaction.
+                if entry.is_prefetch:
+                    l2stats.merged_with_prefetch += 1
+                    if entry.completion_time > t:
+                        l2stats.delayed_hits += 1
+                    else:
+                        l2stats.prefetch_hits += 1
+                if is_write:
+                    pending_is_write[l2_line] = True
+                return entry.completion_time, LEVEL_MEM
+            if len(mshr_entries) < mshr_capacity:
+                break
+            # MISS_MSHR_FULL: wait for the earliest free and retry.
+            earliest = min(e.completion_time for e in mshr_entries.values())
+            t1 = t + 1
+            t = t1 if t1 > earliest else earliest
+            advance(t)
+
+        # A genuine L2 miss.  In-flight pushed prefetch covering it?
+        arrival = inflight_push.get(l2_line)
+        if arrival is not None:
+            merged.add(l2_line)
+            del inflight_push[l2_line]
+            if arrival > t:
+                l2stats.delayed_hits += 1
+                return arrival, LEVEL_MEM
+            l2stats.prefetch_hits += 1
+            return t, LEVEL_MEM
+
+        # Queue 2/3 cross-match (scan only when queue 3 is non-empty —
+        # an empty scan has no observable effect).
+        if pq_fifo:
+            prefetch_queue.cancel_address(l2_line)
+
+        # controller.demand_fetch: request phase on the bus ...
+        controller.demand_fetches += 1
+        byte = l2_line * 64
+        at_bus = t + _REQ_FIXED
+        if is_prefetch:
+            bstart = at_bus
+            if bus._demand_horizon > bstart:
+                bstart = bus._demand_horizon
+            if bus._low_horizon > bstart:
+                bstart = bus._low_horizon
+            at_controller = bstart + bus_request_cycles
+            bus._low_horizon = at_controller
+            busstats.prefetch_cycles += bus_request_cycles
+            transfers["prefetch"] = transfers.get("prefetch", 0) + 1
+        else:
+            bstart = at_bus if at_bus > bus._demand_horizon \
+                else bus._demand_horizon
+            at_controller = bstart + bus_request_cycles
+            bus._demand_horizon = at_controller
+            busstats.demand_cycles += bus_request_cycles
+            transfers["demand"] = transfers.get("demand", 0) + 1
+        # ... DRAM bank + channel ...
+        channel = l2_line % num_channels
+        row_id = byte // row_bytes
+        bank = banks[channel][(row_id // num_channels) % banks_per_channel]
+        row = row_id // num_channels // banks_per_channel
+        dstart = (at_controller if at_controller > bank.busy_until
+                  else bank.busy_until)
+        if bank.open_row == row:
+            dram.row_hits += 1
+            bank_done = dstart + svc_hit
+        else:
+            dram.row_misses += 1
+            bank_done = dstart + svc_miss
+        bank.busy_until = bank_done
+        bank.open_row = row
+        if is_prefetch:
+            xfer_start = bank_done
+            if demand_busy[channel] > xfer_start:
+                xfer_start = demand_busy[channel]
+            if low_busy[channel] > xfer_start:
+                xfer_start = low_busy[channel]
+            data_ready = xfer_start + channel_xfer
+            low_busy[channel] = data_ready
+            bstart = data_ready
+            if bus._demand_horizon > bstart:
+                bstart = bus._demand_horizon
+            if bus._low_horizon > bstart:
+                bstart = bus._low_horizon
+            bus_done = bstart + bus_transfer
+            bus._low_horizon = bus_done
+            busstats.prefetch_cycles += bus_transfer
+            transfers["prefetch"] += 1
+        else:
+            xfer_start = (bank_done if bank_done > demand_busy[channel]
+                          else demand_busy[channel])
+            data_ready = xfer_start + channel_xfer
+            demand_busy[channel] = data_ready
+            bstart = (data_ready if data_ready > bus._demand_horizon
+                      else bus._demand_horizon)
+            bus_done = bstart + bus_transfer
+            bus._demand_horizon = bus_done
+            busstats.demand_cycles += bus_transfer
+            transfers["demand"] += 1
+        completion = bus_done + _REPLY_FIXED
+
+        # l2.register_demand_miss (allocation is known to succeed: the
+        # retry loop above only exits with a free MSHR and no entry).
+        l2stats.nonpref_misses += 1
+        mshr_entries[l2_line] = MshrEntry(l2_line, False, t, completion)
+        if completion < mshrs._min_completion:
+            mshrs._min_completion = completion
+        pending_is_write[l2_line] = is_write
+        if wb_fifo and l2_line in wb_fifo:
+            wb_fifo.remove(l2_line)
+
+        if not is_prefetch:
+            if last_miss_time is not None:
+                miss_bins[distance_bin(t - last_miss_time)] += 1
+            last_miss_time = t
+        demand_misses += 1
+        if miss_observer is not None:
+            miss_observer(l2_line, t, is_prefetch)
+        if ulmt is not None:
+            issued = ulmt.observe_miss(l2_line, t,
+                                       is_processor_prefetch=is_prefetch)
+            if issued:
+                enqueue_prefetches(issued)
+        return completion, LEVEL_MEM
+
+    def issue_pf_lines(lines: list[int]) -> None:
+        # MainProcessor._issue_prefetch_lines (Conven4 stream prefetches).
+        nonlocal min_arrival
+        for pf_line in lines:
+            if pf_line < 0 or pf_line in l1_sets[pf_line & l1_set_mask]:
+                continue
+            if pf_line in l1_inflight:
+                continue
+            completion, level = sys_access(pf_line // 2, False, now, True)
+            l1_inflight[pf_line] = InflightFill(completion, level, True)
+            if completion < min_arrival:
+                min_arrival = completion
+
+    # ================= main walk =================
+    i = 0
+    while i < n:
+        # -- quiescence: no L1 fill in flight and (after dropping entries
+        # that any retire at `now` would drop) no outstanding miss.  Then
+        # L1 hits are pure: refs/hits/Busy/LRU and nothing else.
+        if not l1_inflight:
+            if load_window:
+                load_window[:] = [e for e in load_window if e[0] > now]
+            if store_window:
+                store_window[:] = [e for e in store_window if e[0] > now]
+            if not load_window and not store_window:
+                j = i
+                probe_end = i + _PROBE_REFS
+                if probe_end > n:
+                    probe_end = n
+                while j < probe_end:
+                    if l1l[j] in resident:
+                        j += 1
+                    else:
+                        break
+                if j == probe_end and j < n:
+                    # Probe exhausted while still hitting: scan ahead in
+                    # blocks against the residency mirror.
+                    if resident_np is None:
+                        resident_np = np.fromiter(resident, dtype=np.int64,
+                                                  count=len(resident))
+                    while j < n:
+                        end = j + _SCAN_BLOCK
+                        if end > n:
+                            end = n
+                        misses = np.nonzero(
+                            ~np.isin(l1l_np[j:end], resident_np))[0]
+                        if misses.size:
+                            j += int(misses[0])
+                            break
+                        j = end
+                if j > i:
+                    # -- bulk-apply the hit run [i, j)
+                    k = j - i
+                    refs += k
+                    l1_hits += k
+                    delta = int(comp_cumsum[j] - comp_cumsum[i])
+                    now += delta
+                    busy += delta
+                    has_load = False
+                    if k <= _SMALL_RUN:
+                        for idx in range(i, j):
+                            la = l1l[idx]
+                            cset = l1_sets[la & l1_set_mask]
+                            ln_obj = cset.pop(la)
+                            ln_obj.referenced = True
+                            if w_list[idx]:
+                                ln_obj.dirty = True
+                            else:
+                                has_load = True
+                            cset[la] = ln_obj
+                    else:
+                        # A line's final LRU slot depends only on its
+                        # *last* hit in the run: touch each line once, in
+                        # last-occurrence order.
+                        seg = l1l_np[i:j]
+                        rev = seg[::-1]
+                        uniq, first_in_rev = np.unique(rev,
+                                                       return_index=True)
+                        order = np.argsort(first_in_rev)[::-1]
+                        for la in uniq[order].tolist():
+                            cset = l1_sets[la & l1_set_mask]
+                            ln_obj = cset.pop(la)
+                            ln_obj.referenced = True
+                            cset[la] = ln_obj
+                        wseg = w_np[i:j]
+                        if wseg.any():
+                            for la in np.unique(seg[wseg]).tolist():
+                                l1_sets[la & l1_set_mask][la].dirty = True
+                        has_load = not bool(wseg.all())
+                    if has_load:
+                        # The oracle leaves prev_load = (hit-time, L1)
+                        # after the run's last load; time only grows, so
+                        # (now, L1) with completion <= now is equivalent
+                        # (only `completion > now` is ever observable).
+                        prev_completion = now
+                        prev_level = LEVEL_L1
+                    i = j
+                    if i >= n:
+                        break
+                # fall through: ref i missed (or is in flight) — scalar.
+
+        # ============ fused scalar step for ref i ============
+        comp = comps[i]
+        refs += 1
+        now += comp
+        busy += comp
+        is_w = w_list[i]
+
+        if deps[i]:
+            # _wait_for_previous_load
+            if prev_completion > now:
+                if prev_level == LEVEL_MEM:
+                    beyondl2 += prev_completion - now
+                else:
+                    uptol2 += prev_completion - now
+                now = prev_completion
+            if load_window:
+                load_window[:] = [e for e in load_window if e[0] > now]
+        if load_window:
+            # _enforce_rob_limit
+            load_window[:] = [e for e in load_window if e[0] > now]
+            while load_window:
+                oldest = min(e[2] for e in load_window)
+                if refs - oldest < rob_refs:
+                    break
+                completion, level, _ = min(load_window)
+                if completion > now:
+                    if level == LEVEL_MEM:
+                        beyondl2 += completion - now
+                    else:
+                        uptol2 += completion - now
+                    now = completion
+                load_window[:] = [e for e in load_window if e[0] > now]
+
+        ln = l1l[i]
+        # _land_arrived_fills (+ Cache.fill inlined; L1 victims are
+        # dropped silently, exactly as the oracle ignores fill()'s
+        # Eviction, and the residency mirror tracks both edges).
+        if min_arrival <= now:
+            arrived = [a for a, f in l1_inflight.items()
+                       if f.arrival <= now]
+            for a in arrived:
+                del l1_inflight[a]
+                cset = l1_sets[a & l1_set_mask]
+                existing = cset.pop(a, None)
+                if existing is not None:
+                    cset[a] = existing
+                else:
+                    if len(cset) >= l1_assoc:
+                        victim_tag = next(iter(cset))
+                        del cset[victim_tag]
+                        resident.discard(victim_tag)
+                    cset[a] = Line(a, referenced=True)
+                    resident.add(a)
+            resident_np = None
+            min_arrival = _INF
+            for f in l1_inflight.values():
+                if f.arrival < min_arrival:
+                    min_arrival = f.arrival
+        cset = l1_sets[ln & l1_set_mask]
+        ln_obj = cset.pop(ln, None)
+        if ln_obj is not None:
+            # L1 hit
+            l1_hits += 1
+            ln_obj.referenced = True
+            if is_w:
+                ln_obj.dirty = True
+            cset[ln] = ln_obj
+            completion = now
+            level = LEVEL_L1
+        else:
+            fl = l1_inflight.get(ln)
+            if fl is not None:
+                l1_prefetch_hits += 1
+                if fl.is_prefetch and stream is not None:
+                    issue_pf_lines(stream.detector.consumed(ln))
+                completion = fl.arrival
+                level = fl.level
+            else:
+                l1_misses += 1
+                completion, level = sys_access(ln // 2, is_w, now, False)
+                l1_inflight[ln] = InflightFill(completion, level)
+                if completion < min_arrival:
+                    min_arrival = completion
+                if stream is not None:
+                    issue_pf_lines(stream.on_l1_miss(ln))
+
+        if is_w:
+            # _track_store
+            if completion > now and level != LEVEL_L1:
+                store_window.append((completion, level, refs))
+                store_window[:] = [e for e in store_window if e[0] > now]
+                while len(store_window) > pending_stores:
+                    c2, lv2, _ = min(store_window)
+                    if c2 > now:
+                        if lv2 == LEVEL_MEM:
+                            beyondl2 += c2 - now
+                        else:
+                            uptol2 += c2 - now
+                        now = c2
+                    store_window[:] = [e for e in store_window
+                                       if e[0] > now]
+        else:
+            # _track_load + prev_load update
+            if completion > now and level != LEVEL_L1:
+                load_window.append((completion, level, refs))
+                load_window[:] = [e for e in load_window if e[0] > now]
+                while len(load_window) > pending_loads:
+                    c2, lv2, _ = min(load_window)
+                    if c2 > now:
+                        if lv2 == LEVEL_MEM:
+                            beyondl2 += c2 - now
+                        else:
+                            uptol2 += c2 - now
+                        now = c2
+                    load_window[:] = [e for e in load_window if e[0] > now]
+            prev_completion = completion
+            prev_level = level
+        i += 1
+
+    # ================= end of trace =================
+    stats.refs = refs
+    stats.busy_cycles = busy
+    stats.uptol2_stall = uptol2
+    stats.beyondl2_stall = beyondl2
+    stats.l1_hits = l1_hits
+    stats.l1_misses = l1_misses
+    stats.l1_prefetch_hits = l1_prefetch_hits
+    proc.now = now
+    proc._min_arrival = min_arrival
+    proc._prev_load = (prev_completion, prev_level)
+    system.prefetches_issued = prefetches_issued
+    system.demand_misses_to_memory = demand_misses
+    system._last_miss_time = last_miss_time
+
+    proc._drain_windows()
+    stats.finish_time = proc.now
+    return system.finalize_result(trace.name, stats)

@@ -126,6 +126,15 @@ class Cache:
         for cset in self._sets:
             yield from cset
 
+    def resident_tags(self) -> list[int]:
+        """All resident line addresses as one list (set order, then LRU
+        order within a set).  Snapshot primitive for the batch kernel's
+        vectorized membership scans."""
+        tags: list[int] = []
+        for cset in self._sets:
+            tags.extend(cset)
+        return tags
+
     def set_occupancy(self, line_addr: int) -> int:
         """Number of resident lines in the set this address maps to."""
         return len(self._sets[self._set_index(line_addr)])

@@ -107,9 +107,16 @@ def sim_cache_key(app: str, config: SystemConfig, scale: float,
     ``seed`` is the workload trace seed (None = the registry default); the
     simulator itself is deterministic given (trace, config), so these four
     values plus the format version identify a result completely.
+
+    The ``engine`` field is deliberately excluded: both engines produce
+    bit-identical results (the kernel-parity CI gate), so a result computed
+    under either engine must hit the same cache entry — this is also what
+    lets a batch-engine prewarm populate the cache for event-engine reads.
     """
+    config_key = canonical(config)
+    config_key.pop("engine", None)
     return {"app": app, "seed": seed, "scale": scale,
-            "config": canonical(config)}
+            "config": config_key}
 
 
 class CacheStats:

@@ -129,13 +129,47 @@ def stream_task(app: str, config: "str | SystemConfig", scale: float,
 
 
 def fig5_task(app: str, scale: float, predictors: tuple,
-              max_level: int = 3) -> MatrixTask:
-    return MatrixTask(kind=KIND_FIG5, app=app, scale=scale,
-                      params=(tuple(predictors), max_level))
+              max_level: int = 3, engine: str = "event") -> MatrixTask:
+    """A Figure 5 predictability row.
+
+    ``engine`` picks the simulation engine for the miss-stream collection
+    pass; it rides in ``params[2]`` but stays *out* of the cache key (both
+    engines produce the identical stream — the kernel-parity guarantee).
+    The default keeps two-element params, so pre-engine task tuples (e.g.
+    in a resilient-campaign journal) compare and hash identically.
+    """
+    params = ((tuple(predictors), max_level) if engine == "event"
+              else (tuple(predictors), max_level, engine))
+    return MatrixTask(kind=KIND_FIG5, app=app, scale=scale, params=params)
 
 
-def tablesize_task(app: str, scale: float) -> MatrixTask:
-    return MatrixTask(kind=KIND_TABLESIZE, app=app, scale=scale)
+def tablesize_task(app: str, scale: float,
+                   engine: str = "event") -> MatrixTask:
+    """A Table 2 sizing run (``engine`` as in :func:`fig5_task`)."""
+    params = () if engine == "event" else (engine,)
+    return MatrixTask(kind=KIND_TABLESIZE, app=app, scale=scale,
+                      params=params)
+
+
+def with_engine(task: MatrixTask, engine: str) -> MatrixTask:
+    """``task`` pinned to a simulation engine.
+
+    Resolves string configs to their frozen form first (the engine lives on
+    :class:`SystemConfig`), so a ``"custom"``/preset-named task comes back
+    as an explicit-config task.  Cache keys are engine-blind, so the
+    returned task still hits (and fills) the same cache entries.
+    """
+    from dataclasses import replace
+
+    if task.kind == KIND_FIG5:
+        predictors, max_level = task.params[0], task.params[1]
+        return replace(task, params=(
+            (predictors, max_level) if engine == "event"
+            else (predictors, max_level, engine)))
+    if task.kind == KIND_TABLESIZE:
+        return replace(task, params=() if engine == "event" else (engine,))
+    return replace(task,
+                   config=resolve_task_config(task).with_engine(engine))
 
 
 def resolve_task_config(task: MatrixTask) -> SystemConfig:
@@ -160,7 +194,9 @@ def task_cache_key(task: MatrixTask) -> dict[str, Any]:
         return sim_cache_key(task.app, resolve_task_config(task),
                              task.scale, task.seed)
     if task.kind == KIND_FIG5:
-        predictors, max_level = task.params
+        # params[2], when present, is the engine — excluded from the key
+        # (see fig5_task): both engines produce the identical row.
+        predictors, max_level = task.params[0], task.params[1]
         return {"app": task.app, "scale": task.scale, "seed": task.seed,
                 "predictors": canonical(list(predictors)),
                 "max_level": max_level}
@@ -213,6 +249,56 @@ def decode_payload(task: MatrixTask, payload: Any) -> Any:
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
+# -- scheduling ------------------------------------------------------------------
+
+#: Relative trace length per application (refs at a fixed scale, measured
+#: once; see tests/test_scheduler_order.py).  Unknown apps get the mean.
+_APP_WEIGHT = {
+    "cg": 1.49, "equake": 1.47, "ft": 2.21, "gap": 1.58, "mcf": 0.72,
+    "mst": 1.10, "parser": 1.66, "sparse": 2.33, "tree": 2.99,
+}
+_APP_WEIGHT_DEFAULT = 1.7
+
+#: Relative per-reference cost of a configuration: the ULMT stack and the
+#: stream prefetcher both add work per miss (measured ratios on the
+#: BENCH_core apps; exactness is irrelevant — this only orders launches).
+_KIND_WEIGHT = {KIND_FIG5: 3.0, KIND_TABLESIZE: 1.2}
+
+
+def task_cost_estimate(task: MatrixTask) -> float:
+    """Static runtime estimate of one task, for longest-first scheduling.
+
+    Purely a function of the task tuple (no I/O, no simulation): app trace
+    weight x scale x kind/config weight.  Used to order *launches* only —
+    results are still collected in task-index order, so scheduling can
+    never change any output.
+    """
+    weight = _APP_WEIGHT.get(task.app, _APP_WEIGHT_DEFAULT) * task.scale
+    if task.kind in _KIND_WEIGHT:
+        return weight * _KIND_WEIGHT[task.kind]
+    try:
+        config = resolve_task_config(task)
+    except KeyError:
+        return weight
+    cfg_weight = 1.0
+    if config.ulmt_algorithm is not None:
+        cfg_weight += 0.6
+    if config.conven is not None:
+        cfg_weight += 0.3
+    return weight * cfg_weight
+
+
+def launch_order(tasks: list[MatrixTask], pending: list[int]) -> list[int]:
+    """``pending`` reordered longest-first (ties stay in index order).
+
+    Submitting the most expensive cells first minimises the end-of-run
+    straggler tail: with N workers, the worst case of shortest-first is
+    one giant task starting last and running alone while N-1 workers idle.
+    """
+    return sorted(pending,
+                  key=lambda i: (-task_cost_estimate(tasks[i]), i))
+
+
 # -- execution -------------------------------------------------------------------
 
 
@@ -235,10 +321,13 @@ def execute_task(task: MatrixTask) -> Any:
                                     seed=task.seed, out=path,
                                     buffer_events=buffer_events)
     if task.kind == KIND_FIG5:
-        predictors, max_level = task.params
-        return figure5_row(task.app, task.scale, predictors, max_level)
+        predictors, max_level = task.params[0], task.params[1]
+        engine = task.params[2] if len(task.params) > 2 else "event"
+        return figure5_row(task.app, task.scale, predictors, max_level,
+                           engine=engine)
     if task.kind == KIND_TABLESIZE:
-        return size_application_table(task.app, task.scale)
+        engine = task.params[0] if task.params else "event"
+        return size_application_table(task.app, task.scale, engine=engine)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
@@ -322,7 +411,10 @@ def run_tasks(tasks: list[MatrixTask], jobs: int = 1,
         return results
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(_worker_execute, tasks[i]): i for i in pending}
+        # Longest-first launch order (straggler avoidance); collection
+        # below is keyed by task index, so output order is unchanged.
+        futures = {pool.submit(_worker_execute, tasks[i]): i
+                   for i in launch_order(tasks, pending)}
         remaining = set(futures)
         while remaining:
             finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)

@@ -56,6 +56,7 @@ from repro.perf.pool import (
     _worker_execute,
     decode_payload,
     encode_payload,
+    launch_order,
     task_cache_key,
 )
 from repro.perf.retry import (
@@ -372,7 +373,10 @@ def run_tasks_resilient(
                               if not done_flags[i]
                               and all(r.index != i for r in running)
                               and ready_at[i] <= now]
-                for index in sorted(launchable):
+                # Longest-first launches (straggler avoidance), same
+                # policy as run_tasks; journaling and result collection
+                # stay index-keyed, so outputs are unchanged.
+                for index in launch_order(tasks, launchable):
                     if len(running) >= jobs:
                         break
                     _launch(index)

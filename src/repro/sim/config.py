@@ -50,6 +50,15 @@ class SystemConfig:
     #: ULMT backlog watchdog (graceful degradation): None = auto, i.e.
     #: enabled exactly when fault injection is active.
     watchdog: Optional[bool] = None
+    #: Simulation engine: ``"event"`` (the per-reference oracle) or
+    #: ``"batch"`` (the vectorized kernel, :mod:`repro.kernel`).  The two
+    #: produce bit-identical results — the engine is an implementation
+    #: choice, not a model parameter, and result-cache keys ignore it.
+    engine: str = "event"
+
+    def with_engine(self, engine: str) -> "SystemConfig":
+        """This configuration run under a different simulation engine."""
+        return replace(self, engine=engine)
 
     def with_num_rows(self, num_rows: int) -> "SystemConfig":
         return replace(self, num_rows=num_rows)

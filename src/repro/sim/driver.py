@@ -44,6 +44,12 @@ def run_simulation(workload: str | Trace,
     if isinstance(config, str):
         config = (custom_config(app_name) if config == "custom"
                   else preset(config))
+    if config.engine == "batch":
+        from repro.kernel.engine import run_batch
+        return run_batch(trace, config, tracer=tracer)
+    if config.engine != "event":
+        raise ValueError(f"unknown simulation engine: {config.engine!r} "
+                         f"(expected 'event' or 'batch')")
     system = System(config, tracer=tracer)
     return system.run(trace)
 

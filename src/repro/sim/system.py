@@ -355,8 +355,19 @@ class System:
 
     def run(self, trace: Trace) -> SimResult:
         processor_stats = self.processor.run(trace)
+        return self.finalize_result(trace.name, processor_stats)
+
+    def finalize_result(self, workload: str,
+                        processor_stats: ProcessorStats) -> SimResult:
+        """Flush end-of-run deferred work and assemble the result.
+
+        Shared by :meth:`run` and the batch kernel
+        (:mod:`repro.kernel.engine`), which drives the trace walk itself
+        but reuses the oracle's drain + assembly so both engines produce
+        structurally identical :class:`SimResult` objects.
+        """
         self._finalize(processor_stats)
-        return self._result(trace.name, processor_stats)
+        return self._result(workload, processor_stats)
 
     def _finalize(self, processor_stats: ProcessorStats) -> None:
         end = processor_stats.finish_time

@@ -1,0 +1,116 @@
+"""Edge-of-the-envelope traces, parametrized over both engines.
+
+The batch kernel partitions a trace into epochs between prefetch-relevant
+boundary events; these tests aim at the partition boundaries themselves:
+empty traces, one-access traces, scaled prefixes that end mid-epoch, and
+streams whose every reference is a store (the walk's hit-run machinery
+only batches loads, so an all-store trace exercises the scalar path in
+full).  Every case asserts the two engines agree exactly — on the
+degenerate inputs, not just the benchmark-shaped ones.
+"""
+
+import pytest
+
+from repro.kernel import run_batch, trace_arrays
+from repro.kernel.engine import fused_supported
+from repro.sim.config import preset
+from repro.sim.driver import run_simulation
+from repro.sim.system import System
+from repro.workloads.registry import get_trace
+from repro.workloads.trace import MemRef, Trace
+
+ENGINES = ("event", "batch")
+
+#: Configs that cover the three walk regimes: no prefetcher (pure runs),
+#: a correlation ULMT (observation traffic), and one with the L1-side
+#: conventional prefetcher folded in.
+CONFIGS = ("nopref", "repl", "conven4+repl")
+
+
+def run_engine(trace: Trace, config_name: str, engine: str):
+    config = preset(config_name).with_engine(engine)
+    return run_simulation(trace, config)
+
+
+def ref(addr: int, write: bool = False, comp: int = 2,
+        dep: bool = False) -> MemRef:
+    return MemRef(addr=addr, is_write=write, comp_cycles=comp,
+                  dependent=dep)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDegenerateTraces:
+    def test_zero_length_trace(self, engine):
+        result = run_engine(Trace([], name="empty"), "repl", engine)
+        assert result.to_dict()["processor"]["refs"] == 0
+        assert result.execution_time == 0
+        assert result.to_dict() == \
+            run_engine(Trace([], name="empty"), "repl",
+                       "event").to_dict()
+
+    @pytest.mark.parametrize("write", (False, True),
+                             ids=("load", "store"))
+    def test_single_access(self, engine, write):
+        trace = Trace([ref(0x4000, write=write)], name="one")
+        event = run_engine(trace, "repl", "event").to_dict()
+        assert run_engine(trace, "repl", engine).to_dict() == event
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_write_only_stream(self, engine, config):
+        # Stores never enter a hit run (the batch fast path is
+        # load-only), so this pins the scalar leg of the walk against
+        # the oracle across every config family.
+        refs = [ref(0x1000 + 64 * (i % 37), write=True, comp=i % 5)
+                for i in range(400)]
+        trace = Trace(refs, name="stores")
+        event = run_engine(trace, config, "event").to_dict()
+        assert run_engine(trace, config, engine).to_dict() == event
+        assert event["processor"]["refs"] == 400
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_scaled_prefix_ends_mid_epoch(self, engine, config):
+        # Truncating a real workload at an arbitrary reference leaves
+        # in-flight fills, a non-empty observation queue, and half-run
+        # state at trace end — finalization must drain them identically.
+        full = get_trace("mcf", scale=0.02)
+        for cut in (1, 7, len(full) // 3, len(full) - 1):
+            prefix = Trace(full.refs[:cut], name=f"mcf[:{cut}]")
+            event = run_engine(prefix, config, "event").to_dict()
+            assert run_engine(prefix, config, engine).to_dict() == event
+
+    def test_dependent_chain_only(self, engine):
+        # Every reference chases the previous one: no two misses
+        # overlap, the window-stall loops run on each step.
+        refs = [ref(0x8000 + 64 * i * 13, dep=(i > 0)) for i in range(64)]
+        trace = Trace(refs, name="chase")
+        event = run_engine(trace, "repl", "event").to_dict()
+        assert run_engine(trace, "repl", engine).to_dict() == event
+
+
+class TestTraceArraysEdges:
+    def test_empty_trace_arrays(self):
+        arrays = trace_arrays(Trace([], name="empty"), 64)
+        assert arrays.n == 0
+        assert len(arrays.comp_cumsum) == 1
+        assert arrays.comp_cumsum[0] == 0
+
+    def test_single_ref_arrays(self):
+        arrays = trace_arrays(Trace([ref(0x40, comp=9)], name="one"), 64)
+        assert arrays.n == 1
+        assert list(arrays.l1_lines_np) == [1]
+        assert list(arrays.comp_cumsum) == [0, 9]
+
+
+def test_fault_injection_forces_fallback():
+    # Fault plans make the run data-dependent on injected events; the
+    # kernel must refuse to fuse and the fallback must keep parity.
+    from dataclasses import replace
+
+    from repro.faults.plan import FaultPlan
+
+    config = replace(preset("repl"),
+                     fault_plan=FaultPlan.parse("obs_drop=0.2", seed=7))
+    assert not fused_supported(System(config))
+    trace = get_trace("cg", scale=0.02)
+    event = System(config).run(trace).to_dict()
+    assert run_batch(trace, config).to_dict() == event

@@ -1,0 +1,157 @@
+"""The batch kernel's bit-identity oracle gate.
+
+The vectorized batch engine (:mod:`repro.kernel.engine`) must be an exact
+twin of the event engine: for every preset of the tier-1 matrix (plus the
+per-application ``custom`` configs), ``SimResult.to_dict()`` — the full
+serialized result, every counter and histogram — must match byte for
+byte.  Anything less and the kernel is a different simulator, not a
+faster one.
+
+The full-matrix sweep (every app x every config) runs in CI's
+``kernel-parity`` job; here a rotating app per config keeps the tier-1
+suite fast while still touching every config family and several apps.
+"""
+
+import json
+
+import pytest
+
+from repro.kernel import fused_supported, run_batch, trace_arrays
+from repro.sim.config import PRESETS, SystemConfig, preset
+from repro.sim.driver import run_simulation
+from repro.sim.system import System
+from repro.workloads.registry import get_trace, list_workloads
+
+SCALE = 0.02
+
+#: One (config, app) cell per preset family; apps rotate so several
+#: workload shapes (pointer chasing, strided, irregular) are covered
+#: without running the full matrix in tier 1.
+CELLS = [(name, app) for name, app in zip(
+    list(PRESETS) + ["custom"],
+    (list_workloads() * 3))]
+
+
+def result_dict(app: str, config: str, engine: str) -> dict:
+    if isinstance(config, str):
+        from repro.sim.config import custom_config
+        resolved = (custom_config(app) if config == "custom"
+                    else preset(config))
+    else:
+        resolved = config
+    return run_simulation(app, resolved.with_engine(engine),
+                          scale=SCALE).to_dict()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("config,app", CELLS,
+                             ids=[f"{c}-{a}" for c, a in CELLS])
+    def test_preset_cell_identical(self, config, app):
+        event = result_dict(app, config, "event")
+        batch = result_dict(app, config, "batch")
+        assert json.dumps(event, sort_keys=True) == \
+            json.dumps(batch, sort_keys=True)
+
+    def test_trace_object_entry_identical(self):
+        trace = get_trace("mcf", scale=SCALE)
+        event = System(preset("repl")).run(trace).to_dict()
+        batch = run_batch(trace, preset("repl")).to_dict()
+        assert event == batch
+
+
+class TestDispatchAndFallback:
+    def test_unknown_engine_rejected(self):
+        config = preset("nopref").with_engine("warp")
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            run_simulation("mcf", config, scale=SCALE)
+
+    def test_with_engine_round_trip(self):
+        config = preset("repl")
+        assert config.engine == "event"
+        batch = config.with_engine("batch")
+        assert batch.engine == "batch"
+        assert batch.with_engine("event") == config
+
+    def test_dasp_forces_scalar_fallback(self):
+        # dasp makes prefetch state data-dependent in a way the fused
+        # walk does not model; run_batch must fall back to the event
+        # engine wholesale — and therefore still match it exactly.
+        system = System(preset("dasp"))
+        assert not fused_supported(system)
+        event = result_dict("tree", "dasp", "event")
+        batch = result_dict("tree", "dasp", "batch")
+        assert event == batch
+
+    def test_miss_observer_survives_fallback_and_fused(self):
+        for config_name in ("dasp", "nopref"):
+            trace = get_trace("cg", scale=SCALE)
+            seen_batch, seen_event = [], []
+            run_batch(trace, preset(config_name),
+                      miss_observer=lambda a, t, p: seen_batch.append(a))
+            system = System(preset(config_name))
+            system.miss_observer = lambda a, t, p: seen_event.append(a)
+            system.run(trace)
+            assert seen_batch == seen_event
+            assert seen_batch  # the stream is non-trivial
+
+
+class TestAnalysisEngineParity:
+    def test_figure5_row_engine_independent(self):
+        from repro.analysis.prediction import (_ROW_CACHE, _STREAM_CACHE,
+                                               figure5_row)
+        _STREAM_CACHE.clear()
+        _ROW_CACHE.clear()
+        event = figure5_row("tree", SCALE, ("seq1", "repl"), engine="event")
+        _STREAM_CACHE.clear()
+        _ROW_CACHE.clear()
+        batch = figure5_row("tree", SCALE, ("seq1", "repl"), engine="batch")
+        assert event == batch
+        _STREAM_CACHE.clear()
+        _ROW_CACHE.clear()
+
+    def test_tablesize_engine_independent(self):
+        from repro.analysis.prediction import _STREAM_CACHE
+        from repro.analysis.tablesize import size_application_table
+        _STREAM_CACHE.clear()
+        event = size_application_table("cg", SCALE, engine="event")
+        _STREAM_CACHE.clear()
+        batch = size_application_table("cg", SCALE, engine="batch")
+        assert event == batch
+        _STREAM_CACHE.clear()
+
+
+class TestCacheKeysEngineBlind:
+    def test_sim_cache_key_ignores_engine(self):
+        from repro.perf.cache import sim_cache_key
+        config = preset("repl")
+        assert sim_cache_key("mcf", config, SCALE) == \
+            sim_cache_key("mcf", config.with_engine("batch"), SCALE)
+
+    def test_task_cache_key_ignores_engine(self):
+        from repro.perf.pool import (fig5_task, sim_task, tablesize_task,
+                                     task_cache_key, with_engine)
+        for task in (sim_task("mcf", "repl", SCALE),
+                     fig5_task("mcf", SCALE, ("seq1",)),
+                     tablesize_task("mcf", SCALE)):
+            assert task_cache_key(task) == \
+                task_cache_key(with_engine(task, "batch"))
+
+    def test_config_engine_excluded_from_canonical_key(self):
+        # The cache key of an engine="event" config must equal the exact
+        # bytes of the pre-engine key, or every committed cache entry and
+        # journal identity would silently invalidate.
+        from repro.perf.cache import sim_cache_key
+        key = sim_cache_key("mcf", preset("nopref"), SCALE)
+        assert "engine" not in key["config"]
+
+
+def test_trace_arrays_snapshot_matches_trace():
+    trace = get_trace("sparse", scale=SCALE)
+    arrays = trace_arrays(trace, 64)
+    assert arrays.n == len(trace)
+    assert list(arrays.l1_lines_np) == [r.addr // 64 for r in trace]
+    assert list(arrays.writes_np) == [r.is_write for r in trace]
+    assert arrays.comp_cumsum[0] == 0
+    assert arrays.comp_cumsum[-1] == trace.total_comp_cycles
+    # memoised per trace object
+    assert trace_arrays(trace, 64) is arrays

@@ -1,0 +1,80 @@
+"""Longest-first launch scheduling must never change any output.
+
+The scheduler (:func:`repro.perf.pool.launch_order`) reorders only the
+*submission* of pool tasks; results are collected by task index, so the
+returned list — and everything downstream of it (figures, run tables,
+cache contents) — must be byte-identical to an unsorted run.  These tests
+pin that contract plus the estimator's ordering properties.
+"""
+
+import pytest
+
+from repro.perf.pool import (fig5_task, launch_order, run_tasks, sim_task,
+                             tablesize_task, task_cost_estimate)
+from repro.sim.serialize import json_line
+
+SCALE = 0.02
+
+TASKS = [
+    sim_task("mcf", "nopref", SCALE),       # lightest app, lightest config
+    sim_task("tree", "repl", SCALE),        # heaviest app, ULMT config
+    sim_task("sparse", "conven4+repl", SCALE),
+    fig5_task("tree", SCALE, ("seq1",)),
+    tablesize_task("mcf", SCALE),
+]
+
+
+class TestCostEstimate:
+    def test_pure_function_of_the_task(self):
+        a = task_cost_estimate(sim_task("tree", "repl", SCALE))
+        b = task_cost_estimate(sim_task("tree", "repl", SCALE))
+        assert a == b > 0
+
+    def test_orders_by_app_and_config_weight(self):
+        light = task_cost_estimate(sim_task("mcf", "nopref", SCALE))
+        ulmt = task_cost_estimate(sim_task("mcf", "repl", SCALE))
+        heavy = task_cost_estimate(sim_task("tree", "repl", SCALE))
+        assert light < ulmt < heavy
+
+    def test_scale_is_linear(self):
+        one = task_cost_estimate(sim_task("cg", "base", 0.1))
+        four = task_cost_estimate(sim_task("cg", "base", 0.4))
+        assert four == pytest.approx(4 * one)
+
+    def test_unknown_app_uses_default_weight(self):
+        # Must not raise: ad-hoc traces flow through the pool too.
+        assert task_cost_estimate(sim_task("not-an-app", "nopref",
+                                           SCALE)) > 0
+
+    def test_fig5_outweighs_the_plain_cell(self):
+        assert task_cost_estimate(fig5_task("tree", SCALE, ("seq1",))) > \
+            task_cost_estimate(sim_task("tree", "nopref", SCALE))
+
+
+class TestLaunchOrder:
+    def test_longest_first_ties_in_index_order(self):
+        tasks = [sim_task("mcf", "nopref", SCALE),
+                 sim_task("mcf", "nopref", SCALE),
+                 sim_task("tree", "repl", SCALE)]
+        assert launch_order(tasks, [0, 1, 2]) == [2, 0, 1]
+
+    def test_subset_of_pending_only(self):
+        order = launch_order(TASKS, [0, 3])
+        assert sorted(order) == [0, 3]
+
+    def test_permutation_of_pending(self):
+        order = launch_order(TASKS, list(range(len(TASKS))))
+        assert sorted(order) == list(range(len(TASKS)))
+
+
+class TestOutputUnchanged:
+    def test_parallel_results_identical_to_serial_order(self):
+        # The regression the scheduler must never introduce: the results
+        # list (and hence every serialized artifact) stays in task-index
+        # order and byte-identical to the unsorted serial run.
+        serial = run_tasks(list(TASKS), jobs=1)
+        parallel = run_tasks(list(TASKS), jobs=2)
+        assert parallel == serial
+        for s, p in zip(serial, parallel):
+            if hasattr(s, "to_dict"):
+                assert json_line(s.to_dict()) == json_line(p.to_dict())
