@@ -51,7 +51,39 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_run_multicore(args) -> int:
+    """``run`` with --cores N: one coordinated bundle simulation."""
+    from repro.multicore import run_multicore
+
+    if args.config == "custom":
+        print("run: the per-application 'custom' preset cannot scale to "
+              "multicore bundles", file=sys.stderr)
+        return 2
+    config = _resolve_config(args.app, args.config, args.faults,
+                             args.fault_seed, args.invariants)
+    config = config.with_cores(args.cores, args.coordination)
+    try:
+        result = run_multicore(args.app, config, scale=args.scale)
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    print(f"{result.workload} / {result.config_name} @ scale {args.scale} "
+          f"— {result.num_cores} cores, {result.coordination} coordination")
+    print(f"  makespan       : {result.execution_time:,} cycles")
+    print(f"  bundle coverage: {result.coverage():.2f} "
+          f"(accuracy {result.accuracy():.2f})")
+    for grant, core in zip(result.allocation.grants, result.cores):
+        print(f"  core {grant.core} ({grant.app:8s}): "
+              f"{core.execution_time:>12,} cycles, "
+              f"coverage {core.coverage():.2f}, "
+              f"{grant.num_rows:,} table rows, "
+              f"{grant.push_budget} pushes/window")
+    return 0
+
+
 def _cmd_run(args) -> int:
+    if args.cores > 1:
+        return _cmd_run_multicore(args)
     config = _resolve_config(args.app, args.config, args.faults,
                              args.fault_seed, args.invariants)
     result = run_simulation(args.app, config, scale=args.scale)
@@ -266,6 +298,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="seed for the fault schedule (default 0)")
     run_p.add_argument("--invariants", action="store_true",
                        help="audit bookkeeping invariants after every event")
+    run_p.add_argument("--cores", type=int, default=1, metavar="N",
+                       help="simulate N coordinated cores; <app> becomes a "
+                            "+-joined bundle of exactly N apps (tree+cg)")
+    run_p.add_argument("--coordination", choices=("static", "demand"),
+                       default="static",
+                       help="multicore resource-arbitration policy "
+                            "(default static)")
 
     cmp_p = sub.add_parser("compare", help="compare configs on one app")
     cmp_p.add_argument("app")

@@ -40,16 +40,28 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     known_apps = set(list_workloads())
     known_configs = set(PRESETS) | {"custom"}
     for app in apps:
-        if app not in known_apps:
-            raise CampaignError(f"unknown app {app!r}; available: "
-                                f"{', '.join(sorted(known_apps))}")
+        # With --cores N every "app" is a +-joined bundle of N components.
+        components = app.split("+") if args.cores > 1 else [app]
+        if args.cores > 1 and len(components) != args.cores:
+            raise CampaignError(
+                f"bundle {app!r} is not {args.cores} apps wide; with "
+                f"--cores {args.cores} each entry must join exactly "
+                f"{args.cores} apps with '+'")
+        for component in components:
+            if component not in known_apps:
+                raise CampaignError(f"unknown app {component!r}; available: "
+                                    f"{', '.join(sorted(known_apps))}")
     for name in configs:
         if name not in known_configs:
             raise CampaignError(f"unknown config {name!r}; available: "
                                 f"{', '.join(sorted(known_configs))}")
+        if args.cores > 1 and name == "custom":
+            raise CampaignError("the per-application 'custom' preset "
+                                "cannot scale to multicore bundles")
     return CampaignSpec(apps=apps, configs=configs, scale=args.scale,
                         repetitions=args.reps, base_seed=args.seed,
-                        faults=args.faults, fault_seed=args.fault_seed)
+                        faults=args.faults, fault_seed=args.fault_seed,
+                        cores=args.cores, coordination=args.coordination)
 
 
 def _spec_from_journal(out_dir: Path) -> CampaignSpec:
@@ -95,6 +107,14 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="fault plan applied to every non-baseline "
                              'cell, e.g. "obs_drop=0.05"')
     parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--cores", type=int, default=1, metavar="N",
+                        help="cores per cell (default 1); with N > 1 each "
+                             "apps entry is a +-joined bundle of exactly N "
+                             "apps, e.g. tree+cg")
+    parser.add_argument("--coordination", choices=("static", "demand"),
+                        default="static",
+                        help="multicore resource-arbitration policy "
+                             "(default static)")
     parser.add_argument("--out", default="campaign-out", metavar="DIR",
                         help="campaign directory (journal + run_table.csv; "
                              "default campaign-out)")

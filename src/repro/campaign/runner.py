@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.campaign.spec import CampaignSpec
+from repro.multicore.result import MulticoreResult
 from repro.obs.metrics import snapshot_from_counters
 from repro.perf.cache import ResultCache, atomic_write_text
 from repro.perf.journal import RunJournal
@@ -98,13 +99,19 @@ def run_table_rows(spec: "CampaignSpec",
     leave every metric cell empty; ``speedup`` is filled only when the
     spec sweeps a ``nopref`` baseline and that baseline's repetition
     succeeded.
+
+    Multicore campaign cells (:class:`MulticoreResult`) fill the same
+    columns with bundle aggregates: makespan execution time, summed
+    miss/prefetch counters, bundle-wide coverage/accuracy, and the
+    field-wise sum of the per-core robustness counters.
     """
     keys = spec.row_keys()
     baseline_time: dict[tuple[str, int], int] = {}
     if "nopref" in spec.configs:
         for i, (app, name, rep) in enumerate(keys):
             result = run.results[i]
-            if name == "nopref" and isinstance(result, SimResult):
+            if (name == "nopref"
+                    and isinstance(result, (SimResult, MulticoreResult))):
                 baseline_time[(app, rep)] = result.execution_time
 
     rows: list[dict[str, str]] = []
@@ -116,15 +123,19 @@ def run_table_rows(spec: "CampaignSpec",
             "attempts": str(run.attempts[i]),
         })
         result = run.results[i]
-        if not isinstance(result, SimResult):
+        if not isinstance(result, (SimResult, MulticoreResult)):
             failure = run.failure_for(i)
             row["status"] = failure.kind if failure else STATUS_ABANDONED
             rows.append(row)
             continue
-        l2 = result.l2
-        rb = result.robustness
-        arrived = l2.total_prefetches_arrived
-        eliminated = l2.prefetch_hits + l2.delayed_hits
+        if isinstance(result, MulticoreResult):
+            rb = result.robustness_totals()
+            arrived = result.prefetches_arrived()
+            eliminated = result.eliminated_misses()
+        else:
+            rb = result.robustness
+            arrived = result.l2.total_prefetches_arrived
+            eliminated = result.l2.prefetch_hits + result.l2.delayed_hits
         base = baseline_time.get((app, rep))
         row.update({
             "status": STATUS_OK,

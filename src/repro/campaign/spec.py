@@ -6,7 +6,8 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Mapping, Optional
 
 from repro.faults.plan import FaultPlan
-from repro.perf.pool import MatrixTask, sim_task
+from repro.multicore.coordination import POLICIES
+from repro.perf.pool import MatrixTask, mc_task, sim_task
 from repro.sim.config import SystemConfig, custom_config, preset
 
 
@@ -22,6 +23,14 @@ class CampaignSpec:
     non-baseline cell under a seeded :class:`~repro.faults.FaultPlan`, so
     the robustness columns of the run table exercise the same degradation
     machinery the chaos sweep reports.
+
+    ``cores > 1`` makes it a *multicore* campaign: each entry of ``apps``
+    is then a ``+``-joined bundle exactly ``cores`` wide (``"tree+cg"``
+    for 2 cores) and every non-string config resolves through
+    :meth:`~repro.sim.config.SystemConfig.with_cores` under the
+    ``coordination`` policy.  ``cores == 1`` campaigns serialise exactly
+    as before — the new keys stay out of the journal header, so existing
+    journals resume untouched.
     """
 
     apps: tuple[str, ...]
@@ -31,6 +40,8 @@ class CampaignSpec:
     base_seed: int = 0
     faults: Optional[str] = None
     fault_seed: int = 0
+    cores: int = 1
+    coordination: str = "static"
 
     def __post_init__(self) -> None:
         if not self.apps or not self.configs:
@@ -39,11 +50,31 @@ class CampaignSpec:
             raise ValueError("repetitions must be >= 1")
         if self.scale <= 0:
             raise ValueError("scale must be > 0")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.coordination not in POLICIES:
+            raise ValueError(f"unknown coordination policy "
+                             f"{self.coordination!r} (expected one of "
+                             f"{POLICIES})")
+        if self.cores > 1:
+            if "custom" in self.configs:
+                raise ValueError("the per-application 'custom' preset "
+                                 "cannot scale to multicore bundles")
+            for bundle in self.apps:
+                if len(bundle.split("+")) != self.cores:
+                    raise ValueError(f"bundle {bundle!r} is not "
+                                     f"{self.cores} apps wide")
 
     # -- enumeration -------------------------------------------------------------
 
     def resolve_config(self, app: str, name: str) -> "str | SystemConfig":
-        """The config one cell runs under (fault plan folded in)."""
+        """The config one cell runs under (cores and fault plan folded in)."""
+        if self.cores > 1:
+            config = preset(name).with_cores(self.cores, self.coordination)
+            if self.faults is None or name == "nopref":
+                return config
+            return dc_replace(config, fault_plan=FaultPlan.parse(
+                self.faults, seed=self.fault_seed))
         if self.faults is None:
             return name
         config = (custom_config(app) if name == "custom" else preset(name))
@@ -63,8 +94,14 @@ class CampaignSpec:
             for name in self.configs:
                 config = self.resolve_config(app, name)
                 for rep in range(self.repetitions):
-                    cells.append(sim_task(app, config, self.scale,
-                                          seed=self.base_seed + rep))
+                    seed = self.base_seed + rep
+                    if self.cores > 1:
+                        assert isinstance(config, SystemConfig)
+                        cells.append(mc_task(app, config, self.scale,
+                                             seed=seed))
+                    else:
+                        cells.append(sim_task(app, config, self.scale,
+                                              seed=seed))
         return cells
 
     def row_keys(self) -> list[tuple[str, str, int]]:
@@ -77,7 +114,7 @@ class CampaignSpec:
     # -- journal header round trip ------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "apps": list(self.apps),
             "configs": list(self.configs),
             "scale": self.scale,
@@ -86,6 +123,13 @@ class CampaignSpec:
             "faults": self.faults,
             "fault_seed": self.fault_seed,
         }
+        if self.cores != 1:
+            # Emitted only off-default: a single-core spec's header must
+            # stay byte-identical to pre-multicore journals, or resuming
+            # them would fail the header equality check.
+            data["cores"] = self.cores
+            data["coordination"] = self.coordination
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -94,7 +138,9 @@ class CampaignSpec:
                    repetitions=int(data["repetitions"]),
                    base_seed=int(data["base_seed"]),
                    faults=data.get("faults"),
-                   fault_seed=int(data.get("fault_seed", 0)))
+                   fault_seed=int(data.get("fault_seed", 0)),
+                   cores=int(data.get("cores", 1)),
+                   coordination=str(data.get("coordination", "static")))
 
     def describe(self) -> str:
         cells = len(self.apps) * len(self.configs) * self.repetitions
@@ -104,4 +150,6 @@ class CampaignSpec:
                 f"{self.base_seed + self.repetitions - 1})")
         if self.faults:
             text += f", faults \"{self.faults}\" seed {self.fault_seed}"
+        if self.cores > 1:
+            text += f", {self.cores} cores ({self.coordination})"
         return text

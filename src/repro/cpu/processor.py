@@ -136,6 +136,16 @@ class MainProcessor:
     def run(self, trace: Trace) -> ProcessorStats:
         for ref in trace:
             self.step(ref)
+        return self.finish()
+
+    def finish(self) -> ProcessorStats:
+        """End-of-trace drain: wait out every outstanding access.
+
+        Split out of :meth:`run` so a caller that drives the trace walk
+        itself — the multicore interleaver steps several processors
+        against a shared clock — terminates each core exactly the way a
+        solo run does.
+        """
         self._drain_windows()
         self.stats.finish_time = self.now
         return self.stats

@@ -156,6 +156,46 @@ def enumerate_tasks(scale: float, trace: bool = False,
     return tasks
 
 
+def multicore_summary(scale: float, cores: int, jobs: int = 1,
+                      cache=None) -> None:
+    """The ``--cores`` section: coordinated bundles at N cores.
+
+    The applications are chunked into ``+``-joined bundles of exactly
+    ``cores`` (in registry order; a trailing remainder that cannot fill a
+    bundle is reported, never silently dropped) and each bundle runs
+    under the ``repl`` preset with *both* coordination policies, so the
+    table shows what demand-proportional arbitration buys over static
+    partitioning.  Cells fan out through the pool and the persistent
+    cache like every other matrix; the printed table is deterministic.
+    """
+    from repro.multicore.coordination import POLICIES
+    from repro.perf.pool import mc_task, run_tasks
+    from repro.sim.config import preset
+
+    apps = common.all_apps()
+    usable = len(apps) - len(apps) % cores
+    bundles = ["+".join(apps[i:i + cores]) for i in range(0, usable, cores)]
+    dropped = apps[usable:]
+    if dropped:
+        print(f"[multicore] {len(dropped)} app(s) left over at {cores} "
+              f"cores per bundle: {', '.join(dropped)}", file=sys.stderr)
+    tasks = [mc_task(bundle, preset("repl").with_cores(cores, policy), scale)
+             for policy in POLICIES for bundle in bundles]
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    print(f"coordinated bundles at {cores} cores (repl preset):\n")
+    print(f"{'bundle':24s} {'policy':8s} {'makespan':>14s} "
+          f"{'misses':>10s} {'coverage':>9s} {'accuracy':>9s}")
+    for task, result in zip(tasks, results):
+        policy = task.config.coordination
+        if result is None:
+            print(f"{task.app:24s} {policy:8s} {'FAILED':>14s}")
+            continue
+        print(f"{task.app:24s} {policy:8s} "
+              f"{result.execution_time:>14,} "
+              f"{result.demand_misses_to_memory:>10,} "
+              f"{result.coverage():>9.3f} {result.accuracy():>9.3f}")
+
+
 def _export_traces(trace_dir: str, tasks: list, results: list) -> None:
     """Finish the ``--trace-dir`` export after the streamed prewarm.
 
@@ -214,6 +254,11 @@ def main(argv: list[str] | None = None) -> int:
                              "observability tracer and write one JSON-lines "
                              "event stream per cell (plus a merged "
                              "metrics.json) into DIR; figures are unchanged")
+    parser.add_argument("--cores", type=int, default=1, metavar="N",
+                        help="also run the multicore scale-out section: "
+                             "the applications chunked into N-wide bundles "
+                             "under both coordination policies (default 1 "
+                             "= skip)")
     parser.add_argument("--engine", choices=("event", "batch"),
                         default="event",
                         help="simulation engine for the prewarm matrix "
@@ -258,14 +303,21 @@ def main(argv: list[str] | None = None) -> int:
                 if tracing:
                     _export_traces(args.trace_dir, tasks, results)
 
+            sections = SECTIONS
+            if args.cores > 1:
+                def _multicore_section() -> None:
+                    multicore_summary(scale, args.cores, jobs=args.jobs,
+                                      cache=cache)
+                sections = SECTIONS + (
+                    ("Multicore", _multicore_section, True),)
             if args.profile:
                 from repro.perf.profile import profile_subsystems, render_profile
 
                 failures, stats = profile_subsystems(
-                    lambda: run_sections(timeout=args.timeout))
+                    lambda: run_sections(sections, timeout=args.timeout))
                 print(render_profile(stats), file=sys.stderr)
             else:
-                failures = run_sections(timeout=args.timeout)
+                failures = run_sections(sections, timeout=args.timeout)
     finally:
         common.set_disk_cache(previous_cache)
     if cache is not None:
@@ -274,7 +326,7 @@ def main(argv: list[str] | None = None) -> int:
 
     total = time.time() - start
     if failures:
-        print(f"\n{len(failures)}/{len(SECTIONS)} experiments FAILED "
+        print(f"\n{len(failures)}/{len(sections)} experiments FAILED "
               f"in {total:.1f}s:")
         for failure in failures:
             print(f"  {failure.name:10s} after {failure.elapsed:7.1f}s: "

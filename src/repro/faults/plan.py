@@ -141,6 +141,19 @@ class FaultPlan:
                  for name in self._RATE_FIELDS if getattr(self, name) > 0]
         return " ".join(parts) if parts else "none"
 
+    def for_core(self, core: int) -> "FaultPlan":
+        """This plan re-seeded for one core of a multicore bundle.
+
+        Each tile owns a private :class:`FaultInjector`, so a shared seed
+        would replay the *same* schedule on every core — crashes striking
+        all ULMTs in lockstep instead of independently.  The derived seed
+        is a pure function of ``(seed, core)``, and core 0 keeps the base
+        seed so a 1-core bundle stays bit-identical to the solo machine.
+        """
+        if core == 0:
+            return self
+        return dataclasses.replace(self, seed=self.seed * 1_000_003 + core)
+
 
 #: The no-fault plan used when a system is built without one.
 ZERO_PLAN = FaultPlan()

@@ -38,6 +38,9 @@ _CLI_ONLY_DESTS = frozenset({
 _CLI_ALIASES = {
     "faults": "fault_plan",   # parsed into SystemConfig.fault_plan
     "fault_seed": "seed",     # becomes FaultPlan.seed
+    "cores": "num_cores",     # SystemConfig.with_cores(...)
+    # --coordination needs no alias: its dest matches
+    # SystemConfig.coordination directly.
 }
 
 

@@ -1,0 +1,45 @@
+"""Multicore scale-out: coordinated per-app ULMTs on private tiles.
+
+See :mod:`repro.multicore.system` for the machine model,
+:mod:`repro.multicore.coordination` for the resource-arbitration
+policies, and ``docs/MULTICORE.md`` for the design contract.
+"""
+
+from repro.multicore.coordination import (
+    POLICIES,
+    Allocation,
+    CoreGrant,
+    PushBandwidthGate,
+    allocate,
+    apportion,
+    demand_shares,
+)
+from repro.multicore.driver import (
+    parse_bundle,
+    run_multicore,
+    run_multicore_traced,
+)
+from repro.multicore.result import (
+    MULTICORE_FORMAT_VERSION,
+    MulticoreResult,
+    MulticoreTraceRun,
+)
+from repro.multicore.system import MulticoreSystem, merge_event_streams
+
+__all__ = [
+    "POLICIES",
+    "Allocation",
+    "CoreGrant",
+    "PushBandwidthGate",
+    "allocate",
+    "apportion",
+    "demand_shares",
+    "parse_bundle",
+    "run_multicore",
+    "run_multicore_traced",
+    "MULTICORE_FORMAT_VERSION",
+    "MulticoreResult",
+    "MulticoreTraceRun",
+    "MulticoreSystem",
+    "merge_event_streams",
+]

@@ -1,0 +1,231 @@
+"""Cross-core arbitration of the shared prefetching resources.
+
+A multicore tile set (:mod:`repro.multicore.system`) couples its cores
+through *grants*, not through shared mutable state: before the run, a
+:class:`CoordinationPolicy` splits the two contended resources among the
+cores —
+
+* **correlation-table capacity** — the paper budgets one software table in
+  main memory; with N applications the table rows are partitioned so the
+  per-app ULMTs stay disjoint (the os_support protection property) while
+  their total stays at the configured budget;
+* **push bandwidth** — pushed lines from every core share the bus/DRAM
+  path to the L2s, so each core receives a per-window budget of pushes
+  (:class:`PushBandwidthGate`); a core that exhausts its window holds its
+  queue 3, which backs up into overflow drops and demand cancels exactly
+  like a saturated push path would.
+
+Two policies are built in: ``static`` (equal shares) and ``demand``
+(shares proportional to each application's trace footprint — a
+deterministic stand-in for measured miss pressure).  Both are pure
+functions of the (config, workload bundle) cell, so every grant — and
+therefore the whole multicore run — is byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.params import CorrelationParams
+from repro.sim.config import SystemConfig
+from repro.workloads.trace import Trace
+
+#: Recognised coordination policies (``SystemConfig.coordination``).
+POLICIES = ("static", "demand")
+
+#: Push-bandwidth arbitration window (main-processor cycles).
+PUSH_WINDOW_CYCLES = 2048
+
+#: Total pushes the shared path accepts per window, split across cores.
+#: One push is a 64 B line transfer; 64 per 2048-cycle window is roughly
+#: the paper's bus at full prefetch tilt, so N cores genuinely contend.
+TOTAL_PUSH_BUDGET = 64
+
+#: Table capacity is granted in whole quanta of rows, so every grant is a
+#: valid row count for any correlation-table geometry (``num_rows`` must
+#: be a multiple of the set associativity; Table 3's variants use 2 or
+#: 4-way sets, and 64 covers any power-of-two associativity up to 64).
+TABLE_GRANT_QUANTUM = 64
+
+
+def apportion(total: int, shares: Sequence[int],
+              minimum: int = 0) -> list[int]:
+    """Split ``total`` integer units proportionally to ``shares``.
+
+    Largest-remainder apportionment with ties broken by index (integer
+    arithmetic only, so the split is exact and platform-independent).
+    The result always sums to ``total`` — the invariant the multicore
+    property suite pins — and every part is at least ``minimum`` (the
+    floor is handed out first, the remainder apportioned).
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative: {total}")
+    if not shares:
+        raise ValueError("apportion needs at least one share")
+    if any(s < 0 for s in shares):
+        raise ValueError(f"shares must be non-negative: {list(shares)}")
+    if minimum:
+        if minimum * len(shares) > total:
+            raise ValueError(
+                f"cannot grant {len(shares)} parts a floor of {minimum} "
+                f"from {total}")
+        rest = apportion(total - minimum * len(shares), shares)
+        return [minimum + part for part in rest]
+    weight = sum(shares)
+    if weight == 0:  # degenerate: fall back to equal shares
+        shares = [1] * len(shares)
+        weight = len(shares)
+    quotas = [total * share // weight for share in shares]
+    remainders = [total * share % weight for share in shares]
+    leftover = total - sum(quotas)
+    # Largest remainder first; equal remainders go to the lower core index.
+    order = sorted(range(len(shares)), key=lambda i: (-remainders[i], i))
+    for i in order[:leftover]:
+        quotas[i] += 1
+    return quotas
+
+
+class PushBandwidthGate:
+    """One core's per-window push budget on the shared path.
+
+    ``try_issue(now)`` consumes one unit of the window ``now`` falls in
+    (windows reset lazily — time only moves forward).  When the budget is
+    spent the caller holds its queue until :meth:`next_window_start`.
+    Pure integer state: the deny/grant sequence is a deterministic
+    function of the call sequence.
+    """
+
+    __slots__ = ("budget", "window", "_win", "_used", "denials")
+
+    def __init__(self, budget: int, window: int = PUSH_WINDOW_CYCLES) -> None:
+        if budget < 1:
+            raise ValueError(f"push budget must be >= 1: {budget}")
+        if window < 1:
+            raise ValueError(f"push window must be >= 1: {window}")
+        self.budget = budget
+        self.window = window
+        self._win = 0
+        self._used = 0
+        #: Pushes held back because the window was spent (observability).
+        self.denials = 0
+
+    def try_issue(self, now: int) -> bool:
+        """Consume one push slot of ``now``'s window if any remains."""
+        win = now // self.window
+        if win > self._win:
+            self._win = win
+            self._used = 0
+        if self._used < self.budget:
+            self._used += 1
+            return True
+        self.denials += 1
+        return False
+
+    def next_window_start(self) -> int:
+        """First cycle of the next window (when a held push may retry)."""
+        return (self._win + 1) * self.window
+
+
+@dataclass(frozen=True)
+class CoreGrant:
+    """One core's share of the coordinated resources."""
+
+    core: int
+    app: str
+    #: Correlation-table rows granted to this core's ULMT (0 on a core
+    #: whose config runs no ULMT — nothing to grant capacity to).
+    num_rows: int
+    #: Pushes this core may issue per arbitration window.
+    push_budget: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"core": self.core, "app": self.app,
+                "num_rows": self.num_rows,
+                "push_budget": self.push_budget}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CoreGrant":
+        return cls(core=int(data["core"]), app=str(data["app"]),
+                   num_rows=int(data["num_rows"]),
+                   push_budget=int(data["push_budget"]))
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """The full grant table one policy produced for one bundle."""
+
+    policy: str
+    table_total: int
+    push_total: int
+    push_window: int
+    grants: tuple[CoreGrant, ...]
+
+    def grant(self, core: int) -> CoreGrant:
+        return self.grants[core]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"policy": self.policy, "table_total": self.table_total,
+                "push_total": self.push_total,
+                "push_window": self.push_window,
+                "grants": [g.to_dict() for g in self.grants]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Allocation":
+        return cls(policy=str(data["policy"]),
+                   table_total=int(data["table_total"]),
+                   push_total=int(data["push_total"]),
+                   push_window=int(data["push_window"]),
+                   grants=tuple(CoreGrant.from_dict(g)
+                                for g in data["grants"]))
+
+
+def demand_shares(traces: Sequence[Trace]) -> list[int]:
+    """Deterministic demand proxy: each application's trace footprint.
+
+    Footprint (distinct 64 B lines touched) tracks how much correlation
+    state and push traffic an application can usefully consume; it is a
+    pure function of the trace, so demand-proportional grants stay a pure
+    function of the cell.  Shares are clamped to >= 1 so no core is ever
+    granted an empty table.
+    """
+    return [max(1, trace.footprint_lines()) for trace in traces]
+
+
+def allocate(config: SystemConfig, apps: Sequence[str],
+             traces: Sequence[Trace]) -> Allocation:
+    """Grant table capacity and push bandwidth for one bundle.
+
+    ``config.coordination`` picks the policy; the table budget is
+    ``config.num_rows`` (or the Table 3 default) *in total* — the same
+    memory a solo machine would spend, now split N ways.  Rows are
+    granted in :data:`TABLE_GRANT_QUANTUM` quanta (a budget that is not
+    a quantum multiple is truncated to one — every standard budget is a
+    power of two, so nothing is lost in practice), and the grants sum
+    exactly to the recorded ``table_total``.
+    """
+    policy = config.coordination
+    if policy == "static":
+        shares = [1] * len(apps)
+    elif policy == "demand":
+        shares = demand_shares(traces)
+    else:
+        raise ValueError(f"unknown coordination policy {policy!r} "
+                         f"(expected one of {POLICIES})")
+    budget = config.num_rows or CorrelationParams().num_rows
+    units = budget // TABLE_GRANT_QUANTUM
+    if units < len(apps):
+        raise ValueError(
+            f"table budget of {budget} rows cannot grant {len(apps)} "
+            f"cores at least {TABLE_GRANT_QUANTUM} rows each")
+    table_total = units * TABLE_GRANT_QUANTUM
+    row_units = apportion(units, shares, minimum=1)
+    budgets = apportion(TOTAL_PUSH_BUDGET, shares, minimum=1)
+    grants = tuple(
+        CoreGrant(core=i, app=app,
+                  num_rows=row_units[i] * TABLE_GRANT_QUANTUM,
+                  push_budget=budgets[i])
+        for i, app in enumerate(apps))
+    return Allocation(policy=policy, table_total=table_total,
+                      push_total=TOTAL_PUSH_BUDGET,
+                      push_window=PUSH_WINDOW_CYCLES, grants=grants)

@@ -1,0 +1,137 @@
+"""Entry points for multicore bundle runs.
+
+A *bundle* names the applications pinned one-per-core, joined with
+``+``: ``"tree+cg"`` is tree on core 0 and cg on core 1.  These mirror
+:func:`repro.sim.driver.run_simulation` /
+:func:`repro.obs.runner.run_traced` for N cores —
+:func:`run_simulation` itself dispatches here whenever its config says
+``num_cores > 1``, so every existing surface (pool tasks, campaigns,
+the CLI) reaches multicore through the same door.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional, Union
+
+from repro.faults.plan import FaultPlan
+from repro.multicore.result import MulticoreResult, MulticoreTraceRun
+from repro.multicore.system import MulticoreSystem, merge_event_streams
+from repro.sim.config import SystemConfig, custom_config, preset
+from repro.sim.stats import result_counter_metrics
+from repro.workloads.registry import get_trace, list_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from repro.obs.tracer import Tracer
+
+
+def parse_bundle(workload: str) -> tuple[str, ...]:
+    """Split a bundle name into its per-core applications.
+
+    ``"tree+cg"`` -> ``("tree", "cg")``; a plain application name is a
+    1-core bundle.  Every component must be a registered workload, and
+    repeats are allowed (``"em3d+em3d"`` runs two independent copies).
+    """
+    apps = tuple(part.strip() for part in workload.split("+"))
+    known = set(list_workloads())
+    for app in apps:
+        if app not in known:
+            raise ValueError(f"unknown application {app!r} in bundle "
+                             f"{workload!r} (known: "
+                             f"{', '.join(sorted(known))})")
+    return apps
+
+
+def _resolve_config(config: Union[str, SystemConfig],
+                    apps: tuple[str, ...]) -> SystemConfig:
+    if isinstance(config, str):
+        if config == "custom":
+            if len(apps) != 1:
+                raise ValueError(
+                    "the 'custom' preset is per-application; a multicore "
+                    "bundle needs an explicit SystemConfig "
+                    "(preset(name).with_cores(n))")
+            return custom_config(apps[0])
+        return preset(config)
+    if config.num_cores > 1 and config.name == "custom":
+        raise ValueError("per-application 'custom' configs cannot scale "
+                         "to a bundle; start from a shared preset")
+    return config
+
+
+def run_multicore(workload: str,
+                  config: Union[str, SystemConfig] = "nopref",
+                  scale: float = 1.0,
+                  tracer: "Optional[Tracer]" = None,
+                  seed: Optional[int] = None,
+                  fault_plans: "Optional[Mapping[int, FaultPlan]]" = None,
+                  ) -> MulticoreResult:
+    """Simulate one application bundle under one coordinated config.
+
+    The single-core identity contract: with one app and ``num_cores=1``
+    this builds exactly the solo machine — same config bytes, full
+    table, no push gate — so the result dict is byte-identical to
+    :func:`repro.sim.driver.run_simulation` (the parity suite pins this
+    across the whole preset matrix).  ``seed`` regenerates every
+    per-app trace under that layout seed, mirroring the solo driver.
+    ``fault_plans`` maps core index to a :class:`FaultPlan` override for
+    that tile alone (the chaos suite's single-victim knob); cores not in
+    the mapping fall back to the config's bundle-level plan, re-seeded
+    per core.
+    """
+    apps = parse_bundle(workload)
+    config = _resolve_config(config, apps)
+    if config.num_cores != len(apps):
+        raise ValueError(f"bundle {workload!r} has {len(apps)} apps but "
+                         f"config {config.name!r} has "
+                         f"num_cores={config.num_cores}; use "
+                         f"SystemConfig.with_cores")
+    if seed is None:
+        traces = [get_trace(app, scale=scale) for app in apps]
+    else:
+        traces = [get_trace(app, scale=scale, seed=seed, cache=False)
+                  for app in apps]
+    lanes = None
+    tracers = None
+    if tracer is not None:
+        if len(apps) == 1:
+            # Solo tile: thread the caller's tracer straight through so
+            # the traced stream is byte-identical to the solo engines.
+            tracers = [tracer]
+        else:
+            from repro.obs.tracer import CoreTaggedTracer
+            lanes = [CoreTaggedTracer(i, metrics=tracer.metrics)
+                     for i in range(len(apps))]
+            tracers = lanes
+    system = MulticoreSystem(config, apps, traces, tracers=tracers,
+                             fault_plans=fault_plans)
+    result = system.run()
+    if tracer is not None and lanes is not None:
+        tracer.events.extend(
+            merge_event_streams([lane.events for lane in lanes]))
+    return result
+
+
+def run_multicore_traced(workload: str,
+                         config: Union[str, SystemConfig] = "nopref",
+                         scale: float = 1.0,
+                         seed: Optional[int] = None,
+                         fault_plans: "Optional[Mapping[int, FaultPlan]]"
+                         = None) -> MulticoreTraceRun:
+    """One traced bundle cell: merged core-tagged events plus metrics.
+
+    The N-core analogue of :func:`repro.obs.runner.run_traced`: one
+    shared metrics registry across the lanes, per-core result counters
+    folded in (so the snapshot holds bundle-wide sums), and the merged
+    ``(cycle, core, emission)``-ordered event stream the golden digests
+    pin.
+    """
+    from repro.obs.tracer import Tracer
+    tracer = Tracer()
+    result = run_multicore(workload, config, scale=scale, tracer=tracer,
+                           seed=seed, fault_plans=fault_plans)
+    registry = tracer.metrics
+    for core_result in result.cores:
+        for name, value in result_counter_metrics(core_result).items():
+            registry.count(name, value)
+    return MulticoreTraceRun(result=result, events=tracer.events,
+                             metrics=registry.snapshot())

@@ -1,0 +1,163 @@
+"""Results of a multicore run, with exact serialisation round trips.
+
+A :class:`MulticoreResult` is the N-core analogue of
+:class:`~repro.sim.stats.SimResult`: one full per-core result per tile
+(the cores stay individually inspectable — the chaos suite compares a
+victim's neighbours byte for byte) plus the grant table the coordination
+policy produced.  The aggregate views (makespan, summed counters) are
+what the campaign run table consumes, so a bundle cell fills the same
+CSV columns a solo cell does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.multicore.coordination import Allocation
+from repro.obs.events import TraceEvent
+from repro.sim.stats import RobustnessStats, SimResult
+
+#: Bumped on incompatible layout changes (persistent-cache safety).
+MULTICORE_FORMAT_VERSION = 1
+
+
+@dataclass
+class MulticoreResult:
+    """Everything one N-core bundle run produced."""
+
+    #: The bundle name, e.g. ``"tree+cg"`` (apps joined by ``+``).
+    workload: str
+    config_name: str
+    num_cores: int
+    coordination: str
+    allocation: Allocation
+    #: Per-core results, index = core; ``cores[i].workload`` is that
+    #: core's application.
+    cores: tuple[SimResult, ...]
+
+    def core(self, index: int) -> SimResult:
+        return self.cores[index]
+
+    # -- aggregate views (the run-table columns) ----------------------------------
+
+    @property
+    def execution_time(self) -> int:
+        """Makespan: the bundle is done when its slowest core is."""
+        return max(r.execution_time for r in self.cores)
+
+    @property
+    def demand_misses_to_memory(self) -> int:
+        return sum(r.demand_misses_to_memory for r in self.cores)
+
+    @property
+    def prefetches_issued_to_memory(self) -> int:
+        return sum(r.prefetches_issued_to_memory for r in self.cores)
+
+    def eliminated_misses(self) -> int:
+        return sum(r.l2.prefetch_hits + r.l2.delayed_hits
+                   for r in self.cores)
+
+    def original_misses(self) -> int:
+        return sum(r.l2.original_misses_equivalent for r in self.cores)
+
+    def prefetches_arrived(self) -> int:
+        return sum(r.l2.total_prefetches_arrived for r in self.cores)
+
+    def coverage(self) -> float:
+        """Bundle-wide Figure 9 coverage: eliminated / original misses."""
+        original = self.original_misses()
+        return self.eliminated_misses() / original if original else 0.0
+
+    def accuracy(self) -> float:
+        arrived = self.prefetches_arrived()
+        return self.eliminated_misses() / arrived if arrived else 0.0
+
+    def robustness_totals(self) -> RobustnessStats:
+        """Field-wise sum of the per-core degradation counters."""
+        totals = RobustnessStats()
+        for result in self.cores:
+            for f in fields(RobustnessStats):
+                setattr(totals, f.name,
+                        getattr(totals, f.name)
+                        + getattr(result.robustness, f.name))
+        return totals
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": MULTICORE_FORMAT_VERSION,
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "num_cores": self.num_cores,
+            "coordination": self.coordination,
+            "allocation": self.allocation.to_dict(),
+            "cores": [r.to_dict() for r in self.cores],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MulticoreResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        payloads; the persistent cache treats those as a miss.
+        """
+        if data["version"] != MULTICORE_FORMAT_VERSION:
+            raise ValueError(f"multicore format version {data['version']!r} "
+                             f"!= {MULTICORE_FORMAT_VERSION}")
+        cores = tuple(SimResult.from_dict(c) for c in data["cores"])
+        if len(cores) != int(data["num_cores"]):
+            raise ValueError(f"{len(cores)} core results for "
+                             f"num_cores={data['num_cores']}")
+        return cls(workload=data["workload"],
+                   config_name=data["config_name"],
+                   num_cores=int(data["num_cores"]),
+                   coordination=data["coordination"],
+                   allocation=Allocation.from_dict(data["allocation"]),
+                   cores=cores)
+
+
+@dataclass
+class MulticoreTraceRun:
+    """A traced bundle: the merged per-core event stream plus metrics.
+
+    Every event carries a ``core=<i>`` info tag
+    (:class:`repro.obs.tracer.CoreTaggedTracer`); the merge is ordered by
+    ``(cycle, core, per-core emission index)``, so the stream is a pure
+    function of the cell and the golden digests pin it byte for byte.
+    The ``timeline``/``tracediff`` tools key on event *kind* and
+    ``(cycle, kind, addr)`` respectively, so tagged streams flow through
+    them unchanged.
+    """
+
+    result: MulticoreResult
+    events: list[TraceEvent]
+    metrics: dict[str, Any]
+
+    def event_lines(self) -> list[str]:
+        from repro.obs.tracer import event_json_line
+        return [event_json_line(e) for e in self.events]
+
+    def jsonl(self) -> str:
+        return "".join(line + "\n" for line in self.event_lines())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": MULTICORE_FORMAT_VERSION,
+            "result": self.result.to_dict(),
+            "events": [e.to_dict() for e in self.events],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MulticoreTraceRun":
+        from repro.obs.metrics import validate_snapshot
+        if data["version"] != MULTICORE_FORMAT_VERSION:
+            raise ValueError(f"multicore format version {data['version']!r} "
+                             f"!= {MULTICORE_FORMAT_VERSION}")
+        metrics = data["metrics"]
+        validate_snapshot(metrics)
+        return cls(result=MulticoreResult.from_dict(data["result"]),
+                   events=[TraceEvent.from_dict(e) for e in data["events"]],
+                   metrics=metrics)

@@ -1,0 +1,183 @@
+"""N processors with private tiles over the coordinated push path.
+
+A :class:`MulticoreSystem` instantiates one full
+:class:`~repro.sim.system.System` per core — private L1/L2, memory
+controller, and per-app ULMT, the os_support multiprogramming property
+realised structurally — and drives the per-app miss streams *interleaved*
+against a global clock: at every step the unfinished core whose processor
+clock is furthest behind executes its next reference (ties go to the
+lower core index).  Cores couple through the
+:class:`~repro.multicore.coordination.CoordinationPolicy` grants
+(partitioned correlation-table capacity, per-window push-bandwidth
+budgets) fixed before the run, never through shared mutable state, which
+gives three properties the test satellites pin:
+
+* **determinism** — the arbitration order is a pure function of the
+  cell, so serial, pooled, and warm-cache runs are byte-identical;
+* **single-core identity** — with one core the scheduler degenerates to
+  the plain trace walk, the policy grants the whole table and installs
+  no push gate, and the run is byte-identical to
+  :meth:`repro.sim.system.System.run` (the parity suite enforces this
+  against both engines);
+* **fault isolation** — a fault plan on one core provably cannot
+  perturb its neighbours (the chaos suite compares them byte for byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from repro.multicore.coordination import (
+    Allocation,
+    PushBandwidthGate,
+    allocate,
+)
+from repro.faults.plan import FaultPlan
+from repro.multicore.result import MulticoreResult
+from repro.obs.events import TraceEvent
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult
+from repro.sim.system import System
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # annotation-only (obs -> sim cycle guard)
+    from repro.obs.tracer import Tracer
+
+
+class CoreTile:
+    """One core: its application, trace, and private system."""
+
+    __slots__ = ("index", "app", "trace", "system", "steps")
+
+    def __init__(self, index: int, app: str, trace: Trace,
+                 system: System) -> None:
+        self.index = index
+        self.app = app
+        self.trace = trace
+        self.system = system
+        #: References executed so far (event-conservation accounting).
+        self.steps = 0
+
+
+def merge_event_streams(
+        streams: Sequence[Sequence[TraceEvent]]) -> list[TraceEvent]:
+    """Merge per-core event streams into one deterministic stream.
+
+    Ordered by ``(cycle, core, per-core emission index)`` — a stable
+    global timeline in which each core's own emission order is preserved
+    and same-cycle events across cores land in core order.
+    """
+    entries = [(event.cycle, core, seq, event)
+               for core, stream in enumerate(streams)
+               for seq, event in enumerate(stream)]
+    entries.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in entries]
+
+
+class MulticoreSystem:
+    """N coordinated simulated machines walking interleaved traces."""
+
+    def __init__(self, config: SystemConfig,
+                 apps: Sequence[str],
+                 traces: Sequence[Trace],
+                 tracers: "Sequence[Tracer] | None" = None,
+                 fault_plans: "Mapping[int, FaultPlan] | None" = None,
+                 record_schedule: bool = False) -> None:
+        if len(apps) != config.num_cores:
+            raise ValueError(f"{len(apps)} apps for "
+                             f"num_cores={config.num_cores}")
+        if len(traces) != len(apps):
+            raise ValueError(f"{len(traces)} traces for {len(apps)} apps")
+        if tracers is not None and len(tracers) != len(apps):
+            raise ValueError(f"{len(tracers)} tracers for {len(apps)} apps")
+        self.config = config
+        self.apps = tuple(apps)
+        self.allocation: Allocation = allocate(config, self.apps, traces)
+        #: Arbitration order (core index per step) when recording is on;
+        #: the seed-determinism property test replays and compares it.
+        self.schedule: Optional[list[int]] = [] if record_schedule else None
+        solo = config.num_cores == 1
+        self.tiles: list[CoreTile] = []
+        for i, (app, trace) in enumerate(zip(self.apps, traces)):
+            grant = self.allocation.grant(i)
+            plan = self._core_plan(i, solo, fault_plans)
+            if solo and (fault_plans is None or i not in fault_plans):
+                # Single-core identity: the tile *is* the solo machine —
+                # full table (the config's own num_rows, None included),
+                # no push gate, the fault plan untouched.
+                tile_config = config
+            elif solo:
+                tile_config = dc_replace(config, fault_plan=plan)
+            else:
+                tile_config = dc_replace(config, num_rows=grant.num_rows,
+                                         fault_plan=plan)
+            tracer = None if tracers is None else tracers[i]
+            system = System(tile_config, tracer=tracer)
+            if not solo:
+                system.push_gate = PushBandwidthGate(
+                    grant.push_budget, self.allocation.push_window)
+            self.tiles.append(CoreTile(i, app, trace, system))
+
+    def _core_plan(self, core: int, solo: bool,
+                   fault_plans: "Mapping[int, FaultPlan] | None"
+                   ) -> "FaultPlan | None":
+        """Final fault plan for one tile.
+
+        An explicit per-core override wins verbatim — the chaos suite
+        targets exactly one victim this way.  Otherwise a bundle-level
+        plan is re-seeded per core (:meth:`FaultPlan.for_core`) so faults
+        strike the cores independently; a solo machine keeps its plan
+        untouched for bit parity with the plain engines.
+        """
+        if fault_plans is not None and core in fault_plans:
+            return fault_plans[core]
+        plan = self.config.fault_plan
+        if plan is None or solo:
+            return plan
+        return plan.for_core(core)
+
+    def run(self) -> MulticoreResult:
+        """Interleave every core's trace walk to completion."""
+        tiles = self.tiles
+        iterators = [iter(tile.trace) for tile in tiles]
+        heads = [next(it, None) for it in iterators]
+        active = [i for i, head in enumerate(heads) if head is not None]
+        stats = [tile.system.processor.finish() if heads[i] is None else None
+                 for i, tile in enumerate(tiles)]
+        schedule = self.schedule
+        while active:
+            # The core furthest behind in time steps next; ties go to the
+            # lower index.  Tiles share no mutable state, so this order
+            # cannot change any per-core result — it fixes the merged
+            # observability timeline and keeps the walk deterministic.
+            core = min(active,
+                       key=lambda i: (tiles[i].system.processor.now, i))
+            if schedule is not None:
+                schedule.append(core)
+            tile = tiles[core]
+            head = heads[core]
+            assert head is not None
+            tile.system.processor.step(head)
+            tile.steps += 1
+            heads[core] = next(iterators[core], None)
+            if heads[core] is None:
+                stats[core] = tile.system.processor.finish()
+                active.remove(core)
+        results = []
+        for tile in tiles:
+            processor_stats = stats[tile.index]
+            assert processor_stats is not None
+            results.append(tile.system.finalize_result(
+                tile.trace.name, processor_stats))
+        return self._result(results)
+
+    def _result(self, results: list[SimResult]) -> MulticoreResult:
+        return MulticoreResult(
+            workload="+".join(self.apps),
+            config_name=self.config.name,
+            num_cores=self.config.num_cores,
+            coordination=self.config.coordination,
+            allocation=self.allocation,
+            cores=tuple(results),
+        )

@@ -153,3 +153,31 @@ class Tracer:
         for event in self.events:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return {k: counts[k] for k in sorted(counts)}
+
+
+class CoreTaggedTracer(Tracer):
+    """A per-core tracer lane of a multicore run.
+
+    Each tile of a :class:`repro.multicore.system.MulticoreSystem` gets
+    its own instance, which stamps ``core=<i>`` into every event's info
+    tuple (info keys are sorted on emission, so the tag lands
+    deterministically) while sharing one :class:`MetricsRegistry` across
+    the bundle.  Unknown info keys round-trip through
+    :meth:`TraceEvent.from_dict` untouched, and the timeline/tracediff
+    lanes key on event *kind* only — so tagged streams flow through every
+    existing trace tool unchanged.
+    """
+
+    __slots__ = ("core",)
+
+    def __init__(self, core: int,
+                 metrics: Optional[MetricsRegistry] = None,
+                 check_kinds: bool = False,
+                 collect_events: bool = True) -> None:
+        super().__init__(metrics=metrics, check_kinds=check_kinds,
+                         collect_events=collect_events)
+        self.core = core
+
+    def emit(self, kind: str, cycle: int, addr: Optional[int] = None,
+             **info: int | str) -> None:
+        super().emit(kind, cycle, addr, core=self.core, **info)

@@ -115,6 +115,15 @@ def sim_cache_key(app: str, config: SystemConfig, scale: float,
     """
     config_key = canonical(config)
     config_key.pop("engine", None)
+    # Multicore fields are omitted at their defaults for the same reason
+    # engine is always omitted: a single-core config must keep the exact
+    # key bytes it had before the fields existed, or every committed
+    # cache entry and journal identity would silently invalidate.  A
+    # genuine multicore cell (num_cores > 1) keeps both fields — they
+    # shape the result.
+    if config_key.get("num_cores") == 1:
+        config_key.pop("num_cores", None)
+        config_key.pop("coordination", None)
     return {"app": app, "seed": seed, "scale": scale,
             "config": config_key}
 

@@ -52,6 +52,8 @@ KIND_TABLESIZE = "tablesize"
 KIND_TRACE = "trace"
 KIND_WINDOWS = "windows"
 KIND_STREAM = "stream"
+KIND_MC = "mc"
+KIND_MCTRACE = "mctrace"
 
 #: Kinds whose results go through the persistent cache.  ``stream`` tasks
 #: are deliberately excluded: their observable product is a file on disk
@@ -59,7 +61,13 @@ KIND_STREAM = "stream"
 #: cached digest would skip the write and "succeed" without producing the
 #: trace.  They always execute.
 CACHEABLE_KINDS = frozenset(
-    {KIND_SIM, KIND_FIG5, KIND_TABLESIZE, KIND_TRACE, KIND_WINDOWS})
+    {KIND_SIM, KIND_FIG5, KIND_TABLESIZE, KIND_TRACE, KIND_WINDOWS,
+     KIND_MC, KIND_MCTRACE})
+
+#: Kinds whose ``app`` field is a multicore bundle (``"tree+cg"``) and
+#: whose ``config`` is always a full :class:`SystemConfig` with
+#: ``num_cores`` set (see :func:`mc_task`).
+MULTICORE_KINDS = frozenset({KIND_MC, KIND_MCTRACE})
 
 
 @dataclass(frozen=True)
@@ -77,7 +85,8 @@ class MatrixTask:
     seed: Optional[int] = None
 
     def label(self) -> str:
-        if self.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM):
+        if self.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM,
+                         KIND_MC, KIND_MCTRACE):
             name = (self.config.name if isinstance(self.config, SystemConfig)
                     else self.config)
             cell = f"{self.app}/{name}"
@@ -128,6 +137,26 @@ def stream_task(app: str, config: "str | SystemConfig", scale: float,
                       params=(str(out_dir), buffer_events), seed=seed)
 
 
+def mc_task(bundle: str, config: SystemConfig, scale: float,
+            seed: Optional[int] = None,
+            trace: bool = False) -> MatrixTask:
+    """One multicore bundle cell (``trace=True`` for the traced variant).
+
+    ``bundle`` is a ``+``-joined app list (``"tree+cg"``); ``config``
+    must be the full frozen :class:`SystemConfig` with ``num_cores``
+    matching the bundle width — names alone cannot carry the core count,
+    so unlike ``sim`` tasks there is no string-config form.
+    """
+    if not isinstance(config, SystemConfig):
+        raise TypeError(f"mc tasks need a full SystemConfig (got "
+                        f"{config!r}); build one with with_cores()")
+    if config.num_cores != len(bundle.split("+")):
+        raise ValueError(f"bundle {bundle!r} vs num_cores="
+                         f"{config.num_cores}")
+    return MatrixTask(kind=KIND_MCTRACE if trace else KIND_MC, app=bundle,
+                      scale=scale, config=config, seed=seed)
+
+
 def fig5_task(app: str, scale: float, predictors: tuple,
               max_level: int = 3, engine: str = "event") -> MatrixTask:
     """A Figure 5 predictability row.
@@ -168,6 +197,11 @@ def with_engine(task: MatrixTask, engine: str) -> MatrixTask:
             else (predictors, max_level, engine)))
     if task.kind == KIND_TABLESIZE:
         return replace(task, params=() if engine == "event" else (engine,))
+    if task.kind in MULTICORE_KINDS:
+        # Multicore tiles always run the event engine (the batch kernel
+        # cannot interleave); the engine field is inert here and cache
+        # keys are engine-blind, so the task passes through unchanged.
+        return task
     return replace(task,
                    config=resolve_task_config(task).with_engine(engine))
 
@@ -184,7 +218,10 @@ def resolve_task_config(task: MatrixTask) -> SystemConfig:
 
 def task_cache_key(task: MatrixTask) -> dict[str, Any]:
     """The persistent-cache key material of one task."""
-    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS):
+    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_MC,
+                     KIND_MCTRACE):
+        # Multicore tasks keep num_cores/coordination in the key (the
+        # config's defaults are only elided at num_cores == 1).
         return sim_cache_key(task.app, resolve_task_config(task),
                              task.scale, task.seed)
     if task.kind == KIND_STREAM:
@@ -209,7 +246,8 @@ def task_cache_key(task: MatrixTask) -> dict[str, Any]:
 
 
 def encode_payload(task: MatrixTask, result: Any) -> Any:
-    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM):
+    if task.kind in (KIND_SIM, KIND_TRACE, KIND_WINDOWS, KIND_STREAM,
+                     KIND_MC, KIND_MCTRACE):
         return result.to_dict()
     if task.kind == KIND_FIG5:
         # A list, not a dict: the cache file is written with sorted keys,
@@ -237,6 +275,12 @@ def decode_payload(task: MatrixTask, payload: Any) -> Any:
         return WindowedRun.from_dict(payload)
     if task.kind == KIND_STREAM:
         return StreamedTraceRun.from_dict(payload)
+    if task.kind == KIND_MC:
+        from repro.multicore.result import MulticoreResult
+        return MulticoreResult.from_dict(payload)
+    if task.kind == KIND_MCTRACE:
+        from repro.multicore.result import MulticoreTraceRun
+        return MulticoreTraceRun.from_dict(payload)
     if task.kind == KIND_FIG5:
         return {entry["predictor"]: PredictionResult(
                     predictor=entry["predictor"],
@@ -273,7 +317,12 @@ def task_cost_estimate(task: MatrixTask) -> float:
     results are still collected in task-index order, so scheduling can
     never change any output.
     """
-    weight = _APP_WEIGHT.get(task.app, _APP_WEIGHT_DEFAULT) * task.scale
+    if task.kind in MULTICORE_KINDS:
+        # A bundle costs the sum of its per-core trace walks.
+        weight = sum(_APP_WEIGHT.get(app, _APP_WEIGHT_DEFAULT)
+                     for app in task.app.split("+")) * task.scale
+    else:
+        weight = _APP_WEIGHT.get(task.app, _APP_WEIGHT_DEFAULT) * task.scale
     if task.kind in _KIND_WEIGHT:
         return weight * _KIND_WEIGHT[task.kind]
     try:
@@ -320,6 +369,14 @@ def execute_task(task: MatrixTask) -> Any:
         return run_traced_streaming(task.app, config, scale=task.scale,
                                     seed=task.seed, out=path,
                                     buffer_events=buffer_events)
+    if task.kind == KIND_MC:
+        from repro.multicore.driver import run_multicore
+        return run_multicore(task.app, resolve_task_config(task),
+                             scale=task.scale, seed=task.seed)
+    if task.kind == KIND_MCTRACE:
+        from repro.multicore.driver import run_multicore_traced
+        return run_multicore_traced(task.app, resolve_task_config(task),
+                                    scale=task.scale, seed=task.seed)
     if task.kind == KIND_FIG5:
         predictors, max_level = task.params[0], task.params[1]
         engine = task.params[2] if len(task.params) > 2 else "event"

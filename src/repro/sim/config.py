@@ -55,10 +55,29 @@ class SystemConfig:
     #: produce bit-identical results — the engine is an implementation
     #: choice, not a model parameter, and result-cache keys ignore it.
     engine: str = "event"
+    #: Number of main processors.  1 (the default) is the paper's machine;
+    #: N > 1 routes the run through :mod:`repro.multicore`, which gives
+    #: each core a private tile and one per-app ULMT and arbitrates the
+    #: shared correlation-table capacity and push bandwidth across cores.
+    #: Cache keys omit both fields at their defaults, so every existing
+    #: single-core fingerprint is preserved.
+    num_cores: int = 1
+    #: Cross-core coordination policy (:mod:`repro.multicore.coordination`):
+    #: ``"static"`` partitions resources equally, ``"demand"`` proportional
+    #: to each application's trace footprint.  Ignored when ``num_cores``
+    #: is 1.
+    coordination: str = "static"
 
     def with_engine(self, engine: str) -> "SystemConfig":
         """This configuration run under a different simulation engine."""
         return replace(self, engine=engine)
+
+    def with_cores(self, num_cores: int,
+                   coordination: "str | None" = None) -> "SystemConfig":
+        """This configuration scaled out to ``num_cores`` processors."""
+        if coordination is None:
+            return replace(self, num_cores=num_cores)
+        return replace(self, num_cores=num_cores, coordination=coordination)
 
     def with_num_rows(self, num_rows: int) -> "SystemConfig":
         return replace(self, num_rows=num_rows)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (perf -> sim)
+    from repro.multicore.result import MulticoreResult
     from repro.obs.tracer import Tracer
     from repro.perf.cache import ResultCache
 
@@ -19,7 +20,8 @@ def run_simulation(workload: str | Trace,
                    config: str | SystemConfig = "nopref",
                    scale: float = 1.0,
                    tracer: "Tracer | None" = None,
-                   seed: "int | None" = None) -> SimResult:
+                   seed: "int | None" = None
+                   ) -> "SimResult | MulticoreResult":
     """Simulate one application under one system configuration.
 
     ``workload`` is an application name from
@@ -31,7 +33,23 @@ def run_simulation(workload: str | Trace,
     :func:`repro.obs.runner.run_traced` for the packaged form).  ``seed``
     overrides the workload trace seed (campaign repetitions sweep it);
     it is ignored for an explicit :class:`Trace`, which is already built.
+
+    A config with ``num_cores > 1`` dispatches to
+    :func:`repro.multicore.driver.run_multicore`: ``workload`` is then a
+    ``+``-joined bundle (``"tree+cg"``) and the return value a
+    :class:`~repro.multicore.result.MulticoreResult`.  Multicore tiles
+    always run the event engine — the batch kernel cannot interleave —
+    and only reachable through an explicit :class:`SystemConfig`
+    (every named preset is single-core).
     """
+    if isinstance(config, SystemConfig) and config.num_cores > 1:
+        if isinstance(workload, Trace):
+            raise ValueError("multicore bundles are named app bundles "
+                             "('tree+cg'); explicit Trace objects carry "
+                             "no per-core split")
+        from repro.multicore.driver import run_multicore
+        return run_multicore(workload, config, scale=scale,
+                             tracer=tracer, seed=seed)
     if isinstance(workload, Trace):
         trace = workload
         app_name = trace.name or "trace"

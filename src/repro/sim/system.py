@@ -21,7 +21,9 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Optional
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim,
+    # multicore -> sim)
+    from repro.multicore.coordination import PushBandwidthGate
     from repro.obs.tracer import Tracer
 
 from repro.core.ulmt import UlmtPrefetch
@@ -110,6 +112,12 @@ class System:
 
         self.prefetch_queue = PrefetchQueue(queue_params.queue_depth)  # queue 3
         self.prefetch_queue.tracer = tracer
+        #: Cross-core push-bandwidth arbitration
+        #: (:class:`repro.multicore.coordination.PushBandwidthGate`): None
+        #: (the default, and always on a solo machine — a single core owns
+        #: the push path) keeps queue-3 issue bit-identical and free; the
+        #: multicore driver installs each tile's granted budget here.
+        self.push_gate: "Optional[PushBandwidthGate]" = None
         #: in-flight pushed lines: line -> (arrival, demand_merged)
         self._inflight: dict[int, int] = {}
         self._arrivals: list[tuple[int, int, bool]] = []  # heap
@@ -292,6 +300,7 @@ class System:
         """Move due queue-3 entries into the memory system."""
         inj = self.fault_injector
         faulty = inj.active  # hoisted: constant for the run
+        gate = self.push_gate
         tr = self.tracer
         while True:
             head = self.prefetch_queue.pop()
@@ -304,6 +313,14 @@ class System:
                 return
             if head.line_addr in self._inflight:
                 continue
+            if gate is not None and not gate.try_issue(now):
+                # This window's push-bandwidth grant is spent: hold the
+                # head until the next window opens.  Queue 3 backs up
+                # behind it, which is how cross-core contention surfaces
+                # as overflow drops and demand cancels.
+                self.prefetch_queue.push_front(PrefetchRequest(
+                    head.line_addr, gate.next_window_start(), head.retries))
+                return
             if faulty and inj.lose_push():
                 # The push vanished in transit.  Bounded-retry semantics:
                 # re-queue it with a backoff until the retry budget is

@@ -1,0 +1,81 @@
+"""Multicore campaigns: crash-safe resume and bundle run-table semantics.
+
+The ISSUE-9 acceptance criterion, pinned directly: a 2-core campaign's
+``run_table.csv`` resumes byte-identically after a mid-flight SIGKILL
+(replayed as the journal shape a kill leaves behind — header, one
+completed cell, a torn line).  The rest checks that bundle rows carry
+the aggregate views (makespan, bundle coverage, speedup vs the bundle's
+own ``nopref`` baseline) and that the journal header round-trips the
+multicore fields.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.perf.retry import RetryPolicy
+
+SPEC = CampaignSpec(apps=("tree+cg",), configs=("nopref", "repl"),
+                    scale=0.02, cores=2, coordination="demand")
+
+FAST = RetryPolicy(max_attempts=2, backoff_base_s=0.01, backoff_cap_s=0.02,
+                   jitter=0.0)
+
+
+def _run(out_dir, spec=SPEC, **kwargs):
+    kwargs.setdefault("policy", FAST)
+    kwargs.setdefault("verbose", False)
+    return run_campaign(spec, out_dir, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def complete(tmp_path_factory):
+    out = tmp_path_factory.mktemp("mc_campaign")
+    return _run(out)
+
+
+class TestRunTable:
+    def test_bundle_rows_in_spec_order(self, complete):
+        assert complete.exit_code == 0
+        assert [(r["app"], r["config"]) for r in complete.rows] == \
+            [("tree+cg", "nopref"), ("tree+cg", "repl")]
+        assert [r["status"] for r in complete.rows] == ["ok", "ok"]
+
+    def test_speedup_is_vs_the_bundle_baseline(self, complete):
+        base = int(complete.rows[0]["execution_time"])
+        repl = complete.rows[1]
+        assert repl["speedup"] == f"{base / int(repl['execution_time']):.6f}"
+        assert float(repl["speedup"]) > 1.0
+
+    def test_journal_header_carries_the_multicore_fields(self, complete):
+        header = json.loads((complete.out_dir / "journal.jsonl")
+                            .read_text().splitlines()[0])
+        assert header["campaign"]["cores"] == 2
+        assert header["campaign"]["coordination"] == "demand"
+
+
+class TestResume:
+    def test_resume_after_kill_is_byte_identical(self, complete, tmp_path):
+        # Replay the SIGKILL shape: header + one finish + a torn line.
+        reference = complete.run_table_path.read_bytes()
+        out = tmp_path / "resumed"
+        out.mkdir()
+        lines = (complete.out_dir / "journal.jsonl") \
+            .read_text().splitlines(keepends=True)
+        keep = [lines[0]] + [line for line in lines
+                             if '"finish"' in line][:1]
+        (out / "journal.jsonl").write_text(
+            "".join(keep) + '{"event":"finish","task":"torn')
+        outcome = _run(out, resume=True)
+        assert outcome.exit_code == 0
+        assert outcome.run.counters["resumed"] == 1
+        assert outcome.run.counters["completed"] == 1
+        assert outcome.run_table_path.read_bytes() == reference
+
+    def test_resume_refuses_a_different_core_count(self, complete):
+        from repro.campaign import CampaignError
+        solo = CampaignSpec(apps=("tree+cg",), configs=("nopref", "repl"),
+                            scale=0.02)
+        with pytest.raises(CampaignError):
+            _run(complete.out_dir, spec=solo, resume=True)

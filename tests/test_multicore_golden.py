@@ -1,0 +1,171 @@
+"""Golden-trace battery for the multicore layer (satellite 3 of ISSUE 9).
+
+One committed digest freezes the 2-core ``tree+cg`` cell under ``repl``:
+event count, SHA-256 of the merged JSON-lines stream, per-kind counts,
+the shared metrics snapshot, and the first lines — the scheme of
+``tests/test_obs_golden.py``, extended with the bundle's allocation so a
+coordination-policy change shows up in review, not just as a hash flip.
+
+The parity tests then pin the acceptance criterion directly: the serial
+run, a ``--jobs 2`` pool run, and a warm-cache replay of the same
+multicore cells are *byte-identical*.  Two cells (``repl`` + ``nopref``)
+are used so the pool genuinely forks — ``run_tasks`` falls back to
+serial with a single pending task.
+
+Finally, the per-core event tags are exercised through the existing
+trace tools: every merged event carries ``core`` in {0..N-1}, the
+timeline lane fold covers the tagged stream, and ``tracediff`` of the
+per-core sub-streams attributes every event to exactly one core.
+
+Regenerate the golden after an intentional schema or model change::
+
+    PYTHONPATH=src python tests/test_multicore_golden.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.multicore import MulticoreTraceRun, run_multicore_traced
+from repro.multicore.result import MULTICORE_FORMAT_VERSION
+from repro.obs.analysis.diff import diff_streams
+from repro.obs.analysis.lanes import fold_stream
+from repro.perf.cache import ResultCache
+from repro.perf.pool import mc_task, run_tasks
+from repro.sim.config import preset
+
+SCALE = 0.02
+BUNDLE = "tree+cg"
+CONFIGS = ["nopref", "repl"]
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN = GOLDEN_DIR / "multicore_tree_cg_repl.json"
+
+
+def _config(name: str):
+    return preset(name).with_cores(2)
+
+
+def digest(run: MulticoreTraceRun) -> dict:
+    """The committed shape of the 2-core traced cell."""
+    jsonl = run.jsonl()
+    lines = jsonl.splitlines()
+    counts: dict[str, int] = {}
+    for event in run.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {
+        "bundle": run.result.workload,
+        "config": run.result.config_name,
+        "scale": SCALE,
+        "multicore_format_version": MULTICORE_FORMAT_VERSION,
+        "allocation": run.result.allocation.to_dict(),
+        "events": len(run.events),
+        "sha256": hashlib.sha256(jsonl.encode("ascii")).hexdigest(),
+        "execution_time": run.result.execution_time,
+        "kind_counts": {k: counts[k] for k in sorted(counts)},
+        "metrics": run.metrics,
+        "head": lines[:10],
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    return {config: run_multicore_traced(BUNDLE, _config(config),
+                                         scale=SCALE)
+            for config in CONFIGS}
+
+
+class TestGolden:
+    def test_repl_cell_matches_golden(self, serial_runs):
+        assert GOLDEN.exists(), (
+            f"missing golden {GOLDEN}; regenerate with "
+            f"`PYTHONPATH=src python tests/test_multicore_golden.py`")
+        golden = json.loads(GOLDEN.read_text())
+        got = digest(serial_runs["repl"])
+        # Cheap fields first for a readable failure, then the
+        # byte-identity proxy (the stream hash) and the full snapshot.
+        assert got["allocation"] == golden["allocation"]
+        assert got["events"] == golden["events"]
+        assert got["kind_counts"] == golden["kind_counts"]
+        assert got["execution_time"] == golden["execution_time"]
+        assert got["head"] == golden["head"]
+        assert got["metrics"] == golden["metrics"]
+        assert got["sha256"] == golden["sha256"]
+
+
+class TestParity:
+    """Serial == ``--jobs 2`` == warm-cache, byte for byte."""
+
+    def _tasks(self):
+        return [mc_task(BUNDLE, _config(config), SCALE, trace=True)
+                for config in CONFIGS]
+
+    def test_parallel_pool_matches_serial(self, serial_runs):
+        results = run_tasks(self._tasks(), jobs=2)
+        for config, run in zip(CONFIGS, results):
+            want = serial_runs[config]
+            assert run.jsonl() == want.jsonl()
+            assert run.metrics == want.metrics
+            assert run.result.to_dict() == want.result.to_dict()
+
+    def test_warm_cache_matches_serial(self, serial_runs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_tasks(self._tasks(), cache=cache)
+        assert cache.stats.stores == len(CONFIGS)
+        warm = run_tasks(self._tasks(), cache=cache)
+        assert cache.stats.hits == len(CONFIGS)
+        for config, run_cold, run_warm in zip(CONFIGS, cold, warm):
+            want = serial_runs[config]
+            assert run_cold.jsonl() == want.jsonl()
+            assert run_warm.jsonl() == want.jsonl()
+            assert run_warm.metrics == want.metrics
+
+
+class TestCoreTags:
+    """Per-core lane tags flow through the existing trace tools."""
+
+    def test_every_event_is_tagged_with_its_core(self, serial_runs):
+        run = serial_runs["repl"]
+        cores = {dict(e.info)["core"] for e in run.events}
+        assert cores == {0, 1}
+
+    def test_merged_stream_is_cycle_sorted(self, serial_runs):
+        cycles = [e.cycle for e in serial_runs["repl"].events]
+        assert cycles == sorted(cycles)
+
+    def test_timeline_folds_the_tagged_stream(self, serial_runs):
+        run = serial_runs["repl"]
+        activity = fold_stream((e.kind, e.cycle) for e in run.events)
+        assert activity.total_events == len(run.events)
+        # Tagged kinds still land on their Figure-3 lanes, not on '?'.
+        assert "?" not in activity.columns
+
+    def test_tracediff_attributes_every_event_to_one_core(self, serial_runs):
+        run = serial_runs["repl"]
+        records = [json.loads(line) for line in run.event_lines()]
+        assert all(record["core"] in (0, 1) for record in records)
+        by_core = {core: [r for r in records if r["core"] == core]
+                   for core in (0, 1)}
+        # The two per-core sub-streams partition the merged stream ...
+        assert len(by_core[0]) + len(by_core[1]) == len(records)
+        # ... and tracediff of the merged stream against itself is clean
+        # (core tags survive the record round-trip without confusing the
+        # (cycle, kind, addr) alignment).
+        report = diff_streams(records, records)
+        assert report.identical
+        # Across cores the streams are genuinely different programs.
+        cross = diff_streams(by_core[0], by_core[1])
+        assert not cross.identical
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    run = run_multicore_traced(BUNDLE, _config("repl"), scale=SCALE)
+    GOLDEN.write_text(json.dumps(digest(run), indent=2, sort_keys=True)
+                      + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regen()

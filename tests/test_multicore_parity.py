@@ -1,0 +1,157 @@
+"""The multicore layer's single-core-identity gate.
+
+The contract (see ``docs/MULTICORE.md``): with ``num_cores=1`` the
+multicore driver must build *exactly* the solo machine — same config
+bytes, the full correlation table, no push gate — so its per-core
+``SimResult.to_dict()`` is byte-identical to both existing engines on
+every preset of the matrix.  Anything less and the multicore path is a
+different simulator riding the same name.
+
+The full 9x13 matrix runs in CI's ``multicore-parity`` job; here a
+rotating app per config (the kernel-parity scheme) keeps tier 1 fast
+while touching every config family.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.multicore import (
+    MulticoreResult,
+    parse_bundle,
+    run_multicore,
+    run_multicore_traced,
+)
+from repro.perf.cache import sim_cache_key
+from repro.sim.config import PRESETS, custom_config, preset
+from repro.sim.driver import run_simulation
+from repro.workloads.registry import get_trace, list_workloads
+
+SCALE = 0.02
+
+#: One (config, app) cell per preset family, apps rotating — the same
+#: scheme (and therefore the same coverage argument) as the kernel
+#: parity gate in tests/test_kernel_parity.py.
+CELLS = [(name, app) for name, app in zip(
+    list(PRESETS) + ["custom"],
+    (list_workloads() * 3))]
+
+
+def _resolved(app: str, config: str):
+    return custom_config(app) if config == "custom" else preset(config)
+
+
+def _canon(d: dict) -> str:
+    return json.dumps(d, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def multicore_runs():
+    """Every cell once through the 1-core multicore driver."""
+    return {(config, app): run_multicore(app, config, scale=SCALE)
+            for config, app in CELLS}
+
+
+class TestSingleCoreIdentity:
+    @pytest.mark.parametrize("config,app", CELLS,
+                             ids=[f"{c}-{a}" for c, a in CELLS])
+    def test_matches_event_engine(self, config, app, multicore_runs):
+        mc = multicore_runs[(config, app)]
+        assert mc.num_cores == 1
+        solo = run_simulation(app, _resolved(app, config), scale=SCALE)
+        assert _canon(mc.core(0).to_dict()) == _canon(solo.to_dict())
+
+    @pytest.mark.parametrize("config,app", CELLS,
+                             ids=[f"{c}-{a}" for c, a in CELLS])
+    def test_matches_batch_engine(self, config, app, multicore_runs):
+        mc = multicore_runs[(config, app)]
+        batch = run_simulation(
+            app, _resolved(app, config).with_engine("batch"), scale=SCALE)
+        assert _canon(mc.core(0).to_dict()) == _canon(batch.to_dict())
+
+    def test_traced_stream_identical_to_solo(self):
+        """A 1-core traced bundle threads the tracer straight through."""
+        from repro.obs.runner import run_traced
+        solo = run_traced("tree", "repl", scale=SCALE)
+        mc = run_multicore_traced("tree", "repl", scale=SCALE)
+        assert mc.jsonl() == solo.jsonl()
+        assert mc.metrics == solo.metrics
+
+    def test_one_core_grants_whole_table_and_no_gate(self):
+        from repro.multicore.system import MulticoreSystem
+        trace = get_trace("tree", scale=SCALE)
+        config = preset("repl")
+        system = MulticoreSystem(config, ("tree",), (trace,))
+        assert system.allocation.grant(0).num_rows == \
+            system.allocation.table_total
+        assert system.tiles[0].system.push_gate is None
+        # The tile config IS the bundle config — not a rebuilt equal.
+        assert system.tiles[0].system.config is config
+
+
+class TestDispatch:
+    def test_run_simulation_dispatches_on_num_cores(self):
+        result = run_simulation("tree+cg", preset("repl").with_cores(2),
+                                scale=SCALE)
+        assert isinstance(result, MulticoreResult)
+        assert result.workload == "tree+cg"
+
+    def test_trace_object_workload_rejected(self):
+        trace = get_trace("tree", scale=SCALE)
+        with pytest.raises(ValueError):
+            run_simulation(trace, preset("repl").with_cores(2))
+
+    def test_bundle_width_must_match_cores(self):
+        with pytest.raises(ValueError):
+            run_multicore("tree+cg+mst", preset("repl").with_cores(2),
+                          scale=SCALE)
+
+    def test_unknown_bundle_component_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bundle("tree+nosuchapp")
+
+    def test_custom_cannot_scale_out(self):
+        with pytest.raises(ValueError):
+            run_multicore("tree+cg", "custom", scale=SCALE)
+
+
+class TestCacheKeys:
+    """num_cores/coordination stay out of single-core cache keys."""
+
+    def test_default_config_key_unchanged(self):
+        key = sim_cache_key("tree", preset("repl"), SCALE, None)
+        assert "num_cores" not in key["config"]
+        assert "coordination" not in key["config"]
+
+    def test_multicore_config_keys_carry_the_fields(self):
+        key = sim_cache_key("tree+cg", preset("repl").with_cores(2, "demand"),
+                            SCALE, None)
+        assert key["config"]["num_cores"] == 2
+        assert key["config"]["coordination"] == "demand"
+
+
+class TestCampaignSpec:
+    def test_single_core_header_dict_unchanged(self):
+        spec = CampaignSpec(apps=("tree",), configs=("nopref",), scale=SCALE)
+        assert "cores" not in spec.to_dict()
+        assert "coordination" not in spec.to_dict()
+
+    def test_multicore_spec_round_trips(self):
+        spec = CampaignSpec(apps=("tree+cg",), configs=("nopref", "repl"),
+                            scale=SCALE, cores=2, coordination="demand")
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bundle_width_validated(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(apps=("tree",), configs=("repl",), cores=2)
+        with pytest.raises(ValueError):
+            CampaignSpec(apps=("tree+cg",), configs=("custom",), cores=2)
+
+    def test_tasks_are_mc_tasks_with_full_configs(self):
+        from repro.perf.pool import KIND_MC
+        spec = CampaignSpec(apps=("tree+cg",), configs=("repl",),
+                            scale=SCALE, cores=2)
+        tasks = spec.tasks()
+        assert [t.kind for t in tasks] == [KIND_MC]
+        assert tasks[0].config.num_cores == 2

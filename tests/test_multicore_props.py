@@ -1,0 +1,169 @@
+"""Property tests for the multicore coordination and interleaving layer.
+
+Three invariants, pinned over hypothesis-generated inputs:
+
+* **partition conservation** — the table-capacity (and push-budget)
+  grants always sum to the configured total, whatever the shares;
+* **event conservation** — the interleaver walks every per-app miss
+  stream exactly once: each core's step count equals its trace length,
+  no reference is dropped or double-stepped;
+* **arbitration determinism** — the scheduling order (and everything
+  downstream of it) is a pure function of the cell: re-running the same
+  bundle replays the identical schedule and byte-identical results.
+"""
+
+import json
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.multicore.coordination import (  # noqa: E402
+    POLICIES,
+    TABLE_GRANT_QUANTUM,
+    allocate,
+    apportion,
+)
+from repro.multicore.system import MulticoreSystem  # noqa: E402
+from repro.sim.config import preset  # noqa: E402
+from repro.workloads.trace import MemRef, Trace  # noqa: E402
+
+shares_lists = st.lists(st.integers(min_value=0, max_value=10**6),
+                        min_size=1, max_size=16)
+
+
+class TestApportion:
+    @given(total=st.integers(min_value=0, max_value=10**7),
+           shares=shares_lists)
+    def test_sums_to_total(self, total, shares):
+        parts = apportion(total, shares)
+        assert sum(parts) == total
+        assert all(part >= 0 for part in parts)
+
+    @given(total=st.integers(min_value=0, max_value=10**7),
+           shares=shares_lists,
+           minimum=st.integers(min_value=1, max_value=8))
+    def test_minimum_floor_preserves_the_sum(self, total, shares, minimum):
+        if minimum * len(shares) > total:
+            with pytest.raises(ValueError):
+                apportion(total, shares, minimum=minimum)
+            return
+        parts = apportion(total, shares, minimum=minimum)
+        assert sum(parts) == total
+        assert min(parts) >= minimum
+
+    @given(total=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=1, max_value=16))
+    def test_equal_shares_split_evenly(self, total, n):
+        parts = apportion(total, [1] * n)
+        assert max(parts) - min(parts) <= 1
+
+    @given(total=st.integers(min_value=0, max_value=10**6),
+           shares=shares_lists)
+    def test_deterministic(self, total, shares):
+        assert apportion(total, shares) == apportion(total, shares)
+
+
+# -- synthetic bundles for the interleaver properties -------------------------------
+
+def _trace(name: str, seeds: list[int]) -> Trace:
+    """A tiny deterministic trace from a list of line indices."""
+    refs = [MemRef(addr=0x1000_0000 + (s % 512) * 64,
+                   is_write=(s % 7 == 0),
+                   comp_cycles=s % 11,
+                   dependent=(s % 5 == 0))
+            for s in seeds]
+    return Trace(refs, name=name)
+
+
+bundle_traces = st.lists(
+    st.lists(st.integers(min_value=0, max_value=10**6),
+             min_size=1, max_size=40),
+    min_size=1, max_size=4)
+
+
+class TestAllocate:
+    @given(traces=bundle_traces, policy=st.sampled_from(POLICIES),
+           table_units=st.integers(min_value=4, max_value=1 << 14))
+    @settings(max_examples=30, deadline=None)
+    def test_partitions_sum_to_the_configured_total(self, traces, policy,
+                                                    table_units):
+        from dataclasses import replace
+        n = len(traces)
+        table_rows = table_units * TABLE_GRANT_QUANTUM
+        apps = tuple(f"app{i}" for i in range(n))
+        config = replace(preset("repl").with_cores(n, policy),
+                         num_rows=table_rows)
+        allocation = allocate(
+            config, apps, [_trace(a, s) for a, s in zip(apps, traces)])
+        assert allocation.table_total == table_rows
+        assert sum(g.num_rows for g in allocation.grants) == table_rows
+        assert sum(g.push_budget for g in allocation.grants) == \
+            allocation.push_total
+        assert all(g.push_budget >= 1 for g in allocation.grants)
+        # Every grant is a whole number of quanta — and so a legal
+        # num_rows for any table associativity in the matrix.
+        assert all(g.num_rows >= TABLE_GRANT_QUANTUM and
+                   g.num_rows % TABLE_GRANT_QUANTUM == 0
+                   for g in allocation.grants)
+
+    @given(traces=bundle_traces, policy=st.sampled_from(POLICIES),
+           table_rows=st.integers(min_value=64, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_unaligned_budgets_truncate_to_a_quantum(self, traces, policy,
+                                                     table_rows):
+        from dataclasses import replace
+        n = len(traces)
+        units = table_rows // TABLE_GRANT_QUANTUM
+        apps = tuple(f"app{i}" for i in range(n))
+        config = replace(preset("repl").with_cores(n, policy),
+                         num_rows=table_rows)
+        built = [_trace(a, s) for a, s in zip(apps, traces)]
+        if units < n:
+            with pytest.raises(ValueError):
+                allocate(config, apps, built)
+            return
+        allocation = allocate(config, apps, built)
+        assert allocation.table_total == units * TABLE_GRANT_QUANTUM
+        assert sum(g.num_rows for g in allocation.grants) == \
+            allocation.table_total
+
+
+class TestInterleaver:
+    @given(traces=bundle_traces)
+    @settings(max_examples=15, deadline=None)
+    def test_event_conservation(self, traces):
+        """Every per-app reference is stepped exactly once."""
+        n = len(traces)
+        apps = tuple(f"app{i}" for i in range(n))
+        built = [_trace(a, s) for a, s in zip(apps, traces)]
+        system = MulticoreSystem(preset("repl").with_cores(n), apps, built,
+                                 record_schedule=True)
+        system.run()
+        assert [tile.steps for tile in system.tiles] == \
+            [len(t) for t in built]
+        # The recorded schedule is exactly the multiset of steps.
+        assert len(system.schedule) == sum(len(t) for t in built)
+        for i, trace in enumerate(built):
+            assert system.schedule.count(i) == len(trace)
+
+    @given(traces=bundle_traces)
+    @settings(max_examples=10, deadline=None)
+    def test_arbitration_is_deterministic(self, traces):
+        n = len(traces)
+        apps = tuple(f"app{i}" for i in range(n))
+        config = preset("repl").with_cores(n)
+
+        def once():
+            built = [_trace(a, s) for a, s in zip(apps, traces)]
+            system = MulticoreSystem(config, apps, built,
+                                     record_schedule=True)
+            result = system.run()
+            return system.schedule, json.dumps(result.to_dict(),
+                                               sort_keys=True)
+
+        first_schedule, first_result = once()
+        second_schedule, second_result = once()
+        assert first_schedule == second_schedule
+        assert first_result == second_result
